@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Every benchmark module regenerates one paper artifact (Figures 1-9) or
+validates one prose performance claim (B1-B10); see DESIGN.md section 4
+for the experiment index.  Each test:
+
+* wraps its measured kernel in the pytest-benchmark fixture (so
+  ``pytest benchmarks/ --benchmark-only`` times everything),
+* asserts the qualitative *shape* the paper claims (who wins, where the
+  crossover falls),
+* prints the rows a paper table would carry (run with ``-s`` to see them),
+* records its rows in the shared recorder, dumped to
+  ``benchmarks/bench_results.json`` at the end of the session.
+"""
+
+import pytest
+
+from repro.bench import GLOBAL_RECORDER
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if GLOBAL_RECORDER.all_records():
+        target = session.config.rootpath / "benchmarks" / "bench_results.json"
+        GLOBAL_RECORDER.dump(target)
+
+
+@pytest.fixture
+def recorder():
+    return GLOBAL_RECORDER

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""An ORION-flavoured interactive shell.
+
+Evaluates the s-expression message language against a live database —
+the closest thing to sitting at an ORION console in 1989.
+
+Run interactively:      python examples/orion_shell.py
+Run the demo script:    python examples/orion_shell.py --demo
+Run a file of messages: python examples/orion_shell.py path/to/script.orion
+"""
+
+import sys
+
+from repro.errors import ReproError
+from repro.query import Interpreter, QuerySyntaxError
+
+DEMO = """
+;; The paper's Example 1, in the message language.
+(make-class 'AutoBody)
+(make-class 'AutoDrivetrain)
+(make-class 'AutoTires)
+(make-class 'Vehicle
+  :attributes '((Manufacturer :domain string)
+                (Color :domain string)
+                (Body :domain AutoBody :composite t :exclusive t :dependent nil)
+                (Drivetrain :domain AutoDrivetrain :composite t :exclusive t
+                            :dependent nil)
+                (Tires :domain (set-of AutoTires) :composite t :exclusive t
+                       :dependent nil)))
+(create-index Vehicle Color)
+
+(setq body (make AutoBody))
+(setq dt (make AutoDrivetrain))
+(setq v (make Vehicle :Color "red" :Manufacturer "MCC" :Body body
+              :Drivetrain dt))
+(setq t1 (make AutoTires :parent ((v Tires))))
+(setq t2 (make AutoTires :parent ((v Tires))))
+
+(components-of v)
+(parents-of body)
+(exclusive-component-of body v)
+(select Vehicle (= Color "red"))
+(select AutoTires (part-of v))
+(describe Vehicle)
+
+;; Live schema evolution (paper Section 4) as messages:
+(make-shared Vehicle Body)           ;; I2: exclusive -> shared
+(setq v2 (make Vehicle :Body body))  ;; the body is now shareable
+(parents-of body)
+
+(delete v)
+(delete v2)
+(parents-of body)   ;; independent references: the body survived
+"""
+
+
+def format_result(value):
+    if isinstance(value, list):
+        return "(" + " ".join(format_result(v) for v in value) + ")"
+    if value is True:
+        return "t"
+    if value is None:
+        return "nil"
+    return str(value)
+
+
+def run_script(interpreter, text, echo=True):
+    from repro.query.sexpr import parse_all
+
+    for form in parse_all(text):
+        if echo:
+            print(f"> {render_form(form)}")
+        try:
+            result = interpreter.eval_form(form)
+        except ReproError as error:
+            print(f"!! {type(error).__name__}: {error}")
+            continue
+        print(format_result(result))
+
+
+def render_form(form):
+    from repro.query.sexpr import Keyword, QUOTE, Symbol
+
+    if isinstance(form, list):
+        if form and form[0] == QUOTE:
+            return "'" + render_form(form[1])
+        return "(" + " ".join(render_form(f) for f in form) + ")"
+    if isinstance(form, str):
+        return f'"{form}"'
+    if form is True:
+        return "t"
+    if form is None:
+        return "nil"
+    return str(form)
+
+
+def repl(interpreter):
+    print("ORION-style shell — type messages, (quit) to exit.")
+    buffer = ""
+    while True:
+        try:
+            prompt = "orion> " if not buffer else "  ...> "
+            line = input(prompt)
+        except EOFError:
+            break
+        buffer += line + "\n"
+        if buffer.count("(") > buffer.count(")"):
+            continue  # unbalanced: keep reading
+        text, buffer = buffer, ""
+        if text.strip() in ("(quit)", "(exit)"):
+            break
+        if not text.strip():
+            continue
+        try:
+            run_script(interpreter, text, echo=False)
+        except QuerySyntaxError as error:
+            print(f"!! syntax: {error}")
+
+
+def main():
+    interpreter = Interpreter()
+    if len(sys.argv) > 1:
+        if sys.argv[1] == "--demo":
+            run_script(interpreter, DEMO)
+        else:
+            with open(sys.argv[1]) as handle:
+                run_script(interpreter, handle.read())
+    elif sys.stdin.isatty():
+        repl(interpreter)
+    else:
+        run_script(interpreter, sys.stdin.read())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: the extended composite-object model in five minutes.
+
+Walks through the paper's core ideas on a tiny schema:
+
+1. the five reference types,
+2. bottom-up assembly (impossible in the original ORION model),
+3. the Section 3 operations,
+4. the Deletion Rule.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AttributeSpec, Database, LegacyDatabase, LegacyModelError, SetOf
+
+
+def main():
+    db = Database()
+
+    # -- 1. A schema using three reference flavours -----------------------
+    db.make_class("Page")
+    db.make_class("Binder", attributes=[
+        AttributeSpec("Title", domain="string"),
+        # Dependent shared: a page exists as long as some binder holds it,
+        # and may be filed in several binders at once.
+        AttributeSpec("Pages", domain=SetOf("Page"), composite=True,
+                      exclusive=False, dependent=True),
+        # Independent exclusive: a bookmark belongs to one binder at a
+        # time but survives the binder's deletion.
+        AttributeSpec("Bookmark", domain="Page", composite=True,
+                      exclusive=True, dependent=False),
+        # Weak: no IS-PART-OF semantics at all.
+        AttributeSpec("SeeAlso", domain="Binder"),
+    ])
+
+    # -- 2. Bottom-up assembly --------------------------------------------
+    # Components first, aggregate later: the extended model allows it.
+    page_a = db.make("Page")
+    page_b = db.make("Page")
+    bookmark = db.make("Page")
+    binder1 = db.make("Binder", values={
+        "Title": "Binder One", "Pages": [page_a, page_b], "Bookmark": bookmark,
+    })
+    binder2 = db.make("Binder", values={"Title": "Binder Two"})
+    db.make_part_of(page_a, binder2, "Pages")      # share an existing page
+    db.set_value(binder2, "SeeAlso", binder1)      # weak reference
+
+    print("binder1 components:", [str(u) for u in db.components_of(binder1)])
+    print("page_a parents:    ", [str(u) for u in db.parents_of(page_a)])
+    print("page_a shared-component-of binder2?",
+          db.shared_component_of(page_a, binder2))
+
+    # -- 3. Topology rules in action ----------------------------------------
+    # A page already shared cannot become someone's exclusive component.
+    from repro import TopologyError
+    try:
+        db.set_value(binder2, "Bookmark", page_a)
+    except TopologyError as error:
+        print("topology rule enforced:", error)
+
+    # -- 4. The Deletion Rule ----------------------------------------------
+    report = db.delete(binder1)
+    print("deleted with binder1:", [str(u) for u in report.deleted])
+    print("page_a survived (still in binder2)?", db.exists(page_a))
+    print("page_b survived?", db.exists(page_b), "(last dependent parent gone)")
+    print("bookmark survived (independent)?", db.exists(bookmark))
+
+    # -- 5. The KIM87b baseline rejects all of this --------------------------
+    legacy = LegacyDatabase()
+    legacy.make_class("Page")
+    try:
+        legacy.make_class("Binder", attributes=[
+            AttributeSpec("Pages", domain=SetOf("Page"), composite=True,
+                          exclusive=False, dependent=True),
+        ])
+    except LegacyModelError as error:
+        print("KIM87b baseline:", error)
+
+    db.validate()
+    print("all invariants hold — done.")
+
+
+if __name__ == "__main__":
+    main()

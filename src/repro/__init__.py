@@ -1,0 +1,114 @@
+"""repro — a reproduction of "Composite Objects Revisited"
+(Kim, Bertino, Garza, SIGMOD 1989).
+
+An ORION-style object-oriented database in pure Python, centred on the
+paper's extended model of composite objects: five reference types
+(weak; dependent/independent x exclusive/shared composite), topology
+rules, a recursive Deletion Rule, schema evolution over composite
+attributes, versions of composite objects, composite objects as a unit of
+authorization, and composite-object locking.
+
+Quickstart::
+
+    from repro import Database, AttributeSpec, SetOf
+
+    db = Database()
+    db.make_class("AutoBody")
+    db.make_class("Vehicle", attributes=[
+        AttributeSpec("Body", domain="AutoBody",
+                      composite=True, exclusive=True, dependent=False),
+    ])
+    body = db.make("AutoBody")
+    vehicle = db.make("Vehicle", values={"Body": body})
+    assert db.parents_of(body) == [vehicle]
+"""
+
+from .core import (
+    Database,
+    DeletionReport,
+    Instance,
+    LegacyDatabase,
+    ReferenceKind,
+    ReverseReference,
+    UID,
+)
+from .errors import (
+    AccessDenied,
+    AuthorizationConflict,
+    AuthorizationError,
+    ConcurrencyError,
+    DeadlockError,
+    DomainError,
+    LegacyModelError,
+    LockConflictError,
+    NotVersionableError,
+    ReproError,
+    SchemaEvolutionError,
+    StateDependentChangeRejected,
+    TopologyError,
+    UnknownObjectError,
+    VersionError,
+)
+from .schema import AttributeSpec, SetOf
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Lazily exposed convenience exports.
+
+    The subsystem managers live in their packages; importing them eagerly
+    here would drag every subsystem in on ``import repro``.  They resolve
+    on first attribute access instead::
+
+        from repro import VersionManager, AuthorizationEngine, Interpreter
+    """
+    lazy = {
+        "AuthorizationEngine": ("repro.authorization", "AuthorizationEngine"),
+        "ChangeNotifier": ("repro.versions", "ChangeNotifier"),
+        "CheckoutManager": ("repro.txn", "CheckoutManager"),
+        "DurableDatabase": ("repro.storage.durable", "DurableDatabase"),
+        "Interpreter": ("repro.query", "Interpreter"),
+        "RoleAuthorizationEngine": ("repro.authorization.roles",
+                                    "RoleAuthorizationEngine"),
+        "SchemaEvolutionManager": ("repro.schema.evolution",
+                                   "SchemaEvolutionManager"),
+        "TransactionManager": ("repro.txn", "TransactionManager"),
+        "VersionManager": ("repro.versions", "VersionManager"),
+        "copy_composite": ("repro.core.compose", "copy_composite"),
+        "composites_equal": ("repro.core.compose", "composites_equal"),
+    }
+    if name in lazy:
+        import importlib
+
+        module_name, attribute = lazy[name]
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AccessDenied",
+    "AttributeSpec",
+    "AuthorizationConflict",
+    "AuthorizationError",
+    "ConcurrencyError",
+    "Database",
+    "DeadlockError",
+    "DeletionReport",
+    "DomainError",
+    "Instance",
+    "LegacyDatabase",
+    "LegacyModelError",
+    "LockConflictError",
+    "NotVersionableError",
+    "ReferenceKind",
+    "ReproError",
+    "ReverseReference",
+    "SchemaEvolutionError",
+    "SetOf",
+    "StateDependentChangeRejected",
+    "TopologyError",
+    "UID",
+    "UnknownObjectError",
+    "VersionError",
+    "__version__",
+]

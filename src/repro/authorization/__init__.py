@@ -1,0 +1,27 @@
+"""Authorization subsystem (paper Section 6 + [RABI88]): positive/negative
+and strong/weak authorizations, implicit deduction over classes and
+composite objects, conflict detection (Figure 6)."""
+
+from .atoms import FIGURE6_ATOMS, AuthType, Authorization, parse_atom
+from .combine import (
+    Resolution,
+    combine,
+    conflicts,
+    figure6_matrix,
+    render_figure6,
+)
+from .engine import AuthorizationEngine, Grant
+
+__all__ = [
+    "AuthType",
+    "Authorization",
+    "AuthorizationEngine",
+    "FIGURE6_ATOMS",
+    "Grant",
+    "Resolution",
+    "combine",
+    "conflicts",
+    "figure6_matrix",
+    "parse_atom",
+    "render_figure6",
+]

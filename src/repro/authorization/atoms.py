@@ -1,0 +1,117 @@
+"""Authorization atoms: type, sign, strength, and implication.
+
+The ORION authorization model ([RABI88], paper Section 6) is built on
+three concepts:
+
+* **implicit authorization** — authorizations are deduced from explicitly
+  stored ones (a grant on a class covers its instances; a grant on a
+  composite object covers its components);
+* **positive and negative** authorizations — prohibition is distinct from
+  mere absence;
+* **strong and weak** authorizations — "a weak authorization can be
+  overridden by other authorizations, while a strong authorization and all
+  authorizations implied by it cannot".
+
+An atom here is one ``(strength, sign, type)`` triple over the paper's two
+authorization types Read and Write, rendered like the paper's Figure 6:
+``sR``, ``wW``, ``s¬R``, ``w¬W``.
+
+Implications (paper: "a (positive) W authorization implies a (positive) R
+authorization; and a negative R authorization implies a negative W
+authorization"):
+
+* ``+W ⇒ +R``
+* ``¬R ⇒ ¬W``
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AuthType(enum.Enum):
+    """An authorization type."""
+
+    READ = "R"
+    WRITE = "W"
+
+    def __str__(self):
+        return self.value
+
+
+#: The negation glyph used by the paper; ``-`` and ``~`` parse too.
+NEGATION = "¬"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Authorization:
+    """One authorization atom.
+
+    Ordering is lexicographic over (strong, positive, type) purely so
+    collections of atoms render deterministically.
+    """
+
+    strong: bool
+    positive: bool
+    auth_type: AuthType
+
+    def __str__(self):
+        strength = "s" if self.strong else "w"
+        sign = "" if self.positive else NEGATION
+        return f"{strength}{sign}{self.auth_type.value}"
+
+    @classmethod
+    def parse(cls, text):
+        """Parse ``"sR"``, ``"w¬W"``, ``"s-R"``, ``"w~W"`` and friends."""
+        raw = text.strip()
+        if len(raw) < 2:
+            raise ValueError(f"not an authorization atom: {text!r}")
+        strength, rest = raw[0], raw[1:]
+        if strength not in ("s", "w"):
+            raise ValueError(f"strength must be 's' or 'w' in {text!r}")
+        positive = True
+        if rest[0] in (NEGATION, "-", "~"):
+            positive = False
+            rest = rest[1:]
+        try:
+            auth_type = AuthType(rest)
+        except ValueError:
+            raise ValueError(f"unknown authorization type in {text!r}") from None
+        return cls(strong=(strength == "s"), positive=positive, auth_type=auth_type)
+
+    # -- implication -------------------------------------------------------
+
+    def implied_types(self):
+        """The signed types this atom implies, including itself.
+
+        Returns ``{(type, positive_sign)}``: ``sW`` implies ``(W, +)`` and
+        ``(R, +)``; ``s¬R`` implies ``(R, -)`` and ``(W, -)``.
+        """
+        implied = {(self.auth_type, self.positive)}
+        if self.positive and self.auth_type is AuthType.WRITE:
+            implied.add((AuthType.READ, True))
+        if not self.positive and self.auth_type is AuthType.READ:
+            implied.add((AuthType.WRITE, False))
+        return implied
+
+    def implies(self, other):
+        """True when this atom implies *other* (same strength assumed)."""
+        return other.implied_types() <= self.implied_types() and (
+            self.strong == other.strong
+        )
+
+
+def parse_atom(value):
+    """Coerce a string or atom to an :class:`Authorization`."""
+    if isinstance(value, Authorization):
+        return value
+    return Authorization.parse(value)
+
+
+#: The eight atoms of Figure 6, in the paper's row/column order:
+#: sR, wR, sW, wW, s¬R, w¬R, s¬W, w¬W.
+FIGURE6_ATOMS = tuple(
+    Authorization.parse(text)
+    for text in ("sR", "wR", "sW", "wW", "s¬R", "w¬R", "s¬W", "w¬W")
+)

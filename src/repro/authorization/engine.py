@@ -1,0 +1,244 @@
+"""The authorization engine: composite objects as a unit of authorization.
+
+Section 6's contribution: "we further augment the utility of composite
+objects by introducing their use as a unit of authorization", extending
+[RABI88]'s implicit authorization:
+
+* an authorization on a **class** implies the same authorization on all
+  its instances (and, for a composite class, "on all objects which are
+  components of the instances of C" — but *not* on unrelated instances of
+  the component classes);
+* an authorization on a **composite object** (granted on its root) implies
+  the same authorization on every component;
+* a grant is rejected when it conflicts with an existing explicit or
+  implicit authorization on any object it would cover.
+
+Grant targets are ``("class", name)``, ``("instance", uid)``, or
+``("database",)``.  Checks combine every authorization implied on the
+object (:func:`repro.authorization.combine.combine`); a user may act when
+the combined resolution positively authorizes the type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AccessDenied, AuthorizationConflict
+from .atoms import AuthType, parse_atom
+from .combine import Resolution, combine
+
+DATABASE_SCOPE = ("database",)
+
+
+@dataclass(frozen=True, slots=True)
+class Grant:
+    """One stored (explicit) authorization record."""
+
+    user: str
+    atom: object
+    scope: tuple
+
+    def __str__(self):
+        return f"{self.user}: {self.atom} on {self.scope}"
+
+
+class AuthorizationEngine:
+    """Grants, implicit deduction, and access checks for one database."""
+
+    def __init__(self, database, version_registry=None):
+        self._db = database
+        #: user -> list of Grant (explicit records only — implicit
+        #: authorizations are deduced, which is the storage saving
+        #: benchmark B3 measures).
+        self._grants = {}
+        #: Optional :class:`repro.versions.VersionRegistry`: when given,
+        #: a grant on a *generic instance* implies the same authorization
+        #: on every version instance of that versionable object (the
+        #: version-model counterpart of composite coverage).
+        self._versions = version_registry
+        #: Access checks performed (benchmark metric).
+        self.checks = 0
+
+    # ------------------------------------------------------------------
+    # Granting
+    # ------------------------------------------------------------------
+
+    def grant(self, user, atom, on_class=None, on_instance=None, database=False):
+        """Record an authorization for *user*.
+
+        Exactly one target must be given.  The grant is rejected with
+        :class:`AuthorizationConflict` when it would conflict with an
+        authorization (explicit or implicit) the user already holds on any
+        object the new grant covers — the paper's example: a strong ¬R
+        received from Instance[j] makes a later strong W grant on
+        Instance[k] fail when the two composites share a component.
+        """
+        atom = parse_atom(atom)
+        scope = self._scope(on_class, on_instance, database)
+        for uid in self._covered_objects(scope):
+            existing = [g.atom for g in self._implied_grants(user, uid)]
+            if not existing:
+                continue
+            if combine(existing + [atom]).conflict:
+                raise AuthorizationConflict(
+                    f"granting {atom} to {user!r} on {scope} conflicts with "
+                    f"existing authorizations on {uid}",
+                    existing=existing,
+                    requested=atom,
+                )
+        record = Grant(user=user, atom=atom, scope=scope)
+        self._grants.setdefault(user, []).append(record)
+        return record
+
+    def revoke(self, user, atom, on_class=None, on_instance=None, database=False):
+        """Remove a previously granted record (exact match)."""
+        atom = parse_atom(atom)
+        scope = self._scope(on_class, on_instance, database)
+        records = self._grants.get(user, [])
+        for record in records:
+            if record.atom == atom and record.scope == scope:
+                records.remove(record)
+                return True
+        return False
+
+    def grants_of(self, user):
+        """Explicit grants stored for *user*."""
+        return list(self._grants.get(user, ()))
+
+    def stored_record_count(self):
+        """Total explicit records — the storage metric of benchmark B3."""
+        return sum(len(records) for records in self._grants.values())
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    def resolve(self, user, uid):
+        """Combine every authorization implied for *user* on object *uid*."""
+        self.checks += 1
+        atoms = [g.atom for g in self._implied_grants(user, uid)]
+        if not atoms:
+            return Resolution(conflict=False, effective={})
+        return combine(atoms)
+
+    def check(self, user, auth_type, uid):
+        """True when *user* positively holds *auth_type* on *uid*."""
+        return self.resolve(user, uid).permits(AuthType(auth_type))
+
+    def require(self, user, auth_type, uid):
+        """Raise :class:`AccessDenied` unless the check passes."""
+        resolution = self.resolve(user, uid)
+        auth_type = AuthType(auth_type)
+        if resolution.permits(auth_type):
+            return True
+        if resolution.conflict:
+            reason = "conflicting implied authorizations"
+        elif resolution.denies(auth_type):
+            reason = f"negative {auth_type} authorization"
+        else:
+            reason = f"no {auth_type} authorization"
+        raise AccessDenied(f"{user!r} may not {auth_type} {uid}: {reason}")
+
+    def explain(self, user, uid):
+        """``(grant, why)`` pairs showing where each implied atom came from."""
+        return [
+            (grant, why) for grant, why in self._implied_with_reason(user, uid)
+        ]
+
+    # ------------------------------------------------------------------
+    # Implicit deduction
+    # ------------------------------------------------------------------
+
+    def _implied_grants(self, user, uid):
+        return [grant for grant, _why in self._implied_with_reason(user, uid)]
+
+    def _implied_with_reason(self, user, uid):
+        """Every explicit grant that (explicitly or implicitly) covers *uid*."""
+        instance = self._db.peek(uid)
+        if instance is None:
+            return
+        class_scope = {instance.class_name}
+        class_scope.update(self._db.lattice.all_superclasses(instance.class_name))
+        ancestors = None  # computed lazily; composite walks can be pricey
+        for grant in self._grants.get(user, ()):
+            kind = grant.scope[0]
+            if kind == "database":
+                yield grant, "database-wide grant"
+            elif kind == "class":
+                name = grant.scope[1]
+                if name in class_scope:
+                    yield grant, f"grant on class {name} covers its instances"
+                    continue
+                if ancestors is None:
+                    ancestors = self._db.ancestors_of(uid)
+                if any(self._db.class_of(a) == name or
+                       self._db.lattice.is_subclass(self._db.class_of(a), name)
+                       for a in ancestors):
+                    yield grant, (
+                        f"grant on composite class {name} covers components "
+                        f"of its instances"
+                    )
+            elif kind == "instance":
+                target = grant.scope[1]
+                if target == uid:
+                    yield grant, "explicit grant on the object"
+                    continue
+                if (
+                    self._versions is not None
+                    and self._versions.generic_of(uid) == target
+                ):
+                    yield grant, (
+                        f"grant on versionable object {target} covers its "
+                        f"version instances"
+                    )
+                    continue
+                if ancestors is None:
+                    ancestors = self._db.ancestors_of(uid)
+                if target in ancestors:
+                    yield grant, (
+                        f"grant on composite object {target} covers its "
+                        f"components"
+                    )
+                elif self._versions is not None and any(
+                    self._versions.generic_of(ancestor) == target
+                    for ancestor in ancestors
+                ):
+                    yield grant, (
+                        f"grant on versionable object {target} covers "
+                        f"components of its version instances"
+                    )
+
+    def _covered_objects(self, scope):
+        """Objects a grant on *scope* covers (for grant-time conflict checks)."""
+        kind = scope[0]
+        if kind == "database":
+            return [inst.uid for inst in self._db.live_instances()]
+        if kind == "class":
+            covered = []
+            for instance in self._db.instances_of(scope[1]):
+                covered.append(instance.uid)
+                covered.extend(self._db.components_of(instance.uid))
+            return covered
+        uid = scope[1]
+        if self._db.peek(uid) is None:
+            return []
+        covered = [uid] + self._db.components_of(uid)
+        if self._versions is not None and self._versions.is_generic(uid):
+            for version in self._versions.generic_info(uid).versions:
+                if version not in covered:
+                    covered.append(version)
+                    covered.extend(self._db.components_of(version))
+        return covered
+
+    @staticmethod
+    def _scope(on_class, on_instance, database):
+        targets = [t for t in (on_class, on_instance, database or None) if t]
+        if len(targets) != 1:
+            raise ValueError(
+                "grant needs exactly one of on_class, on_instance, database"
+            )
+        if database:
+            return DATABASE_SCOPE
+        if on_class is not None:
+            return ("class", on_class)
+        return ("instance", on_instance)

@@ -1,0 +1,15 @@
+"""Benchmark harness utilities: table rendering and result recording."""
+
+from .recorder import GLOBAL_RECORDER, ExperimentRecord, Recorder
+from .report import render_report, render_report_file
+from .tables import format_table, print_table
+
+__all__ = [
+    "ExperimentRecord",
+    "GLOBAL_RECORDER",
+    "Recorder",
+    "format_table",
+    "print_table",
+    "render_report",
+    "render_report_file",
+]

@@ -1,0 +1,73 @@
+"""Recording benchmark findings.
+
+Each benchmark asserts its qualitative "shape" claims (who wins, where
+crossovers fall) and records the measured rows here; the harness keeps
+everything from one run so EXPERIMENTS.md can be regenerated from a single
+``pytest benchmarks/`` session if desired.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class ExperimentRecord:
+    """Rows and conclusions of one experiment."""
+
+    experiment_id: str
+    description: str
+    rows: list = field(default_factory=list)
+    conclusions: list = field(default_factory=list)
+
+
+class Recorder:
+    """Collects experiment records; optionally persists them as JSON."""
+
+    def __init__(self):
+        self._records = {}
+
+    def record(self, experiment_id, description, rows=(), conclusions=()):
+        entry = ExperimentRecord(
+            experiment_id=experiment_id,
+            description=description,
+            rows=list(rows),
+            conclusions=list(conclusions),
+        )
+        self._records[experiment_id] = entry
+        return entry
+
+    def get(self, experiment_id):
+        return self._records.get(experiment_id)
+
+    def all_records(self):
+        return [self._records[key] for key in sorted(self._records)]
+
+    def dump(self, path):
+        """Write all records to *path* as JSON."""
+        payload = [
+            {
+                "experiment_id": record.experiment_id,
+                "description": record.description,
+                "rows": [
+                    {key: _jsonable(value) for key, value in row.items()}
+                    for row in record.rows
+                ],
+                "conclusions": record.conclusions,
+            }
+            for record in self.all_records()
+        ]
+        Path(path).write_text(json.dumps(payload, indent=2))
+        return path
+
+
+def _jsonable(value):
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+#: Process-wide recorder the benchmark modules share.
+GLOBAL_RECORDER = Recorder()

@@ -1,0 +1,82 @@
+"""Render recorded benchmark results as a markdown report.
+
+The benchmark session dumps every experiment's rows and conclusions to
+``benchmarks/bench_results.json``; this module turns that file into a
+markdown document, so a fresh EXPERIMENTS-style report can be regenerated
+from any run::
+
+    python -m repro.bench.report benchmarks/bench_results.json > report.md
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def _markdown_table(rows):
+    if not rows:
+        return "_(no rows)_"
+    columns = list(rows[0])
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(value):
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(cell(row.get(col, "")) for col in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def render_report(records, title="Benchmark report"):
+    """Render a list of record dicts (the JSON dump format) to markdown."""
+    lines = [f"# {title}", ""]
+    for record in records:
+        lines.append(f"## {record['experiment_id']} — {record['description']}")
+        lines.append("")
+        rows = record.get("rows", [])
+        # Large matrices (the figure dumps) are summarized, not inlined.
+        if len(rows) > 24:
+            lines.append(f"_{len(rows)} rows (see bench_results.json)._")
+        else:
+            lines.append(_markdown_table(rows))
+        lines.append("")
+        for conclusion in record.get("conclusions", []):
+            lines.append(f"* {conclusion}")
+        if record.get("conclusions"):
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_report_file(path, title="Benchmark report"):
+    """Load a bench_results.json file and render it."""
+    records = json.loads(Path(path).read_text())
+    return render_report(records, title=title)
+
+
+def main(argv=None):
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv:
+        print("usage: python -m repro.bench.report <bench_results.json>",
+              file=sys.stderr)
+        return 1
+    sys.stdout.write(render_report_file(argv[0]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

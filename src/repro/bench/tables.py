@@ -1,0 +1,47 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same "rows and series" a paper table would carry;
+this keeps the formatting in one place and dependency-free.
+"""
+
+from __future__ import annotations
+
+
+def format_table(rows, columns=None, title=""):
+    """Render dict rows as a fixed-width table.
+
+    *rows* is a list of dicts; *columns* fixes the column order (default:
+    keys of the first row).  Numbers are right-aligned; floats get four
+    significant decimals.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns else list(rows[0])
+
+    def cell(value):
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(f"{col:>{w}}" for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(f"{value:>{w}}" for value, w in zip(row, widths))
+        for row in rendered
+    ]
+    lines = ([title, ""] if title else []) + [header, rule] + body
+    return "\n".join(lines)
+
+
+def print_table(rows, columns=None, title=""):
+    """Print :func:`format_table` output (convenience for benchmarks)."""
+    print()
+    print(format_table(rows, columns=columns, title=title))
+    print()

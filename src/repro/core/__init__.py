@@ -1,0 +1,52 @@
+"""Core composite-object model (the paper's primary contribution).
+
+Exports the database façade, the KIM87b baseline, object identity, the
+reference taxonomy, and the Section-3 operations.
+"""
+
+from .compose import (
+    composite_size,
+    composites_equal,
+    copy_composite,
+    dismantle,
+    move_component,
+)
+from .database import Database
+from .deletion import DeletionEngine, DeletionReport, would_delete
+from .identity import UID, UIDAllocator
+from .instance import Instance
+from .legacy import LegacyDatabase
+from .references import (
+    ALL_REFERENCE_KINDS,
+    COMPOSITE_REFERENCE_KINDS,
+    ReferenceKind,
+    ReverseReference,
+)
+from .topology import (
+    check_attribute_change_feasible,
+    check_make_component,
+    check_topology_rules,
+)
+
+__all__ = [
+    "ALL_REFERENCE_KINDS",
+    "COMPOSITE_REFERENCE_KINDS",
+    "Database",
+    "DeletionEngine",
+    "DeletionReport",
+    "Instance",
+    "LegacyDatabase",
+    "ReferenceKind",
+    "ReverseReference",
+    "UID",
+    "UIDAllocator",
+    "check_attribute_change_feasible",
+    "check_make_component",
+    "check_topology_rules",
+    "composite_size",
+    "composites_equal",
+    "copy_composite",
+    "dismantle",
+    "move_component",
+    "would_delete",
+]

@@ -1,0 +1,724 @@
+"""The database façade.
+
+:class:`Database` ties the subsystems together: the class lattice, the
+object table, the topology checks, the Deletion Rule engine, the
+Section-3 operations, optional paged storage with first-parent clustering,
+and hooks the schema-evolution, version, authorization, and locking
+managers attach to.
+
+The public surface mirrors ORION's message API with Pythonic names::
+
+    db = Database()
+    db.make_class("Vehicle", attributes=[...])
+    v = db.make("Vehicle", values={"Manufacturer": "MCC"})
+    body = db.make("AutoBody", parents=[(v, "Body")])       # top-down
+    db.make_part_of(existing_engine, v, "Drivetrain")        # bottom-up
+    db.components_of(v)
+    db.delete(v)
+"""
+
+from __future__ import annotations
+
+from ..errors import (
+    ClassDefinitionError,
+    DomainError,
+    TopologyError,
+    UnknownAttributeError,
+    UnknownObjectError,
+)
+from ..schema.attribute import AttributeSpec
+from ..schema.classdef import ClassDef
+from ..schema.lattice import ClassLattice
+from ..storage.clustering import ClusteringPolicy
+from ..storage.store import ObjectStore
+from . import operations as ops
+from .deletion import DeletionEngine
+from .identity import UIDAllocator
+from .instance import Instance
+from .topology import check_make_component, check_topology_rules
+
+
+class Database:
+    """An ORION-style object database with extended composite objects.
+
+    Parameters
+    ----------
+    paged:
+        When True, every object is written through to a page-backed
+        :class:`ObjectStore` whose I/O the experiments meter.  The object
+        table remains authoritative either way (the store is a faithful
+        mirror), so paged mode changes performance accounting, never
+        semantics.
+    buffer_capacity:
+        Buffer-pool frames for paged mode.
+    clustering:
+        ``"parent"`` (the paper's first-parent policy) or ``"none"``.
+    """
+
+    def __init__(self, paged=False, buffer_capacity=64, clustering="parent"):
+        self.lattice = ClassLattice()
+        self.allocator = UIDAllocator()
+        self._objects = {}
+        #: Class extents: class name -> set of live UIDs.  ORION maintains
+        #: extents for associative access; here they keep instances_of()
+        #: O(extent) instead of O(database).
+        self._extents = {}
+        self.store = ObjectStore(buffer_capacity=buffer_capacity) if paged else None
+        self.clustering = ClusteringPolicy(self.lattice, mode=clustering)
+        self.clustering.class_resolver = self.class_of
+        self._deletion = DeletionEngine(self)
+        #: Hooks run on every resolve(); the deferred-evolution manager
+        #: registers one to bring instances up to date (paper 4.3).
+        self.access_hooks = []
+        #: Optional callable(class_name) -> int giving the change count a
+        #: new instance is born with ("When a new instance of the class C
+        #: is created, the CC of the instance is set to the current value
+        #: of the CC of the class", paper 4.3).
+        self.cc_provider = None
+        #: Optional override of the Make-Component check, with signature
+        #: ``(parent_instance, spec, child_instance) -> None`` (raise to
+        #: reject).  The version manager installs one implementing rule
+        #: CV-2X, which relaxes exclusivity for generic instances.
+        self.link_policy = None
+        #: Callbacks ``(parent_instance, spec, child_instance)`` fired when
+        #: a composite link is added / removed (including by deletion).
+        #: The version manager maintains reverse composite generic
+        #: reference counts here (paper 5.3).
+        self.on_link = []
+        self.on_unlink = []
+        #: Optional predicate ``uid -> bool``: instances for which the
+        #: strict Topology Rules are relaxed by the link policy (the
+        #: version manager exempts generic instances — rule CV-2X allows
+        #: several same-hierarchy exclusive references to a generic).
+        self.topology_exempt = None
+        #: Callbacks ``(instance, attribute_name)`` fired after an
+        #: attribute value changes (attribute_name is None when many
+        #: attributes may have changed at once, e.g. object creation).
+        #: The query-index manager subscribes here.
+        self.on_update = []
+        #: Callbacks ``(instance,)`` fired whenever an instance is
+        #: persisted (covers reverse-reference and flag changes that do
+        #: not alter forward attribute values).  The durability journal
+        #: subscribes to both on_update and on_persist.
+        self.on_persist = []
+        #: Counter of instance accesses (benchmarks read this).
+        self.access_count = 0
+        #: UID whose first store write is deferred to ``make`` placement.
+        self._placement_pending = None
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+
+    def make_class(
+        self,
+        name,
+        superclasses=(),
+        attributes=(),
+        versionable=False,
+        segment="",
+        document="",
+    ):
+        """Define a class (the ``make-class`` message, paper 2.3).
+
+        *attributes* is a sequence of :class:`AttributeSpec` (or dicts of
+        keyword arguments for one).
+        """
+        specs = {}
+        for item in attributes:
+            spec = item if isinstance(item, AttributeSpec) else AttributeSpec(**item)
+            if spec.name in specs:
+                raise ClassDefinitionError(
+                    f"class {name!r}: duplicate attribute {spec.name!r}"
+                )
+            specs[spec.name] = spec
+        classdef = ClassDef(
+            name=name,
+            superclasses=tuple(superclasses),
+            local=specs,
+            versionable=versionable,
+            segment=segment,
+            document=document,
+        )
+        return self.lattice.define(classdef)
+
+    def classdef(self, name):
+        """The :class:`ClassDef` named *name*."""
+        return self.lattice.get(name)
+
+    # ------------------------------------------------------------------
+    # Object table plumbing (used by the subsystem engines)
+    # ------------------------------------------------------------------
+
+    def resolve(self, uid):
+        """Return the live instance of *uid*, applying access hooks.
+
+        This is *the* access path: the deferred schema-evolution catch-up
+        of paper 4.3 ("When an instance of C is accessed, the CC of the
+        instance is checked against the CC in the operation log") happens
+        here.
+        """
+        instance = self._objects.get(uid)
+        if instance is None or instance.deleted:
+            raise UnknownObjectError(uid)
+        self.access_count += 1
+        for hook in self.access_hooks:
+            hook(instance)
+        return instance
+
+    def peek(self, uid):
+        """Return the instance without hooks/erroring (None when absent)."""
+        instance = self._objects.get(uid)
+        if instance is None or instance.deleted:
+            return None
+        return instance
+
+    def exists(self, uid):
+        """True when *uid* names a live object."""
+        return self.peek(uid) is not None
+
+    def class_of(self, uid):
+        """Current class name of *uid*.
+
+        Prefer this over ``uid.class_name``: the UID embeds the class the
+        object was *born* in (for segment routing), which goes stale when
+        the class is renamed (schema evolution).
+        """
+        instance = self.peek(uid)
+        return instance.class_name if instance is not None else uid.class_name
+
+    def live_instances(self):
+        """Iterate over all live instances."""
+        return (obj for obj in self._objects.values() if not obj.deleted)
+
+    def instances_of(self, class_name, include_subclasses=True):
+        """Live instances of *class_name* (and subclasses by default)."""
+        names = (
+            self.lattice.class_hierarchy_scope(class_name)
+            if include_subclasses
+            else [class_name]
+        )
+        results = []
+        for name in names:
+            for uid in sorted(self._extents.get(name, ()),
+                              key=lambda u: u.number):
+                instance = self.peek(uid)
+                if instance is not None:
+                    results.append(instance)
+        return results
+
+    def rebuild_extents(self):
+        """Recompute the class extents (after a class rename)."""
+        self._extents.clear()
+        for instance in self.live_instances():
+            self._extents.setdefault(instance.class_name, set()).add(
+                instance.uid
+            )
+
+    def discard(self, uid):
+        """Remove *uid* from the object table and store (deletion engine)."""
+        instance = self._objects.pop(uid, None)
+        if instance is not None:
+            extent = self._extents.get(instance.class_name)
+            if extent is not None:
+                extent.discard(uid)
+        if self.store is not None:
+            self.store.delete(uid)
+
+    def persist(self, instance, near_uid=None):
+        """Write-through *instance* to the paged store and notify
+        persistence listeners (the durability journal)."""
+        if instance.deleted:
+            return
+        if instance.uid == self._placement_pending:
+            # The object is mid-``make``: its first write must be the
+            # placement-aware one (clustering hint), not an incidental
+            # write-through from link bookkeeping.
+            return
+        for callback in self.on_persist:
+            callback(instance)
+        if self.store is None:
+            return
+        segment = self.clustering.segment_for_class(instance.class_name)
+        self.store.write(instance, segment, near_uid=near_uid)
+
+    # ------------------------------------------------------------------
+    # Instance creation (the ``make`` message, paper 2.3)
+    # ------------------------------------------------------------------
+
+    def make(self, class_name, values=None, parents=(), **kw_values):
+        """Create an instance, optionally as a part of existing parents.
+
+        *parents* is a sequence of ``(parent_uid, attribute_name)`` pairs —
+        the ``:parent`` keyword.  "If ParentAttributeName.i is a composite
+        attribute, the new instance becomes part of ParentObject.i"; when
+        several composite parents are given they must all be shared
+        composite attributes (Topology Rule 3), which is checked *before*
+        any state changes.
+
+        *values* / keyword arguments supply attribute values; a UID value
+        for a composite attribute makes that existing object a component of
+        the new instance (Make-Component Rule enforced).
+
+        Returns the new instance's UID.
+        """
+        classdef = self.lattice.get(class_name)
+        merged = dict(values or {})
+        merged.update(kw_values)
+
+        parent_pairs = [(p, a) for p, a in parents]
+        self._check_parent_pairs(parent_pairs)
+
+        uid = self.allocator.allocate(class_name)
+        born_cc = self.cc_provider(class_name) if self.cc_provider else 0
+        instance = Instance(uid, class_name, change_count=born_cc)
+        self._extents.setdefault(class_name, set()).add(uid)
+        self._placement_pending = uid
+        # Initialize every effective attribute (init value or None/empty).
+        for spec in classdef.attributes():
+            if spec.name in merged:
+                continue
+            if spec.is_set:
+                instance.set(spec.name, list(spec.init) if spec.init else [])
+            else:
+                instance.set(spec.name, spec.init)
+        self._objects[uid] = instance
+
+        try:
+            for name, value in merged.items():
+                self._assign(instance, classdef.attribute(name), value)
+            for parent_uid, attribute in parent_pairs:
+                self._attach_child(parent_uid, attribute, uid)
+        except Exception:
+            # Creation is atomic: roll back partial wiring.
+            instance.deleted = True
+            self._rollback_new(instance, parent_pairs)
+            del self._objects[uid]
+            self._extents[class_name].discard(uid)
+            self._placement_pending = None
+            raise
+        finally:
+            self._placement_pending = None
+
+        if self.store is not None:
+            segment, near_hint = self.clustering.placement(
+                class_name, [p for p, _ in parent_pairs]
+            )
+            self.store.write(instance, segment, near_uid=near_hint)
+            for parent_uid, _ in parent_pairs:
+                parent = self.peek(parent_uid)
+                if parent is not None:
+                    self.persist(parent)
+        self._notify_update(instance, None)
+        return uid
+
+    def _check_parent_pairs(self, parent_pairs):
+        """Pre-validate the ``:parent`` list (paper 2.3).
+
+        "When more than one (ParentObject.i ParentAttributeName.i) is
+        specified such that ParentAttributeName.i is a composite attribute,
+        then ... these attributes must be shared composite attributes."
+        """
+        composite_pairs = []
+        for parent_uid, attribute in parent_pairs:
+            parent = self.resolve(parent_uid)
+            spec = self.lattice.get(parent.class_name).attribute(attribute)
+            if spec.is_composite:
+                composite_pairs.append((parent_uid, attribute, spec))
+        if len(composite_pairs) > 1:
+            offenders = [
+                f"{p}.{a}" for p, a, s in composite_pairs if not s.is_shared_composite
+            ]
+            if offenders:
+                raise TopologyError(
+                    "multiple composite parents require shared composite "
+                    f"attributes; exclusive: {', '.join(offenders)}",
+                    rule=3,
+                )
+
+    def _rollback_new(self, instance, parent_pairs):
+        """Undo partial wiring of a failed ``make``."""
+        for attr, child_uid in list(self.iter_composite_values(instance)):
+            child = self.peek(child_uid)
+            if child is not None:
+                child.remove_reverse_reference(instance.uid, attr)
+        for parent_uid, attribute in parent_pairs:
+            parent = self.peek(parent_uid)
+            if parent is not None:
+                self.unlink_forward_value(parent, attribute, instance.uid)
+
+    # ------------------------------------------------------------------
+    # Attribute access and update
+    # ------------------------------------------------------------------
+
+    def value(self, uid, attribute):
+        """Read one attribute value."""
+        instance = self.resolve(uid)
+        classdef = self.lattice.get(instance.class_name)
+        spec = classdef.attribute(attribute)
+        value = instance.get(attribute)
+        if spec.is_set and value is None:
+            return []
+        return list(value) if spec.is_set else value
+
+    def set_value(self, uid, attribute, value):
+        """Set a single-valued attribute.
+
+        For composite attributes this unlinks the old component (removing
+        its reverse reference) and links the new one under the
+        Make-Component Rule.
+        """
+        instance = self.resolve(uid)
+        spec = self.lattice.get(instance.class_name).attribute(attribute)
+        if spec.is_set:
+            raise DomainError(
+                f"{instance.class_name}.{attribute} is a set-of attribute; "
+                f"use insert_into/remove_from"
+            )
+        self._assign(instance, spec, value)
+        self.persist(instance)
+
+    def insert_into(self, uid, attribute, member):
+        """Add *member* to a set-of attribute (linking when composite)."""
+        instance = self.resolve(uid)
+        spec = self.lattice.get(instance.class_name).attribute(attribute)
+        if not spec.is_set:
+            raise DomainError(
+                f"{instance.class_name}.{attribute} is single-valued; use set_value"
+            )
+        current = instance.get(attribute) or []
+        if member in current:
+            return False
+        self._check_member(spec, member)
+        if spec.is_composite:
+            self._link_component(instance, spec, member)
+        current = list(current)
+        current.append(member)
+        instance.set(attribute, current)
+        self._notify_update(instance, attribute)
+        self.persist(instance)
+        return True
+
+    def remove_from(self, uid, attribute, member):
+        """Remove *member* from a set-of attribute (unlinking when composite)."""
+        instance = self.resolve(uid)
+        spec = self.lattice.get(instance.class_name).attribute(attribute)
+        if not spec.is_set:
+            raise DomainError(
+                f"{instance.class_name}.{attribute} is single-valued; use set_value"
+            )
+        current = instance.get(attribute) or []
+        if member not in current:
+            return False
+        if spec.is_composite:
+            self._unlink_component(instance, spec, member)
+        instance.set(attribute, [v for v in current if v != member])
+        self._notify_update(instance, attribute)
+        self.persist(instance)
+        return True
+
+    def make_part_of(self, child_uid, parent_uid, attribute):
+        """Make existing *child_uid* a part of *parent_uid* (bottom-up).
+
+        This is the paper's algorithm of Section 2.4 ("making an existing
+        object O a part of another object O' through an attribute A"),
+        enabled by the extended model: "This prevents a bottom-up creation
+        of objects by assembling already existing objects" was shortcoming
+        2 of [KIM87b].
+        """
+        parent = self.resolve(parent_uid)
+        spec = self.lattice.get(parent.class_name).attribute(attribute)
+        if spec.is_set:
+            return self.insert_into(parent_uid, attribute, child_uid)
+        self.set_value(parent_uid, attribute, child_uid)
+        return True
+
+    def remove_part_of(self, child_uid, parent_uid, attribute):
+        """Detach *child_uid* from *parent_uid.attribute* (never deletes).
+
+        Reference removal only severs the IS-PART-OF link; existence
+        dependency fires exclusively on object deletion (the paper's
+        Deletion Rule is defined on ``del`` only).
+        """
+        parent = self.resolve(parent_uid)
+        spec = self.lattice.get(parent.class_name).attribute(attribute)
+        if spec.is_set:
+            return self.remove_from(parent_uid, attribute, child_uid)
+        if parent.get(attribute) != child_uid:
+            return False
+        self.set_value(parent_uid, attribute, None)
+        return True
+
+    # -- assignment internals ---------------------------------------------
+
+    def _assign(self, instance, spec, value):
+        """Assign *value* to *spec* on *instance*, maintaining reverse refs."""
+        if spec.is_set:
+            members = list(value or [])
+            if len(set(members)) != len(members):
+                raise DomainError(
+                    f"{instance.class_name}.{spec.name}: duplicate members"
+                )
+            for member in members:
+                self._check_member(spec, member)
+            old_members = instance.get(spec.name) or []
+            if spec.is_composite:
+                for member in old_members:
+                    if member not in members:
+                        self._unlink_component(instance, spec, member)
+                for member in members:
+                    if member not in old_members:
+                        self._link_component(instance, spec, member)
+            instance.set(spec.name, members)
+            self._notify_update(instance, spec.name)
+            return
+        self._check_member(spec, value)
+        old = instance.get(spec.name)
+        if spec.is_composite:
+            if old is not None and old != value:
+                self._unlink_component(instance, spec, old)
+            if value is not None and value != old:
+                self._link_component(instance, spec, value)
+        instance.set(spec.name, value)
+        self._notify_update(instance, spec.name)
+
+    def _check_member(self, spec, value):
+        """Domain-check one element value for *spec*."""
+        if value is None:
+            return
+        if spec.is_primitive:
+            if not spec.accepts_primitive(value):
+                raise DomainError(
+                    f"attribute {spec.name!r}: {value!r} is not a "
+                    f"{spec.domain_class}"
+                )
+            return
+        # Reference domain: value must be a live UID of the domain class
+        # (or a subclass of it).
+        target = self.peek(value) if not isinstance(value, (int, float, str)) else None
+        if target is None:
+            raise DomainError(
+                f"attribute {spec.name!r}: {value!r} is not a live object UID"
+            )
+        if spec.domain_class != "any" and not self.lattice.is_subclass(
+            target.class_name, spec.domain_class
+        ):
+            raise DomainError(
+                f"attribute {spec.name!r}: {value} is a {target.class_name}, "
+                f"not a {spec.domain_class}"
+            )
+
+    def _link_component(self, instance, spec, child_uid):
+        """Add the IS-PART-OF link instance --spec--> child_uid."""
+        child = self.resolve(child_uid)
+        if self.link_policy is not None:
+            # The policy owns the topology invariants (version rule CV-2X
+            # legitimately relaxes them for generic instances).
+            self.link_policy(instance, spec, child)
+        else:
+            check_make_component(child, spec, parent_uid=instance.uid)
+        child.add_reverse_reference(
+            instance.uid,
+            dependent=spec.dependent,
+            exclusive=spec.exclusive,
+            attribute=spec.name,
+        )
+        if self.link_policy is None:
+            check_topology_rules(child)
+        for callback in self.on_link:
+            callback(instance, spec, child)
+        self.persist(child)
+
+    def _unlink_component(self, instance, spec, child_uid):
+        """Remove the IS-PART-OF link instance --spec--> child_uid."""
+        child = self.peek(child_uid)
+        if child is None:
+            return
+        removed = child.remove_reverse_reference(instance.uid, spec.name)
+        if removed is not None:
+            for callback in self.on_unlink:
+                callback(instance, spec, child)
+        self.persist(child)
+
+    def _attach_child(self, parent_uid, attribute, child_uid):
+        """Wire a new instance into *parent_uid.attribute* (the ``:parent``
+        keyword path of ``make``)."""
+        parent = self.resolve(parent_uid)
+        spec = self.lattice.get(parent.class_name).attribute(attribute)
+        if spec.is_set:
+            current = parent.get(attribute) or []
+            if child_uid in current:
+                return
+            self._check_member(spec, child_uid)
+            if spec.is_composite:
+                self._link_component(parent, spec, child_uid)
+            parent.set(attribute, list(current) + [child_uid])
+        else:
+            self._assign(parent, spec, child_uid)
+
+    def _notify_update(self, instance, attribute):
+        for callback in self.on_update:
+            callback(instance, attribute)
+
+    def iter_composite_values(self, instance):
+        """Yield ``(attribute_name, child_uid)`` for every composite
+        forward reference held by *instance*."""
+        classdef = self.lattice.get(instance.class_name)
+        for spec in classdef.attributes():
+            if not spec.is_composite:
+                continue
+            value = instance.get(spec.name)
+            if value is None:
+                continue
+            if spec.is_set:
+                for member in value:
+                    yield spec.name, member
+            else:
+                yield spec.name, value
+
+    def unlink_forward_value(self, parent, attribute, child_uid):
+        """Drop *child_uid* from *parent.attribute* (deletion fix-up).
+
+        Unlike :meth:`remove_from`, this does not touch reverse references
+        (the child is being deleted) and tolerates stale schema states.
+        """
+        value = parent.get(attribute)
+        if isinstance(value, list):
+            if child_uid in value:
+                parent.set(attribute, [v for v in value if v != child_uid])
+                self._notify_update(parent, attribute)
+                return True
+            return False
+        if value == child_uid:
+            parent.set(attribute, None)
+            self._notify_update(parent, attribute)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, uid):
+        """Delete *uid* under the Deletion Rule; returns a DeletionReport."""
+        return self._deletion.delete(uid)
+
+    # ------------------------------------------------------------------
+    # Section 3 operations, re-exported
+    # ------------------------------------------------------------------
+
+    def components_of(self, uid, classes=None, exclusive=False, shared=False, level=None):
+        """``components-of`` (see :mod:`repro.core.operations`)."""
+        return ops.components_of(self, uid, classes, exclusive, shared, level)
+
+    def children_of(self, uid, classes=None, exclusive=False, shared=False):
+        """Direct components of *uid*."""
+        return ops.children_of(self, uid, classes, exclusive, shared)
+
+    def parents_of(self, uid, classes=None, exclusive=False, shared=False):
+        """``parents-of``."""
+        return ops.parents_of(self, uid, classes, exclusive, shared)
+
+    def ancestors_of(self, uid, classes=None, exclusive=False, shared=False):
+        """``ancestors-of``."""
+        return ops.ancestors_of(self, uid, classes, exclusive, shared)
+
+    def child_of(self, uid1, uid2):
+        """``child-of``."""
+        return ops.child_of(self, uid1, uid2)
+
+    def component_of(self, uid1, uid2):
+        """``component-of``."""
+        return ops.component_of(self, uid1, uid2)
+
+    def exclusive_component_of(self, uid1, uid2):
+        """``exclusive-component-of``."""
+        return ops.exclusive_component_of(self, uid1, uid2)
+
+    def shared_component_of(self, uid1, uid2):
+        """``shared-component-of``."""
+        return ops.shared_component_of(self, uid1, uid2)
+
+    def roots_of(self, uid):
+        """Roots of the composite objects containing *uid*."""
+        return ops.roots_of(self, uid)
+
+    def compositep(self, class_name, attribute=None):
+        """``compositep`` class predicate (paper 3.2)."""
+        return self.lattice.get(class_name).compositep(attribute)
+
+    def exclusive_compositep(self, class_name, attribute=None):
+        """``exclusive-compositep``."""
+        return self.lattice.get(class_name).exclusive_compositep(attribute)
+
+    def shared_compositep(self, class_name, attribute=None):
+        """``shared-compositep``."""
+        return self.lattice.get(class_name).shared_compositep(attribute)
+
+    def dependent_compositep(self, class_name, attribute=None):
+        """``dependent-compositep``."""
+        return self.lattice.get(class_name).dependent_compositep(attribute)
+
+    # ------------------------------------------------------------------
+    # Invariant validation (tests & property-based checks)
+    # ------------------------------------------------------------------
+
+    def validate(self):
+        """Check global invariants; raises on violation.
+
+        1. Topology Rules 1-3 hold for every live object.
+        2. Every forward composite reference has a matching reverse
+           reference with the right flags, and vice versa.
+        3. No composite reference targets a deleted object.
+        """
+        for instance in self.live_instances():
+            exempt = (
+                self.topology_exempt is not None
+                and self.topology_exempt(instance.uid)
+            )
+            if not exempt:
+                check_topology_rules(instance)
+            classdef = self.lattice.get(instance.class_name)
+            for attr, child_uid in self.iter_composite_values(instance):
+                child = self.peek(child_uid)
+                if child is None:
+                    raise TopologyError(
+                        f"{instance.uid}.{attr} references dead object {child_uid}"
+                    )
+                spec = classdef.attribute(attr)
+                ref = child.find_reverse_reference(instance.uid, attr)
+                if ref is None:
+                    raise TopologyError(
+                        f"missing reverse reference: {instance.uid}.{attr} -> "
+                        f"{child_uid}"
+                    )
+                if ref.exclusive != spec.exclusive or ref.dependent != spec.dependent:
+                    raise TopologyError(
+                        f"reverse-reference flags of {child_uid} disagree with "
+                        f"schema of {instance.class_name}.{attr}"
+                    )
+            for ref in instance.reverse_references:
+                parent = self.peek(ref.parent)
+                if parent is None:
+                    raise TopologyError(
+                        f"{instance.uid} has a reverse reference to dead "
+                        f"parent {ref.parent}"
+                    )
+                forward = parent.get(ref.attribute)
+                present = (
+                    instance.uid in forward
+                    if isinstance(forward, list)
+                    else forward == instance.uid
+                )
+                if not present:
+                    raise TopologyError(
+                        f"stale reverse reference: {instance.uid} claims parent "
+                        f"{ref.parent}.{ref.attribute}"
+                    )
+        return True
+
+    def __len__(self):
+        return sum(1 for _ in self.live_instances())
+
+    def __contains__(self, uid):
+        return self.exists(uid)

@@ -1,0 +1,177 @@
+"""The Deletion Rule (paper Section 2.2).
+
+Deleting an object O' propagates along its composite references:
+
+1. *independent exclusive* — never propagates;
+2. *dependent exclusive* — always deletes the component;
+3. *independent shared* — never propagates;
+4. *dependent shared* — deletes the component only when O' was the last
+   member of Ds(O); otherwise Ds(O) merely loses O'.
+
+Condition 3 of the paper's Deletion Rule (transitive propagation through
+intermediate objects that are themselves being deleted) falls out of the
+worklist formulation below: every object enqueued for deletion processes
+its own outgoing references the same way the root did.
+
+Deletion also maintains referential hygiene beyond the rule itself: a
+deleted object is unlinked from the forward attributes of its surviving
+parents, and surviving components lose their reverse references to it.
+Weak references are *not* chased — the paper gives them no semantics — so
+they may dangle; :func:`repro.core.operations.find_dangling_references`
+reports them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DeletionReport:
+    """What one ``delete`` call did.
+
+    Benchmark B7 compares these reports between the extended model and the
+    KIM87b baseline to quantify "impedes reuse of objects in a complex
+    design environment".
+    """
+
+    #: UIDs deleted, in cascade order (the requested root first).
+    deleted: list = field(default_factory=list)
+    #: Components that survived because their reference was independent.
+    preserved_independent: list = field(default_factory=list)
+    #: Components that survived because other dependent-shared parents remain.
+    preserved_shared: list = field(default_factory=list)
+    #: Surviving parents whose forward attribute lost a deleted component.
+    unlinked_parents: list = field(default_factory=list)
+
+    @property
+    def deleted_count(self):
+        return len(self.deleted)
+
+    @property
+    def preserved_count(self):
+        return len(self.preserved_independent) + len(self.preserved_shared)
+
+
+class DeletionEngine:
+    """Executes the Deletion Rule over a database's object table.
+
+    The engine is deliberately separate from :class:`repro.Database` so the
+    KIM87b baseline (which hard-wires dependent-exclusive semantics) can
+    reuse the same machinery with a different reference classification.
+    """
+
+    def __init__(self, database):
+        self._db = database
+
+    def delete(self, uid):
+        """Delete *uid* and everything the Deletion Rule requires.
+
+        Returns a :class:`DeletionReport`.  Raises
+        :class:`repro.errors.UnknownObjectError` when *uid* is not live.
+        """
+        db = self._db
+        root = db.resolve(uid)  # raises when unknown/deleted
+        report = DeletionReport()
+        queue = deque([root.uid])
+        scheduled = {root.uid}
+
+        while queue:
+            current_uid = queue.popleft()
+            instance = db.peek(current_uid)
+            if instance is None or instance.deleted:
+                continue
+            instance.deleted = True
+            report.deleted.append(current_uid)
+
+            self._propagate_to_components(instance, queue, scheduled, report)
+            self._unlink_from_parents(instance, scheduled, report)
+            db.discard(current_uid)
+            for callback in db.on_update:
+                callback(instance, None)
+
+        return report
+
+    # -- internals ----------------------------------------------------------
+
+    def _propagate_to_components(self, instance, queue, scheduled, report):
+        """Apply deletion conditions 1-4 to every outgoing composite ref."""
+        db = self._db
+        for attr, child_uid in db.iter_composite_values(instance):
+            child = db.peek(child_uid)
+            if child is None or child.deleted:
+                continue
+            removed = child.remove_reverse_reference(instance.uid, attr)
+            if removed is None:
+                continue
+            spec = db.lattice.get(instance.class_name).attribute(attr)
+            for callback in db.on_unlink:
+                callback(instance, spec, child)
+            if removed.dependent:
+                if removed.exclusive:
+                    # Condition 2: dependent exclusive always cascades.
+                    self._schedule(child.uid, queue, scheduled)
+                elif not child.ds_parents():
+                    # Condition 4: last dependent-shared parent gone.
+                    self._schedule(child.uid, queue, scheduled)
+                else:
+                    report.preserved_shared.append(child.uid)
+            else:
+                # Conditions 1 and 3: independent references never cascade.
+                report.preserved_independent.append(child.uid)
+            db.persist(child)
+
+    def _unlink_from_parents(self, instance, scheduled, report):
+        """Remove the dying object from its surviving parents' attributes."""
+        db = self._db
+        for ref in list(instance.reverse_references):
+            if ref.parent in scheduled:
+                continue  # parent is dying too; nothing to fix up
+            parent = db.peek(ref.parent)
+            if parent is None or parent.deleted:
+                continue
+            if db.unlink_forward_value(parent, ref.attribute, instance.uid):
+                report.unlinked_parents.append(parent.uid)
+                spec = db.lattice.get(parent.class_name).attribute(ref.attribute)
+                for callback in db.on_unlink:
+                    callback(parent, spec, instance)
+                db.persist(parent)
+
+    @staticmethod
+    def _schedule(uid, queue, scheduled):
+        if uid not in scheduled:
+            scheduled.add(uid)
+            queue.append(uid)
+
+
+def would_delete(database, uid):
+    """Predict the cascade of ``delete(uid)`` without performing it.
+
+    Returns the set of UIDs that would be deleted.  Useful for interactive
+    tools and used by tests to check the engine against an independent
+    implementation of the rule.
+    """
+    root = database.resolve(uid)
+    deleted = {root.uid}
+    # Iterate to a fixed point: an object dies when (a) it is the root, or
+    # (b) some dying parent holds a dependent exclusive reference to it, or
+    # (c) ALL parents in its Ds set are dying and Ds is non-empty, and it
+    # has no dependent-exclusive parent outside the dying set.
+    changed = True
+    while changed:
+        changed = False
+        for instance in database.live_instances():
+            if instance.uid in deleted:
+                continue
+            dx = instance.dx_parents()
+            ds = instance.ds_parents()
+            dies = False
+            if dx and dx[0] in deleted:
+                dies = True
+            elif ds and all(parent in deleted for parent in ds):
+                dies = True
+            if dies:
+                deleted.add(instance.uid)
+                changed = True
+    return deleted

@@ -1,0 +1,191 @@
+"""Instance objects.
+
+An :class:`Instance` is one database object: a UID, the name of its class,
+a value for every effective attribute of that class, and — per paper
+Section 2.4 — the list of *reverse composite references* to its parents,
+stored inside the object itself.
+
+Instances are dynamic in the ZODB style: attribute values live in a dict
+and the set of attributes follows the class definition, so schema evolution
+can add, drop, or re-type attributes of live objects.  Each instance also
+carries the change-count (CC) described in paper 4.3: "The CC is also a
+system-defined attribute of the class C; that is, each instance of C
+carries a value for CC, although the value may not be up to date."
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from .references import ReverseReference
+
+
+class Instance:
+    """One object in the database.
+
+    Client code normally goes through :class:`repro.Database` rather than
+    mutating instances directly; the mutation methods here maintain only
+    *local* invariants (a single reverse reference per (parent, attribute)
+    pair), while the database layer enforces the topology rules, which need
+    a global view.
+    """
+
+    __slots__ = (
+        "uid",
+        "class_name",
+        "values",
+        "reverse_references",
+        "change_count",
+        "deleted",
+    )
+
+    def __init__(self, uid, class_name, values=None, change_count=0):
+        #: The object's UID.
+        self.uid = uid
+        #: Name of the class this object is an instance of.
+        self.class_name = class_name
+        #: Attribute name -> value (UIDs for reference attributes, or a
+        #: list of UIDs for set-of attributes).
+        self.values = dict(values or {})
+        #: In-object reverse composite references (paper 2.4).
+        self.reverse_references = []
+        #: Deferred-schema-evolution change count (paper 4.3).
+        self.change_count = change_count
+        #: Tombstone flag set by the deletion engine.
+        self.deleted = False
+
+    # -- attribute values ----------------------------------------------------
+
+    def get(self, attribute, default=None):
+        """Return the value of *attribute* (or *default* when unset)."""
+        return self.values.get(attribute, default)
+
+    def set(self, attribute, value):
+        """Set the raw value of *attribute* (no topology checks)."""
+        self.values[attribute] = value
+
+    def drop_value(self, attribute):
+        """Remove the stored value for *attribute* (schema evolution)."""
+        self.values.pop(attribute, None)
+
+    # -- reverse composite references (paper 2.4) -----------------------------
+
+    def add_reverse_reference(self, parent_uid, dependent, exclusive, attribute):
+        """Insert a reverse composite reference to *parent_uid*.
+
+        Implements step 3 of the paper's make-component algorithm: "Insert
+        in O a reverse composite reference to O' with the D flag set if A
+        is a dependent attribute, the X flag set if A is an exclusive
+        attribute."
+        """
+        if self.find_reverse_reference(parent_uid, attribute) is not None:
+            raise TopologyError(
+                f"{self.uid} already has a reverse reference from "
+                f"{parent_uid}.{attribute}"
+            )
+        self.reverse_references.append(
+            ReverseReference(
+                parent=parent_uid,
+                dependent=dependent,
+                exclusive=exclusive,
+                attribute=attribute,
+            )
+        )
+
+    def remove_reverse_reference(self, parent_uid, attribute):
+        """Remove the reverse reference from (*parent_uid*, *attribute*).
+
+        Returns the removed :class:`ReverseReference`, or None when absent
+        (deletion is tolerant so cascades can be idempotent).
+        """
+        for index, ref in enumerate(self.reverse_references):
+            if ref.parent == parent_uid and ref.attribute == attribute:
+                return self.reverse_references.pop(index)
+        return None
+
+    def find_reverse_reference(self, parent_uid, attribute=None):
+        """Find the reverse reference from *parent_uid* (any attribute when
+        *attribute* is None)."""
+        for ref in self.reverse_references:
+            if ref.parent == parent_uid and (
+                attribute is None or ref.attribute == attribute
+            ):
+                return ref
+        return None
+
+    def replace_reverse_reference(self, old, new):
+        """Swap reverse reference *old* for *new* (flag updates, rebinding)."""
+        index = self.reverse_references.index(old)
+        self.reverse_references[index] = new
+
+    # -- Definition 1 partitions (paper 2.2) -----------------------------------
+
+    def ix_parents(self):
+        """Ix(O): parents holding an independent exclusive reference."""
+        return [r.parent for r in self.reverse_references if r.exclusive and not r.dependent]
+
+    def dx_parents(self):
+        """Dx(O): parents holding a dependent exclusive reference."""
+        return [r.parent for r in self.reverse_references if r.exclusive and r.dependent]
+
+    def is_parents(self):
+        """Is(O): parents holding an independent shared reference."""
+        return [r.parent for r in self.reverse_references if not r.exclusive and not r.dependent]
+
+    def ds_parents(self):
+        """Ds(O): parents holding a dependent shared reference."""
+        return [r.parent for r in self.reverse_references if not r.exclusive and r.dependent]
+
+    def composite_parents(self):
+        """All composite parents (union of the four partitions)."""
+        return [r.parent for r in self.reverse_references]
+
+    def has_composite_reference(self):
+        """True when any composite reference points at this object."""
+        return bool(self.reverse_references)
+
+    def has_exclusive_reference(self):
+        """True when an exclusive composite reference points at this object."""
+        return any(r.exclusive for r in self.reverse_references)
+
+    def has_shared_reference(self):
+        """True when a shared composite reference points at this object."""
+        return any(not r.exclusive for r in self.reverse_references)
+
+    # -- sizing (benchmark B5: in-object reverse refs grow the object) ---------
+
+    def storage_size(self):
+        """Approximate serialized size in bytes.
+
+        Deliberately simple and deterministic: a fixed per-object header,
+        per-attribute name + value estimate, and the paper's own accounting
+        for reverse references (a UID plus two flag bits each).  Benchmark
+        B5 uses this to quantify "it causes the object size to increase".
+        """
+        header = 16
+        body = 0
+        for name, value in self.values.items():
+            body += len(name) + _value_size(value)
+        reverse = len(self.reverse_references) * (8 + 1 + len("attribute"))
+        return header + body + reverse
+
+    def __repr__(self):
+        flags = "deleted " if self.deleted else ""
+        return f"<Instance {flags}{self.uid} {self.values!r} rev={len(self.reverse_references)}>"
+
+
+def _value_size(value):
+    """Byte-size estimate of one attribute value."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 4 + sum(_value_size(v) for v in value)
+    # UIDs and anything else: one object-identifier slot.
+    return 8

@@ -1,0 +1,106 @@
+"""The [KIM87b] baseline model.
+
+The paper's Section 1 identifies three shortcomings of the original ORION
+composite-object model that the extended model removes:
+
+1. **Strict hierarchy** — "a component object is only part of one composite
+   object" (no shared references);
+2. **Top-down creation** — "before a component object may be created, its
+   parent object must already exist", so existing objects cannot be
+   assembled bottom-up;
+3. **Existence dependency** — "if an object ceases to exist, all its
+   component objects are also deleted" (every composite reference is
+   dependent), which "impedes reuse of objects in a complex design
+   environment".
+
+:class:`LegacyDatabase` enforces exactly those restrictions on top of the
+same machinery, so benchmarks B7/B8 can compare the models head-to-head.
+The only composite reference type is the dependent exclusive composite
+reference; bottom-up attachment of an existing object raises
+:class:`LegacyModelError`.
+"""
+
+from __future__ import annotations
+
+from ..errors import LegacyModelError
+from ..schema.attribute import AttributeSpec
+from .database import Database
+
+
+class LegacyDatabase(Database):
+    """A database restricted to the [KIM87b] composite-object model."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        #: UID of the instance currently being created (the only object
+        #: allowed to acquire a composite parent — top-down creation).
+        self._newborn = None
+
+    # -- schema restrictions -------------------------------------------------
+
+    def make_class(self, name, superclasses=(), attributes=(), **kwargs):
+        """Define a class; composite attributes must be dependent exclusive.
+
+        [KIM87b] knows a single composite reference type, so declaring
+        ``exclusive=False`` or ``dependent=False`` on a composite attribute
+        is rejected.
+        """
+        checked = []
+        for item in attributes:
+            spec = item if isinstance(item, AttributeSpec) else AttributeSpec(**item)
+            if spec.is_composite and (not spec.exclusive or not spec.dependent):
+                raise LegacyModelError(
+                    f"{name}.{spec.name}: the KIM87b model supports only "
+                    f"dependent exclusive composite references"
+                )
+            checked.append(spec)
+        return super().make_class(name, superclasses, checked, **kwargs)
+
+    # -- top-down creation only ------------------------------------------------
+
+    def make(self, class_name, values=None, parents=(), **kw_values):
+        """Create an instance; composite wiring only via ``:parent``.
+
+        Passing a UID for a composite attribute in *values* would attach a
+        pre-existing object bottom-up, which the baseline forbids.
+        """
+        merged = dict(values or {})
+        merged.update(kw_values)
+        classdef = self.lattice.get(class_name)
+        for attr_name, value in merged.items():
+            spec = classdef.attribute(attr_name)
+            if spec.is_composite and value not in (None, [], ()):
+                raise LegacyModelError(
+                    f"{class_name}.{attr_name}: the KIM87b model creates "
+                    f"composite objects top-down; components must be created "
+                    f"with :parent, not assigned"
+                )
+        return super().make(class_name, values=merged, parents=parents)
+
+    def _attach_child(self, parent_uid, attribute, child_uid):
+        """Attach the newborn via ``:parent`` — the one legal linking path."""
+        self._newborn = child_uid
+        try:
+            super()._attach_child(parent_uid, attribute, child_uid)
+        finally:
+            self._newborn = None
+
+    def _link_component(self, instance, spec, child_uid):
+        if spec.is_composite and child_uid != self._newborn:
+            raise LegacyModelError(
+                f"bottom-up assembly is not possible in the KIM87b model: "
+                f"{child_uid} already exists and cannot become a component "
+                f"of {instance.uid}"
+            )
+        super()._link_component(instance, spec, child_uid)
+
+    def make_part_of(self, child_uid, parent_uid, attribute):
+        """Bottom-up attachment — always rejected by the baseline."""
+        parent = self.resolve(parent_uid)
+        spec = self.lattice.get(parent.class_name).attribute(attribute)
+        if spec.is_composite:
+            raise LegacyModelError(
+                "make_part_of: the KIM87b model creates composite objects "
+                "top-down only"
+            )
+        return super().make_part_of(child_uid, parent_uid, attribute)

@@ -1,0 +1,261 @@
+"""Operations on composite objects (paper Section 3).
+
+Implements the ORION messages::
+
+    (components-of Object [ListofClasses] [Exclusive] [Shared] [Level])
+    (parents-of    Object [ListofClasses] [Exclusive] [Shared])
+    (ancestors-of  Object [ListofClasses] [Exclusive] [Shared])
+    (component-of  Object1 Object2)
+    (child-of      Object1 Object2)
+    (exclusive-component-of Object1 Object2)
+    (shared-component-of    Object1 Object2)
+
+plus the class predicates ``compositep`` / ``exclusive-compositep`` /
+``shared-compositep`` / ``dependent-compositep`` (those live on
+:class:`repro.schema.classdef.ClassDef` and are re-exported through the
+database façade).
+
+All traversals are breadth-first, so the ``Level`` argument of
+``components-of`` coincides with the paper's definition of a *level-n
+component* ("the shortest path between O and O' has n composite
+references").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+def _class_filter(database, list_of_classes):
+    """Build a UID predicate from the optional ListofClasses argument.
+
+    Membership is by class *hierarchy*: naming a class admits instances of
+    its subclasses too, matching ORION's class-hierarchy query semantics.
+    """
+    if not list_of_classes:
+        return lambda uid: True
+    lattice = database.lattice
+    admitted = set()
+    for name in list_of_classes:
+        admitted.update(lattice.class_hierarchy_scope(name))
+    return lambda uid: database.class_of(uid) in admitted
+
+
+def _kind_admits(exclusive, shared, ref_is_exclusive):
+    """Apply the Exclusive/Shared filter arguments of Section 3.1.
+
+    "If Exclusive is True, only the exclusive components are retrieved;
+    and if Shared is True, only shared components. If both are Nil, all
+    components are retrieved."  Both True admits everything (the union).
+    """
+    if exclusive and shared:
+        return True
+    if exclusive:
+        return ref_is_exclusive
+    if shared:
+        return not ref_is_exclusive
+    return True
+
+
+def components_of(database, uid, classes=None, exclusive=False, shared=False, level=None):
+    """``components-of`` — all (transitive) components of *uid*.
+
+    Returns UIDs in BFS order, without *uid* itself, each appearing once
+    (at its shortest-path level).  *level* limits the depth; ``level=1``
+    returns the children.
+    """
+    database.resolve(uid)
+    admit_class = _class_filter(database, classes)
+    results = []
+    seen = {uid}
+    queue = deque([(uid, 0)])
+    while queue:
+        current, depth = queue.popleft()
+        if level is not None and depth >= level:
+            continue
+        instance = database.peek(current)
+        if instance is None:
+            continue
+        for attr, child_uid in database.iter_composite_values(instance):
+            if child_uid in seen:
+                continue
+            child = database.peek(child_uid)
+            if child is None or child.deleted:
+                continue
+            spec = database.lattice.get(instance.class_name).attribute(attr)
+            seen.add(child_uid)
+            queue.append((child_uid, depth + 1))
+            if _kind_admits(exclusive, shared, spec.exclusive) and admit_class(child_uid):
+                results.append(child_uid)
+    return results
+
+
+def children_of(database, uid, classes=None, exclusive=False, shared=False):
+    """Direct components (level-1) of *uid*."""
+    return components_of(
+        database, uid, classes=classes, exclusive=exclusive, shared=shared, level=1
+    )
+
+
+def parents_of(database, uid, classes=None, exclusive=False, shared=False):
+    """``parents-of`` — objects with a *direct* composite reference to *uid*.
+
+    Served straight from the in-object reverse composite references, which
+    is the whole point of storing them (paper 2.4: "the user often finds
+    it necessary to determine its parents or ancestors ... we need to
+    maintain in each component a list of reverse composite references").
+    """
+    instance = database.resolve(uid)
+    admit_class = _class_filter(database, classes)
+    results = []
+    for ref in instance.reverse_references:
+        if not _kind_admits(exclusive, shared, ref.exclusive):
+            continue
+        if not admit_class(ref.parent):
+            continue
+        if ref.parent not in results:
+            results.append(ref.parent)
+    return results
+
+
+def ancestors_of(database, uid, classes=None, exclusive=False, shared=False):
+    """``ancestors-of`` — transitive closure of ``parents-of``.
+
+    The Exclusive/Shared filter applies to each hop's reference type; the
+    class filter applies to which ancestors are *returned* (traversal is
+    not cut by class, matching ``components-of``).
+    """
+    database.resolve(uid)
+    admit_class = _class_filter(database, classes)
+    results = []
+    seen = {uid}
+    queue = deque([uid])
+    while queue:
+        current = queue.popleft()
+        instance = database.peek(current)
+        if instance is None:
+            continue
+        for ref in instance.reverse_references:
+            if ref.parent in seen:
+                continue
+            if not _kind_admits(exclusive, shared, ref.exclusive):
+                continue
+            seen.add(ref.parent)
+            queue.append(ref.parent)
+            if admit_class(ref.parent):
+                results.append(ref.parent)
+    return results
+
+
+def child_of(database, uid1, uid2):
+    """``child-of`` — True when *uid1* is a direct component of *uid2*."""
+    instance = database.resolve(uid1)
+    return any(ref.parent == uid2 for ref in instance.reverse_references)
+
+
+def component_of(database, uid1, uid2):
+    """``component-of`` — True when *uid1* is a direct or indirect
+    component of *uid2*.
+
+    Implemented by walking *up* from uid1 through reverse references (the
+    paper notes ``components-of`` + scan also works but is a long way
+    round).
+    """
+    database.resolve(uid1)
+    database.resolve(uid2)
+    seen = set()
+    queue = deque([uid1])
+    while queue:
+        current = queue.popleft()
+        instance = database.peek(current)
+        if instance is None:
+            continue
+        for ref in instance.reverse_references:
+            if ref.parent == uid2:
+                return True
+            if ref.parent not in seen:
+                seen.add(ref.parent)
+                queue.append(ref.parent)
+    return False
+
+
+def exclusive_component_of(database, uid1, uid2):
+    """``exclusive-component-of`` (paper 3.2).
+
+    True when *uid1* is a component of *uid2* and is an exclusive
+    component (its composite references are exclusive — by Topology Rule 3
+    an object's composite references are all-exclusive or all-shared, so
+    this is a property of *uid1*).  Nil (False) when not a component or a
+    shared component.
+    """
+    instance = database.resolve(uid1)
+    if not instance.has_exclusive_reference():
+        return False
+    return component_of(database, uid1, uid2)
+
+
+def shared_component_of(database, uid1, uid2):
+    """``shared-component-of`` (paper 3.2).
+
+    The paper observes this equals ``component-of`` followed by a negative
+    ``exclusive-component-of`` in the same transaction; we implement it
+    directly.
+    """
+    instance = database.resolve(uid1)
+    if not instance.has_shared_reference():
+        return False
+    return component_of(database, uid1, uid2)
+
+
+def roots_of(database, uid):
+    """The roots of every composite object containing *uid*.
+
+    Not a paper message, but the system needs it internally ("the system
+    needs to determine efficiently the parents or the roots of a given
+    component ... to efficiently support locking, versions, and
+    authorization"); the GARZ88 root-locking algorithm (Section 7) calls
+    this.  A root is an ancestor with no composite parents of its own; an
+    object with no parents is its own root.
+    """
+    instance = database.resolve(uid)
+    if not instance.reverse_references:
+        return [uid]
+    roots = []
+    seen = {uid}
+    queue = deque([uid])
+    while queue:
+        current = queue.popleft()
+        node = database.peek(current)
+        if node is None:
+            continue
+        if current != uid and not node.reverse_references:
+            if current not in roots:
+                roots.append(current)
+            continue
+        for ref in node.reverse_references:
+            if ref.parent not in seen:
+                seen.add(ref.parent)
+                queue.append(ref.parent)
+    # An object whose every ancestor chain is cyclic has no parentless
+    # ancestor; treat it as its own root.
+    return roots or [uid]
+
+
+def find_dangling_references(database):
+    """Report weak references to objects that no longer exist.
+
+    The Deletion Rule leaves weak references untouched; this audit helper
+    finds ``(holder_uid, attribute, dangling_target)`` triples.
+    """
+    dangles = []
+    for instance in database.live_instances():
+        classdef = database.lattice.get(instance.class_name)
+        for spec in classdef.attributes():
+            if not spec.is_reference or spec.is_composite:
+                continue
+            value = instance.get(spec.name)
+            targets = value if isinstance(value, list) else [value]
+            for target in targets:
+                if target is not None and database.peek(target) is None:
+                    dangles.append((instance.uid, spec.name, target))
+    return dangles

@@ -1,0 +1,143 @@
+"""The five reference types and in-object reverse composite references.
+
+Paper Section 2.1 distinguishes five types of reference between a pair of
+objects:
+
+1. weak reference,
+2. dependent exclusive composite reference,
+3. independent exclusive composite reference,
+4. dependent shared composite reference,
+5. independent shared composite reference.
+
+A composite reference is a weak reference augmented with the IS-PART-OF
+relationship; *exclusive* means the referenced object is part of only one
+parent, *dependent* means the referenced object's existence depends on the
+parent's.
+
+Section 2.4 prescribes the implementation we follow: each component object
+carries a list of *reverse composite references* — the UIDs of its parent
+objects, each with two flags: **D** (the object is a dependent component of
+that parent) and **X** (the object is an exclusive component of that
+parent).  Keeping the reverse pointers in the object itself, rather than in
+a separate structure, "avoids a level of indirection in accessing the
+parents of a given component, and simplifies deletion and migration of
+objects; however, it causes the object size to increase" — benchmark B5
+quantifies exactly that trade-off.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ReferenceKind(enum.Enum):
+    """One of the paper's five reference types.
+
+    The enum value packs the three orthogonal semantics the paper untangles
+    from the single overloaded reference of [KIM87b]: whether the reference
+    is composite at all, whether it is exclusive, and whether it is
+    dependent.
+    """
+
+    WEAK = ("weak", False, False, False)
+    DEPENDENT_EXCLUSIVE = ("dependent-exclusive", True, True, True)
+    INDEPENDENT_EXCLUSIVE = ("independent-exclusive", True, True, False)
+    DEPENDENT_SHARED = ("dependent-shared", True, False, True)
+    INDEPENDENT_SHARED = ("independent-shared", True, False, False)
+
+    def __init__(self, label, composite, exclusive, dependent):
+        self.label = label
+        #: True for the four composite kinds (IS-PART-OF semantics).
+        self.composite = composite
+        #: True when the component may be part of only one parent.
+        self.exclusive = exclusive
+        #: True when the component's existence depends on the parent.
+        self.dependent = dependent
+
+    @property
+    def shared(self):
+        """True for the two shared composite kinds."""
+        return self.composite and not self.exclusive
+
+    @classmethod
+    def from_flags(cls, composite, exclusive=True, dependent=True):
+        """Build a kind from the ORION keyword flags.
+
+        Mirrors the class-definition syntax of paper 2.3 where
+        ``:composite``, ``:exclusive`` and ``:dependent`` each take True or
+        Nil.  The paper's defaults — exclusive and dependent both True, for
+        compatibility with [KIM87b] — are reproduced here.
+        """
+        if not composite:
+            return cls.WEAK
+        if exclusive:
+            return cls.DEPENDENT_EXCLUSIVE if dependent else cls.INDEPENDENT_EXCLUSIVE
+        return cls.DEPENDENT_SHARED if dependent else cls.INDEPENDENT_SHARED
+
+    def __repr__(self):
+        return f"ReferenceKind.{self.name}"
+
+
+#: Kinds in the order the paper enumerates them (Section 2.1).
+ALL_REFERENCE_KINDS = (
+    ReferenceKind.WEAK,
+    ReferenceKind.DEPENDENT_EXCLUSIVE,
+    ReferenceKind.INDEPENDENT_EXCLUSIVE,
+    ReferenceKind.DEPENDENT_SHARED,
+    ReferenceKind.INDEPENDENT_SHARED,
+)
+
+#: The four composite kinds (everything but WEAK).
+COMPOSITE_REFERENCE_KINDS = tuple(k for k in ALL_REFERENCE_KINDS if k.composite)
+
+
+@dataclass(frozen=True, slots=True)
+class ReverseReference:
+    """One reverse composite reference stored inside a component object.
+
+    Paper 2.4: "A reverse composite reference actually consists of a couple
+    of flags in addition to the object identifier of a parent. One flag (D)
+    indicates whether the object is a dependent component of the parent;
+    while the other flag (X) indicates whether the object is an exclusive
+    component of the parent."
+
+    The attribute name through which the parent references the component is
+    also recorded; the paper leaves this implicit, but it is required to
+    drop exactly the right reverse reference when a parent attribute is
+    cleared, and to apply per-attribute schema changes (Section 4.3).
+    """
+
+    #: UID of the parent object.
+    parent: object
+    #: D flag — the component's existence depends on this parent.
+    dependent: bool
+    #: X flag — the component is an exclusive component of this parent.
+    exclusive: bool
+    #: Name of the parent's attribute holding the forward reference.
+    attribute: str
+
+    @property
+    def kind(self):
+        """The composite :class:`ReferenceKind` this reverse ref encodes."""
+        return ReferenceKind.from_flags(
+            composite=True, exclusive=self.exclusive, dependent=self.dependent
+        )
+
+    def with_flags(self, dependent=None, exclusive=None):
+        """Return a copy with one or both flags replaced.
+
+        Used by schema-evolution operations I2-I4 (paper 4.3), which are
+        implemented by "accessing all instances of the class C and turning
+        on/off the D or X flag in the reverse composite references".
+        """
+        return ReverseReference(
+            parent=self.parent,
+            dependent=self.dependent if dependent is None else dependent,
+            exclusive=self.exclusive if exclusive is None else exclusive,
+            attribute=self.attribute,
+        )
+
+    def __str__(self):
+        flags = ("D" if self.dependent else "-") + ("X" if self.exclusive else "-")
+        return f"<-{flags}- {self.parent}.{self.attribute}"

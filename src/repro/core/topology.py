@@ -1,0 +1,112 @@
+"""Topology Rules 1-4 and the Make-Component Rule (paper Section 2.2).
+
+The paper formalizes the legal "object topologies" as constraints on the
+four partitions of an object's composite parents:
+
+* **Rule 1** — ``card(Ix(O)) <= 1`` and ``card(Dx(O)) <= 1``.
+* **Rule 2** — an independent exclusive reference and a dependent exclusive
+  reference to the same object are mutually exclusive.
+* **Rule 3** — exclusive (of either dependency) and shared (of either
+  dependency) references to the same object are mutually exclusive.
+* **Rule 4** — weak references are unconstrained.
+
+Rules 1+2 together say: *at most one exclusive composite reference in
+total*.  The **Make-Component Rule** is the insertion-time form: to make O
+a component through an exclusive attribute, O must have no composite
+reference at all; through a shared attribute, O must have no exclusive
+composite reference.
+
+These checks are pure functions over an object's reverse references, so
+they can run against live instances, version instances, and the generic
+instances of the version subsystem alike.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+
+
+def check_topology_rules(instance):
+    """Validate Rules 1-3 on *instance*'s reverse references.
+
+    Raises :class:`TopologyError` naming the violated rule.  Used as a
+    global invariant by the property-based tests: any sequence of public
+    API calls must leave every object satisfying this check.
+    """
+    ix = instance.ix_parents()
+    dx = instance.dx_parents()
+    shared = len(instance.is_parents()) + len(instance.ds_parents())
+    if len(ix) > 1:
+        raise TopologyError(
+            f"{instance.uid}: card(Ix) = {len(ix)} > 1", rule=1
+        )
+    if len(dx) > 1:
+        raise TopologyError(
+            f"{instance.uid}: card(Dx) = {len(dx)} > 1", rule=1
+        )
+    if ix and dx:
+        raise TopologyError(
+            f"{instance.uid}: has both an independent and a dependent "
+            f"exclusive composite reference",
+            rule=2,
+        )
+    if (ix or dx) and shared:
+        raise TopologyError(
+            f"{instance.uid}: has both exclusive and shared composite "
+            f"references",
+            rule=3,
+        )
+
+
+def check_make_component(instance, attribute_spec, *, parent_uid=None):
+    """Enforce the Make-Component Rule before adding a composite reference.
+
+    Paper 2.2: "1. If A is an exclusive composite attribute, O must not
+    already have any composite reference to it (exclusive or shared).
+    2. If A is a shared composite attribute, O must not already have an
+    exclusive composite reference."
+
+    *parent_uid* is only used for error messages.
+    """
+    if not attribute_spec.is_composite:
+        return
+    whom = f" (making it part of {parent_uid})" if parent_uid else ""
+    if attribute_spec.exclusive:
+        if instance.has_composite_reference():
+            raise TopologyError(
+                f"Make-Component Rule: {instance.uid} already has a "
+                f"composite reference and cannot become an exclusive "
+                f"component{whom}",
+                rule=3 if instance.has_shared_reference() else 1,
+            )
+    else:
+        if instance.has_exclusive_reference():
+            raise TopologyError(
+                f"Make-Component Rule: {instance.uid} already has an "
+                f"exclusive composite reference and cannot become a "
+                f"shared component{whom}",
+                rule=3,
+            )
+
+
+def check_attribute_change_feasible(instance, *, to_exclusive):
+    """State-dependent schema-change verification for one instance.
+
+    Used by D1/D2/D3 (paper 4.2-4.3): a change that adds an *exclusive*
+    constraint requires the instance to have no other composite reference;
+    one that adds a *shared* constraint requires no exclusive reference.
+    Returns None when feasible, otherwise a human-readable reason.
+    """
+    if to_exclusive:
+        if len(instance.reverse_references) > 1:
+            return (
+                f"{instance.uid} has {len(instance.reverse_references)} "
+                f"reverse composite references; an exclusive reference "
+                f"must be the only one"
+            )
+        if instance.has_shared_reference():
+            return f"{instance.uid} has a shared composite reference"
+    else:
+        if instance.has_exclusive_reference():
+            return f"{instance.uid} has an exclusive composite reference"
+    return None

@@ -1,0 +1,212 @@
+"""Exception hierarchy for the composite-object database.
+
+Every error raised by the public API derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the paper's
+subsystems: the composite-object model itself (topology and make-component
+violations), schema evolution, versioning, authorization, locking, and the
+storage substrate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Object model errors (Section 2 of the paper)
+# ---------------------------------------------------------------------------
+
+
+class ObjectModelError(ReproError):
+    """Base class for errors in the core composite-object model."""
+
+
+class UnknownObjectError(ObjectModelError, KeyError):
+    """An operation referenced a UID that does not name a live object."""
+
+    def __init__(self, uid):
+        super().__init__(uid)
+        self.uid = uid
+
+    def __str__(self):
+        return f"no live object with UID {self.uid!r}"
+
+
+class UnknownClassError(ObjectModelError, KeyError):
+    """An operation referenced a class name that has not been defined."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.class_name = name
+
+    def __str__(self):
+        return f"no class named {self.class_name!r}"
+
+
+class UnknownAttributeError(ObjectModelError, AttributeError):
+    """An operation referenced an attribute a class does not define."""
+
+    def __init__(self, class_name, attribute):
+        super().__init__(f"class {class_name!r} has no attribute {attribute!r}")
+        self.class_name = class_name
+        self.attribute = attribute
+
+
+class TopologyError(ObjectModelError):
+    """A reference insertion would violate Topology Rules 1-3 (paper 2.2).
+
+    Raised by the Make-Component Rule checks: an exclusive composite
+    reference may only be added to an object with no composite reference,
+    and a shared composite reference only to an object with no exclusive
+    composite reference.
+    """
+
+    def __init__(self, message, rule=None):
+        super().__init__(message)
+        #: Which topology rule was violated (1, 2 or 3), when known.
+        self.rule = rule
+
+
+class DomainError(ObjectModelError, TypeError):
+    """An attribute value does not belong to the attribute's domain class."""
+
+
+class DanglingReferenceError(ObjectModelError):
+    """A composite reference points at an object that no longer exists."""
+
+
+class LegacyModelError(ObjectModelError):
+    """An operation is not expressible in the KIM87b baseline model.
+
+    The baseline restricts composite objects to dependent exclusive
+    references created top-down; bottom-up assembly and sharing raise this.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Schema errors (Section 4)
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """Base class for schema definition and evolution errors."""
+
+
+class ClassDefinitionError(SchemaError):
+    """A make-class call was malformed (bad superclass, duplicate name...)."""
+
+
+class SchemaEvolutionError(SchemaError):
+    """A schema-change operation could not be applied."""
+
+
+class StateDependentChangeRejected(SchemaEvolutionError):
+    """A state-dependent attribute-type change (D1-D3) failed verification.
+
+    Paper 4.2: changes that *add* a constraint must verify the X flags of
+    the reverse composite references of every affected instance; if the
+    flags are inconsistent with the new constraint the change is rejected.
+    """
+
+    def __init__(self, change, offending_uid, message=""):
+        detail = message or f"instance {offending_uid!r} violates {change}"
+        super().__init__(detail)
+        self.change = change
+        self.offending_uid = offending_uid
+
+
+# ---------------------------------------------------------------------------
+# Version errors (Section 5)
+# ---------------------------------------------------------------------------
+
+
+class VersionError(ReproError):
+    """Base class for version-model errors."""
+
+
+class NotVersionableError(VersionError):
+    """A version operation targeted an instance of a non-versionable class."""
+
+
+class VersionTopologyError(VersionError):
+    """A version-composite reference violates rules CV-1X..CV-4X."""
+
+
+# ---------------------------------------------------------------------------
+# Authorization errors (Section 6)
+# ---------------------------------------------------------------------------
+
+
+class AuthorizationError(ReproError):
+    """Base class for authorization-subsystem errors."""
+
+
+class AuthorizationConflict(AuthorizationError):
+    """A new grant conflicts with an existing explicit or implied one.
+
+    Paper Section 6: "if a new authorization issued conflicts with an
+    existing authorization, the new authorization is rejected."
+    """
+
+    def __init__(self, message, existing=None, requested=None):
+        super().__init__(message)
+        self.existing = existing
+        self.requested = requested
+
+
+class AccessDenied(AuthorizationError):
+    """An access check failed (negative authorization or no authorization)."""
+
+
+# ---------------------------------------------------------------------------
+# Locking / transaction errors (Section 7)
+# ---------------------------------------------------------------------------
+
+
+class ConcurrencyError(ReproError):
+    """Base class for locking and transaction errors."""
+
+
+class LockConflictError(ConcurrencyError):
+    """A lock request is incompatible with currently granted locks.
+
+    Raised in no-wait mode; in wait mode requests queue instead.
+    """
+
+    def __init__(self, message, resource=None, requested=None, holders=()):
+        super().__init__(message)
+        self.resource = resource
+        self.requested = requested
+        self.holders = tuple(holders)
+
+
+class DeadlockError(ConcurrencyError):
+    """The wait-for graph contains a cycle involving this transaction."""
+
+    def __init__(self, message, victim=None, cycle=()):
+        super().__init__(message)
+        self.victim = victim
+        self.cycle = tuple(cycle)
+
+
+class TransactionStateError(ConcurrencyError):
+    """An operation was issued on a transaction in the wrong state."""
+
+
+# ---------------------------------------------------------------------------
+# Storage errors
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for page-store / buffer-pool errors."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit in the remaining free space of a page."""
+
+
+class SerializationError(StorageError):
+    """A value could not be encoded to or decoded from storage bytes."""

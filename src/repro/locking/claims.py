@@ -1,0 +1,131 @@
+"""The claims model: deriving lock-mode compatibility from semantics.
+
+The archival scan of the paper's Figures 7 and 8 (the compatibility
+matrices) is partly illegible, so rather than transcribing pixels we
+*derive* both matrices from an explicit model of what each lock mode
+grants, and verify the derivation against every constraint the paper
+states in prose (see ``tests/test_lock_matrices.py``):
+
+* "while IS and IX modes do not conflict, the ISO mode conflicts with IX
+  mode, and IXO and SIXO modes conflict with both IS and IX modes";
+* "This protocol allows multiple users to read and update different
+  composite objects that share the same composite class hierarchy";
+* "This protocol allows us to have several readers and writers on a
+  component class of exclusive references, and several readers and one
+  writer on a component class of shared references";
+* locking Examples 1 and 2 are compatible; Example 3 is incompatible with
+  both.
+
+The model
+---------
+
+A lock mode held on a *component class object* is a set of **claims**
+``(scope, operation)``:
+
+* scope ``IND`` — instances the holder will lock *individually* before
+  touching (intention locks IS/IX);
+* scope ``ALL`` — every instance of the class (class-wide S/X);
+* scope ``OEX`` — instances reachable from the holder's composite object
+  through **exclusive** composite references.  The holder locks only the
+  composite root, not the instances; but exclusive references place an
+  instance in at most one composite object, and two transactions on the
+  *same* composite are serialized by the root lock, so two OEX claims
+  never overlap;
+* scope ``OSH`` — instances reachable through **shared** composite
+  references.  Root locks do *not* protect these: an instance shared by
+  two composite objects is reachable under two different root locks, so
+  two OSH claims may overlap.
+
+Conflict rules between one claim of T1 and one of T2:
+
+1. ``IND`` vs ``IND`` never conflicts (instance-level locks arbitrate).
+2. ``ALL`` conflicts with any write claim, and a write ``ALL`` with
+   everything.
+3. ``IND`` vs ``OEX``/``OSH`` conflicts when either side writes: the
+   composite holder touches instances without instance locks, so it can
+   collide with a direct reader or writer.
+4. ``OEX`` vs ``OEX`` never conflicts (disjointness argument above).
+5. ``OSH`` vs ``OSH`` conflicts when either side writes (overlap is
+   possible; hence "several readers and ONE writer" on shared classes).
+6. ``OEX`` vs ``OSH``: reads are compatible either way — Topology Rule 3
+   makes exclusively-referenced and shared-referenced instances disjoint
+   sets.  Two *writers* still conflict: a writer reached through shared
+   references may restructure the sharing topology itself (add or drop
+   composite references), invalidating the exclusive side's disjointness
+   assumption.  This conservative rule is exactly what the paper's
+   Example 3 requires (its IXOS conflicts with Example 1's IXO).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Scope(enum.Enum):
+    """Which instances a claim covers (see module docstring)."""
+
+    IND = "individually-locked instances"
+    ALL = "all instances of the class"
+    OEX = "instances in my composite via exclusive references"
+    OSH = "instances reachable via shared references"
+
+
+class Op(enum.Enum):
+    READ = "r"
+    WRITE = "w"
+
+
+@dataclass(frozen=True, slots=True)
+class Claim:
+    """One (scope, operation) granted by a lock mode."""
+
+    scope: Scope
+    op: Op
+
+    def __str__(self):
+        return f"{self.scope.name}:{self.op.value}"
+
+
+def _claims_conflict(a, b):
+    """True when claims *a* (of T1) and *b* (of T2) can collide."""
+    writes = a.op is Op.WRITE or b.op is Op.WRITE
+    pair = {a.scope, b.scope}
+
+    if pair == {Scope.IND}:
+        return False  # rule 1: instance locks arbitrate
+    if Scope.ALL in pair:
+        return writes  # rule 2
+    if Scope.IND in pair:
+        # rule 3: a composite-side claim bypasses instance locks.
+        return writes
+    if pair == {Scope.OEX}:
+        return False  # rule 4: exclusive composites are disjoint
+    if pair == {Scope.OSH}:
+        return writes  # rule 5
+    # rule 6: OEX vs OSH — disjoint sets, but writers may restructure.
+    return a.op is Op.WRITE and b.op is Op.WRITE
+
+
+def modes_compatible(claims_a, claims_b):
+    """True when no claim of one mode conflicts with a claim of the other."""
+    return not any(
+        _claims_conflict(ca, cb) for ca in claims_a for cb in claims_b
+    )
+
+
+def derive_matrix(mode_claims):
+    """Derive a full compatibility matrix.
+
+    *mode_claims* maps mode name -> iterable of :class:`Claim`.  Returns
+    ``{(requested, current): bool}`` over all ordered pairs; the relation
+    is symmetric by construction.
+    """
+    matrix = {}
+    names = list(mode_claims)
+    for requested in names:
+        for current in names:
+            matrix[(requested, current)] = modes_compatible(
+                mode_claims[requested], mode_claims[current]
+            )
+    return matrix

@@ -1,0 +1,240 @@
+"""Composite-object locking protocols (paper Section 7).
+
+Three lockers over the same :class:`repro.locking.table.LockTable`:
+
+* :class:`CompositeLockingProtocol` — the paper's revised protocol.  To
+  read (update) an entire composite object: lock the root's class in IS
+  (IX), the root instance in S (X), and each component class of the
+  composite class hierarchy in ISO/ISOS (IXO/IXOS) according to whether
+  the class is reached through exclusive or shared composite references.
+  "This protocol allows multiple users to read and update different
+  composite objects that share the same composite class hierarchy."
+
+* :class:`InstanceLockingBaseline` — plain granularity locking: intention
+  locks on the classes and an S/X lock on every component instance
+  individually.  Benchmark B4 counts its lock calls against the protocol's.
+
+* :class:`RootLockingAlgorithm` — the [GARZ88] algorithm: "sets a lock on
+  the root of a composite object when a component object is directly
+  accessed."  Sound for exclusive hierarchies (one root per component);
+  for shared references the paper shows it breaks — different roots'
+  composites overlap, so two transactions can implicitly lock the same
+  shared component in conflicting modes without any detectable root-level
+  conflict.  :meth:`RootLockingAlgorithm.detect_implicit_conflicts`
+  surfaces exactly that anomaly for the Figure 5 scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .modes import LockMode
+from .table import LockTable
+
+#: intent -> (root class mode, root instance mode,
+#:            exclusive-link class mode, shared-link class mode)
+_INTENT_MODES = {
+    "read": (LockMode.IS, LockMode.S, LockMode.ISO, LockMode.ISOS),
+    "write": (LockMode.IX, LockMode.X, LockMode.IXO, LockMode.IXOS),
+}
+
+
+def _modes_for(intent):
+    try:
+        return _INTENT_MODES[intent]
+    except KeyError:
+        raise ValueError(f"intent must be 'read' or 'write', got {intent!r}") from None
+
+
+@dataclass
+class LockPlan:
+    """The ordered (resource, mode) pairs one operation acquires."""
+
+    steps: list = field(default_factory=list)
+
+    def add(self, resource, mode):
+        self.steps.append((resource, mode))
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __len__(self):
+        return len(self.steps)
+
+
+class CompositeLockingProtocol:
+    """The Section 7 protocol: a composite object is one lockable granule."""
+
+    def __init__(self, database, lock_table=None):
+        self._db = database
+        self.table = lock_table if lock_table is not None else LockTable()
+
+    # -- planning (pure; also used by benchmarks to count lock calls) ------
+
+    def plan_composite(self, root_uid, intent="read"):
+        """The locks required to read/update the whole composite at *root_uid*.
+
+        Component classes reached through both exclusive and shared links
+        are locked in both corresponding modes (the claims union).
+        """
+        class_intent, instance_mode, ex_mode, sh_mode = _modes_for(intent)
+        root = self._db.resolve(root_uid)
+        plan = LockPlan()
+        plan.add(("class", root.class_name), class_intent)
+        plan.add(("instance", root_uid), instance_mode)
+        seen = set()
+        for link in self._db.lattice.composite_class_hierarchy(root.class_name):
+            mode = ex_mode if link.exclusive else sh_mode
+            key = (link.component, mode)
+            if key in seen:
+                continue
+            seen.add(key)
+            plan.add(("class", link.component), mode)
+        return plan
+
+    def plan_instance(self, uid, intent="read"):
+        """Direct access to a single instance: class intent + instance lock."""
+        class_intent, instance_mode, _, _ = _modes_for(intent)
+        instance = self._db.resolve(uid)
+        plan = LockPlan()
+        plan.add(("class", instance.class_name), class_intent)
+        plan.add(("instance", uid), instance_mode)
+        return plan
+
+    # -- acquisition -------------------------------------------------------------
+
+    def lock_composite(self, txn, root_uid, intent="read", wait=False):
+        """Acquire the whole plan; returns it.  Raises on conflict when
+        ``wait=False`` (locks already granted stay held — release via the
+        transaction's abort, as in a real system)."""
+        plan = self.plan_composite(root_uid, intent)
+        for resource, mode in plan:
+            self.table.acquire(txn, resource, mode, wait=wait)
+        return plan
+
+    def lock_instance(self, txn, uid, intent="read", wait=False):
+        """Acquire a direct-access plan for one instance."""
+        plan = self.plan_instance(uid, intent)
+        for resource, mode in plan:
+            self.table.acquire(txn, resource, mode, wait=wait)
+        return plan
+
+    def release(self, txn):
+        """Release everything *txn* holds."""
+        return self.table.release_all(txn)
+
+
+class InstanceLockingBaseline:
+    """Granularity locking without the composite modes.
+
+    Reading a composite object locks every component instance in S (plus
+    IS on each touched class); updating locks them in X (plus IX).  The
+    number of lock calls grows with composite size — the cost the
+    composite protocol's single granule avoids.
+    """
+
+    def __init__(self, database, lock_table=None):
+        self._db = database
+        self.table = lock_table if lock_table is not None else LockTable()
+
+    def plan_composite(self, root_uid, intent="read"):
+        class_intent, instance_mode, _, _ = _modes_for(intent)
+        root = self._db.resolve(root_uid)
+        plan = LockPlan()
+        classes_locked = set()
+
+        def lock_class(name):
+            if name not in classes_locked:
+                classes_locked.add(name)
+                plan.add(("class", name), class_intent)
+
+        lock_class(root.class_name)
+        plan.add(("instance", root_uid), instance_mode)
+        for component_uid in self._db.components_of(root_uid):
+            lock_class(self._db.class_of(component_uid))
+            plan.add(("instance", component_uid), instance_mode)
+        return plan
+
+    def lock_composite(self, txn, root_uid, intent="read", wait=False):
+        plan = self.plan_composite(root_uid, intent)
+        for resource, mode in plan:
+            self.table.acquire(txn, resource, mode, wait=wait)
+        return plan
+
+    def release(self, txn):
+        return self.table.release_all(txn)
+
+
+@dataclass(frozen=True)
+class ImplicitConflict:
+    """Two transactions implicitly locking one instance incompatibly."""
+
+    instance: object
+    txn_a: object
+    mode_a: LockMode
+    txn_b: object
+    mode_b: LockMode
+
+
+class RootLockingAlgorithm:
+    """The [GARZ88] root-OID locking algorithm.
+
+    ``lock_component(txn, uid, intent)`` finds the roots of every
+    composite object containing *uid* and locks each root instance in S or
+    X.  Every component of a locked root is *implicitly* locked in the
+    same mode — no lock-table entry exists for it, which is the
+    algorithm's efficiency and, under shared references, its downfall.
+    """
+
+    def __init__(self, database, lock_table=None):
+        self._db = database
+        self.table = lock_table if lock_table is not None else LockTable()
+        #: txn -> {instance_uid -> implicit LockMode} (S or X)
+        self._implicit = {}
+
+    def lock_component(self, txn, uid, intent="read", wait=False):
+        """Lock *uid* for direct access by locking its composite roots."""
+        _, instance_mode, _, _ = _modes_for(intent)
+        roots = self._db.roots_of(uid)
+        for root in roots:
+            self.table.acquire(txn, ("instance", root), instance_mode, wait=wait)
+            coverage = self._implicit.setdefault(txn, {})
+            for covered in [root] + self._db.components_of(root):
+                current = coverage.get(covered)
+                if current is None or instance_mode is LockMode.X:
+                    coverage[covered] = instance_mode
+        return roots
+
+    def implicit_coverage(self, txn):
+        """Instances *txn* implicitly holds, with modes."""
+        return dict(self._implicit.get(txn, {}))
+
+    def detect_implicit_conflicts(self):
+        """Find conflicting implicit locks the lock table never saw.
+
+        Under exclusive hierarchies this is always empty (each component
+        has exactly one root, so conflicting accesses collide on that root
+        in the table).  Under shared references, composites of *different*
+        roots overlap, and this returns the resulting S/X collisions —
+        reproducing the paper's conclusion that "the algorithm cannot be
+        used for shared composite references."
+        """
+        conflicts = []
+        txns = list(self._implicit)
+        for i, txn_a in enumerate(txns):
+            for txn_b in txns[i + 1 :]:
+                coverage_a = self._implicit[txn_a]
+                coverage_b = self._implicit[txn_b]
+                for instance, mode_a in coverage_a.items():
+                    mode_b = coverage_b.get(instance)
+                    if mode_b is None:
+                        continue
+                    if mode_a is LockMode.X or mode_b is LockMode.X:
+                        conflicts.append(
+                            ImplicitConflict(instance, txn_a, mode_a, txn_b, mode_b)
+                        )
+        return conflicts
+
+    def release(self, txn):
+        self._implicit.pop(txn, None)
+        return self.table.release_all(txn)

@@ -1,0 +1,234 @@
+"""The lock table.
+
+Grants lock modes on *resources* (instance UIDs, class names, or any
+hashable key) to *transactions*.  A transaction may hold several modes on
+the same resource — the composite protocol locks a component class in ISO
+for one link and ISOS for another, and the claims those modes grant simply
+union — so grants are stored as mode *sets* and a request is compatible
+when it is compatible with every mode held by every other transaction.
+
+Blocking requests queue FIFO; releases re-scan the queue in order and
+grant every request compatible with the new state (no barging past an
+incompatible head, to avoid starvation).  Deadlock handling lives in
+:mod:`repro.locking.deadlock`; the table maintains the wait-for edges the
+detector consumes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from ..errors import LockConflictError
+from .modes import COMPATIBILITY, LockMode
+
+
+@dataclass
+class LockRequest:
+    """A queued (blocked) lock request."""
+
+    txn: object
+    resource: object
+    mode: LockMode
+    granted: bool = False
+
+
+@dataclass
+class LockStats:
+    """Counters for benchmark B4 (lock calls vs granule choice)."""
+
+    requests: int = 0
+    grants: int = 0
+    blocks: int = 0
+    denials: int = 0
+    releases: int = 0
+
+    def reset(self):
+        self.requests = 0
+        self.grants = 0
+        self.blocks = 0
+        self.denials = 0
+        self.releases = 0
+
+
+class LockTable:
+    """All locks of one database."""
+
+    def __init__(self):
+        #: resource -> OrderedDict txn -> set of LockMode
+        self._granted = {}
+        #: resource -> deque of LockRequest (blocked requests, FIFO)
+        self._waiting = {}
+        self.stats = LockStats()
+
+    # -- queries ----------------------------------------------------------
+
+    def holders(self, resource):
+        """Transactions currently holding locks on *resource*."""
+        return list(self._granted.get(resource, ()))
+
+    def modes_held(self, txn, resource):
+        """Modes *txn* holds on *resource* (empty set when none)."""
+        return set(self._granted.get(resource, {}).get(txn, ()))
+
+    def held_resources(self, txn):
+        """Resources on which *txn* holds at least one mode."""
+        return [r for r, grants in self._granted.items() if txn in grants]
+
+    def waiters(self, resource):
+        """Blocked requests queued on *resource*, in FIFO order."""
+        return list(self._waiting.get(resource, ()))
+
+    def wait_for_edges(self):
+        """Edges (waiter, holder) of the wait-for graph.
+
+        A blocked transaction waits for every incompatible current holder
+        and for every incompatible earlier waiter (FIFO ordering).
+        """
+        edges = []
+        for resource, queue in self._waiting.items():
+            earlier = []
+            for request in queue:
+                for holder, modes in self._granted.get(resource, {}).items():
+                    if holder is request.txn:
+                        continue
+                    if not all(
+                        COMPATIBILITY[(request.mode, held)] for held in modes
+                    ):
+                        edges.append((request.txn, holder))
+                for prior in earlier:
+                    if prior.txn is request.txn:
+                        continue
+                    if not COMPATIBILITY[(request.mode, prior.mode)]:
+                        edges.append((request.txn, prior.txn))
+                earlier.append(request)
+        return edges
+
+    def is_compatible(self, txn, resource, mode):
+        """True when granting (*txn*, *mode*) now would not conflict."""
+        for holder, modes in self._granted.get(resource, {}).items():
+            if holder is txn:
+                continue  # own locks never conflict; this is a conversion
+            if not all(COMPATIBILITY[(mode, held)] for held in modes):
+                return False
+        return True
+
+    # -- acquisition -----------------------------------------------------------
+
+    def acquire(self, txn, resource, mode, wait=True):
+        """Request *mode* on *resource* for *txn*.
+
+        Returns True when granted immediately.  When incompatible:
+
+        * ``wait=True`` — the request is queued and False is returned
+          (the caller parks the transaction until :meth:`release_all`
+          grants it);
+        * ``wait=False`` — raises :class:`LockConflictError`.
+
+        Re-requesting a held mode is a no-op; requesting a new mode on a
+        held resource is a conversion (the mode set grows).  Conversions
+        are checked against other holders only.
+        """
+        if not isinstance(mode, LockMode):
+            raise TypeError(f"mode must be a LockMode, got {mode!r}")
+        self.stats.requests += 1
+        held = self._granted.get(resource, {}).get(txn, set())
+        if mode in held:
+            self.stats.grants += 1
+            return True
+        # A re-issued request that is already queued stays queued once
+        # (pollers retry without duplicating their queue entry).
+        for pending in self._waiting.get(resource, ()):
+            if pending.txn is txn and pending.mode is mode:
+                return False
+        # FIFO fairness: a fresh (non-conversion) request must also wait
+        # behind earlier incompatible waiters.
+        behind_waiter = False
+        if not held:
+            for prior in self._waiting.get(resource, ()):
+                if prior.txn is not txn and not COMPATIBILITY[(mode, prior.mode)]:
+                    behind_waiter = True
+                    break
+        if not behind_waiter and self.is_compatible(txn, resource, mode):
+            self._grant(txn, resource, mode)
+            self.stats.grants += 1
+            return True
+        if not wait:
+            self.stats.denials += 1
+            raise LockConflictError(
+                f"{mode} on {resource!r} conflicts with holders "
+                f"{self.holders(resource)}",
+                resource=resource,
+                requested=mode,
+                holders=self.holders(resource),
+            )
+        self.stats.blocks += 1
+        self._waiting.setdefault(resource, deque()).append(
+            LockRequest(txn=txn, resource=resource, mode=mode)
+        )
+        return False
+
+    def _grant(self, txn, resource, mode):
+        grants = self._granted.setdefault(resource, OrderedDict())
+        grants.setdefault(txn, set()).add(mode)
+
+    # -- release -------------------------------------------------------------
+
+    def release_all(self, txn):
+        """Release every lock of *txn* and cancel its queued requests.
+
+        Returns the requests newly granted to other transactions, so a
+        scheduler can resume them.
+        """
+        for resource in list(self._granted):
+            grants = self._granted[resource]
+            if txn in grants:
+                del grants[txn]
+                self.stats.releases += 1
+                if not grants:
+                    del self._granted[resource]
+        for resource in list(self._waiting):
+            queue = self._waiting[resource]
+            remaining = deque(r for r in queue if r.txn is not txn)
+            if remaining:
+                self._waiting[resource] = remaining
+            else:
+                del self._waiting[resource]
+        return self._promote()
+
+    def _promote(self):
+        """Grant queued requests that have become compatible (FIFO)."""
+        granted = []
+        for resource in list(self._waiting):
+            queue = self._waiting[resource]
+            still_waiting = deque()
+            for request in queue:
+                # A request may run only if compatible with current grants
+                # AND with earlier still-blocked requests (fairness).
+                blocked_behind = any(
+                    not COMPATIBILITY[(request.mode, prior.mode)]
+                    for prior in still_waiting
+                    if prior.txn is not request.txn
+                )
+                if not blocked_behind and self.is_compatible(
+                    request.txn, resource, request.mode
+                ):
+                    self._grant(request.txn, resource, request.mode)
+                    request.granted = True
+                    granted.append(request)
+                    self.stats.grants += 1
+                else:
+                    still_waiting.append(request)
+            if still_waiting:
+                self._waiting[resource] = still_waiting
+            else:
+                del self._waiting[resource]
+        return granted
+
+    def lock_count(self):
+        """Total (txn, resource, mode) grants currently outstanding."""
+        return sum(
+            len(modes)
+            for grants in self._granted.values()
+            for modes in grants.values()
+        )

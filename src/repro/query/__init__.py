@@ -1,0 +1,20 @@
+"""Query subsystem: the ORION-style s-expression message interface
+([BANE87a] surface syntax over the Section 2.3/3 messages), plus class
+extents with self-verifying attribute indexes."""
+
+from .index import AttributeIndex, IndexManager
+from .interpreter import Interpreter, QueryEvaluationError
+from .sexpr import Keyword, QuerySyntaxError, Symbol, parse, parse_all, tokenize
+
+__all__ = [
+    "AttributeIndex",
+    "IndexManager",
+    "Interpreter",
+    "Keyword",
+    "QueryEvaluationError",
+    "QuerySyntaxError",
+    "Symbol",
+    "parse",
+    "parse_all",
+    "tokenize",
+]

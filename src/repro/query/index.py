@@ -1,0 +1,130 @@
+"""Attribute indexes over class extents.
+
+ORION maintains class extents (the set of instances of a class) and
+supports associative access; this module provides hash indexes on
+attributes to accelerate ``select`` queries.
+
+Indexes are *self-verifying hints*: every hit is validated against the
+instance's current value at lookup time, so correctness never depends on
+perfect hook coverage (schema evolution, deletion cascades, and undo all
+mutate values through several paths).  The update hook keeps the index
+fresh; the validation keeps it sound.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+def _hashable(value):
+    """Index key for a value (lists become tuples; unhashables are None)."""
+    if isinstance(value, list):
+        return tuple(_hashable(item) for item in value)
+    try:
+        hash(value)
+    except TypeError:
+        return None
+    return value
+
+
+class AttributeIndex:
+    """One hash index: value -> set of instance UIDs."""
+
+    def __init__(self, database, class_name, attribute):
+        self._db = database
+        self.class_name = class_name
+        self.attribute = attribute
+        self._buckets = defaultdict(set)
+        self._known = {}  # uid -> indexed key
+        #: Lookup statistics (benchmark metric).
+        self.hits = 0
+        self.rebuilds = 0
+        self.rebuild()
+
+    # -- maintenance --------------------------------------------------------
+
+    def rebuild(self):
+        """Recompute the index from the class extent."""
+        self._buckets.clear()
+        self._known.clear()
+        for instance in self._db.instances_of(self.class_name):
+            self._insert(instance)
+        self.rebuilds += 1
+
+    def _insert(self, instance):
+        key = _hashable(instance.get(self.attribute))
+        self._buckets[key].add(instance.uid)
+        self._known[instance.uid] = key
+
+    def note_update(self, instance):
+        """Refresh the entry for one instance (the database update hook)."""
+        old_key = self._known.get(instance.uid)
+        if old_key is not None or instance.uid in self._known:
+            self._buckets[old_key].discard(instance.uid)
+        if not instance.deleted:
+            self._insert(instance)
+        else:
+            self._known.pop(instance.uid, None)
+
+    # -- lookup ------------------------------------------------------------------
+
+    def lookup(self, value):
+        """UIDs whose attribute currently equals *value* (validated)."""
+        self.hits += 1
+        key = _hashable(value)
+        results = []
+        for uid in sorted(self._buckets.get(key, ()), key=lambda u: u.number):
+            instance = self._db.peek(uid)
+            if instance is None:
+                continue
+            if instance.get(self.attribute) == value:
+                results.append(uid)
+        return results
+
+    def __len__(self):
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class IndexManager:
+    """All indexes of one database; installs the update hook."""
+
+    def __init__(self, database):
+        self._db = database
+        self._indexes = {}
+        database.on_update.append(self._note_update)
+
+    def create_index(self, class_name, attribute):
+        """Create (or return the existing) index on class.attribute."""
+        self._db.lattice.get(class_name).attribute(attribute)  # validate
+        key = (class_name, attribute)
+        if key not in self._indexes:
+            self._indexes[key] = AttributeIndex(self._db, class_name, attribute)
+        return self._indexes[key]
+
+    def drop_index(self, class_name, attribute):
+        return self._indexes.pop((class_name, attribute), None) is not None
+
+    def index_for(self, class_name, attribute):
+        """The index covering class.attribute, if any.
+
+        An index created on a superclass covers subclass extents too
+        (extents are subclass-inclusive).
+        """
+        index = self._indexes.get((class_name, attribute))
+        if index is not None:
+            return index
+        for ancestor in self._db.lattice.all_superclasses(class_name):
+            index = self._indexes.get((ancestor, attribute))
+            if index is not None:
+                return index
+        return None
+
+    def _note_update(self, instance, attribute):
+        for (class_name, attr), index in self._indexes.items():
+            if attr != attribute and attribute is not None:
+                continue
+            if self._db.lattice.is_subclass(instance.class_name, class_name):
+                index.note_update(instance)
+
+    def indexes(self):
+        return dict(self._indexes)

@@ -1,0 +1,506 @@
+"""The ORION-style message interpreter.
+
+Evaluates s-expression messages against a :class:`repro.Database`, in the
+surface syntax of [BANE87a] and the paper's Sections 2.3 and 3::
+
+    (make-class 'Vehicle
+      :attributes '((Color :domain string)
+                    (Body  :domain AutoBody :composite t :exclusive t
+                           :dependent nil)))
+    (setq v (make Vehicle :Color "red"))
+    (setq b (make AutoBody :parent ((v Body))))
+    (components-of v)
+    (parents-of b)
+    (select Vehicle (= Color "red"))
+    (delete v)
+
+Variables are bound with ``setq`` and resolved from the interpreter's
+environment; class names resolve to the class; ``t`` / ``nil`` are
+True / None.  ``select`` evaluates a predicate tree over a class extent,
+using an attribute index when the :class:`repro.query.index.IndexManager`
+has one for a top-level equality.
+"""
+
+from __future__ import annotations
+
+from ..core.database import Database
+from ..errors import ReproError, UnknownClassError
+from ..schema.attribute import AttributeSpec, SetOf
+from .index import IndexManager
+from .sexpr import Keyword, QUOTE, QuerySyntaxError, Symbol, parse_all
+
+
+class QueryEvaluationError(ReproError):
+    """A well-formed message could not be evaluated."""
+
+
+def _split_keywords(items):
+    """Split a message tail into positional arguments and keyword pairs."""
+    positional, keywords = [], {}
+    index = 0
+    while index < len(items):
+        item = items[index]
+        if isinstance(item, Keyword):
+            if index + 1 >= len(items):
+                raise QuerySyntaxError(f"keyword {item} missing a value")
+            keywords[item.name] = items[index + 1]
+            index += 2
+        else:
+            positional.append(item)
+            index += 1
+    return positional, keywords
+
+
+class Interpreter:
+    """Evaluates ORION messages against one database."""
+
+    def __init__(self, database=None):
+        self.db = database if database is not None else Database()
+        self.indexes = IndexManager(self.db)
+        self.env = {}
+        self._handlers = {
+            "make-class": self._eval_make_class,
+            "make": self._eval_make,
+            "setq": self._eval_setq,
+            "get": self._eval_get,
+            "set": self._eval_set,
+            "insert": self._eval_insert,
+            "remove": self._eval_remove,
+            "delete": self._eval_delete,
+            "make-part-of": self._eval_make_part_of,
+            "remove-part-of": self._eval_remove_part_of,
+            "components-of": self._eval_components_of,
+            "children-of": self._eval_children_of,
+            "parents-of": self._eval_parents_of,
+            "ancestors-of": self._eval_ancestors_of,
+            "component-of": self._eval_component_of,
+            "child-of": self._eval_child_of,
+            "exclusive-component-of": self._eval_exclusive_component_of,
+            "shared-component-of": self._eval_shared_component_of,
+            "compositep": self._eval_compositep,
+            "exclusive-compositep": self._eval_exclusive_compositep,
+            "shared-compositep": self._eval_shared_compositep,
+            "dependent-compositep": self._eval_dependent_compositep,
+            "select": self._eval_select,
+            "create-index": self._eval_create_index,
+            "instances-of": self._eval_instances_of,
+            "describe": self._eval_describe,
+            # Schema evolution (paper Section 4) as messages.
+            "make-shared": self._evolution("make_shared", modal=True),
+            "make-exclusive": self._evolution("make_exclusive"),
+            "make-independent": self._evolution("make_independent", modal=True),
+            "make-dependent": self._evolution("make_dependent", modal=True),
+            "make-noncomposite": self._evolution("make_noncomposite", modal=True),
+            "make-exclusive-composite": self._evolution(
+                "make_exclusive_composite"),
+            "make-shared-composite": self._evolution("make_shared_composite"),
+            "drop-attribute": self._evolution("drop_attribute"),
+            "rename-attribute": self._evolution("rename_attribute"),
+            "rename-class": self._eval_rename_class,
+            "drop-class": self._eval_drop_class,
+        }
+        self._evolution_manager = None
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def run(self, text):
+        """Evaluate every form in *text*; return the list of results."""
+        return [self.eval_form(form) for form in parse_all(text)]
+
+    def run_one(self, text):
+        """Evaluate *text* and return the last form's result."""
+        results = self.run(text)
+        return results[-1] if results else None
+
+    def eval_form(self, form):
+        if not isinstance(form, list):
+            return self._value(form)
+        if not form:
+            return None
+        head = form[0]
+        if head == QUOTE:
+            return form[1]
+        if not isinstance(head, Symbol):
+            raise QuerySyntaxError(f"cannot apply {head!r}")
+        handler = self._handlers.get(head.name)
+        if handler is None:
+            raise QueryEvaluationError(f"unknown message {head.name!r}")
+        return handler(form[1:])
+
+    # ------------------------------------------------------------------
+    # Value resolution
+    # ------------------------------------------------------------------
+
+    def _value(self, form):
+        """Resolve an atom or nested form to a Python value."""
+        if isinstance(form, list):
+            if form and form[0] == QUOTE:
+                return form[1]
+            return self.eval_form(form)
+        if isinstance(form, Symbol):
+            if form.name in self.env:
+                return self.env[form.name]
+            raise QueryEvaluationError(f"unbound variable {form.name!r}")
+        return form
+
+    def _values(self, forms):
+        return [self._value(form) for form in forms]
+
+    def _class_name(self, form):
+        """Resolve a class designator (symbol or quoted symbol)."""
+        if isinstance(form, list) and form and form[0] == QUOTE:
+            form = form[1]
+        if isinstance(form, Symbol):
+            return form.name
+        if isinstance(form, str):
+            return form
+        raise QuerySyntaxError(f"expected a class name, got {form!r}")
+
+    def _class_list(self, form):
+        """Resolve an optional ListofClasses argument."""
+        if form is None:
+            return None
+        if isinstance(form, list) and form and form[0] == QUOTE:
+            form = form[1]
+        if not isinstance(form, list):
+            form = [form]
+        return [self._class_name(item) for item in form]
+
+    # ------------------------------------------------------------------
+    # Schema messages
+    # ------------------------------------------------------------------
+
+    def _eval_make_class(self, args):
+        positional, keywords = _split_keywords(args)
+        if len(positional) != 1:
+            raise QuerySyntaxError("make-class needs exactly one class name")
+        name = self._class_name(positional[0])
+        supers_form = keywords.get("superclasses")
+        superclasses = self._class_list(supers_form) or []
+        attributes = [
+            self._attribute_spec(spec_form)
+            for spec_form in self._unquote_list(keywords.get("attributes", []))
+        ]
+        versionable = bool(keywords.get("versionable", None))
+        return self.db.make_class(
+            name,
+            superclasses=superclasses,
+            attributes=attributes,
+            versionable=versionable,
+        )
+
+    @staticmethod
+    def _unquote_list(form):
+        if isinstance(form, list) and form and form[0] == QUOTE:
+            form = form[1]
+        return form or []
+
+    def _attribute_spec(self, form):
+        """Parse ``(Name :domain D :composite t :exclusive nil ...)``."""
+        if not isinstance(form, list) or not form:
+            raise QuerySyntaxError(f"bad attribute spec {form!r}")
+        positional, keywords = _split_keywords(form)
+        if len(positional) != 1 or not isinstance(positional[0], Symbol):
+            raise QuerySyntaxError(f"bad attribute name in {form!r}")
+        name = positional[0].name
+        domain = self._domain(keywords.get("domain", Symbol("any")))
+        spec_kwargs = {"name": name, "domain": domain}
+        if "composite" in keywords:
+            spec_kwargs["composite"] = bool(keywords["composite"])
+        if "exclusive" in keywords:
+            spec_kwargs["exclusive"] = bool(keywords["exclusive"])
+        if "dependent" in keywords:
+            spec_kwargs["dependent"] = bool(keywords["dependent"])
+        if "init" in keywords:
+            init = keywords["init"]
+            spec_kwargs["init"] = init if not isinstance(init, Symbol) else init.name
+        return AttributeSpec(**spec_kwargs)
+
+    def _domain(self, form):
+        """Parse a domain: a symbol or ``(set-of Domain)``."""
+        if isinstance(form, list) and form and form[0] == QUOTE:
+            form = form[1]
+        if isinstance(form, list):
+            if (
+                len(form) == 2
+                and isinstance(form[0], Symbol)
+                and form[0].name == "set-of"
+            ):
+                return SetOf(self._class_name(form[1]))
+            raise QuerySyntaxError(f"bad domain {form!r}")
+        return self._class_name(form)
+
+    # ------------------------------------------------------------------
+    # Instance messages
+    # ------------------------------------------------------------------
+
+    def _eval_make(self, args):
+        positional, keywords = _split_keywords(args)
+        if len(positional) != 1:
+            raise QuerySyntaxError("make needs exactly one class name")
+        class_name = self._class_name(positional[0])
+        parents = []
+        if "parent" in keywords:
+            for pair in self._unquote_list(keywords.pop("parent")):
+                if not (isinstance(pair, list) and len(pair) == 2):
+                    raise QuerySyntaxError(f"bad :parent pair {pair!r}")
+                parent_uid = self._value(pair[0])
+                attribute = (
+                    pair[1].name if isinstance(pair[1], Symbol) else str(pair[1])
+                )
+                parents.append((parent_uid, attribute))
+        values = {name: self._value(form) for name, form in keywords.items()}
+        return self.db.make(class_name, values=values, parents=parents)
+
+    def _eval_setq(self, args):
+        if len(args) != 2 or not isinstance(args[0], Symbol):
+            raise QuerySyntaxError("setq needs a symbol and a form")
+        value = self._value(args[1])
+        self.env[args[0].name] = value
+        return value
+
+    def _eval_get(self, args):
+        uid, attribute = self._value(args[0]), self._symbol_name(args[1])
+        return self.db.value(uid, attribute)
+
+    def _eval_set(self, args):
+        uid, attribute = self._value(args[0]), self._symbol_name(args[1])
+        value = self._value(args[2])
+        self.db.set_value(uid, attribute, value)
+        return value
+
+    def _eval_insert(self, args):
+        uid, attribute = self._value(args[0]), self._symbol_name(args[1])
+        return self.db.insert_into(uid, attribute, self._value(args[2]))
+
+    def _eval_remove(self, args):
+        uid, attribute = self._value(args[0]), self._symbol_name(args[1])
+        return self.db.remove_from(uid, attribute, self._value(args[2]))
+
+    def _eval_delete(self, args):
+        return self.db.delete(self._value(args[0]))
+
+    def _eval_make_part_of(self, args):
+        child, parent = self._value(args[0]), self._value(args[1])
+        return self.db.make_part_of(child, parent, self._symbol_name(args[2]))
+
+    def _eval_remove_part_of(self, args):
+        child, parent = self._value(args[0]), self._value(args[1])
+        return self.db.remove_part_of(child, parent, self._symbol_name(args[2]))
+
+    @staticmethod
+    def _symbol_name(form):
+        if isinstance(form, Symbol):
+            return form.name
+        if isinstance(form, str):
+            return form
+        raise QuerySyntaxError(f"expected an attribute name, got {form!r}")
+
+    # ------------------------------------------------------------------
+    # Section 3 operations
+    # ------------------------------------------------------------------
+
+    def _traversal_args(self, args, with_level):
+        """(Object [ListofClasses] [Exclusive] [Shared] [Level])"""
+        uid = self._value(args[0])
+        classes = self._class_list(args[1]) if len(args) > 1 else None
+        exclusive = bool(args[2]) if len(args) > 2 else False
+        shared = bool(args[3]) if len(args) > 3 else False
+        level = None
+        if with_level and len(args) > 4 and args[4] is not None:
+            level = int(args[4])
+        return uid, classes, exclusive, shared, level
+
+    def _eval_components_of(self, args):
+        uid, classes, exclusive, shared, level = self._traversal_args(args, True)
+        return self.db.components_of(uid, classes, exclusive, shared, level)
+
+    def _eval_children_of(self, args):
+        uid, classes, exclusive, shared, _ = self._traversal_args(args, False)
+        return self.db.children_of(uid, classes, exclusive, shared)
+
+    def _eval_parents_of(self, args):
+        uid, classes, exclusive, shared, _ = self._traversal_args(args, False)
+        return self.db.parents_of(uid, classes, exclusive, shared)
+
+    def _eval_ancestors_of(self, args):
+        uid, classes, exclusive, shared, _ = self._traversal_args(args, False)
+        return self.db.ancestors_of(uid, classes, exclusive, shared)
+
+    def _eval_component_of(self, args):
+        return self.db.component_of(self._value(args[0]), self._value(args[1]))
+
+    def _eval_child_of(self, args):
+        return self.db.child_of(self._value(args[0]), self._value(args[1]))
+
+    def _eval_exclusive_component_of(self, args):
+        return self.db.exclusive_component_of(
+            self._value(args[0]), self._value(args[1])
+        )
+
+    def _eval_shared_component_of(self, args):
+        return self.db.shared_component_of(
+            self._value(args[0]), self._value(args[1])
+        )
+
+    def _eval_compositep(self, args):
+        return self._predicate(args, self.db.compositep)
+
+    def _eval_exclusive_compositep(self, args):
+        return self._predicate(args, self.db.exclusive_compositep)
+
+    def _eval_shared_compositep(self, args):
+        return self._predicate(args, self.db.shared_compositep)
+
+    def _eval_dependent_compositep(self, args):
+        return self._predicate(args, self.db.dependent_compositep)
+
+    def _predicate(self, args, method):
+        class_name = self._class_name(args[0])
+        attribute = self._symbol_name(args[1]) if len(args) > 1 else None
+        return method(class_name, attribute)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _eval_instances_of(self, args):
+        class_name = self._class_name(args[0])
+        return [inst.uid for inst in self.db.instances_of(class_name)]
+
+    def _eval_create_index(self, args):
+        class_name = self._class_name(args[0])
+        attribute = self._symbol_name(args[1])
+        self.indexes.create_index(class_name, attribute)
+        return True
+
+    def _eval_describe(self, args):
+        class_name = self._class_name(args[0])
+        return self.db.classdef(class_name).describe()
+
+    # ------------------------------------------------------------------
+    # Schema evolution messages
+    # ------------------------------------------------------------------
+
+    @property
+    def evolution(self):
+        """The interpreter's schema-evolution manager (created lazily)."""
+        if self._evolution_manager is None:
+            from ..schema.evolution import SchemaEvolutionManager
+
+            self._evolution_manager = SchemaEvolutionManager(self.db)
+        return self._evolution_manager
+
+    def _evolution(self, method_name, modal=False):
+        """Build a handler delegating to the evolution manager.
+
+        Message shape: ``(<op> Class Attr [rest...])``; when *modal*, an
+        optional final ``deferred``/``immediate`` symbol picks the 4.3
+        implementation strategy.
+        """
+
+        def handler(args):
+            class_name = self._class_name(args[0])
+            rest = [self._symbol_name(a) for a in args[1:]]
+            kwargs = {}
+            if modal and rest and rest[-1] in ("deferred", "immediate"):
+                kwargs["mode"] = rest.pop()
+            method = getattr(self.evolution, method_name)
+            return method(class_name, *rest, **kwargs)
+
+        return handler
+
+    def _eval_rename_class(self, args):
+        old = self._class_name(args[0])
+        new = self._class_name(args[1])
+        return self.evolution.rename_class(old, new)
+
+    def _eval_drop_class(self, args):
+        return self.evolution.drop_class(self._class_name(args[0]))
+
+    def _eval_select(self, args):
+        """(select Class predicate?) — instances satisfying the predicate."""
+        class_name = self._class_name(args[0])
+        try:
+            self.db.lattice.get(class_name)
+        except UnknownClassError:
+            raise QueryEvaluationError(f"unknown class {class_name!r}")
+        predicate = args[1] if len(args) > 1 else None
+        if predicate is None:
+            return [inst.uid for inst in self.db.instances_of(class_name)]
+        fast = self._try_index(class_name, predicate)
+        if fast is not None:
+            return fast
+        return [
+            inst.uid
+            for inst in self.db.instances_of(class_name)
+            if self._match(inst, predicate)
+        ]
+
+    def _try_index(self, class_name, predicate):
+        """Use an index for a top-level ``(= Attr value)`` predicate."""
+        if not (isinstance(predicate, list) and len(predicate) == 3):
+            return None
+        op = predicate[0]
+        if not (isinstance(op, Symbol) and op.name == "="):
+            return None
+        attribute = self._symbol_name(predicate[1])
+        index = self.indexes.index_for(class_name, attribute)
+        if index is None:
+            return None
+        value = self._value(predicate[2])
+        scope = set(self.db.lattice.class_hierarchy_scope(class_name))
+        return [
+            uid for uid in index.lookup(value)
+            if self.db.class_of(uid) in scope
+        ]
+
+    def _match(self, instance, predicate):
+        if not isinstance(predicate, list) or not predicate:
+            raise QuerySyntaxError(f"bad predicate {predicate!r}")
+        op = predicate[0]
+        if not isinstance(op, Symbol):
+            raise QuerySyntaxError(f"bad predicate operator {op!r}")
+        name = op.name
+        if name == "and":
+            return all(self._match(instance, p) for p in predicate[1:])
+        if name == "or":
+            return any(self._match(instance, p) for p in predicate[1:])
+        if name == "not":
+            return not self._match(instance, predicate[1])
+        if name == "contains":
+            attribute = self._symbol_name(predicate[1])
+            member = self._value(predicate[2])
+            value = instance.get(attribute) or []
+            return member in value
+        if name == "part-of":
+            # (part-of X): instances that are (transitive) components of X.
+            target = self._value(predicate[1])
+            return self.db.component_of(instance.uid, target)
+        if name == "has-part":
+            # (has-part X): instances of which X is a component.
+            target = self._value(predicate[1])
+            return self.db.component_of(target, instance.uid)
+        if name in ("=", "!=", "<", "<=", ">", ">="):
+            attribute = self._symbol_name(predicate[1])
+            expected = self._value(predicate[2])
+            actual = instance.get(attribute)
+            if name == "=":
+                return actual == expected
+            if name == "!=":
+                return actual != expected
+            if actual is None:
+                return False
+            try:
+                if name == "<":
+                    return actual < expected
+                if name == "<=":
+                    return actual <= expected
+                if name == ">":
+                    return actual > expected
+                return actual >= expected
+            except TypeError:
+                return False
+        raise QueryEvaluationError(f"unknown predicate {name!r}")

@@ -1,0 +1,155 @@
+"""S-expression reader for the ORION-style message language.
+
+ORION is a Lisp system; its data-definition and query interface is made of
+messages like::
+
+    (make-class 'Vehicle :superclasses nil :attributes '((Color :domain string)))
+    (make Vehicle :Color "red")
+    (components-of V1 (AutoTires) nil t 2)
+    (select Vehicle (= Color "red"))
+
+The reader turns such text into Python lists of atoms.  Atoms:
+
+* symbols       -> :class:`Symbol` (interned-like wrapper around str)
+* keywords      -> :class:`Keyword` (``:domain`` style)
+* quoted forms  -> ``[Symbol('quote'), form]``
+* integers / floats / strings -> Python values
+* ``t`` / ``nil`` -> True / None
+* ``#<n>``      -> an object handle (resolved by the evaluator's bindings)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+
+class QuerySyntaxError(ReproError):
+    """The query text could not be tokenized or parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol:
+    """A Lisp symbol (case-sensitive, as ORION class names are)."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Keyword:
+    """A ``:keyword`` argument marker."""
+
+    name: str
+
+    def __str__(self):
+        return f":{self.name}"
+
+
+QUOTE = Symbol("quote")
+
+_DELIMITERS = set("()'\" \t\n\r;")
+
+
+def tokenize(text):
+    """Split *text* into parenthesis, quote, string, and atom tokens.
+
+    ``;`` starts a comment to end of line.
+    """
+    tokens = []
+    index, length = 0, len(text)
+    while index < length:
+        char = text[index]
+        if char in " \t\n\r":
+            index += 1
+        elif char == ";":
+            while index < length and text[index] != "\n":
+                index += 1
+        elif char in "()'":
+            tokens.append(char)
+            index += 1
+        elif char == '"':
+            end = index + 1
+            chunks = []
+            while end < length and text[end] != '"':
+                if text[end] == "\\" and end + 1 < length:
+                    chunks.append(text[end + 1])
+                    end += 2
+                else:
+                    chunks.append(text[end])
+                    end += 1
+            if end >= length:
+                raise QuerySyntaxError("unterminated string literal")
+            tokens.append(('"', "".join(chunks)))
+            index = end + 1
+        else:
+            end = index
+            while end < length and text[end] not in _DELIMITERS:
+                end += 1
+            tokens.append(text[index:end])
+            index = end
+    return tokens
+
+
+def _atom(token):
+    """Convert one non-structural token to an atom value."""
+    if isinstance(token, tuple):  # string literal
+        return token[1]
+    if token == "t":
+        return True
+    if token == "nil":
+        return None
+    if token.startswith(":"):
+        return Keyword(token[1:])
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return Symbol(token)
+
+
+def parse(text):
+    """Parse one form from *text* (extra trailing forms are an error)."""
+    forms = parse_all(text)
+    if len(forms) != 1:
+        raise QuerySyntaxError(f"expected one form, found {len(forms)}")
+    return forms[0]
+
+
+def parse_all(text):
+    """Parse every form in *text*."""
+    tokens = tokenize(text)
+    forms = []
+    position = 0
+    while position < len(tokens):
+        form, position = _read(tokens, position)
+        forms.append(form)
+    return forms
+
+
+def _read(tokens, position):
+    if position >= len(tokens):
+        raise QuerySyntaxError("unexpected end of input")
+    token = tokens[position]
+    if token == "(":
+        items = []
+        position += 1
+        while position < len(tokens) and tokens[position] != ")":
+            item, position = _read(tokens, position)
+            items.append(item)
+        if position >= len(tokens):
+            raise QuerySyntaxError("missing closing parenthesis")
+        return items, position + 1
+    if token == ")":
+        raise QuerySyntaxError("unexpected ')'")
+    if token == "'":
+        quoted, position = _read(tokens, position + 1)
+        return [QUOTE, quoted], position
+    return _atom(token), position + 1

@@ -1,0 +1,17 @@
+"""Schema subsystem: attribute specs, class definitions, the IS-A lattice,
+and schema evolution (paper Section 4)."""
+
+from .attribute import PRIMITIVE_DOMAINS, AttributeSpec, SetOf
+from .classdef import ClassDef, make_attribute
+from .lattice import ClassLattice, ComponentClassLink, ROOT_CLASS
+
+__all__ = [
+    "AttributeSpec",
+    "ClassDef",
+    "ClassLattice",
+    "ComponentClassLink",
+    "PRIMITIVE_DOMAINS",
+    "ROOT_CLASS",
+    "SetOf",
+    "make_attribute",
+]

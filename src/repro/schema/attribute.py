@@ -1,0 +1,195 @@
+"""Attribute specifications for class definitions.
+
+Reproduces the extended ORION attribute syntax of paper Section 2.3::
+
+    (AttributeName [:init InitialValue]
+                   [:domain DomainSpec]
+                   [:inherit-from Superclass]
+                   [:document Documentation]
+                   [:composite TrueOrNil]
+                   [:exclusive TrueOrNil]
+                   [:dependent TrueOrNil])
+
+The keyword ``composite`` set to True makes the reference a composite
+reference; ``exclusive`` and ``dependent`` refine it.  The paper sets the
+default value for both ``exclusive`` and ``dependent`` to True, "to be
+compatible with the semantics of composite objects currently supported in
+ORION" — we reproduce those defaults.
+
+Domains are either a primitive class (integer, float, string, boolean,
+any), a user class name, or a ``set-of`` either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..core.references import ReferenceKind
+from ..errors import ClassDefinitionError
+
+#: Primitive classes — "a class may be a primitive class without any
+#: attributes (e.g. integer, string)" (paper Section 1).
+PRIMITIVE_DOMAINS = frozenset({"integer", "float", "string", "boolean", "any"})
+
+_PYTHON_TYPES = {
+    "integer": (int,),
+    "float": (int, float),
+    "string": (str,),
+    "boolean": (bool,),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SetOf:
+    """A ``set-of`` domain: the attribute holds a set of member values.
+
+    The paper's Document example declares e.g. ``(Content :domain (set-of
+    Paragraph) :composite true :exclusive nil :dependent true)``.  Despite
+    the name, ORION set attributes preserve insertion order in practice;
+    we store them as lists with set semantics enforced at update time.
+    """
+
+    member: str
+
+    def __str__(self):
+        return f"(set-of {self.member})"
+
+
+def domain_class_name(domain):
+    """Return the element class name of *domain* (unwrapping ``set-of``)."""
+    return domain.member if isinstance(domain, SetOf) else domain
+
+
+def is_set_domain(domain):
+    """True when *domain* is a ``set-of`` domain."""
+    return isinstance(domain, SetOf)
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeSpec:
+    """One attribute of a class definition.
+
+    Instances are immutable; schema evolution produces new specs via
+    :meth:`evolved`.  Equality compares every field, which the schema
+    manager uses to detect no-op changes.
+    """
+
+    name: str
+    #: Domain: a primitive name, a class name, or :class:`SetOf` of either.
+    domain: object = "any"
+    #: True when the reference is composite (IS-PART-OF).
+    composite: bool = False
+    #: Exclusive vs shared; only meaningful when composite (default True).
+    exclusive: bool = True
+    #: Dependent vs independent; only meaningful when composite (default True).
+    dependent: bool = True
+    #: Initial value used when ``make`` does not supply one.
+    init: object = None
+    #: Documentation string (the ``:document`` keyword).
+    document: str = ""
+    #: Name of the class that introduced this attribute (inheritance origin).
+    defined_in: str = ""
+    #: When inheriting two same-named attributes, which superclass wins
+    #: (the ``:inherit-from`` keyword).
+    inherit_from: str = ""
+    #: Shared (class-level) value flag — the ``:share`` keyword.
+    shared_value: bool = False
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise ClassDefinitionError(
+                f"attribute name {self.name!r} is not a valid identifier"
+            )
+        if self.composite and self.is_primitive:
+            raise ClassDefinitionError(
+                f"attribute {self.name!r}: a composite reference needs a "
+                f"non-primitive domain, got {self.domain!r}"
+            )
+
+    # -- domain helpers ----------------------------------------------------
+
+    @property
+    def is_set(self):
+        """True when the domain is a ``set-of`` domain."""
+        return is_set_domain(self.domain)
+
+    @property
+    def domain_class(self):
+        """Element class name of the domain (unwraps ``set-of``)."""
+        return domain_class_name(self.domain)
+
+    @property
+    def is_primitive(self):
+        """True when the domain's element class is a primitive class."""
+        return self.domain_class in PRIMITIVE_DOMAINS
+
+    @property
+    def is_reference(self):
+        """True when values are UIDs of other user-class objects."""
+        return not self.is_primitive
+
+    # -- reference-kind helpers --------------------------------------------
+
+    @property
+    def kind(self):
+        """The :class:`ReferenceKind` this attribute's references carry."""
+        if not self.is_reference:
+            return ReferenceKind.WEAK
+        return ReferenceKind.from_flags(self.composite, self.exclusive, self.dependent)
+
+    @property
+    def is_composite(self):
+        """True for composite attributes (paper: 'composite attribute')."""
+        return self.composite and self.is_reference
+
+    @property
+    def is_exclusive_composite(self):
+        """True for exclusive composite attributes."""
+        return self.is_composite and self.exclusive
+
+    @property
+    def is_shared_composite(self):
+        """True for shared composite attributes."""
+        return self.is_composite and not self.exclusive
+
+    @property
+    def is_dependent_composite(self):
+        """True for dependent composite attributes."""
+        return self.is_composite and self.dependent
+
+    # -- evolution ----------------------------------------------------------
+
+    def evolved(self, **changes):
+        """Return a copy with *changes* applied (schema evolution helper)."""
+        return replace(self, **changes)
+
+    def inherited_into(self, class_name):
+        """Return the spec as seen by a subclass (same origin recorded)."""
+        if self.defined_in:
+            return self
+        return replace(self, defined_in=class_name)
+
+    # -- value checking ------------------------------------------------------
+
+    def accepts_primitive(self, value):
+        """True when *value* is acceptable for this primitive domain."""
+        if value is None:
+            return True
+        name = self.domain_class
+        if name == "any":
+            return True
+        types = _PYTHON_TYPES[name]
+        if name in ("integer", "float") and isinstance(value, bool):
+            return False
+        return isinstance(value, types)
+
+    def describe(self):
+        """One-line human-readable rendering, ORION-flavoured."""
+        parts = [f"({self.name} :domain {self.domain}"]
+        if self.is_composite:
+            parts.append(":composite true")
+            parts.append(f":exclusive {'true' if self.exclusive else 'nil'}")
+            parts.append(f":dependent {'true' if self.dependent else 'nil'}")
+        if self.init is not None:
+            parts.append(f":init {self.init!r}")
+        return " ".join(parts) + ")"

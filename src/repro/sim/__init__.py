@@ -1,0 +1,5 @@
+"""Deterministic discrete-event concurrency simulation (benchmark B9)."""
+
+from .eventsim import ConcurrencySimulator, SimResult, SimTxn, Step
+
+__all__ = ["ConcurrencySimulator", "SimResult", "SimTxn", "Step"]

@@ -1,0 +1,240 @@
+"""Discrete-event concurrency simulation.
+
+Benchmark B9 needs reproducible concurrency: real threads would make
+conflict rates nondeterministic.  The simulator advances virtual time in
+ticks; each simulated transaction is a list of steps, each step an
+``(action, target)`` pair that must acquire locks before it executes.
+Blocked transactions queue in the lock table; a deadlock check runs after
+every blocking request and aborts the youngest participant, which restarts
+after a back-off.
+
+Three locking disciplines are pluggable, matching the paper's Section 7
+discussion:
+
+* ``"composite"`` — the revised composite-object protocol (one root lock +
+  component-class locks);
+* ``"instance"`` — per-instance granularity locking;
+* ``"class"`` — a single S/X lock on the root's class (the coarse extreme:
+  trivially few lock calls, no concurrency between composites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import LockConflictError
+from ..locking.deadlock import DeadlockDetector
+from ..locking.modes import LockMode
+from ..locking.protocol import CompositeLockingProtocol, InstanceLockingBaseline
+from ..locking.table import LockTable
+from ..txn.transaction import Transaction, TxnState
+
+
+@dataclass
+class Step:
+    """One step of a simulated transaction.
+
+    *action* is ``"read_composite"``, ``"update_composite"``,
+    ``"read_instance"`` or ``"update_instance"``; *target* is a UID.
+    *work* is the number of ticks the step takes once its locks are held.
+    """
+
+    action: str
+    target: object
+    work: int = 1
+
+
+@dataclass
+class SimTxn:
+    """A scripted transaction."""
+
+    steps: list
+    txn: Transaction = field(default_factory=Transaction)
+    position: int = 0
+    remaining_work: int = 0
+    locks_held_for: int = -1  # step index whose locks are already held
+    finished_at: int = -1
+    blocked: bool = False
+    #: Ticks to sleep before resuming (deadlock-restart back-off).
+    sleep_ticks: int = 0
+
+    @property
+    def done(self):
+        return self.position >= len(self.steps)
+
+
+@dataclass
+class SimResult:
+    """Aggregate outcome of one simulation run."""
+
+    discipline: str
+    ticks: int = 0
+    committed: int = 0
+    deadlock_aborts: int = 0
+    blocked_ticks: int = 0
+    lock_requests: int = 0
+    lock_blocks: int = 0
+
+    @property
+    def throughput(self):
+        """Committed transactions per tick."""
+        return self.committed / self.ticks if self.ticks else 0.0
+
+    def row(self):
+        return {
+            "discipline": self.discipline,
+            "ticks": self.ticks,
+            "committed": self.committed,
+            "throughput": round(self.throughput, 4),
+            "blocked_ticks": self.blocked_ticks,
+            "deadlock_aborts": self.deadlock_aborts,
+            "lock_requests": self.lock_requests,
+            "lock_blocks": self.lock_blocks,
+        }
+
+
+class _ClassLockDiscipline:
+    """Coarse baseline: one S/X lock on the root's class object."""
+
+    def __init__(self, database, table):
+        self._db = database
+        self.table = table
+
+    def plan(self, uid, intent):
+        instance = self._db.resolve(uid)
+        mode = LockMode.S if intent == "read" else LockMode.X
+        return [(("class", instance.class_name), mode)]
+
+
+class _CompositeDiscipline:
+    def __init__(self, database, table):
+        self._protocol = CompositeLockingProtocol(database, table)
+        self._db = database
+        self.table = table
+
+    def plan(self, uid, intent):
+        instance = self._db.resolve(uid)
+        if instance.reverse_references:
+            # A component accessed directly.
+            return list(self._protocol.plan_instance(uid, intent))
+        return list(self._protocol.plan_composite(uid, intent))
+
+
+class _InstanceDiscipline:
+    def __init__(self, database, table):
+        self._baseline = InstanceLockingBaseline(database, table)
+        self._protocol = CompositeLockingProtocol(database, table)
+        self._db = database
+        self.table = table
+
+    def plan(self, uid, intent):
+        instance = self._db.resolve(uid)
+        if instance.reverse_references:
+            return list(self._protocol.plan_instance(uid, intent))
+        return list(self._baseline.plan_composite(uid, intent))
+
+
+_DISCIPLINES = {
+    "composite": _CompositeDiscipline,
+    "instance": _InstanceDiscipline,
+    "class": _ClassLockDiscipline,
+}
+
+
+class ConcurrencySimulator:
+    """Runs a set of scripted transactions under one locking discipline."""
+
+    def __init__(self, database, discipline="composite"):
+        if discipline not in _DISCIPLINES:
+            raise ValueError(
+                f"discipline must be one of {sorted(_DISCIPLINES)}, "
+                f"got {discipline!r}"
+            )
+        self._db = database
+        self.table = LockTable()
+        self._discipline = _DISCIPLINES[discipline](database, self.table)
+        self._detector = DeadlockDetector(self.table)
+        self.discipline_name = discipline
+
+    def run(self, scripts, max_ticks=100_000):
+        """Execute the scripted transactions to completion.
+
+        *scripts* is a list of step lists.  Returns a :class:`SimResult`.
+        """
+        txns = [SimTxn(steps=list(steps)) for steps in scripts]
+        result = SimResult(discipline=self.discipline_name)
+        tick = 0
+        while any(not t.done for t in txns):
+            tick += 1
+            if tick > max_ticks:
+                raise RuntimeError(
+                    f"simulation exceeded {max_ticks} ticks; livelock?"
+                )
+            for sim in txns:
+                if sim.done:
+                    continue
+                self._advance(sim, txns, result)
+                if sim.blocked:
+                    result.blocked_ticks += 1
+            # Promote any waiters unblocked by completed transactions.
+        result.ticks = tick
+        result.lock_requests = self.table.stats.requests
+        result.lock_blocks = self.table.stats.blocks
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance(self, sim, txns, result):
+        if sim.sleep_ticks > 0:
+            sim.sleep_ticks -= 1
+            return
+        step = sim.steps[sim.position]
+        if sim.locks_held_for != sim.position:
+            if not self._try_lock(sim, step, txns, result):
+                return
+            sim.locks_held_for = sim.position
+            sim.remaining_work = step.work
+        sim.blocked = False
+        sim.remaining_work -= 1
+        if sim.remaining_work <= 0:
+            sim.position += 1
+            if sim.done:
+                sim.txn.state = TxnState.COMMITTED
+                self.table.release_all(sim.txn)
+                result.committed += 1
+
+    def _try_lock(self, sim, step, txns, result):
+        intent = "read" if step.action.startswith("read") else "write"
+        plan = self._discipline.plan(step.target, intent)
+        for resource, mode in plan:
+            granted = self.table.acquire(sim.txn, resource, mode, wait=True)
+            if granted:
+                continue
+            sim.blocked = True
+            victim = self._detector.check(raise_on_deadlock=False)
+            if victim is not None:
+                self._abort_victim(victim, txns, result)
+                if victim is sim.txn:
+                    return False
+                # Our request may now be grantable; retry next tick.
+            return False
+        sim.blocked = False
+        return True
+
+    def _abort_victim(self, victim, txns, result):
+        result.deadlock_aborts += 1
+        self.table.release_all(victim)
+        for index, sim in enumerate(txns):
+            if sim.txn is victim:
+                # Restart from the beginning with a fresh (younger) txn,
+                # after a deterministic, growing back-off so the survivor
+                # can finish instead of re-forming the same cycle.
+                restarts = sim.txn.restarts + 1
+                sim.txn = Transaction()
+                sim.txn.restarts = restarts
+                sim.position = 0
+                sim.locks_held_for = -1
+                sim.remaining_work = 0
+                sim.blocked = False
+                sim.sleep_ticks = 3 * restarts + index % 5
+                break

@@ -1,0 +1,39 @@
+"""Storage substrate: serializer, slotted pages, segments, buffer pool,
+object store, and the first-parent clustering policy (paper 2.3)."""
+
+from .buffer import BufferPool, PageFile
+from .journal import Journal
+from .clustering import ClusteringPolicy, shared_segment
+from .page import DEFAULT_PAGE_SIZE, Page
+from .segment import Segment
+from .serializer import decode_instance, encode_instance
+from .stats import IOStats, IOStatsSnapshot
+from .store import ObjectStore
+
+
+def __getattr__(name):
+    # DurableDatabase depends on repro.core.database, which imports this
+    # package; resolve it lazily to avoid the cycle.
+    if name == "DurableDatabase":
+        from .durable import DurableDatabase
+
+        return DurableDatabase
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "BufferPool",
+    "DurableDatabase",
+    "Journal",
+    "ClusteringPolicy",
+    "DEFAULT_PAGE_SIZE",
+    "IOStats",
+    "IOStatsSnapshot",
+    "ObjectStore",
+    "Page",
+    "PageFile",
+    "Segment",
+    "decode_instance",
+    "encode_instance",
+    "shared_segment",
+]

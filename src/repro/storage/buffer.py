@@ -1,0 +1,125 @@
+"""Buffer pool with LRU replacement.
+
+The pool sits between the object store and the "disk" (the
+:class:`PageFile`).  Every page access goes through :meth:`BufferPool.pin`;
+a miss counts a page fault and may evict the least-recently-used frame,
+counting a page write when the victim is dirty.  Counters live in
+:class:`repro.storage.stats.IOStats` so experiments can snapshot and diff
+them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .page import Page
+from .stats import IOStats
+
+
+class PageFile:
+    """The backing store ("disk"): page_id -> Page.
+
+    Held in memory, but only ever accessed through the buffer pool, so the
+    fault counters faithfully model a disk-backed system's access pattern.
+    """
+
+    def __init__(self):
+        self._pages = {}
+        self._next_id = 0
+
+    def allocate(self, segment, capacity):
+        """Create a new page in *segment* and return it."""
+        page = Page(self._next_id, segment, capacity)
+        self._next_id += 1
+        self._pages[page.page_id] = page
+        return page
+
+    def read(self, page_id):
+        """Fetch a page from disk (KeyError when unknown)."""
+        return self._pages[page_id]
+
+    def __contains__(self, page_id):
+        return page_id in self._pages
+
+    def __len__(self):
+        return len(self._pages)
+
+    def page_ids(self):
+        return list(self._pages)
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of pages.
+
+    ``capacity`` is the number of page frames.  A capacity of 0 disables
+    caching entirely (every access is a fault), which gives the worst-case
+    bound for the clustering experiment.
+    """
+
+    def __init__(self, page_file, capacity=64, stats=None):
+        self._file = page_file
+        self.capacity = capacity
+        self.stats = stats if stats is not None else IOStats()
+        #: page_id -> Page, in LRU order (oldest first).
+        self._frames = OrderedDict()
+        #: page_ids with unflushed modifications.
+        self._dirty = set()
+
+    # -- core protocol ----------------------------------------------------
+
+    def pin(self, page_id):
+        """Return the page, counting a hit or a fault."""
+        if page_id in self._frames:
+            self._frames.move_to_end(page_id)
+            self.stats.buffer_hits += 1
+            return self._frames[page_id]
+        page = self._file.read(page_id)
+        self.stats.page_faults += 1
+        self._admit(page)
+        return page
+
+    def mark_dirty(self, page_id):
+        """Record that the page was modified while resident."""
+        self._dirty.add(page_id)
+
+    def new_page(self, segment, capacity):
+        """Allocate a fresh page; it enters the pool dirty (no fault)."""
+        page = self._file.allocate(segment, capacity)
+        self.stats.pages_allocated += 1
+        self._admit(page)
+        self._dirty.add(page.page_id)
+        return page
+
+    def flush(self):
+        """Write back every dirty resident page (counts page writes)."""
+        for page_id in sorted(self._dirty):
+            self.stats.page_writes += 1
+        self._dirty.clear()
+
+    def clear(self):
+        """Drop every frame (without counting writes) — a "cold cache"."""
+        self._frames.clear()
+        self._dirty.clear()
+
+    def resident(self, page_id):
+        """True when the page currently occupies a frame."""
+        return page_id in self._frames
+
+    def __len__(self):
+        return len(self._frames)
+
+    # -- internals ------------------------------------------------------------
+
+    def _admit(self, page):
+        if self.capacity <= 0:
+            # Degenerate pool: nothing stays resident.
+            if page.page_id in self._dirty:
+                self.stats.page_writes += 1
+                self._dirty.discard(page.page_id)
+            return
+        while len(self._frames) >= self.capacity:
+            victim_id, _victim = self._frames.popitem(last=False)
+            if victim_id in self._dirty:
+                self.stats.page_writes += 1
+                self._dirty.discard(victim_id)
+        self._frames[page.page_id] = page

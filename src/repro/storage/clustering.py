@@ -1,0 +1,69 @@
+"""Clustering policy.
+
+Paper 2.3: "the parent keyword in the make statement is used also for
+clustering purposes. If several objects are specified, then the newly
+created object is clustered with the first specified parent, that is, with
+ParentObject.1. (However, clustering is only performed if the classes of
+the two objects are stored in the same physical segment.)"
+
+:class:`ClusteringPolicy` turns the parent list of a ``make`` call into a
+placement decision (segment name + near-UID hint) for the object store.
+"""
+
+from __future__ import annotations
+
+
+class ClusteringPolicy:
+    """Decides where a new object is placed.
+
+    ``mode`` selects the policy, so the clustering benchmark can ablate:
+
+    * ``"parent"`` — the paper's policy (cluster with the first parent when
+      segments match);
+    * ``"none"`` — ignore hints entirely (scatter by class segment only).
+    """
+
+    def __init__(self, lattice, mode="parent"):
+        if mode not in ("parent", "none"):
+            raise ValueError(f"unknown clustering mode {mode!r}")
+        self._lattice = lattice
+        self.mode = mode
+        #: Optional UID -> class-name resolver; installed by the database
+        #: so renamed classes route correctly (UIDs embed the birth name).
+        self.class_resolver = None
+
+    def segment_for_class(self, class_name):
+        """Name of the physical segment for instances of *class_name*."""
+        return self._lattice.get(class_name).segment
+
+    def placement(self, class_name, parent_uids=()):
+        """Return ``(segment_name, near_uid)`` for a new instance.
+
+        *parent_uids* is the ordered parent list of the ``make`` call; only
+        the first parent matters, and only when its class shares the new
+        object's segment.
+        """
+        segment = self.segment_for_class(class_name)
+        if self.mode != "parent" or not parent_uids:
+            return segment, None
+        first = parent_uids[0]
+        parent_class = (
+            self.class_resolver(first) if self.class_resolver
+            else first.class_name
+        )
+        parent_segment = self.segment_for_class(parent_class)
+        if parent_segment == segment:
+            return segment, first
+        return segment, None
+
+
+def shared_segment(lattice, class_names, segment_name):
+    """Assign one physical segment to several classes.
+
+    Clustering across classes (the interesting case for composite objects:
+    a Vehicle next to its AutoBody) requires the classes to share a
+    segment; this helper rewrites their definitions accordingly.
+    """
+    for name in class_names:
+        lattice.get(name).segment = segment_name
+    return segment_name

@@ -1,0 +1,51 @@
+"""A durable database: :class:`repro.Database` + checkpoint/journal.
+
+Usage::
+
+    db = DurableDatabase("/path/to/dir")     # empty or recovered
+    db.make_class(...)                        # DDL checkpoints
+    db.make(...)                              # DML journals
+    db.close()
+
+    db2 = DurableDatabase.open("/path/to/dir")  # same state, crash or not
+"""
+
+from __future__ import annotations
+
+from ..core.database import Database
+from .journal import Journal
+
+
+class DurableDatabase(Database):
+    """A database whose state survives process death.
+
+    Instance-level mutations are redo-journaled as they happen; schema
+    changes (``make_class``, and anything done through a
+    :class:`~repro.schema.evolution.SchemaEvolutionManager`, which should
+    call :meth:`checkpoint` after DDL) trigger a checkpoint.
+    """
+
+    def __init__(self, directory, recover=True, **kwargs):
+        super().__init__(**kwargs)
+        if recover:
+            Journal.recover_into(self, directory)
+        self.journal = Journal(self, directory)
+
+    @classmethod
+    def open(cls, directory, **kwargs):
+        """Open (recovering) the database stored in *directory*."""
+        return cls(directory, recover=True, **kwargs)
+
+    def make_class(self, *args, **kwargs):
+        classdef = super().make_class(*args, **kwargs)
+        if getattr(self, "journal", None) is not None:
+            self.journal.checkpoint()
+        return classdef
+
+    def checkpoint(self):
+        """Force a snapshot (call after external schema evolution)."""
+        self.journal.checkpoint()
+
+    def close(self):
+        """Flush and close the journal (the state is already durable)."""
+        self.journal.close()

@@ -1,0 +1,257 @@
+"""Durability: checkpoint snapshots plus a redo journal.
+
+ORION is a persistent database; this module supplies the disk story for
+the reproduction with a classic two-file design:
+
+* **snapshot** (``checkpoint.db``) — the schema (JSON: class definitions,
+  IS-A lattice, versionable flags, segments), the UID allocator position,
+  and an after-image of every live instance (the binary record format of
+  :mod:`repro.storage.serializer`);
+* **journal** (``journal.log``) — an append-only redo log of instance
+  after-images and deletion tombstones written on every mutation.
+
+Opening a directory loads the latest snapshot and replays the journal, so
+any prefix of the journal yields a consistent database — mutations are
+whole-instance images, and reverse composite references live inside the
+instances, so replay needs no interpretation of operations.
+
+Schema changes (DDL) force a checkpoint; the journal itself only carries
+instance-level changes.  This is a deliberate simplification over ARIES —
+there are no partial page writes to repair because images are logical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from pathlib import Path
+
+from ..errors import StorageError
+from .serializer import decode_instance, encode_instance
+
+_U32 = struct.Struct(">I")
+_IMAGE = b"I"
+_TOMBSTONE = b"D"
+
+SNAPSHOT_NAME = "checkpoint.db"
+JOURNAL_NAME = "journal.log"
+_MAGIC = b"REPRO-SNAP-1"
+
+
+def _encode_uid(uid):
+    return {"number": uid.number, "class": uid.class_name}
+
+
+def _schema_payload(database):
+    """JSON-able rendering of the class lattice."""
+    classes = []
+    for classdef in database.lattice:
+        if classdef.name == "object":
+            continue
+        classes.append({
+            "name": classdef.name,
+            "superclasses": list(classdef.superclasses),
+            "versionable": classdef.versionable,
+            "segment": classdef.segment,
+            "document": classdef.document,
+            "attributes": [
+                {
+                    "name": spec.name,
+                    "domain": (
+                        {"set_of": spec.domain_class} if spec.is_set
+                        else spec.domain_class
+                    ),
+                    "composite": spec.composite,
+                    "exclusive": spec.exclusive,
+                    "dependent": spec.dependent,
+                    "init": spec.init,
+                    "defined_in": spec.defined_in,
+                }
+                for spec in classdef.local.values()
+            ],
+        })
+    return classes
+
+
+def _restore_schema(database, classes):
+    from ..schema.attribute import AttributeSpec, SetOf
+
+    pending = list(classes)
+    defined = {"object"}
+    guard = 0
+    while pending:
+        guard += 1
+        if guard > len(classes) ** 2 + 10:
+            raise StorageError("cyclic or dangling superclasses in snapshot")
+        entry = pending.pop(0)
+        supers = entry["superclasses"] or ["object"]
+        if not all(sup in defined for sup in supers):
+            pending.append(entry)
+            continue
+        specs = []
+        for attr in entry["attributes"]:
+            domain = attr["domain"]
+            if isinstance(domain, dict):
+                domain = SetOf(domain["set_of"])
+            specs.append(AttributeSpec(
+                name=attr["name"],
+                domain=domain,
+                composite=attr["composite"],
+                exclusive=attr["exclusive"],
+                dependent=attr["dependent"],
+                init=attr["init"],
+                defined_in=attr["defined_in"],
+            ))
+        database.make_class(
+            entry["name"],
+            superclasses=[s for s in entry["superclasses"]],
+            attributes=specs,
+            versionable=entry["versionable"],
+            segment=entry["segment"],
+            document=entry["document"],
+        )
+        defined.add(entry["name"])
+
+
+class Journal:
+    """Checkpoint/journal persistence for one database."""
+
+    def __init__(self, database, directory):
+        self._db = database
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._journal_file = None
+        #: Journal records written since the last checkpoint.
+        self.records_since_checkpoint = 0
+        #: Last journaled image per UID (dedup: link bookkeeping can
+        #: persist the same state several times in one operation).
+        self._last_image = {}
+        database.on_update.append(self._on_update)
+        database.on_persist.append(self._on_persist)
+        self._open_journal()
+
+    # -- paths --------------------------------------------------------------
+
+    @property
+    def snapshot_path(self):
+        return self.directory / SNAPSHOT_NAME
+
+    @property
+    def journal_path(self):
+        return self.directory / JOURNAL_NAME
+
+    def _open_journal(self):
+        self._journal_file = open(self.journal_path, "ab")
+
+    # -- journaling ----------------------------------------------------------
+
+    def _on_update(self, instance, _attribute):
+        if instance.deleted:
+            self._last_image.pop(instance.uid, None)
+            self._append(_TOMBSTONE, encode_instance(instance))
+        else:
+            self._on_persist(instance)
+
+    def _on_persist(self, instance):
+        image = encode_instance(instance)
+        if self._last_image.get(instance.uid) == image:
+            return
+        self._last_image[instance.uid] = image
+        self._append(_IMAGE, image)
+
+    def _append(self, kind, payload):
+        self._journal_file.write(kind)
+        self._journal_file.write(_U32.pack(len(payload)))
+        self._journal_file.write(payload)
+        self._journal_file.flush()
+        os.fsync(self._journal_file.fileno())
+        self.records_since_checkpoint += 1
+
+    # -- checkpointing --------------------------------------------------------
+
+    def checkpoint(self):
+        """Write a full snapshot and truncate the journal."""
+        database = self._db
+        temp_path = self.snapshot_path.with_suffix(".tmp")
+        with open(temp_path, "wb") as handle:
+            handle.write(_MAGIC)
+            schema = json.dumps({
+                "classes": _schema_payload(database),
+                "next_uid": database.allocator.peek(),
+            }).encode("utf-8")
+            handle.write(_U32.pack(len(schema)))
+            handle.write(schema)
+            instances = list(database.live_instances())
+            handle.write(_U32.pack(len(instances)))
+            for instance in instances:
+                image = encode_instance(instance)
+                handle.write(_U32.pack(len(image)))
+                handle.write(image)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.snapshot_path)
+        self._journal_file.close()
+        self.journal_path.unlink(missing_ok=True)
+        self._open_journal()
+        self._last_image.clear()
+        self.records_since_checkpoint = 0
+
+    def close(self):
+        if self._journal_file and not self._journal_file.closed:
+            self._journal_file.close()
+
+    # -- recovery ----------------------------------------------------------------
+
+    @staticmethod
+    def recover_into(database, directory):
+        """Load snapshot + journal from *directory* into a fresh database.
+
+        Returns (instances_restored, journal_records_replayed).  A
+        truncated final journal record (torn write) is discarded, as a
+        real redo log would after a crash.
+        """
+        directory = Path(directory)
+        snapshot = directory / SNAPSHOT_NAME
+        journal = directory / JOURNAL_NAME
+        restored = replayed = 0
+        max_uid = 0
+        if snapshot.exists():
+            with open(snapshot, "rb") as handle:
+                if handle.read(len(_MAGIC)) != _MAGIC:
+                    raise StorageError(f"{snapshot} is not a snapshot file")
+                schema_len = _U32.unpack(handle.read(4))[0]
+                meta = json.loads(handle.read(schema_len).decode("utf-8"))
+                _restore_schema(database, meta["classes"])
+                count = _U32.unpack(handle.read(4))[0]
+                for _ in range(count):
+                    size = _U32.unpack(handle.read(4))[0]
+                    instance = decode_instance(handle.read(size))
+                    database._objects[instance.uid] = instance
+                    max_uid = max(max_uid, instance.uid.number)
+                    restored += 1
+                max_uid = max(max_uid, meta.get("next_uid", 1) - 1)
+        if journal.exists():
+            data = journal.read_bytes()
+            position = 0
+            while position + 5 <= len(data):
+                kind = data[position:position + 1]
+                size = _U32.unpack(data[position + 1:position + 5])[0]
+                end = position + 5 + size
+                if end > len(data):
+                    break  # torn final record: discard
+                payload = data[position + 5:end]
+                instance = decode_instance(payload)
+                if kind == _TOMBSTONE:
+                    database._objects.pop(instance.uid, None)
+                else:
+                    instance.deleted = False
+                    database._objects[instance.uid] = instance
+                    max_uid = max(max_uid, instance.uid.number)
+                replayed += 1
+                position = end
+        from ..core.identity import UIDAllocator
+
+        database.allocator = UIDAllocator(start=max_uid + 1)
+        database.rebuild_extents()
+        return restored, replayed

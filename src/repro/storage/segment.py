@@ -1,0 +1,72 @@
+"""Physical segments.
+
+ORION stores each class's instances in a physical segment; the ``:parent``
+keyword of ``make`` doubles as a clustering hint, honoured "only if the
+classes of the two objects are stored in the same physical segment"
+(paper 2.3).  A :class:`Segment` tracks the pages belonging to it and
+implements the placement policy: *near a hint page if possible, else the
+first segment page with room, else a new page*.
+"""
+
+from __future__ import annotations
+
+from .page import DEFAULT_PAGE_SIZE
+
+
+class Segment:
+    """One physical segment: an ordered collection of page ids."""
+
+    def __init__(self, name, buffer_pool, page_size=DEFAULT_PAGE_SIZE):
+        self.name = name
+        self.page_size = page_size
+        self._pool = buffer_pool
+        self._page_ids = []
+
+    @property
+    def page_ids(self):
+        return list(self._page_ids)
+
+    def __len__(self):
+        return len(self._page_ids)
+
+    def place(self, data, near_page_id=None, fresh_on_full=False):
+        """Store *data*, returning ``(page_id, slot)``.
+
+        Placement order:
+
+        1. the hint page, when given, belonging to this segment and roomy —
+           this is the paper's "clustered with the first specified parent";
+        2. with *fresh_on_full* (a clustered placement whose hint page
+           overflowed): a freshly allocated page, so the caller can extend
+           the cluster chain contiguously instead of scattering to the
+           segment tail;
+        3. the last page of the segment with room (append locality);
+        4. a freshly allocated page.
+
+        Records larger than the page size get a dedicated oversized page.
+        """
+        if near_page_id is not None and near_page_id in self._page_ids:
+            page = self._pool.pin(near_page_id)
+            if page.fits(len(data)):
+                slot = page.insert(data)
+                self._pool.mark_dirty(page.page_id)
+                return page.page_id, slot
+            if fresh_on_full:
+                capacity = max(self.page_size, len(data) + 64)
+                page = self._pool.new_page(self.name, capacity)
+                self._page_ids.append(page.page_id)
+                slot = page.insert(data)
+                self._pool.mark_dirty(page.page_id)
+                return page.page_id, slot
+        if self._page_ids:
+            page = self._pool.pin(self._page_ids[-1])
+            if page.fits(len(data)):
+                slot = page.insert(data)
+                self._pool.mark_dirty(page.page_id)
+                return page.page_id, slot
+        capacity = max(self.page_size, len(data) + 64)
+        page = self._pool.new_page(self.name, capacity)
+        self._page_ids.append(page.page_id)
+        slot = page.insert(data)
+        self._pool.mark_dirty(page.page_id)
+        return page.page_id, slot

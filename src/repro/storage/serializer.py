@@ -1,0 +1,171 @@
+"""Binary serialization of instances.
+
+A compact, self-describing, dependency-free format (we deliberately avoid
+``pickle``: records must be stable bytes whose size the clustering layer
+can reason about, and decoding must never execute code).
+
+Format: every value is a one-byte type tag followed by a fixed or
+length-prefixed payload.  An instance record is::
+
+    'O' | class_name | uid | change_count | values map | reverse refs list
+
+Strings are UTF-8 with a u32 length prefix; integers are signed 64-bit;
+UIDs are (number, class_name) pairs.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..core.identity import UID
+from ..core.instance import Instance
+from ..core.references import ReverseReference
+from ..errors import SerializationError
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_UID = b"U"
+_TAG_LIST = b"L"
+_TAG_INSTANCE = b"O"
+
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+
+def _encode_str(out, text):
+    data = text.encode("utf-8")
+    out.append(_U32.pack(len(data)))
+    out.append(data)
+
+
+def encode_value(value, out):
+    """Append the encoding of one value to the byte-chunk list *out*."""
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(_TAG_INT)
+        out.append(_I64.pack(value))
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out.append(_F64.pack(value))
+    elif isinstance(value, str):
+        out.append(_TAG_STR)
+        _encode_str(out, value)
+    elif isinstance(value, UID):
+        out.append(_TAG_UID)
+        out.append(_I64.pack(value.number))
+        _encode_str(out, value.class_name)
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST)
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            encode_value(item, out)
+    else:
+        raise SerializationError(
+            f"cannot serialize value of type {type(value).__name__}: {value!r}"
+        )
+
+
+class _Reader:
+    """Sequential reader over a bytes buffer."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n):
+        if self.pos + n > len(self.data):
+            raise SerializationError("truncated record")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def read_u32(self):
+        return _U32.unpack(self.take(4))[0]
+
+    def read_i64(self):
+        return _I64.unpack(self.take(8))[0]
+
+    def read_f64(self):
+        return _F64.unpack(self.take(8))[0]
+
+    def read_str(self):
+        return self.take(self.read_u32()).decode("utf-8")
+
+
+def decode_value(reader):
+    """Decode one value from *reader*."""
+    tag = reader.take(1)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_INT:
+        return reader.read_i64()
+    if tag == _TAG_FLOAT:
+        return reader.read_f64()
+    if tag == _TAG_STR:
+        return reader.read_str()
+    if tag == _TAG_UID:
+        number = reader.read_i64()
+        return UID(number, reader.read_str())
+    if tag == _TAG_LIST:
+        count = reader.read_u32()
+        return [decode_value(reader) for _ in range(count)]
+    raise SerializationError(f"unknown type tag {tag!r}")
+
+
+def encode_instance(instance):
+    """Serialize *instance* to bytes."""
+    out = [_TAG_INSTANCE]
+    _encode_str(out, instance.class_name)
+    out.append(_I64.pack(instance.uid.number))
+    out.append(_I64.pack(instance.change_count))
+    out.append(_U32.pack(len(instance.values)))
+    for name, value in instance.values.items():
+        _encode_str(out, name)
+        encode_value(value, out)
+    out.append(_U32.pack(len(instance.reverse_references)))
+    for ref in instance.reverse_references:
+        encode_value(ref.parent, out)
+        out.append(_TAG_TRUE if ref.dependent else _TAG_FALSE)
+        out.append(_TAG_TRUE if ref.exclusive else _TAG_FALSE)
+        _encode_str(out, ref.attribute)
+    return b"".join(out)
+
+
+def decode_instance(data):
+    """Deserialize bytes produced by :func:`encode_instance`."""
+    reader = _Reader(data)
+    if reader.take(1) != _TAG_INSTANCE:
+        raise SerializationError("not an instance record")
+    class_name = reader.read_str()
+    uid = UID(reader.read_i64(), class_name)
+    change_count = reader.read_i64()
+    values = {}
+    for _ in range(reader.read_u32()):
+        name = reader.read_str()
+        values[name] = decode_value(reader)
+    instance = Instance(uid, class_name, values, change_count=change_count)
+    for _ in range(reader.read_u32()):
+        parent = decode_value(reader)
+        dependent = reader.take(1) == _TAG_TRUE
+        exclusive = reader.take(1) == _TAG_TRUE
+        attribute = reader.read_str()
+        instance.reverse_references.append(
+            ReverseReference(parent, dependent, exclusive, attribute)
+        )
+    return instance

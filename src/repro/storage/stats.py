@@ -1,0 +1,89 @@
+"""I/O and buffer-pool statistics.
+
+All storage experiments (clustering benchmark B6 in particular) report
+*counts* — page faults, page writes, buffer hits — rather than raw device
+times, because the paper's prose claims are about access shape, not about
+1989 disk hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable counters for one page store / buffer pool."""
+
+    #: Logical page requests that were satisfied from the buffer pool.
+    buffer_hits: int = 0
+    #: Logical page requests that required reading from the backing store.
+    page_faults: int = 0
+    #: Dirty pages written back (on eviction or flush).
+    page_writes: int = 0
+    #: Pages freshly allocated.
+    pages_allocated: int = 0
+    #: Records written (object store level).
+    records_written: int = 0
+    #: Records read (object store level).
+    records_read: int = 0
+
+    def reset(self):
+        """Zero every counter (between benchmark phases)."""
+        self.buffer_hits = 0
+        self.page_faults = 0
+        self.page_writes = 0
+        self.pages_allocated = 0
+        self.records_written = 0
+        self.records_read = 0
+
+    @property
+    def logical_reads(self):
+        """Total page requests (hits + faults)."""
+        return self.buffer_hits + self.page_faults
+
+    @property
+    def hit_ratio(self):
+        """Buffer hit ratio in [0, 1]; 0 when no requests were made."""
+        total = self.logical_reads
+        return self.buffer_hits / total if total else 0.0
+
+    def snapshot(self):
+        """Return an immutable copy of the current counters."""
+        return IOStatsSnapshot(
+            buffer_hits=self.buffer_hits,
+            page_faults=self.page_faults,
+            page_writes=self.page_writes,
+            pages_allocated=self.pages_allocated,
+            records_written=self.records_written,
+            records_read=self.records_read,
+        )
+
+    def __str__(self):
+        return (
+            f"IOStats(hits={self.buffer_hits}, faults={self.page_faults}, "
+            f"writes={self.page_writes}, hit_ratio={self.hit_ratio:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class IOStatsSnapshot:
+    """Frozen copy of :class:`IOStats` for before/after comparisons."""
+
+    buffer_hits: int
+    page_faults: int
+    page_writes: int
+    pages_allocated: int
+    records_written: int
+    records_read: int
+
+    def delta(self, later):
+        """Counters accumulated between this snapshot and *later*."""
+        return IOStatsSnapshot(
+            buffer_hits=later.buffer_hits - self.buffer_hits,
+            page_faults=later.page_faults - self.page_faults,
+            page_writes=later.page_writes - self.page_writes,
+            pages_allocated=later.pages_allocated - self.pages_allocated,
+            records_written=later.records_written - self.records_written,
+            records_read=later.records_read - self.records_read,
+        )

@@ -1,0 +1,145 @@
+"""The object store: UID-addressed persistent records over pages.
+
+:class:`ObjectStore` maps UIDs to (page, slot) locations, serializes
+instances through :mod:`repro.storage.serializer`, routes them to their
+class's segment, and honours clustering hints.  All page traffic flows
+through one :class:`BufferPool`, so experiments can meter exactly what a
+disk-backed ORION would read and write.
+
+The in-memory :class:`repro.Database` uses the store in *write-through*
+mode when constructed with ``paged=True``; the clustering benchmark (B6)
+also drives the store directly.
+"""
+
+from __future__ import annotations
+
+from ..errors import PageFullError, UnknownObjectError
+from .buffer import BufferPool, PageFile
+from .page import DEFAULT_PAGE_SIZE
+from .segment import Segment
+from .serializer import decode_instance, encode_instance
+from .stats import IOStats
+
+
+class ObjectStore:
+    """Page-backed storage of serialized instances."""
+
+    def __init__(self, buffer_capacity=64, page_size=DEFAULT_PAGE_SIZE):
+        self.stats = IOStats()
+        self._file = PageFile()
+        self.pool = BufferPool(self._file, capacity=buffer_capacity, stats=self.stats)
+        self.page_size = page_size
+        self._segments = {}
+        #: UID -> (page_id, slot)
+        self._directory = {}
+        #: Cluster chains: anchor UID -> page currently receiving objects
+        #: clustered with that anchor.  When the anchor's own page fills,
+        #: the chain moves to a fresh page so siblings stay contiguous
+        #: instead of scattering to the segment tail.
+        self._cluster_tail = {}
+
+    # -- segments ---------------------------------------------------------
+
+    def segment(self, name):
+        """Return (creating on demand) the segment named *name*."""
+        seg = self._segments.get(name)
+        if seg is None:
+            seg = Segment(name, self.pool, self.page_size)
+            self._segments[name] = seg
+        return seg
+
+    def segment_of(self, uid):
+        """Name of the segment currently holding *uid* (None when absent)."""
+        location = self._directory.get(uid)
+        if location is None:
+            return None
+        return self.pool.pin(location[0]).segment
+
+    def page_of(self, uid):
+        """Page id currently holding *uid* (None when absent)."""
+        location = self._directory.get(uid)
+        return location[0] if location else None
+
+    # -- record operations --------------------------------------------------
+
+    def write(self, instance, segment_name, near_uid=None):
+        """Serialize and store *instance* in *segment_name*.
+
+        *near_uid* is the clustering hint: when the hinted object lives in
+        the same segment, placement tries its page first (paper 2.3).
+        Rewrites of an existing UID update in place when the record still
+        fits, otherwise relocate.
+        """
+        data = encode_instance(instance)
+        uid = instance.uid
+        existing = self._directory.get(uid)
+        if existing is not None:
+            page_id, slot = existing
+            page = self.pool.pin(page_id)
+            try:
+                page.update(slot, data)
+                self.pool.mark_dirty(page_id)
+                self.stats.records_written += 1
+                return page_id, slot
+            except PageFullError:
+                page.delete(slot)
+                self.pool.mark_dirty(page_id)
+                del self._directory[uid]
+        near_page = None
+        if near_uid is not None:
+            near_page = self._cluster_tail.get(near_uid)
+            if near_page is None:
+                near_location = self._directory.get(near_uid)
+                if near_location is not None:
+                    near_page = near_location[0]
+        seg = self.segment(segment_name)
+        page_id, slot = seg.place(
+            data, near_page_id=near_page, fresh_on_full=near_uid is not None
+        )
+        self._directory[uid] = (page_id, slot)
+        if near_uid is not None:
+            self._cluster_tail[near_uid] = page_id
+        self.stats.records_written += 1
+        return page_id, slot
+
+    def read(self, uid):
+        """Load and deserialize the record of *uid*.
+
+        Raises :class:`UnknownObjectError` when the UID was never written
+        or has been deleted.
+        """
+        location = self._directory.get(uid)
+        if location is None:
+            raise UnknownObjectError(uid)
+        page_id, slot = location
+        page = self.pool.pin(page_id)
+        self.stats.records_read += 1
+        return decode_instance(page.read(slot))
+
+    def delete(self, uid):
+        """Remove the record of *uid* (idempotent)."""
+        location = self._directory.pop(uid, None)
+        if location is None:
+            return False
+        page_id, slot = location
+        page = self.pool.pin(page_id)
+        page.delete(slot)
+        self.pool.mark_dirty(page_id)
+        return True
+
+    def __contains__(self, uid):
+        return uid in self._directory
+
+    def __len__(self):
+        return len(self._directory)
+
+    def uids(self):
+        return list(self._directory)
+
+    def flush(self):
+        """Write back all dirty pages."""
+        self.pool.flush()
+
+    def drop_cache(self):
+        """Empty the buffer pool (simulate a restart / cold cache)."""
+        self.pool.clear()

@@ -1,0 +1,15 @@
+"""Transaction subsystem: strict 2PL over the composite locking protocol,
+undo-log-based abort (deletion cascades are image-logged and resurrected)."""
+
+from .checkout import Checkout, CheckoutManager
+from .manager import TransactionManager
+from .transaction import Transaction, TxnState, UndoRecord
+
+__all__ = [
+    "Checkout",
+    "CheckoutManager",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "UndoRecord",
+]

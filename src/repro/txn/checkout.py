@@ -1,0 +1,237 @@
+"""Check-out / check-in for long-duration design transactions.
+
+The paper closes Section 7: "Both the original protocol of [KIM87b] and
+the extended protocol ... may not be suitable for long-duration
+transactions ... An appropriate locking protocol for long-duration
+transactions is still a research issue."  The approach design systems
+(including later ORION work) converged on is the *check-out model*: copy
+the composite object into a private workspace, hold a persistent lock on
+the public original, edit the copy without any locking, and merge back on
+check-in.
+
+:class:`CheckoutManager` implements that model on this substrate:
+
+* ``checkout`` takes the Section 7 composite lock plan (persistent — it
+  outlives any short transaction) and builds a private working copy via
+  :func:`repro.core.compose.copy_composite`, remembering the
+  original-to-copy correspondence;
+* workspace edits are ordinary database operations on the copy;
+* ``checkin`` merges the workspace back through the correspondence:
+  scalar and weak values are written back; exclusive components added in
+  the workspace move to the original; components removed in the workspace
+  are detached from the original (and deleted when the reference was
+  dependent — the workspace edit stands for an in-place edit); shared
+  memberships are synchronized.  The workspace is then destroyed and the
+  lock released;
+* ``abandon`` destroys the workspace and releases the lock, leaving the
+  original untouched — a long transaction's rollback without any undo
+  log.
+
+Concurrent behaviour follows the composite lock: a write checkout blocks
+other checkouts of the same composite (and direct writers of its
+component classes) but not checkouts of disjoint composites.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..core.compose import copy_composite
+from ..errors import ConcurrencyError
+from ..locking.protocol import CompositeLockingProtocol
+from ..locking.table import LockTable
+
+
+@dataclass
+class Checkout:
+    """One live checkout."""
+
+    handle: int
+    user: str
+    intent: str
+    original_root: object
+    working_root: object
+    #: original UID -> workspace UID, for every copied object.
+    mapping: dict = field(default_factory=dict)
+    #: Every object belonging to the workspace: the copies plus anything
+    #: created and linked under them afterwards.  Destroyed on abandon
+    #: (and on checkin, minus adopted objects).
+    workspace_objects: set = field(default_factory=set)
+    active: bool = True
+
+    def workspace_of(self, original_uid):
+        """The workspace counterpart of an original object."""
+        return self.mapping.get(original_uid)
+
+
+class CheckoutManager:
+    """Long-duration design transactions over one database."""
+
+    _handles = itertools.count(1)
+
+    def __init__(self, database, lock_table=None):
+        self._db = database
+        self.table = lock_table if lock_table is not None else LockTable()
+        self.protocol = CompositeLockingProtocol(database, self.table)
+        self._checkouts = {}
+        # Objects linked under a workspace join that workspace (so abandon
+        # can destroy pins created-then-detached inside it).
+        database.on_link.append(self._note_link)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def checkout(self, user, root_uid, intent="write"):
+        """Copy the composite at *root_uid* into a private workspace.
+
+        Raises :class:`repro.errors.LockConflictError` when another
+        checkout (or short transaction) holds an incompatible composite
+        lock.
+        """
+        handle = next(self._handles)
+        token = ("checkout", handle)
+        self.protocol.lock_composite(token, root_uid, intent, wait=False)
+        working_root, mapping = copy_composite(
+            self._db, root_uid, with_mapping=True
+        )
+        checkout = Checkout(
+            handle=handle,
+            user=user,
+            intent=intent,
+            original_root=root_uid,
+            working_root=working_root,
+            mapping=mapping,
+            workspace_objects=set(mapping.values()),
+        )
+        self._checkouts[handle] = (checkout, token)
+        return checkout
+
+    def _note_link(self, parent, _spec, child):
+        for checkout, _token in self._checkouts.values():
+            if parent.uid in checkout.workspace_objects:
+                checkout.workspace_objects.add(child.uid)
+
+    def checkin(self, checkout):
+        """Merge the workspace back into the original and release."""
+        self._ensure_active(checkout)
+        if checkout.intent != "write":
+            raise ConcurrencyError(
+                "read checkouts cannot be checked in; use abandon()"
+            )
+        reverse = {copy: orig for orig, copy in checkout.mapping.items()}
+        for original_uid, working_uid in list(checkout.mapping.items()):
+            if self._db.exists(original_uid) and self._db.exists(working_uid):
+                self._merge_object(checkout, reverse, original_uid, working_uid)
+        # Components deleted in the workspace: their originals follow.
+        for original_uid, working_uid in list(checkout.mapping.items()):
+            if not self._db.exists(working_uid) and self._db.exists(original_uid):
+                if original_uid != checkout.original_root:
+                    self._db.delete(original_uid)
+        self._destroy_workspace(checkout)
+        self._release(checkout)
+        return checkout.original_root
+
+    def abandon(self, checkout):
+        """Discard the workspace; the original is untouched."""
+        self._ensure_active(checkout)
+        self._destroy_workspace(checkout)
+        self._release(checkout)
+
+    def active_checkouts(self):
+        return [entry[0] for entry in self._checkouts.values()]
+
+    # ------------------------------------------------------------------
+    # Merge internals
+    # ------------------------------------------------------------------
+
+    def _merge_object(self, checkout, reverse, original_uid, working_uid):
+        original = self._db.resolve(original_uid)
+        working = self._db.resolve(working_uid)
+        classdef = self._db.lattice.get(original.class_name)
+        for spec in classdef.attributes():
+            if spec.is_composite and spec.exclusive:
+                self._merge_exclusive(
+                    checkout, reverse, original_uid, working, spec
+                )
+            elif spec.is_set:
+                self._sync_set(original_uid, working.get(spec.name) or [],
+                               spec.name)
+            else:
+                value = working.get(spec.name)
+                if original.get(spec.name) != value:
+                    self._db.set_value(original_uid, spec.name, value)
+
+    def _merge_exclusive(self, checkout, reverse, original_uid, working, spec):
+        """Reconcile one exclusive composite attribute via the mapping."""
+        db = self._db
+        working_members = working.get(spec.name)
+        if not spec.is_set:
+            working_members = [] if working_members is None else [working_members]
+        # Desired membership, expressed in original-object terms.
+        desired = []
+        for member in working_members:
+            original_member = reverse.get(member)
+            if original_member is not None and db.exists(original_member):
+                desired.append(original_member)
+            elif db.exists(member):
+                desired.append(member)  # created in the workspace: adopt it
+        original = db.resolve(original_uid)
+        current = original.get(spec.name)
+        if not spec.is_set:
+            current = [] if current is None else [current]
+        for gone in [m for m in current if m not in desired]:
+            db.remove_part_of(gone, original_uid, spec.name)
+            if spec.dependent and db.exists(gone):
+                db.delete(gone)
+        for added in [m for m in desired if m not in current]:
+            holder = db.peek(added)
+            if holder is not None and holder.reverse_references:
+                # An object adopted from the workspace: detach it from its
+                # workspace parents first (an exclusive reference allows
+                # one parent).
+                for ref in list(holder.reverse_references):
+                    db.remove_part_of(added, ref.parent, ref.attribute)
+            # It is no longer part of the workspace to destroy.
+            checkout.workspace_objects.discard(added)
+            for orig, copy in list(checkout.mapping.items()):
+                if copy == added:
+                    del checkout.mapping[orig]
+            db.make_part_of(added, original_uid, spec.name)
+
+    def _sync_set(self, original_uid, working_members, attribute):
+        """Synchronize a shared-composite or weak set attribute."""
+        db = self._db
+        from ..core.identity import UID
+
+        current = db.value(original_uid, attribute)
+        for gone in [m for m in current if m not in working_members]:
+            db.remove_from(original_uid, attribute, gone)
+        for added in [m for m in working_members if m not in current]:
+            if not isinstance(added, UID) or db.exists(added):
+                db.insert_into(original_uid, attribute, added)
+
+    # ------------------------------------------------------------------
+    # Cleanup
+    # ------------------------------------------------------------------
+
+    def _destroy_workspace(self, checkout):
+        root = checkout.working_root
+        if self._db.exists(root):
+            self._db.delete(root)
+        for working_uid in checkout.workspace_objects:
+            if self._db.exists(working_uid):
+                self._db.delete(working_uid)
+
+    def _release(self, checkout):
+        checkout.active = False
+        entry = self._checkouts.pop(checkout.handle, None)
+        if entry is not None:
+            self.table.release_all(entry[1])
+
+    def _ensure_active(self, checkout):
+        if not checkout.active or checkout.handle not in self._checkouts:
+            raise ConcurrencyError(
+                f"checkout {checkout.handle} is no longer active"
+            )

@@ -1,0 +1,163 @@
+"""The transaction manager: strict two-phase locking over the composite
+protocol, with undo-based abort.
+
+Every data operation acquires its locks through the Section 7 protocol
+(class intention lock + instance lock; whole-composite operations take the
+composite plan) and logs an inverse operation.  Locks are held to commit
+or abort (strict 2PL).  Lock conflicts raise immediately
+(:class:`repro.errors.LockConflictError`) — the synchronous API never
+blocks; the discrete-event simulator (:mod:`repro.sim.eventsim`) drives
+the lock table's queues directly for waiting semantics.
+"""
+
+from __future__ import annotations
+
+from ..errors import TransactionStateError
+from ..locking.protocol import CompositeLockingProtocol
+from ..locking.table import LockTable
+from ..storage.serializer import decode_instance, encode_instance
+from .transaction import Transaction, TxnState
+
+
+class TransactionManager:
+    """Transactions over one database."""
+
+    def __init__(self, database, lock_table=None):
+        self._db = database
+        self.table = lock_table if lock_table is not None else LockTable()
+        self.protocol = CompositeLockingProtocol(database, self.table)
+        #: Commit / abort counters.
+        self.commits = 0
+        self.aborts = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(self):
+        """Start a transaction."""
+        return Transaction()
+
+    def commit(self, txn):
+        """Commit: discard the undo log, release all locks."""
+        txn.ensure_active()
+        txn.state = TxnState.COMMITTED
+        txn.undo_log.clear()
+        self.commits += 1
+        return self.table.release_all(txn)
+
+    def abort(self, txn):
+        """Abort: apply the undo log in reverse, release all locks."""
+        if txn.state in (TxnState.COMMITTED, TxnState.ABORTED):
+            raise TransactionStateError(
+                f"transaction {txn.txn_id} is {txn.state.value}"
+            )
+        for record in reversed(txn.undo_log):
+            self._undo(record)
+        txn.undo_log.clear()
+        txn.state = TxnState.ABORTED
+        self.aborts += 1
+        return self.table.release_all(txn)
+
+    # -- data operations --------------------------------------------------------
+
+    def read(self, txn, uid, attribute):
+        """Read one attribute under an S instance lock."""
+        txn.ensure_active()
+        self.protocol.lock_instance(txn, uid, "read", wait=False)
+        return self._db.value(uid, attribute)
+
+    def write(self, txn, uid, attribute, value):
+        """Write one attribute under an X instance lock."""
+        txn.ensure_active()
+        self.protocol.lock_instance(txn, uid, "write", wait=False)
+        old = self._db.value(uid, attribute)
+        txn.log("set", uid=uid, attribute=attribute, payload=old)
+        self._db.set_value(uid, attribute, value)
+
+    def insert(self, txn, uid, attribute, member):
+        """Insert into a set-of attribute under an X instance lock."""
+        txn.ensure_active()
+        self.protocol.lock_instance(txn, uid, "write", wait=False)
+        if self._db.insert_into(uid, attribute, member):
+            txn.log("insert", uid=uid, attribute=attribute, payload=member)
+            return True
+        return False
+
+    def remove(self, txn, uid, attribute, member):
+        """Remove from a set-of attribute under an X instance lock."""
+        txn.ensure_active()
+        self.protocol.lock_instance(txn, uid, "write", wait=False)
+        if self._db.remove_from(uid, attribute, member):
+            txn.log("remove", uid=uid, attribute=attribute, payload=member)
+            return True
+        return False
+
+    def make(self, txn, class_name, values=None, parents=(), **kw_values):
+        """Create an instance; its parents are X-locked first."""
+        txn.ensure_active()
+        for parent_uid, _attribute in parents:
+            self.protocol.lock_instance(txn, parent_uid, "write", wait=False)
+        uid = self._db.make(class_name, values=values, parents=parents, **kw_values)
+        txn.log("make", uid=uid)
+        return uid
+
+    def delete(self, txn, uid):
+        """Delete a composite object under the composite write plan.
+
+        The entire cascade is snapshotted for undo.
+        """
+        txn.ensure_active()
+        self.protocol.lock_composite(txn, uid, "write", wait=False)
+        victims = []
+        # Snapshot before the engine runs: predict the cascade, image it.
+        from ..core.deletion import would_delete
+
+        for victim_uid in would_delete(self._db, uid):
+            instance = self._db.peek(victim_uid)
+            if instance is not None:
+                victims.append(encode_instance(instance))
+        report = self._db.delete(uid)
+        txn.log("delete", uid=uid, payload=victims)
+        return report
+
+    def read_composite(self, txn, root_uid):
+        """Lock a whole composite object for reading; return components."""
+        txn.ensure_active()
+        self.protocol.lock_composite(txn, root_uid, "read", wait=False)
+        return self._db.components_of(root_uid)
+
+    def lock_composite_for_update(self, txn, root_uid):
+        """Take the composite write plan (subsequent writes need no new
+        instance locks for components of this composite's classes)."""
+        txn.ensure_active()
+        return self.protocol.lock_composite(txn, root_uid, "write", wait=False)
+
+    # -- undo ----------------------------------------------------------------
+
+    def _undo(self, record):
+        db = self._db
+        if record.kind == "set":
+            if db.exists(record.uid):
+                db.set_value(record.uid, record.attribute, record.payload)
+        elif record.kind == "insert":
+            if db.exists(record.uid):
+                db.remove_from(record.uid, record.attribute, record.payload)
+        elif record.kind == "remove":
+            if db.exists(record.uid):
+                db.insert_into(record.uid, record.attribute, record.payload)
+        elif record.kind == "make":
+            if db.exists(record.uid):
+                db.delete(record.uid)
+        elif record.kind == "delete":
+            self._resurrect(record.payload)
+        else:  # pragma: no cover
+            raise TransactionStateError(f"unknown undo record {record.kind!r}")
+
+    def _resurrect(self, images):
+        """Re-insert deleted instances from their serialized images."""
+        db = self._db
+        for image in images:
+            instance = decode_instance(image)
+            instance.deleted = False
+            db._objects[instance.uid] = instance
+            db._extents.setdefault(instance.class_name, set()).add(instance.uid)
+            db.persist(instance)

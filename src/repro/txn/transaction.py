@@ -1,0 +1,92 @@
+"""Transactions.
+
+A :class:`Transaction` is a unit of atomicity and isolation: it carries an
+id (ids double as age for deadlock victim selection — higher id = younger),
+a state, and an undo log of inverse operations applied on abort.
+
+The undo log records *images*: deleted instances are snapshotted with the
+storage serializer before they leave the object table, so an abort can
+resurrect an entire deletion cascade byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import TransactionStateError
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    BLOCKED = "blocked"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class UndoRecord:
+    """One inverse operation.
+
+    ``kind`` is one of:
+
+    * ``"set"`` — restore *uid.attribute* to ``payload`` (the old value);
+    * ``"insert"`` — a member was inserted; undo removes ``payload``;
+    * ``"remove"`` — a member was removed; undo re-inserts ``payload``;
+    * ``"make"`` — an instance was created; undo deletes it;
+    * ``"delete"`` — instances were deleted; ``payload`` is the list of
+      serialized images to resurrect (cascade order).
+    """
+
+    kind: str
+    uid: object = None
+    attribute: str = ""
+    payload: object = None
+
+
+class Transaction:
+    """One transaction."""
+
+    _next_id = 1
+
+    def __init__(self, txn_id=None):
+        if txn_id is None:
+            txn_id = Transaction._next_id
+            Transaction._next_id += 1
+        self.txn_id = txn_id
+        self.state = TxnState.ACTIVE
+        self.undo_log = []
+        #: Number of restarts after deadlock aborts (simulator metric).
+        self.restarts = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def active(self):
+        return self.state in (TxnState.ACTIVE, TxnState.BLOCKED)
+
+    def ensure_active(self):
+        if not self.active:
+            raise TransactionStateError(
+                f"transaction {self.txn_id} is {self.state.value}"
+            )
+
+    # -- undo logging -------------------------------------------------------
+
+    def log(self, kind, uid=None, attribute="", payload=None):
+        self.ensure_active()
+        self.undo_log.append(
+            UndoRecord(kind=kind, uid=uid, attribute=attribute, payload=payload)
+        )
+
+    def __repr__(self):
+        return f"<Txn {self.txn_id} {self.state.value} undo={len(self.undo_log)}>"
+
+    def __hash__(self):
+        return hash(self.txn_id)
+
+    def __eq__(self, other):
+        return isinstance(other, Transaction) and other.txn_id == self.txn_id
+
+    def __lt__(self, other):
+        return self.txn_id < other.txn_id

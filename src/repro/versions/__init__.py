@@ -1,0 +1,18 @@
+"""Version subsystem (paper Section 5): the ORION version model of
+[CHOU86/88] plus the extended model of versions of composite objects
+(rules CV-1X..CV-4X, reverse composite generic references, ref-counts)."""
+
+from .generic import GenericInfo, VersionInfo, VersionRegistry
+from .manager import DeriveReport, GenericLink, VersionManager
+from .notify import ChangeEvent, ChangeNotifier
+
+__all__ = [
+    "ChangeEvent",
+    "ChangeNotifier",
+    "DeriveReport",
+    "GenericInfo",
+    "GenericLink",
+    "VersionInfo",
+    "VersionManager",
+    "VersionRegistry",
+]

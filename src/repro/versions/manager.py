@@ -1,0 +1,498 @@
+"""Versions of composite objects (paper Sections 5.2-5.3).
+
+:class:`VersionManager` layers the version model over a
+:class:`repro.Database` and implements the four consolidated rules:
+
+* **CV-1X** — a composite reference between generic instances g-c and g-d
+  licenses any number of version instances of g-c to reference g-d.
+* **CV-2X** — a *version instance* tolerates at most one exclusive
+  composite reference (or any number of shared ones); a *generic instance*
+  tolerates several exclusive references only when all come from the same
+  version-derivation hierarchy.
+* **CV-3X** — a composite reference between version instances implies one
+  between their generic instances (maintained as *reverse composite
+  generic references* with ref-counts, paper 5.3).
+* **CV-4X** — deleting a generic instance deletes all its version
+  instances and cascades to referenced generics; deleting the last version
+  instance deletes the generic.  **Documented deviation:** the paper
+  states the cascade over "exclusive references", but its CV rules are
+  consolidated from [KIM87b], where every composite reference was
+  *dependent* exclusive.  Under the extended model an *independent*
+  reference must never imply existence dependency (otherwise schema change
+  I3 would be meaningless for versionable classes), so we cascade generic
+  deletion along **dependent** generic-level links — exclusive always,
+  shared when the dying generic was the last dependent source — mirroring
+  the instance-level Deletion Rule.
+
+Derivation (Figure 1): copying version c-i to derive c-j cannot duplicate
+an exclusive static reference (CV-2X), so in the copy
+
+* a *dependent* composite reference is set to Nil;
+* an independent *exclusive* static reference is rebound to the referenced
+  version's generic instance (dynamic binding);
+* an independent *shared* static reference is kept (sharing is legal);
+* a dynamic reference (to a generic) is kept;
+* an independent exclusive reference to a **non-versionable** object is
+  set to Nil — there is no generic to rebind to and the object cannot be
+  part of two composites (this case is outside the paper's figures; the
+  choice is documented here and in DESIGN.md).
+
+Storage of reverse composite generic references (paper 5.3): the paper
+replicates them *inside* the generic instance; we hold them in the
+manager, keyed by generic — logically the same information, physically the
+"separate data structure" alternative.  Benchmark B10 measures the
+maintenance cost either way; ``generic_parents`` reproduces the paper's
+"parents-of on the generic instance b1 yields a1" behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.topology import check_make_component
+from ..errors import NotVersionableError, VersionError, VersionTopologyError
+from .generic import VersionRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class GenericLink:
+    """One generic-level composite link (the CV-3X implication)."""
+
+    source: object
+    attribute: str
+    target: object
+    exclusive: bool
+    dependent: bool
+
+
+@dataclass
+class DeriveReport:
+    """What :meth:`VersionManager.derive` did to each composite reference."""
+
+    new_version: object = None
+    #: attribute -> list of (old static version, generic it was rebound to)
+    rebound: dict = field(default_factory=dict)
+    #: attribute -> list of references set to Nil (dependent / unversioned)
+    nilled: dict = field(default_factory=dict)
+    #: attribute -> list of static shared references kept as-is
+    kept_static: dict = field(default_factory=dict)
+    #: attribute -> list of dynamic (generic) references kept
+    kept_dynamic: dict = field(default_factory=dict)
+
+
+class VersionManager:
+    """Versioning façade over a database.
+
+    Constructing the manager installs the database hooks that keep the
+    generic-level ref-counts current and replace the Make-Component check
+    with the CV-2X policy.  At most one manager per database.
+    """
+
+    def __init__(self, database):
+        if database.link_policy is not None:
+            raise VersionError("database already has a link policy installed")
+        self._db = database
+        self.registry = VersionRegistry()
+        #: (source_key, attribute, target_generic) -> ref-count.
+        self._counts = {}
+        #: (source_key, attribute, target_generic) -> (exclusive, dependent)
+        self._flags = {}
+        #: Ref-count operations performed (benchmark B10 metric).
+        self.count_operations = 0
+        #: Callbacks ``(kind, generic_uid, subject_uid)`` fired on version
+        #: events: "derived", "version-deleted", "generic-deleted".  The
+        #: change notifier ([CHOU88]) subscribes here.
+        self.on_event = []
+        #: UID of a version instance currently being materialized (its
+        #: attribute assignments are creation, not user updates; the
+        #: change notifier consults this).
+        self.materializing = None
+        database.link_policy = self._check_link
+        database.topology_exempt = self.registry.is_generic
+        database.on_link.append(self._note_link)
+        database.on_unlink.append(self._note_unlink)
+
+    # ------------------------------------------------------------------
+    # Creation and derivation
+    # ------------------------------------------------------------------
+
+    def create(self, class_name, values=None, **kw_values):
+        """Create a versionable object: a generic instance plus version 1.
+
+        Returns ``(generic_uid, version_uid)``.  The class must be
+        declared ``versionable`` (paper 5.1).
+        """
+        classdef = self._db.lattice.get(class_name)
+        if not classdef.versionable:
+            raise NotVersionableError(
+                f"class {class_name!r} is not declared versionable"
+            )
+        generic_uid = self._db.make(class_name)
+        self.registry.register_generic(generic_uid, class_name)
+        version_uid = self._new_version(class_name, generic_uid, None, values, kw_values)
+        return generic_uid, version_uid
+
+    def derive(self, version_uid, overrides=None):
+        """Derive a new version instance from *version_uid* (Figure 1).
+
+        *overrides* optionally replaces attribute values on the copy
+        (applied after the reference-transformation rules).  Returns a
+        :class:`DeriveReport` whose ``new_version`` is the new UID.
+        """
+        info = self.registry.version_info(version_uid)
+        source = self._db.resolve(version_uid)
+        classdef = self._db.lattice.get(source.class_name)
+        report = DeriveReport()
+        values = {}
+        for spec in classdef.attributes():
+            raw = source.get(spec.name)
+            if not spec.is_composite:
+                values[spec.name] = list(raw) if isinstance(raw, list) else raw
+                continue
+            if spec.is_set:
+                members = []
+                for member in raw or []:
+                    transformed = self._transform_reference(spec, member, report)
+                    if transformed is not None:
+                        members.append(transformed)
+                values[spec.name] = members
+            else:
+                values[spec.name] = (
+                    None if raw is None
+                    else self._transform_reference(spec, raw, report)
+                )
+        if overrides:
+            values.update(overrides)
+        new_uid = self._new_version(
+            source.class_name, info.generic, version_uid, values, {}
+        )
+        report.new_version = new_uid
+        self._fire("derived", info.generic, new_uid)
+        return report
+
+    def _new_version(self, class_name, generic_uid, derived_from, values, kw_values):
+        """Two-step version creation.
+
+        The instance is registered as a version *before* its composite
+        values are assigned, so the link hooks attribute the generic-level
+        ref-counts to the right hierarchy.
+        """
+        merged = dict(values or {})
+        merged.update(kw_values)
+        version_uid = self._db.make(class_name)
+        self.registry.register_version(version_uid, generic_uid, derived_from)
+        classdef = self._db.lattice.get(class_name)
+        self.materializing = version_uid
+        try:
+            for name, value in merged.items():
+                spec = classdef.attribute(name)
+                if spec.is_set:
+                    for member in value or []:
+                        self._db.insert_into(version_uid, name, member)
+                else:
+                    self._db.set_value(version_uid, name, value)
+        except Exception:
+            # Creation is atomic: a CV rejection mid-materialization must
+            # not leave a half-wired version in the registry.
+            self.registry.forget_version(version_uid)
+            if self._db.exists(version_uid):
+                self._db.delete(version_uid)
+            raise
+        finally:
+            self.materializing = None
+        return version_uid
+
+    def _fire(self, kind, generic_uid, subject):
+        for callback in self.on_event:
+            callback(kind, generic_uid, subject)
+
+    def _transform_reference(self, spec, value, report):
+        """Apply the Figure 1 derivation rules to one composite reference."""
+        if self.registry.is_generic(value):
+            report.kept_dynamic.setdefault(spec.name, []).append(value)
+            return value
+        if spec.dependent:
+            report.nilled.setdefault(spec.name, []).append(value)
+            return None
+        if self.registry.is_version(value):
+            if spec.exclusive:
+                generic = self.registry.generic_of(value)
+                report.rebound.setdefault(spec.name, []).append((value, generic))
+                return generic
+            report.kept_static.setdefault(spec.name, []).append(value)
+            return value
+        # Non-versionable target.
+        if spec.exclusive:
+            report.nilled.setdefault(spec.name, []).append(value)
+            return None
+        report.kept_static.setdefault(spec.name, []).append(value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+
+    def default_version(self, generic_uid):
+        """Default version instance of *generic_uid* (paper 5.1)."""
+        return self.registry.default_version(generic_uid)
+
+    def set_default(self, generic_uid, version_uid):
+        """Set (or clear, with None) the user default version."""
+        self.registry.set_default(generic_uid, version_uid)
+
+    def dereference(self, uid):
+        """Resolve dynamic binding: a generic UID becomes its default
+        version; anything else passes through."""
+        if self.registry.is_generic(uid):
+            return self.registry.default_version(uid)
+        return uid
+
+    def resolve_value(self, holder_uid, attribute):
+        """Read ``holder.attribute`` with dynamic bindings resolved."""
+        value = self._db.value(holder_uid, attribute)
+        if isinstance(value, list):
+            return [self.dereference(member) for member in value]
+        return None if value is None else self.dereference(value)
+
+    def is_dynamically_bound(self, holder_uid, attribute):
+        """True when the (scalar) reference targets a generic instance."""
+        value = self._db.value(holder_uid, attribute)
+        return value is not None and self.registry.is_generic(value)
+
+    # ------------------------------------------------------------------
+    # CV-2X link policy (installed as the database's link_policy)
+    # ------------------------------------------------------------------
+
+    def _check_link(self, parent, spec, child):
+        if not spec.is_composite:
+            return
+        if self.registry.is_generic(child.uid):
+            if spec.exclusive:
+                # Direct (dynamic) exclusive references to the generic...
+                incoming_hierarchies = {
+                    self.registry.hierarchy_key(ref.parent)
+                    for ref in child.reverse_references
+                    if ref.exclusive
+                }
+                # ...plus hierarchies holding exclusive *static* references
+                # to any version of it (visible only at the generic level,
+                # via the CV-3X counts).
+                for (src, _attr, dst), count in self._counts.items():
+                    if dst == child.uid and count > 0 and \
+                            self._flags[(src, _attr, dst)][0]:
+                        incoming_hierarchies.add(src)
+                mine = self.registry.hierarchy_key(parent.uid)
+                if incoming_hierarchies - {mine}:
+                    raise VersionTopologyError(
+                        f"CV-2X: generic {child.uid} already has exclusive "
+                        f"composite references from another "
+                        f"version-derivation hierarchy"
+                    )
+            return
+        # Version instances and plain objects: the standard rule, plus the
+        # CV-2X/CV-3X corollary for exclusive references to versions.
+        check_make_component(child, spec, parent_uid=parent.uid)
+        if spec.exclusive and self.registry.is_version(child.uid):
+            target_generic = self.registry.generic_of(child.uid)
+            mine = self.registry.hierarchy_key(parent.uid)
+            for (src, attr, dst), count in self._counts.items():
+                if dst != target_generic or count <= 0:
+                    continue
+                if not self._flags[(src, attr, dst)][0]:
+                    continue  # shared generic link — no constraint
+                if src != mine:
+                    raise VersionTopologyError(
+                        f"CV-2X/CV-3X: version instances of {src} and "
+                        f"{mine} may not hold exclusive references to "
+                        f"versions of the same object {target_generic}"
+                    )
+
+    # ------------------------------------------------------------------
+    # CV-3X ref-count bookkeeping (the on_link / on_unlink hooks)
+    # ------------------------------------------------------------------
+
+    def _link_key(self, parent, spec, child):
+        target = self.registry.hierarchy_key(child.uid)
+        if not self.registry.is_generic(target):
+            return None  # target not versionable: no generic-level link
+        source = self.registry.hierarchy_key(parent.uid)
+        return (source, spec.name, target)
+
+    def _note_link(self, parent, spec, child):
+        if not spec.is_composite:
+            return
+        key = self._link_key(parent, spec, child)
+        if key is None:
+            return
+        self.count_operations += 1
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self._flags[key] = (spec.exclusive, spec.dependent)
+
+    def _note_unlink(self, parent, spec, child):
+        if not spec.is_composite:
+            return
+        key = self._link_key(parent, spec, child)
+        if key is None or key not in self._counts:
+            return
+        self.count_operations += 1
+        self._counts[key] -= 1
+        if self._counts[key] <= 0:
+            del self._counts[key]
+            del self._flags[key]
+
+    # ------------------------------------------------------------------
+    # Generic-level queries (paper 5.3, Figure 3)
+    # ------------------------------------------------------------------
+
+    def _link_flags(self, src, attr, dst):
+        """(exclusive, dependent) of one generic link, per the *current*
+        schema — schema evolution may have re-typed the attribute since
+        the link was recorded; the at-link-time flags are the fallback
+        when the attribute no longer exists."""
+        try:
+            spec = self._db.lattice.get(src.class_name).attribute(attr)
+        except Exception:
+            return self._flags.get((src, attr, dst), (False, False))
+        if not spec.is_composite:
+            return (False, False)
+        return (spec.exclusive, spec.dependent)
+
+    def ref_count(self, source_key, attribute, target_generic):
+        """The ref-count of one reverse composite generic reference."""
+        return self._counts.get((source_key, attribute, target_generic), 0)
+
+    def generic_links(self, generic_uid=None):
+        """All live generic-level links (optionally only those into
+        *generic_uid*), as :class:`GenericLink` with counts."""
+        links = []
+        for (src, attr, dst), count in sorted(
+            self._counts.items(), key=lambda item: str(item[0])
+        ):
+            if generic_uid is not None and dst != generic_uid:
+                continue
+            exclusive, dependent = self._flags[(src, attr, dst)]
+            links.append((GenericLink(src, attr, dst, exclusive, dependent), count))
+        return links
+
+    def generic_parents(self, generic_uid):
+        """Parents of *generic_uid* at the generic level.
+
+        Reproduces the paper's Figure 3.b observation: "if the operation
+        parents-of is applied on the generic instance b1, the result would
+        be the instance a1, even if all composite references are
+        statically bound" — plus any direct (dynamic) parents recorded as
+        ordinary reverse references on the generic instance.
+        """
+        self.registry.generic_info(generic_uid)
+        parents = []
+        for (src, _attr, dst), count in self._counts.items():
+            if dst == generic_uid and count > 0 and src not in parents:
+                parents.append(src)
+        return parents
+
+    # ------------------------------------------------------------------
+    # Deletion (rule CV-4X)
+    # ------------------------------------------------------------------
+
+    def delete_version(self, version_uid):
+        """Delete one version instance.
+
+        Statically-bound dependent components cascade through the normal
+        Deletion Rule; when the last version of a generic goes, the
+        generic goes too ("if the last remaining version instance of a
+        generic instance is deleted, the generic instance is also
+        deleted"), triggering the CV-4X generic cascade.
+        """
+        info = self.registry.version_info(version_uid)
+        generic = self.registry.generic_info(info.generic)
+        if generic.versions == [version_uid]:
+            # Last version: the generic dies with it, and its exclusive
+            # generic-level fan-out must be read before the version's own
+            # deletion decrements the ref-counts away.
+            self.delete_generic(info.generic)
+            return [version_uid]
+        deleted = [version_uid]
+        if self._db.exists(version_uid):
+            report = self._db.delete(version_uid)
+            deleted = list(report.deleted)
+        self._fire("version-deleted", info.generic, version_uid)
+        self._forget_deleted_versions(deleted)
+        return deleted
+
+    def _forget_deleted_versions(self, deleted_uids):
+        """Update the registry after a cascade; generics emptied by the
+        cascade (their last version died as a dependent component) are
+        themselves deleted per CV-4X."""
+        emptied = []
+        for uid in deleted_uids:
+            if self.registry.is_generic(uid):
+                # A generic instance died in a normal deletion cascade
+                # (dynamic dependent binding); finish the CV-4X clean-up.
+                if uid not in emptied:
+                    emptied.append(uid)
+                continue
+            if not self.registry.is_version(uid):
+                continue
+            generic_uid = self.registry.forget_version(uid)
+            generic = self.registry.generic_info(generic_uid)
+            if not generic.versions and generic_uid not in emptied:
+                emptied.append(generic_uid)
+        for generic_uid in emptied:
+            if self.registry.is_generic(generic_uid):
+                self.delete_generic(generic_uid)
+
+    def delete_generic(self, generic_uid):
+        """Delete a generic instance (rule CV-4X).
+
+        "When a generic instance g-c is deleted, all generic instances to
+        which it has exclusive references are recursively deleted.
+        Further, if a generic instance is deleted, all its version
+        instances are deleted."
+        """
+        if not self.registry.is_generic(generic_uid):
+            return generic_uid  # already deleted by a concurrent cascade
+        info = self.registry.generic_info(generic_uid)
+        # Capture the dependent generic-level fan-out before the version
+        # deletions below decrement the counts away (see the module
+        # docstring for the dependency-based CV-4X reading).
+        cascade_targets = []
+        for (src, attr, dst), count in list(self._counts.items()):
+            if src != generic_uid or count <= 0:
+                continue
+            exclusive, dependent = self._link_flags(src, attr, dst)
+            if not dependent:
+                continue
+            if exclusive:
+                cascade_targets.append(dst)
+            else:
+                # Dependent shared: cascade only when no other dependent
+                # source remains (the Deletion Rule's Ds condition).
+                other_dependent_sources = any(
+                    other_src != generic_uid
+                    and other_dst == dst
+                    and other_count > 0
+                    and self._link_flags(other_src, other_attr, other_dst)[1]
+                    for (other_src, other_attr, other_dst), other_count
+                    in self._counts.items()
+                )
+                if not other_dependent_sources:
+                    cascade_targets.append(dst)
+        for version_uid in list(info.versions):
+            if self._db.exists(version_uid):
+                report = self._db.delete(version_uid)
+                self._forget_deleted_versions(
+                    [uid for uid in report.deleted if uid not in info.versions]
+                )
+                for uid in report.deleted:
+                    if uid in info.versions and self.registry.is_version(uid):
+                        self.registry.forget_version(uid)
+            elif self.registry.is_version(version_uid):
+                self.registry.forget_version(version_uid)
+        if self._db.exists(generic_uid):
+            self._db.delete(generic_uid)
+        self.registry.forget_generic(generic_uid)
+        self._fire("generic-deleted", generic_uid, None)
+        for target in cascade_targets:
+            if self.registry.is_generic(target):
+                self.delete_generic(target)
+        return generic_uid

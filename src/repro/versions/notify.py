@@ -1,0 +1,141 @@
+"""Change notification for versioned objects ([CHOU88]).
+
+The paper's version model comes from "Versions and Change Notification in
+an Object-Oriented Database System" (Chou & Kim, DAC 1988): when a
+versionable object evolves — a new version is derived, a version is
+updated or deleted — objects that reference it may need to know.  ORION
+uses *flag-based* (lazy) notification: events are recorded against the
+generic instance, and a referencing object asks "has anything I depend on
+changed since I last looked?".
+
+:class:`ChangeNotifier` implements that scheme over the version manager:
+
+* events: ``derived``, ``updated``, ``version-deleted``,
+  ``generic-deleted``, recorded per generic with a global sequence number;
+* :meth:`pending` reports events newer than the observer's last
+  acknowledgement, following the observer's references (both dynamic
+  bindings to generics and static bindings to version instances);
+* ``recursive=True`` extends the dependency set through the observer's
+  composite object — a design's root is notified when any component's
+  referenced versionable object changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeEvent:
+    """One recorded change to a versionable object."""
+
+    seq: int
+    kind: str
+    generic: object
+    subject: object
+
+    def __str__(self):
+        return f"[{self.seq}] {self.kind} {self.generic} ({self.subject})"
+
+
+class ChangeNotifier:
+    """Flag-based change notification over a version manager."""
+
+    def __init__(self, database, version_manager):
+        self._db = database
+        self._vm = version_manager
+        self._events = {}
+        self._seq = 0
+        #: observer uid -> last acknowledged sequence number
+        self._acks = {}
+        version_manager.on_event.append(self._on_version_event)
+        database.on_update.append(self._on_update)
+
+    # -- event capture -------------------------------------------------------
+
+    def _record(self, kind, generic, subject):
+        self._seq += 1
+        event = ChangeEvent(self._seq, kind, generic, subject)
+        self._events.setdefault(generic, []).append(event)
+        return event
+
+    def _on_version_event(self, kind, generic, subject):
+        self._record(kind, generic, subject)
+
+    def _on_update(self, instance, attribute):
+        if attribute is None:
+            return  # creations/deletions are reported by manager events
+        if instance.uid == self._vm.materializing:
+            return  # creation-time assignment, not a user update
+        generic = self._vm.registry.generic_of(instance.uid)
+        if generic is not None:
+            self._record("updated", generic, instance.uid)
+
+    # -- queries ------------------------------------------------------------------
+
+    def events_for(self, generic):
+        """All recorded events for one generic instance."""
+        return list(self._events.get(generic, ()))
+
+    def _referenced_generics(self, uid):
+        """Generics *uid* depends on: via dynamic or static references."""
+        instance = self._db.peek(uid)
+        if instance is None:
+            return set()
+        generics = set()
+        for value in instance.values.values():
+            members = value if isinstance(value, list) else [value]
+            for member in members:
+                if member is None:
+                    continue
+                key = self._vm.registry.hierarchy_key(member)
+                if self._vm.registry.is_generic(key):
+                    generics.add(key)
+        return generics
+
+    def pending(self, observer_uid, recursive=False):
+        """Unacknowledged events on objects *observer_uid* references.
+
+        With ``recursive=True``, the dependency set also includes the
+        references held by every component of the observer's composite
+        object.
+        """
+        watch = self._referenced_generics(observer_uid)
+        if recursive:
+            for component in self._db.components_of(observer_uid):
+                watch |= self._referenced_generics(component)
+        since = self._acks.get(observer_uid, 0)
+        pending = [
+            event
+            for generic in watch
+            for event in self._events.get(generic, ())
+            if event.seq > since
+        ]
+        pending.sort(key=lambda event: event.seq)
+        return pending
+
+    def has_pending(self, observer_uid, recursive=False):
+        """True when :meth:`pending` would be non-empty (the 'flag')."""
+        return bool(self.pending(observer_uid, recursive=recursive))
+
+    def acknowledge(self, observer_uid):
+        """Mark everything currently pending for the observer as seen."""
+        self._acks[observer_uid] = self._seq
+
+    def watchers_of(self, generic, candidates=None):
+        """Objects (among *candidates*, default: all live) that would be
+        notified about *generic* right now."""
+        pool = (
+            candidates
+            if candidates is not None
+            else [instance.uid for instance in self._db.live_instances()]
+        )
+        return [
+            uid
+            for uid in pool
+            if generic in self._referenced_generics(uid)
+            and any(
+                event.seq > self._acks.get(uid, 0)
+                for event in self._events.get(generic, ())
+            )
+        ]

@@ -1,0 +1,51 @@
+"""Synthetic workload generators shaped after the paper's motivating
+examples: vehicle part hierarchies (2.3 Example 1), shared electronic
+documents (2.3 Example 2), versioned CAD designs (Section 5), and
+transaction mixes for the concurrency simulator."""
+
+from .cad import DesignBench, build_design_bench, define_cad_schema
+from .documents import Corpus, build_corpus, define_document_schema
+from .figures import (
+    Figure4,
+    Figure5,
+    Figure9,
+    build_figure4,
+    build_figure5,
+    build_figure9,
+)
+from .parts import (
+    PartTree,
+    REFERENCE_FLAVOURS,
+    Vehicle,
+    build_fleet,
+    build_part_tree,
+    build_vehicle,
+    define_part_schema,
+    define_vehicle_schema,
+)
+from .txmix import composite_mix, disjoint_writers
+
+__all__ = [
+    "Corpus",
+    "DesignBench",
+    "Figure4",
+    "Figure5",
+    "Figure9",
+    "build_figure4",
+    "build_figure5",
+    "build_figure9",
+    "PartTree",
+    "REFERENCE_FLAVOURS",
+    "Vehicle",
+    "build_corpus",
+    "build_design_bench",
+    "build_fleet",
+    "build_part_tree",
+    "build_vehicle",
+    "composite_mix",
+    "define_cad_schema",
+    "define_document_schema",
+    "define_part_schema",
+    "define_vehicle_schema",
+    "disjoint_writers",
+]

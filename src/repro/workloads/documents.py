@@ -1,0 +1,155 @@
+"""Logical part-hierarchy workloads (paper 2.3, Example 2).
+
+The electronic-document example: documents share sections and paragraphs
+(dependent shared references), contain images extracted from files
+(independent shared), and own private annotations (dependent exclusive).
+The corpus generator controls how much sharing actually occurs, which
+drives the deletion-model benchmark (B7) and the authorization benchmark
+(B3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..schema.attribute import AttributeSpec, SetOf
+
+
+def define_document_schema(db):
+    """Define the paper's Example 2 classes on *db* (idempotent)."""
+    if "Document" in db.lattice:
+        return
+    db.make_class("Paragraph", attributes=[AttributeSpec("Text", domain="string")])
+    db.make_class("Image", attributes=[AttributeSpec("File", domain="string")])
+    db.make_class(
+        "Section",
+        attributes=[
+            AttributeSpec("Heading", domain="string"),
+            AttributeSpec(
+                "Content",
+                domain=SetOf("Paragraph"),
+                composite=True,
+                exclusive=False,
+                dependent=True,
+            ),
+        ],
+    )
+    db.make_class(
+        "Document",
+        attributes=[
+            AttributeSpec("Title", domain="string"),
+            AttributeSpec("Authors", domain=SetOf("string")),
+            AttributeSpec(
+                "Sections",
+                domain=SetOf("Section"),
+                composite=True,
+                exclusive=False,
+                dependent=True,
+            ),
+            AttributeSpec(
+                "Figures",
+                domain=SetOf("Image"),
+                composite=True,
+                exclusive=False,
+                dependent=False,
+            ),
+            AttributeSpec(
+                "Annotations",
+                domain=SetOf("Paragraph"),
+                composite=True,
+                exclusive=True,
+                dependent=True,
+            ),
+        ],
+    )
+
+
+@dataclass
+class Corpus:
+    """Handles for one generated document corpus."""
+
+    documents: list = field(default_factory=list)
+    sections: list = field(default_factory=list)
+    paragraphs: list = field(default_factory=list)
+    images: list = field(default_factory=list)
+    #: section UIDs appearing in more than one document
+    shared_sections: list = field(default_factory=list)
+
+    @property
+    def size(self):
+        return (
+            len(self.documents)
+            + len(self.sections)
+            + len(self.paragraphs)
+            + len(self.images)
+        )
+
+
+def build_corpus(
+    db,
+    documents=10,
+    sections_per_document=4,
+    paragraphs_per_section=5,
+    share_ratio=0.3,
+    images_per_document=2,
+    annotations_per_document=1,
+    seed=1989,
+):
+    """Build a corpus where *share_ratio* of each document's sections are
+    borrowed from previously created documents (bottom-up sharing —
+    impossible under the KIM87b baseline)."""
+    define_document_schema(db)
+    rng = random.Random(seed)
+    corpus = Corpus()
+    image_pool = [
+        db.make("Image", values={"File": f"/figures/fig{i}.png"})
+        for i in range(max(1, images_per_document * 2))
+    ]
+    corpus.images = image_pool
+    for doc_index in range(documents):
+        section_uids = []
+        shareable = [s for s in corpus.sections]
+        for sec_index in range(sections_per_document):
+            borrow = shareable and rng.random() < share_ratio
+            if borrow:
+                section = rng.choice(shareable)
+                if section not in corpus.shared_sections:
+                    corpus.shared_sections.append(section)
+            else:
+                paragraphs = [
+                    db.make(
+                        "Paragraph",
+                        values={"Text": f"d{doc_index}s{sec_index}p{p}"},
+                    )
+                    for p in range(paragraphs_per_section)
+                ]
+                corpus.paragraphs.extend(paragraphs)
+                section = db.make(
+                    "Section",
+                    values={
+                        "Heading": f"Section {doc_index}.{sec_index}",
+                        "Content": paragraphs,
+                    },
+                )
+                corpus.sections.append(section)
+            if section not in section_uids:
+                section_uids.append(section)
+        annotations = [
+            db.make("Paragraph", values={"Text": f"note d{doc_index}.{a}"})
+            for a in range(annotations_per_document)
+        ]
+        corpus.paragraphs.extend(annotations)
+        figures = rng.sample(image_pool, min(images_per_document, len(image_pool)))
+        document = db.make(
+            "Document",
+            values={
+                "Title": f"Document {doc_index}",
+                "Authors": [f"author{doc_index % 3}"],
+                "Sections": section_uids,
+                "Figures": figures,
+                "Annotations": annotations,
+            },
+        )
+        corpus.documents.append(document)
+    return corpus

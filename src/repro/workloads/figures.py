@@ -1,0 +1,124 @@
+"""Canonical builders for the paper's example figures.
+
+The worked-object topologies the paper reasons over, as reusable
+constructors (tests and benchmarks each need them):
+
+* **Figure 4** — a strict composite tree: Instance[i] over [j, k];
+  j over m; k over n; n over o (the authorization walk-through).
+* **Figure 5** — two composite roots j and k sharing Instance[o'] (with
+  private p under j and q under k) — the shared-component scenarios for
+  authorization and the GARZ88 locking anomaly.
+* **Figure 9** — the class graph of the revised locking protocol:
+  class I holds exclusive references into C, class K shared references
+  into C, and C exclusive references into W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..schema.attribute import AttributeSpec, SetOf
+
+
+@dataclass
+class Figure4:
+    """Handles for the Figure 4 tree (names as printed in the paper)."""
+
+    i: object
+    j: object
+    k: object
+    m: object
+    n: object
+    o: object
+
+    @property
+    def components(self):
+        return [self.j, self.k, self.m, self.n, self.o]
+
+
+def build_figure4(db, class_name="Node"):
+    """Build Figure 4's strict (dependent exclusive) composite tree."""
+    if class_name not in db.lattice:
+        db.make_class(class_name, attributes=[
+            AttributeSpec("kids", domain=SetOf(class_name), composite=True,
+                          exclusive=True, dependent=True),
+        ])
+    o = db.make(class_name)
+    n = db.make(class_name, values={"kids": [o]})
+    m = db.make(class_name)
+    j = db.make(class_name, values={"kids": [m]})
+    k = db.make(class_name, values={"kids": [n]})
+    i = db.make(class_name, values={"kids": [j, k]})
+    return Figure4(i=i, j=j, k=k, m=m, n=n, o=o)
+
+
+@dataclass
+class Figure5:
+    """Handles for Figure 5: roots j and k sharing o_prime."""
+
+    j: object
+    k: object
+    o_prime: object
+    p: object
+    q: object
+
+
+def build_figure5(db, thing_class="Thing", root_class="Root"):
+    """Build Figure 5's shared-component topology (independent shared)."""
+    if thing_class not in db.lattice:
+        db.make_class(thing_class)
+    if root_class not in db.lattice:
+        db.make_class(root_class, attributes=[
+            AttributeSpec("kids", domain=SetOf(thing_class), composite=True,
+                          exclusive=False, dependent=False),
+        ])
+    o_prime = db.make(thing_class)
+    p = db.make(thing_class)
+    q = db.make(thing_class)
+    j = db.make(root_class, values={"kids": [o_prime, p]})
+    k = db.make(root_class, values={"kids": [o_prime, q]})
+    return Figure5(j=j, k=k, o_prime=o_prime, p=p, q=q)
+
+
+@dataclass
+class Figure9:
+    """Handles for Figure 9's instances over the I/K/C/W class graph."""
+
+    i1: object
+    k1: object
+    k2: object
+    c1: object
+    c2: object
+    w1: object
+    w2: object
+
+
+def build_figure9(db):
+    """Build the Figure 9 schema and instances.
+
+    Class I --exclusive--> C --exclusive--> W;  class K --shared--> C.
+    i1 roots an exclusive composite (c1, w1); k1 and k2 share c2 (and
+    transitively w2).
+    """
+    if "W" not in db.lattice:
+        db.make_class("W")
+        db.make_class("C", attributes=[
+            AttributeSpec("w", domain="W", composite=True, exclusive=True,
+                          dependent=True),
+        ])
+        db.make_class("I", attributes=[
+            AttributeSpec("c", domain="C", composite=True, exclusive=True,
+                          dependent=True),
+        ])
+        db.make_class("K", attributes=[
+            AttributeSpec("cs", domain=SetOf("C"), composite=True,
+                          exclusive=False, dependent=False),
+        ])
+    w1 = db.make("W")
+    c1 = db.make("C", values={"w": w1})
+    i1 = db.make("I", values={"c": c1})
+    w2 = db.make("W")
+    c2 = db.make("C", values={"w": w2})
+    k1 = db.make("K", values={"cs": [c2]})
+    k2 = db.make("K", values={"cs": [c2]})
+    return Figure9(i1=i1, k1=k1, k2=k2, c1=c1, c2=c2, w1=w1, w2=w2)

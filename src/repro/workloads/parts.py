@@ -1,0 +1,230 @@
+"""Physical part-hierarchy workloads (paper 2.3, Example 1).
+
+The Vehicle example: "We require that a vehicle part may be used for only
+one vehicle at any point in time; however, vehicle parts may be re-used
+for other vehicles" — independent exclusive composite references
+throughout.
+
+Also provides a generic uniform part tree (configurable depth/fan-out and
+reference kind), used by the clustering, locking, and deletion benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..schema.attribute import AttributeSpec, SetOf
+
+#: Attribute keyword sets for each reference flavour.
+REFERENCE_FLAVOURS = {
+    "dependent-exclusive": {"composite": True, "exclusive": True, "dependent": True},
+    "independent-exclusive": {"composite": True, "exclusive": True, "dependent": False},
+    "dependent-shared": {"composite": True, "exclusive": False, "dependent": True},
+    "independent-shared": {"composite": True, "exclusive": False, "dependent": False},
+    "weak": {"composite": False},
+}
+
+
+def define_vehicle_schema(db):
+    """Define the paper's Example 1 classes on *db* (idempotent)."""
+    if "Vehicle" in db.lattice:
+        return
+    db.make_class("Company")
+    db.make_class("AutoBody")
+    db.make_class("AutoDrivetrain")
+    db.make_class("AutoTires")
+    db.make_class(
+        "Vehicle",
+        attributes=[
+            AttributeSpec("Manufacturer", domain="Company"),
+            AttributeSpec(
+                "Body",
+                domain="AutoBody",
+                composite=True,
+                exclusive=True,
+                dependent=False,
+            ),
+            AttributeSpec(
+                "Drivetrain",
+                domain="AutoDrivetrain",
+                composite=True,
+                exclusive=True,
+                dependent=False,
+            ),
+            AttributeSpec(
+                "Tires",
+                domain=SetOf("AutoTires"),
+                composite=True,
+                exclusive=True,
+                dependent=False,
+            ),
+            AttributeSpec("Color", domain="string"),
+        ],
+    )
+
+
+@dataclass
+class Vehicle:
+    """Handles for one generated vehicle."""
+
+    vehicle: object
+    body: object
+    drivetrain: object
+    tires: list
+
+
+def build_vehicle(db, color="red", manufacturer=None, tire_count=4):
+    """Assemble one vehicle bottom-up (components first).
+
+    This deliberately exercises the extended model's bottom-up creation —
+    the components exist before the vehicle that aggregates them.
+    """
+    define_vehicle_schema(db)
+    body = db.make("AutoBody")
+    drivetrain = db.make("AutoDrivetrain")
+    tires = [db.make("AutoTires") for _ in range(tire_count)]
+    vehicle = db.make(
+        "Vehicle",
+        values={
+            "Body": body,
+            "Drivetrain": drivetrain,
+            "Tires": tires,
+            "Color": color,
+            "Manufacturer": manufacturer,
+        },
+    )
+    return Vehicle(vehicle=vehicle, body=body, drivetrain=drivetrain, tires=tires)
+
+
+def build_fleet(db, count, tire_count=4):
+    """Build *count* vehicles; returns the list of :class:`Vehicle`."""
+    colors = ("red", "blue", "green", "white", "black")
+    return [
+        build_vehicle(db, color=colors[i % len(colors)], tire_count=tire_count)
+        for i in range(count)
+    ]
+
+
+@dataclass
+class PartTree:
+    """A generated uniform part hierarchy."""
+
+    root: object
+    #: All UIDs by level; level 0 is the root.
+    levels: list = field(default_factory=list)
+
+    @property
+    def all_uids(self):
+        return [uid for level in self.levels for uid in level]
+
+    @property
+    def size(self):
+        return len(self.all_uids)
+
+
+def define_part_schema(db, flavour="dependent-exclusive", class_prefix="Part"):
+    """Define a two-class recursive part schema.
+
+    ``<prefix>`` objects hold a set-of composite reference ``SubParts``
+    whose domain is the class itself, so trees of any depth can be built.
+    """
+    name = class_prefix
+    if name in db.lattice:
+        return name
+    keywords = REFERENCE_FLAVOURS[flavour]
+    db.make_class(
+        name,
+        attributes=[
+            AttributeSpec("Label", domain="string"),
+            AttributeSpec("SubParts", domain=SetOf(name), **keywords),
+        ],
+    )
+    return name
+
+
+def define_assembly_schema(
+    db, flavour="dependent-exclusive", part_class="Part", assembly_class="Assembly"
+):
+    """Two-class schema: ``Assembly`` roots over a recursive ``Part`` tree.
+
+    Distinct root and component classes keep the Section 7 protocol's
+    root-class intention lock (IS/IX) off the component classes.  With a
+    *self-referential* schema the root class is its own component class,
+    so one updater's IX meets another's IXO and concurrent updates of
+    different composites serialize — a real limitation of class-granular
+    composite locking that ``tests/test_lock_protocol.py`` pins down.
+    """
+    part = define_part_schema(db, flavour, part_class)
+    if assembly_class in db.lattice:
+        return assembly_class, part
+    keywords = REFERENCE_FLAVOURS[flavour]
+    db.make_class(
+        assembly_class,
+        attributes=[
+            AttributeSpec("Label", domain="string"),
+            AttributeSpec("SubParts", domain=SetOf(part), **keywords),
+        ],
+    )
+    return assembly_class, part
+
+
+def build_assembly(
+    db,
+    depth,
+    fanout,
+    flavour="dependent-exclusive",
+    part_class="Part",
+    assembly_class="Assembly",
+):
+    """Build an ``Assembly``-rooted part tree (see
+    :func:`define_assembly_schema`)."""
+    assembly, part = define_assembly_schema(db, flavour, part_class, assembly_class)
+    root = db.make(assembly, values={"Label": "assembly"})
+    levels = [[root]]
+    for level in range(1, depth + 1):
+        children = []
+        for parent in levels[-1]:
+            for i in range(fanout):
+                child = db.make(
+                    part,
+                    values={"Label": f"L{level}.{i}"},
+                    parents=[(parent, "SubParts")],
+                )
+                children.append(child)
+        levels.append(children)
+    return PartTree(root=root, levels=levels)
+
+
+def build_part_tree(
+    db,
+    depth,
+    fanout,
+    flavour="dependent-exclusive",
+    class_prefix="Part",
+    top_down=True,
+):
+    """Build a uniform tree of ``fanout**level`` parts per level.
+
+    *top_down* creates children with ``:parent`` (works in both the
+    extended model and the KIM87b baseline); ``top_down=False`` creates
+    every object first and assembles bottom-up with ``make_part_of``
+    (extended model only).
+    """
+    name = define_part_schema(db, flavour, class_prefix)
+    root = db.make(name, values={"Label": "root"})
+    levels = [[root]]
+    for level in range(1, depth + 1):
+        children = []
+        for parent in levels[-1]:
+            for i in range(fanout):
+                label = f"L{level}.{i}"
+                if top_down:
+                    child = db.make(
+                        name, values={"Label": label}, parents=[(parent, "SubParts")]
+                    )
+                else:
+                    child = db.make(name, values={"Label": label})
+                    db.make_part_of(child, parent, "SubParts")
+                children.append(child)
+        levels.append(children)
+    return PartTree(root=root, levels=levels)

@@ -1,0 +1,218 @@
+"""Tests for the check-out / check-in model (long-duration transactions)."""
+
+import pytest
+
+from repro import AttributeSpec, Database, LockConflictError, SetOf
+from repro.errors import ConcurrencyError
+from repro.txn.checkout import CheckoutManager
+
+
+@pytest.fixture
+def env():
+    database = Database()
+    database.make_class("Pin", attributes=[
+        AttributeSpec("Signal", domain="string"),
+    ])
+    database.make_class("Cell", attributes=[
+        AttributeSpec("Name", domain="string"),
+        AttributeSpec("Pins", domain=SetOf("Pin"), composite=True,
+                      exclusive=True, dependent=True),
+    ])
+    database.make_class("Chip", attributes=[
+        AttributeSpec("Rev", domain="integer", init=1),
+        AttributeSpec("Cells", domain=SetOf("Cell"), composite=True,
+                      exclusive=True, dependent=True),
+    ])
+    pins = [database.make("Pin", values={"Signal": f"s{i}"}) for i in range(2)]
+    cell = database.make("Cell", values={"Name": "alu", "Pins": pins})
+    chip = database.make("Chip", values={"Cells": [cell]})
+    manager = CheckoutManager(database)
+    return database, manager, chip, cell, pins
+
+
+class TestCheckout:
+    def test_workspace_is_a_private_copy(self, env):
+        database, manager, chip, cell, pins = env
+        checkout = manager.checkout("alice", chip)
+        assert checkout.working_root != chip
+        working_cell = checkout.workspace_of(cell)
+        assert working_cell is not None and working_cell != cell
+        # Editing the workspace does not touch the original.
+        database.set_value(working_cell, "Name", "alu-v2")
+        assert database.value(cell, "Name") == "alu"
+        manager.abandon(checkout)
+
+    def test_write_checkout_excludes_others(self, env):
+        database, manager, chip, cell, pins = env
+        first = manager.checkout("alice", chip)
+        with pytest.raises(LockConflictError):
+            manager.checkout("bob", chip)
+        manager.abandon(first)
+        second = manager.checkout("bob", chip)  # free after release
+        manager.abandon(second)
+
+    def test_read_checkouts_coexist(self, env):
+        database, manager, chip, cell, pins = env
+        a = manager.checkout("alice", chip, intent="read")
+        b = manager.checkout("bob", chip, intent="read")
+        manager.abandon(a)
+        manager.abandon(b)
+
+    def test_disjoint_composites_check_out_concurrently(self, env):
+        database, manager, chip, cell, pins = env
+        other_chip = database.make("Chip")
+        a = manager.checkout("alice", chip)
+        b = manager.checkout("bob", other_chip)
+        manager.abandon(a)
+        manager.abandon(b)
+
+    def test_abandon_leaves_original_untouched(self, env):
+        database, manager, chip, cell, pins = env
+        before = len(database)
+        checkout = manager.checkout("alice", chip)
+        working_cell = checkout.workspace_of(cell)
+        database.set_value(working_cell, "Name", "scrapped")
+        database.delete(checkout.workspace_of(pins[0]))
+        manager.abandon(checkout)
+        assert len(database) == before  # workspace fully destroyed
+        assert database.value(cell, "Name") == "alu"
+        assert database.exists(pins[0])
+        database.validate()
+
+
+class TestCheckin:
+    def test_scalar_edit_merges(self, env):
+        database, manager, chip, cell, pins = env
+        checkout = manager.checkout("alice", chip)
+        database.set_value(checkout.workspace_of(cell), "Name", "alu-v2")
+        database.set_value(checkout.working_root, "Rev", 2)
+        manager.checkin(checkout)
+        assert database.value(cell, "Name") == "alu-v2"
+        assert database.value(chip, "Rev") == 2
+        database.validate()
+
+    def test_component_added_in_workspace_adopted(self, env):
+        database, manager, chip, cell, pins = env
+        checkout = manager.checkout("alice", chip)
+        working_cell = checkout.workspace_of(cell)
+        new_pin = database.make("Pin", values={"Signal": "carry"},
+                                parents=[(working_cell, "Pins")])
+        manager.checkin(checkout)
+        signals = sorted(
+            database.value(p, "Signal") for p in database.value(cell, "Pins")
+        )
+        assert signals == ["carry", "s0", "s1"]
+        assert database.exists(new_pin)  # adopted, not copied
+        assert database.parents_of(new_pin) == [cell]
+        database.validate()
+
+    def test_component_removed_in_workspace_deleted(self, env):
+        database, manager, chip, cell, pins = env
+        checkout = manager.checkout("alice", chip)
+        working_cell = checkout.workspace_of(cell)
+        working_pin = checkout.workspace_of(pins[0])
+        database.remove_from(working_cell, "Pins", working_pin)
+        manager.checkin(checkout)
+        # The reference was dependent: the removed original is deleted.
+        assert not database.exists(pins[0])
+        assert database.value(cell, "Pins") == [pins[1]]
+        database.validate()
+
+    def test_whole_subtree_deleted_in_workspace(self, env):
+        database, manager, chip, cell, pins = env
+        checkout = manager.checkout("alice", chip)
+        database.delete(checkout.workspace_of(cell))  # cascades to its pins
+        manager.checkin(checkout)
+        assert not database.exists(cell)
+        assert not any(database.exists(p) for p in pins)
+        assert database.value(chip, "Cells") == []
+        database.validate()
+
+    def test_workspace_destroyed_after_checkin(self, env):
+        database, manager, chip, cell, pins = env
+        before = len(database)
+        checkout = manager.checkout("alice", chip)
+        database.set_value(checkout.workspace_of(cell), "Name", "alu-v2")
+        manager.checkin(checkout)
+        assert len(database) == before
+        assert not database.exists(checkout.working_root)
+
+    def test_lock_released_after_checkin(self, env):
+        database, manager, chip, cell, pins = env
+        checkout = manager.checkout("alice", chip)
+        manager.checkin(checkout)
+        other = manager.checkout("bob", chip)
+        manager.abandon(other)
+
+    def test_read_checkout_cannot_checkin(self, env):
+        database, manager, chip, cell, pins = env
+        checkout = manager.checkout("alice", chip, intent="read")
+        with pytest.raises(ConcurrencyError):
+            manager.checkin(checkout)
+        manager.abandon(checkout)
+
+    def test_double_checkin_rejected(self, env):
+        database, manager, chip, cell, pins = env
+        checkout = manager.checkout("alice", chip)
+        manager.checkin(checkout)
+        with pytest.raises(ConcurrencyError):
+            manager.checkin(checkout)
+
+    def test_shared_memberships_synchronized(self, env):
+        database, manager, chip, cell, pins = env
+        database.make_class("Library", attributes=[
+            AttributeSpec("Names", domain=SetOf("string")),
+        ])
+        database.make_class("Board", attributes=[
+            AttributeSpec("Chips", domain=SetOf("Chip"), composite=True,
+                          exclusive=False, dependent=False),
+            AttributeSpec("Tags", domain=SetOf("string")),
+        ])
+        board = database.make("Board", values={"Chips": [chip],
+                                               "Tags": ["rev-a"]})
+        checkout = manager.checkout("alice", board)
+        database.insert_into(checkout.working_root, "Tags", "verified")
+        manager.checkin(checkout)
+        assert set(database.value(board, "Tags")) == {"rev-a", "verified"}
+        assert database.value(board, "Chips") == [chip]  # shared: unchanged
+        database.validate()
+
+
+class TestWorkspaceHygiene:
+    def test_abandon_destroys_created_then_detached_objects(self, env):
+        # Regression (found by the property machine): a pin created in the
+        # workspace and then dropped from its set must not outlive abandon.
+        database, manager, chip, cell, pins = env
+        before = len(database)
+        checkout = manager.checkout("alice", chip)
+        working_cell = checkout.workspace_of(cell)
+        stray = database.make("Pin", values={"Signal": "stray"},
+                              parents=[(working_cell, "Pins")])
+        database.remove_from(working_cell, "Pins", stray)
+        manager.abandon(checkout)
+        assert not database.exists(stray)
+        assert len(database) == before
+        database.validate()
+
+    def test_checkin_destroys_unadopted_workspace_objects(self, env):
+        database, manager, chip, cell, pins = env
+        before = len(database)
+        checkout = manager.checkout("alice", chip)
+        working_cell = checkout.workspace_of(cell)
+        stray = database.make("Pin", values={"Signal": "stray"},
+                              parents=[(working_cell, "Pins")])
+        database.remove_from(working_cell, "Pins", stray)  # not adopted
+        manager.checkin(checkout)
+        assert not database.exists(stray)
+        assert len(database) == before
+        database.validate()
+
+    def test_adopted_objects_survive_workspace_destruction(self, env):
+        database, manager, chip, cell, pins = env
+        checkout = manager.checkout("alice", chip)
+        working_cell = checkout.workspace_of(cell)
+        keeper = database.make("Pin", values={"Signal": "keeper"},
+                               parents=[(working_cell, "Pins")])
+        manager.checkin(checkout)
+        assert database.exists(keeper)
+        assert database.parents_of(keeper) == [cell]

@@ -1,0 +1,213 @@
+"""Tests for whole-composite operations ([KIM87a]): copy, move, equality,
+dismantle."""
+
+import pytest
+
+from repro import AttributeSpec, Database, SetOf, TopologyError
+from repro.core.compose import (
+    composite_size,
+    composites_equal,
+    copy_composite,
+    dismantle,
+    move_component,
+)
+
+
+@pytest.fixture
+def mixed_db():
+    database = Database()
+    database.make_class("Leaf", attributes=[
+        AttributeSpec("Tag", domain="string"),
+    ])
+    database.make_class("Shared", attributes=[
+        AttributeSpec("Name", domain="string"),
+    ])
+    database.make_class("Box", attributes=[
+        AttributeSpec("Label", domain="string"),
+        AttributeSpec("Own", domain=SetOf("Leaf"), composite=True,
+                      exclusive=True, dependent=True),
+        AttributeSpec("Borrow", domain=SetOf("Shared"), composite=True,
+                      exclusive=False, dependent=False),
+        AttributeSpec("See", domain="Leaf"),
+    ])
+    return database
+
+
+def _build(database):
+    leaves = [database.make("Leaf", values={"Tag": f"l{i}"}) for i in range(3)]
+    shared = database.make("Shared", values={"Name": "lib"})
+    weak_target = database.make("Leaf", values={"Tag": "weak"})
+    box = database.make("Box", values={
+        "Label": "original",
+        "Own": leaves,
+        "Borrow": [shared],
+        "See": weak_target,
+    })
+    return box, leaves, shared, weak_target
+
+
+class TestCopy:
+    def test_exclusive_components_copied(self, mixed_db):
+        box, leaves, shared, weak = _build(mixed_db)
+        clone = copy_composite(mixed_db, box)
+        clone_leaves = mixed_db.value(clone, "Own")
+        assert len(clone_leaves) == 3
+        assert not set(clone_leaves) & set(leaves)  # fresh objects
+        assert [mixed_db.value(u, "Tag") for u in clone_leaves] == \
+               [mixed_db.value(u, "Tag") for u in leaves]
+        mixed_db.validate()
+
+    def test_shared_components_shared(self, mixed_db):
+        box, leaves, shared, weak = _build(mixed_db)
+        clone = copy_composite(mixed_db, box)
+        assert mixed_db.value(clone, "Borrow") == [shared]
+        assert len(mixed_db.parents_of(shared)) == 2
+
+    def test_weak_references_kept(self, mixed_db):
+        box, leaves, shared, weak = _build(mixed_db)
+        clone = copy_composite(mixed_db, box)
+        assert mixed_db.value(clone, "See") == weak
+
+    def test_overrides(self, mixed_db):
+        box, *_ = _build(mixed_db)
+        clone = copy_composite(mixed_db, box, overrides={"Label": "copy"})
+        assert mixed_db.value(clone, "Label") == "copy"
+        assert mixed_db.value(box, "Label") == "original"
+
+    def test_copy_is_structurally_equal(self, mixed_db):
+        box, *_ = _build(mixed_db)
+        clone = copy_composite(mixed_db, box)
+        assert composites_equal(mixed_db, box, clone)
+
+    def test_deep_copy_multilevel(self, mixed_db):
+        mixed_db.make_class("Crate", attributes=[
+            AttributeSpec("Boxes", domain=SetOf("Box"), composite=True,
+                          exclusive=True, dependent=True),
+        ])
+        box, leaves, *_ = _build(mixed_db)
+        crate = mixed_db.make("Crate", values={"Boxes": [box]})
+        clone = copy_composite(mixed_db, crate)
+        assert composite_size(mixed_db, clone) == composite_size(mixed_db, crate)
+        inner = mixed_db.value(clone, "Boxes")[0]
+        assert inner != box
+        assert not set(mixed_db.value(inner, "Own")) & set(leaves)
+
+    def test_copy_preserves_exclusive_cycles(self, mixed_db):
+        mixed_db.make_class("Ring", attributes=[
+            AttributeSpec("next", domain="Ring", composite=True,
+                          exclusive=True, dependent=False),
+        ])
+        a = mixed_db.make("Ring")
+        b = mixed_db.make("Ring", values={"next": a})
+        mixed_db.set_value(a, "next", b)
+        clone = copy_composite(mixed_db, a)
+        other = mixed_db.value(clone, "next")
+        assert mixed_db.value(other, "next") == clone  # cycle preserved
+        assert clone not in (a, b) and other not in (a, b)
+
+
+class TestMove:
+    def test_move_between_parents(self, mixed_db):
+        box1, leaves, *_ = _build(mixed_db)
+        box2 = mixed_db.make("Box")
+        move_component(mixed_db, leaves[0], box1, box2)
+        assert leaves[0] in mixed_db.value(box2, "Own")
+        assert leaves[0] not in mixed_db.value(box1, "Own")
+        assert mixed_db.parents_of(leaves[0]) == [box2]
+        mixed_db.validate()
+
+    def test_move_infers_attribute(self, mixed_db):
+        box1, leaves, *_ = _build(mixed_db)
+        box2 = mixed_db.make("Box")
+        used = move_component(mixed_db, leaves[1], box1, box2)
+        assert used == "Own"
+
+    def test_move_not_a_component(self, mixed_db):
+        box1, *_ = _build(mixed_db)
+        box2 = mixed_db.make("Box")
+        stray = mixed_db.make("Leaf")
+        with pytest.raises(TopologyError):
+            move_component(mixed_db, stray, box1, box2, attribute="Own")
+
+    def test_failed_move_restores_link(self, mixed_db):
+        box1, leaves, *_ = _build(mixed_db)
+        box2 = mixed_db.make("Box")
+        with pytest.raises(Exception):
+            move_component(mixed_db, leaves[0], box1, box2,
+                           to_attribute="Nope")
+        assert leaves[0] in mixed_db.value(box1, "Own")
+        mixed_db.validate()
+
+
+class TestEquality:
+    def test_identical_is_equal(self, mixed_db):
+        box, *_ = _build(mixed_db)
+        assert composites_equal(mixed_db, box, box)
+
+    def test_value_difference_detected(self, mixed_db):
+        box, *_ = _build(mixed_db)
+        clone = copy_composite(mixed_db, box)
+        leaf = mixed_db.value(clone, "Own")[0]
+        mixed_db.set_value(leaf, "Tag", "mutated")
+        assert not composites_equal(mixed_db, box, clone)
+
+    def test_structure_difference_detected(self, mixed_db):
+        box, *_ = _build(mixed_db)
+        clone = copy_composite(mixed_db, box)
+        extra = mixed_db.make("Leaf", values={"Tag": "extra"})
+        mixed_db.insert_into(clone, "Own", extra)
+        assert not composites_equal(mixed_db, box, clone)
+
+    def test_sharing_difference_detected(self, mixed_db):
+        box, leaves, shared, weak = _build(mixed_db)
+        clone = copy_composite(mixed_db, box)
+        other_shared = mixed_db.make("Shared", values={"Name": "lib"})
+        mixed_db.remove_from(clone, "Borrow", shared)
+        mixed_db.insert_into(clone, "Borrow", other_shared)
+        # Same values, but different *sharing* — not structurally equal.
+        assert not composites_equal(mixed_db, box, clone)
+
+    def test_set_order_irrelevant_for_exclusive(self, mixed_db):
+        database = mixed_db
+        l1 = database.make("Leaf", values={"Tag": "x"})
+        l2 = database.make("Leaf", values={"Tag": "y"})
+        box_a = database.make("Box", values={"Own": [l1, l2]})
+        m1 = database.make("Leaf", values={"Tag": "y"})
+        m2 = database.make("Leaf", values={"Tag": "x"})
+        box_b = database.make("Box", values={"Own": [m1, m2]})
+        assert composites_equal(database, box_a, box_b)
+
+    def test_different_classes_unequal(self, mixed_db):
+        box, *_ = _build(mixed_db)
+        leaf = mixed_db.make("Leaf")
+        assert not composites_equal(mixed_db, box, leaf)
+
+    def test_cyclic_composites_compare(self, mixed_db):
+        mixed_db.make_class("Ring", attributes=[
+            AttributeSpec("next", domain="Ring", composite=True,
+                          exclusive=True, dependent=False),
+        ])
+        a = mixed_db.make("Ring")
+        b = mixed_db.make("Ring", values={"next": a})
+        mixed_db.set_value(a, "next", b)
+        clone = copy_composite(mixed_db, a)
+        assert composites_equal(mixed_db, a, clone)
+
+
+class TestDismantle:
+    def test_detaches_everything(self, mixed_db):
+        box, leaves, shared, weak = _build(mixed_db)
+        detached = dismantle(mixed_db, box)
+        assert set(detached) == set(leaves) | {shared}
+        assert mixed_db.components_of(box) == []
+        for leaf in leaves:
+            assert mixed_db.exists(leaf)          # never deletes
+            assert mixed_db.parents_of(leaf) == []
+        assert mixed_db.value(box, "See") == weak  # weak refs untouched
+        mixed_db.validate()
+
+    def test_dismantled_parts_reusable(self, mixed_db):
+        box, leaves, *_ = _build(mixed_db)
+        dismantle(mixed_db, box)
+        other = mixed_db.make("Box", values={"Own": leaves})
+        assert set(mixed_db.value(other, "Own")) == set(leaves)

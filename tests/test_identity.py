@@ -1,0 +1,54 @@
+"""Tests for object identity (UIDs)."""
+
+import pytest
+
+from repro.core.identity import UID, UIDAllocator
+
+
+class TestUID:
+    def test_equality_by_number(self):
+        assert UID(1, "A") == UID(1, "A")
+
+    def test_class_name_not_compared(self):
+        # The number is globally unique; class_name is routing metadata.
+        assert UID(1, "A") == UID(1, "B")
+
+    def test_inequality(self):
+        assert UID(1, "A") != UID(2, "A")
+
+    def test_ordering_by_allocation(self):
+        assert UID(1, "B") < UID(2, "A")
+
+    def test_hashable(self):
+        assert len({UID(1, "A"), UID(1, "A"), UID(2, "A")}) == 2
+
+    def test_str_and_repr(self):
+        uid = UID(7, "Vehicle")
+        assert str(uid) == "Vehicle#7"
+        assert "7" in repr(uid) and "Vehicle" in repr(uid)
+
+    def test_immutable(self):
+        uid = UID(1, "A")
+        with pytest.raises(AttributeError):
+            uid.number = 2
+
+
+class TestUIDAllocator:
+    def test_monotonic(self):
+        alloc = UIDAllocator()
+        numbers = [alloc.allocate("C").number for _ in range(10)]
+        assert numbers == sorted(numbers)
+        assert len(set(numbers)) == 10
+
+    def test_class_name_recorded(self):
+        alloc = UIDAllocator()
+        assert alloc.allocate("Vehicle").class_name == "Vehicle"
+
+    def test_start_value(self):
+        alloc = UIDAllocator(start=100)
+        assert alloc.allocate("C").number == 100
+
+    def test_peek_does_not_consume(self):
+        alloc = UIDAllocator()
+        nxt = alloc.peek()
+        assert alloc.allocate("C").number == nxt

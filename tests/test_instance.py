@@ -1,0 +1,121 @@
+"""Tests for Instance objects and their reverse-reference bookkeeping."""
+
+import pytest
+
+from repro.core.identity import UID
+from repro.core.instance import Instance
+from repro.errors import TopologyError
+
+
+def _instance():
+    return Instance(UID(1, "C"), "C", {"x": 1})
+
+
+class TestValues:
+    def test_get_set(self):
+        obj = _instance()
+        assert obj.get("x") == 1
+        obj.set("y", "hello")
+        assert obj.get("y") == "hello"
+
+    def test_get_default(self):
+        assert _instance().get("missing", 42) == 42
+
+    def test_drop_value(self):
+        obj = _instance()
+        obj.drop_value("x")
+        assert obj.get("x") is None
+
+    def test_drop_missing_value_tolerated(self):
+        _instance().drop_value("nope")
+
+
+class TestReverseReferences:
+    def test_add_and_find(self):
+        obj = _instance()
+        parent = UID(2, "P")
+        obj.add_reverse_reference(parent, dependent=True, exclusive=True,
+                                  attribute="kids")
+        ref = obj.find_reverse_reference(parent, "kids")
+        assert ref is not None and ref.dependent and ref.exclusive
+
+    def test_find_any_attribute(self):
+        obj = _instance()
+        parent = UID(2, "P")
+        obj.add_reverse_reference(parent, False, False, "a")
+        assert obj.find_reverse_reference(parent) is not None
+
+    def test_duplicate_rejected(self):
+        obj = _instance()
+        parent = UID(2, "P")
+        obj.add_reverse_reference(parent, True, True, "kids")
+        with pytest.raises(TopologyError):
+            obj.add_reverse_reference(parent, True, True, "kids")
+
+    def test_same_parent_different_attribute_allowed(self):
+        obj = _instance()
+        parent = UID(2, "P")
+        obj.add_reverse_reference(parent, True, False, "a")
+        obj.add_reverse_reference(parent, True, False, "b")
+        assert len(obj.reverse_references) == 2
+
+    def test_remove(self):
+        obj = _instance()
+        parent = UID(2, "P")
+        obj.add_reverse_reference(parent, True, True, "kids")
+        removed = obj.remove_reverse_reference(parent, "kids")
+        assert removed is not None and not obj.reverse_references
+
+    def test_remove_missing_returns_none(self):
+        assert _instance().remove_reverse_reference(UID(9, "P"), "x") is None
+
+    def test_replace(self):
+        obj = _instance()
+        parent = UID(2, "P")
+        obj.add_reverse_reference(parent, True, True, "kids")
+        ref = obj.reverse_references[0]
+        obj.replace_reverse_reference(ref, ref.with_flags(dependent=False))
+        assert not obj.reverse_references[0].dependent
+
+
+class TestDefinition1Partitions:
+    """Ix/Dx/Is/Ds of Definition 1 (paper 2.2)."""
+
+    def test_partitions(self):
+        obj = _instance()
+        p_ix, p_dx, p_is, p_ds = (UID(n, "P") for n in (10, 11, 12, 13))
+        obj.add_reverse_reference(p_ix, dependent=False, exclusive=True, attribute="a")
+        assert obj.ix_parents() == [p_ix]
+        obj.remove_reverse_reference(p_ix, "a")
+        obj.add_reverse_reference(p_dx, dependent=True, exclusive=True, attribute="a")
+        assert obj.dx_parents() == [p_dx]
+        obj.remove_reverse_reference(p_dx, "a")
+        obj.add_reverse_reference(p_is, dependent=False, exclusive=False, attribute="a")
+        obj.add_reverse_reference(p_ds, dependent=True, exclusive=False, attribute="a")
+        assert obj.is_parents() == [p_is]
+        assert obj.ds_parents() == [p_ds]
+        assert set(obj.composite_parents()) == {p_is, p_ds}
+
+    def test_flag_queries(self):
+        obj = _instance()
+        assert not obj.has_composite_reference()
+        obj.add_reverse_reference(UID(2, "P"), False, False, "a")
+        assert obj.has_composite_reference()
+        assert obj.has_shared_reference()
+        assert not obj.has_exclusive_reference()
+
+
+class TestStorageSize:
+    def test_reverse_references_grow_object(self):
+        # Paper 2.4: keeping reverse pointers in the object "causes the
+        # object size to increase" — the B5 metric.
+        small = _instance()
+        big = _instance()
+        for n in range(10):
+            big.add_reverse_reference(UID(100 + n, "P"), False, False, "a")
+        assert big.storage_size() > small.storage_size()
+
+    def test_size_counts_values(self):
+        empty = Instance(UID(1, "C"), "C")
+        full = Instance(UID(2, "C"), "C", {"text": "x" * 100})
+        assert full.storage_size() > empty.storage_size() + 90

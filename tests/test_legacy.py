@@ -1,0 +1,126 @@
+"""Tests for the [KIM87b] baseline model and its three shortcomings."""
+
+import pytest
+
+from repro import AttributeSpec, LegacyDatabase, LegacyModelError, SetOf
+
+
+@pytest.fixture
+def legacy():
+    database = LegacyDatabase()
+    database.make_class("Part")
+    database.make_class("Assembly", attributes=[
+        AttributeSpec("Parts", domain=SetOf("Part"), composite=True),
+        AttributeSpec("Main", domain="Part", composite=True),
+        AttributeSpec("Note", domain="string"),
+    ])
+    return database
+
+
+class TestSchemaRestrictions:
+    def test_shared_composite_rejected(self, legacy):
+        with pytest.raises(LegacyModelError):
+            legacy.make_class("Bad", attributes=[
+                AttributeSpec("x", domain="Part", composite=True,
+                              exclusive=False),
+            ])
+
+    def test_independent_composite_rejected(self, legacy):
+        with pytest.raises(LegacyModelError):
+            legacy.make_class("Bad", attributes=[
+                AttributeSpec("x", domain="Part", composite=True,
+                              dependent=False),
+            ])
+
+    def test_weak_references_fine(self, legacy):
+        legacy.make_class("Ok", attributes=[AttributeSpec("x", domain="Part")])
+
+    def test_dependent_exclusive_fine(self, legacy):
+        assert legacy.compositep("Assembly", "Parts")
+
+
+class TestTopDownCreation:
+    def test_create_with_parent_works(self, legacy):
+        assembly = legacy.make("Assembly")
+        part = legacy.make("Part", parents=[(assembly, "Parts")])
+        assert legacy.parents_of(part) == [assembly]
+
+    def test_assign_existing_in_make_rejected(self, legacy):
+        part = legacy.make("Part")
+        with pytest.raises(LegacyModelError):
+            legacy.make("Assembly", values={"Main": part})
+
+    def test_make_part_of_rejected(self, legacy):
+        assembly = legacy.make("Assembly")
+        part = legacy.make("Part")
+        with pytest.raises(LegacyModelError):
+            legacy.make_part_of(part, assembly, "Parts")
+
+    def test_set_value_of_existing_rejected(self, legacy):
+        assembly = legacy.make("Assembly")
+        part = legacy.make("Part")
+        with pytest.raises(LegacyModelError):
+            legacy.set_value(assembly, "Main", part)
+
+    def test_insert_into_of_existing_rejected(self, legacy):
+        assembly = legacy.make("Assembly")
+        part = legacy.make("Part")
+        with pytest.raises(LegacyModelError):
+            legacy.insert_into(assembly, "Parts", part)
+
+    def test_weak_attribute_assignment_fine(self, legacy):
+        legacy.make_class("Doc", attributes=[AttributeSpec("see", domain="Part")])
+        part = legacy.make("Part")
+        doc = legacy.make("Doc", values={"see": part})
+        assert legacy.value(doc, "see") == part
+
+    def test_weak_make_part_of_fine(self, legacy):
+        legacy.make_class("Doc", attributes=[
+            AttributeSpec("refs", domain=SetOf("Part")),
+        ])
+        part = legacy.make("Part")
+        doc = legacy.make("Doc")
+        legacy.make_part_of(part, doc, "refs")
+        assert legacy.value(doc, "refs") == [part]
+
+
+class TestExistenceDependency:
+    def test_deletion_always_cascades(self, legacy):
+        assembly = legacy.make("Assembly")
+        parts = [legacy.make("Part", parents=[(assembly, "Parts")])
+                 for _ in range(5)]
+        report = legacy.delete(assembly)
+        assert set(report.deleted) == {assembly, *parts}
+        assert report.preserved_count == 0
+
+    def test_no_reuse_after_deletion(self, legacy):
+        # The motivating contrast: under the extended model the parts would
+        # survive dismantling; under KIM87b they are gone.
+        assembly = legacy.make("Assembly")
+        part = legacy.make("Part", parents=[(assembly, "Parts")])
+        legacy.delete(assembly)
+        assert not legacy.exists(part)
+
+
+class TestStrictHierarchy:
+    def test_component_has_one_parent_only(self, legacy):
+        a1 = legacy.make("Assembly")
+        part = legacy.make("Part", parents=[(a1, "Parts")])
+        a2 = legacy.make("Assembly")
+        with pytest.raises(LegacyModelError):
+            legacy.make_part_of(part, a2, "Parts")
+        assert legacy.parents_of(part) == [a1]
+
+    def test_deep_hierarchy_buildable_top_down(self, legacy):
+        from repro.workloads.parts import build_part_tree
+
+        tree = build_part_tree(legacy, depth=3, fanout=2, class_prefix="Piece")
+        assert len(legacy.components_of(tree.root)) == tree.size - 1
+        legacy.validate()
+
+    def test_bottom_up_tree_impossible(self, legacy):
+        from repro.workloads.parts import build_part_tree
+
+        with pytest.raises(LegacyModelError):
+            build_part_tree(legacy, depth=2, fanout=2, class_prefix="Piece2",
+                            top_down=False)

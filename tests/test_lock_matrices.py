@@ -1,0 +1,185 @@
+"""Tests for the derived lock-compatibility matrices (Figures 7 and 8).
+
+The archival figures are partly illegible; these tests pin the derivation
+to every constraint the paper states in prose, plus the classic [GRAY78]
+granularity submatrix, symmetry, and monotonicity sanity properties.
+"""
+
+import pytest
+
+from repro.locking.claims import Claim, Op, Scope, derive_matrix, modes_compatible
+from repro.locking.modes import (
+    COMPATIBILITY,
+    FIGURE7_MATRIX,
+    FIGURE7_MODES,
+    FIGURE8_MODES,
+    MODE_CLAIMS,
+    LockMode as M,
+    compatible,
+    render_matrix,
+    supremum,
+)
+
+
+class TestGraySubmatrix:
+    """The five granularity modes must reproduce [GRAY78] exactly."""
+
+    GRAY = {
+        (M.IS, M.IS): True, (M.IS, M.IX): True, (M.IS, M.S): True,
+        (M.IS, M.SIX): True, (M.IS, M.X): False,
+        (M.IX, M.IX): True, (M.IX, M.S): False, (M.IX, M.SIX): False,
+        (M.IX, M.X): False,
+        (M.S, M.S): True, (M.S, M.SIX): False, (M.S, M.X): False,
+        (M.SIX, M.SIX): False, (M.SIX, M.X): False,
+        (M.X, M.X): False,
+    }
+
+    @pytest.mark.parametrize("pair, expected", sorted(GRAY.items(),
+                                                      key=lambda kv: str(kv[0])))
+    def test_gray_entry(self, pair, expected):
+        assert compatible(*pair) is expected
+        assert compatible(pair[1], pair[0]) is expected
+
+
+class TestPaperProseConstraints:
+    def test_is_ix_do_not_conflict(self):
+        assert compatible(M.IS, M.IX)
+
+    def test_iso_conflicts_with_ix(self):
+        assert not compatible(M.ISO, M.IX)
+
+    def test_ixo_conflicts_with_is_and_ix(self):
+        assert not compatible(M.IXO, M.IS)
+        assert not compatible(M.IXO, M.IX)
+
+    def test_sixo_conflicts_with_is_and_ix(self):
+        assert not compatible(M.SIXO, M.IS)
+        assert not compatible(M.SIXO, M.IX)
+
+    def test_readers_and_writers_on_exclusive_component_class(self):
+        # "several readers and writers on a component class of exclusive
+        # references"
+        assert compatible(M.ISO, M.ISO)
+        assert compatible(M.ISO, M.IXO)
+        assert compatible(M.IXO, M.IXO)
+
+    def test_readers_xor_one_writer_on_shared_component_class(self):
+        # "several readers and one writer on a component class of shared
+        # references" — standard read/write semantics.
+        assert compatible(M.ISOS, M.ISOS)
+        assert not compatible(M.ISOS, M.IXOS)
+        assert not compatible(M.IXOS, M.IXOS)
+
+    def test_example1_compatible_with_example2(self):
+        # Ex1 locks C in IXO; Ex2 locks C in ISOS and W in ISO.
+        assert compatible(M.IXO, M.ISOS)
+        assert compatible(M.ISO, M.ISO)
+
+    def test_example3_conflicts_with_example1(self):
+        # Ex3 locks C in IXOS; Ex1 holds IXO on C.
+        assert not compatible(M.IXOS, M.IXO)
+
+    def test_example3_conflicts_with_example2(self):
+        assert not compatible(M.IXOS, M.ISOS)
+
+
+class TestMatrixProperties:
+    def test_symmetry(self):
+        for a in FIGURE8_MODES:
+            for b in FIGURE8_MODES:
+                assert compatible(a, b) == compatible(b, a)
+
+    def test_x_conflicts_with_everything(self):
+        for mode in FIGURE8_MODES:
+            assert not compatible(M.X, mode)
+
+    def test_is_iso_isos_mutually_compatible(self):
+        # The three pure read-intent modes coexist.
+        for a in (M.IS, M.ISO, M.ISOS):
+            for b in (M.IS, M.ISO, M.ISOS):
+                assert compatible(a, b)
+
+    def test_s_compatible_with_composite_readers(self):
+        assert compatible(M.S, M.ISO)
+        assert compatible(M.S, M.ISOS)
+        assert not compatible(M.S, M.IXO)
+        assert not compatible(M.S, M.IXOS)
+
+    def test_six_analogues(self):
+        # SIXO relates to ISO/IXO the way SIX relates to IS/IX...
+        assert compatible(M.SIX, M.IS) == compatible(M.SIXO, M.ISO)
+        assert compatible(M.SIX, M.IX) == compatible(M.SIXO, M.IXO)
+        assert compatible(M.SIX, M.SIX) == compatible(M.SIXO, M.SIXO)
+        # ...but NOT for the shared-composite family: SIX tolerates IS
+        # because the IX half is arbitrated by instance locks, whereas
+        # SIXOS's write half (OSH) has no instance locks, so even a shared
+        # reader is excluded — consistent with ISOS vs IXOS.
+        assert not compatible(M.SIXOS, M.ISOS)
+        assert not compatible(M.SIXOS, M.IXOS)
+
+    def test_figure7_is_restriction_of_figure8(self):
+        for pair, value in FIGURE7_MATRIX.items():
+            assert COMPATIBILITY[pair] is value
+        assert len(FIGURE7_MATRIX) == len(FIGURE7_MODES) ** 2
+
+    def test_figure8_complete(self):
+        assert len(COMPATIBILITY) == len(FIGURE8_MODES) ** 2
+
+
+class TestClaimsModel:
+    def test_every_mode_has_claims(self):
+        for mode in FIGURE8_MODES:
+            assert MODE_CLAIMS[mode]
+
+    def test_read_only_modes_have_no_write_claims(self):
+        for mode in (M.IS, M.S, M.ISO, M.ISOS):
+            assert all(c.op is Op.READ for c in MODE_CLAIMS[mode])
+
+    def test_derive_matrix_is_symmetric_by_construction(self):
+        matrix = derive_matrix(MODE_CLAIMS)
+        for (a, b), value in matrix.items():
+            assert matrix[(b, a)] is value
+
+    def test_ind_claims_never_self_conflict(self):
+        reader = (Claim(Scope.IND, Op.READ),)
+        writer = (Claim(Scope.IND, Op.WRITE),)
+        assert modes_compatible(reader, writer)
+        assert modes_compatible(writer, writer)
+
+    def test_all_write_conflicts_with_all(self):
+        w = (Claim(Scope.ALL, Op.WRITE),)
+        for scope in Scope:
+            for op in Op:
+                assert not modes_compatible(w, (Claim(scope, op),))
+
+
+class TestSupremum:
+    def test_identity(self):
+        assert supremum(M.IS, M.IS) is M.IS
+
+    def test_classic_cases(self):
+        assert supremum(M.IS, M.IX) is M.IX
+        assert supremum(M.S, M.IX) is M.SIX
+        assert supremum(M.ISO, M.IXO) is M.IXO
+        assert supremum(M.S, M.IXO) is M.SIXO
+        assert supremum(M.S, M.IXOS) is M.SIXOS
+
+    def test_fallback_is_x(self):
+        assert supremum(M.IXO, M.IXOS) is M.X
+
+    def test_commutative(self):
+        for a in FIGURE8_MODES:
+            for b in FIGURE8_MODES:
+                assert supremum(a, b) is supremum(b, a)
+
+
+class TestRendering:
+    def test_render_has_all_modes(self):
+        text = render_matrix()
+        for mode in FIGURE8_MODES:
+            assert str(mode) in text
+
+    def test_render_figure7_subset(self):
+        text = render_matrix(FIGURE7_MODES, FIGURE7_MATRIX)
+        assert "ISOS" not in text
+        assert "ISO" in text

@@ -1,0 +1,204 @@
+"""Tests for the Section 7 composite locking protocols (Figure 9) and the
+GARZ88 root-locking algorithm's shared-reference anomaly."""
+
+import pytest
+
+from repro import AttributeSpec, Database, SetOf
+from repro.errors import LockConflictError
+from repro.locking.modes import LockMode as M
+from repro.locking.protocol import (
+    CompositeLockingProtocol,
+    InstanceLockingBaseline,
+    RootLockingAlgorithm,
+)
+from repro.locking.table import LockTable
+
+
+class TestCompositePlans:
+    def test_read_plan_modes(self, figure9_db):
+        database, h = figure9_db
+        protocol = CompositeLockingProtocol(database)
+        plan = dict(protocol.plan_composite(h["k1"], "read"))
+        assert plan[("class", "K")] is M.IS
+        assert plan[("instance", h["k1"])] is M.S
+        assert plan[("class", "C")] is M.ISOS  # shared link
+        assert plan[("class", "W")] is M.ISO   # exclusive link below C
+
+    def test_write_plan_modes(self, figure9_db):
+        database, h = figure9_db
+        protocol = CompositeLockingProtocol(database)
+        plan = dict(protocol.plan_composite(h["i1"], "write"))
+        assert plan[("class", "I")] is M.IX
+        assert plan[("instance", h["i1"])] is M.X
+        assert plan[("class", "C")] is M.IXO
+        assert plan[("class", "W")] is M.IXO
+
+    def test_instance_plan(self, figure9_db):
+        database, h = figure9_db
+        protocol = CompositeLockingProtocol(database)
+        plan = dict(protocol.plan_instance(h["c1"], "write"))
+        assert plan[("class", "C")] is M.IX
+        assert plan[("instance", h["c1"])] is M.X
+
+    def test_bad_intent_rejected(self, figure9_db):
+        database, h = figure9_db
+        protocol = CompositeLockingProtocol(database)
+        with pytest.raises(ValueError):
+            protocol.plan_composite(h["i1"], "browse")
+
+    def test_mixed_link_types_lock_both_modes(self, db):
+        # A component class reached through an exclusive AND a shared link
+        # is locked in both corresponding modes.
+        db.make_class("Leaf")
+        db.make_class("Mid", attributes=[
+            AttributeSpec("leafE", domain="Leaf", composite=True,
+                          exclusive=True, dependent=False),
+            AttributeSpec("leafS", domain=SetOf("Leaf"), composite=True,
+                          exclusive=False, dependent=False),
+        ])
+        mid = db.make("Mid")
+        protocol = CompositeLockingProtocol(db)
+        plan = protocol.plan_composite(mid, "read")
+        modes = {mode for res, mode in plan if res == ("class", "Leaf")}
+        assert modes == {M.ISO, M.ISOS}
+
+
+class TestFigure9Examples:
+    def test_examples_1_and_2_coexist(self, figure9_db):
+        database, h = figure9_db
+        table = LockTable()
+        protocol = CompositeLockingProtocol(database, table)
+        protocol.lock_composite("T1", h["i1"], "write")   # Example 1
+        protocol.lock_composite("T2", h["k1"], "read")    # Example 2
+        assert table.modes_held("T1", ("class", "C")) == {M.IXO}
+        assert table.modes_held("T2", ("class", "C")) == {M.ISOS}
+
+    def test_example_3_conflicts_with_1(self, figure9_db):
+        database, h = figure9_db
+        table = LockTable()
+        protocol = CompositeLockingProtocol(database, table)
+        protocol.lock_composite("T1", h["i1"], "write")
+        with pytest.raises(LockConflictError) as excinfo:
+            protocol.lock_composite("T3", h["k2"], "write", wait=False)
+        assert excinfo.value.resource == ("class", "C")
+
+    def test_example_3_conflicts_with_2(self, figure9_db):
+        database, h = figure9_db
+        table = LockTable()
+        protocol = CompositeLockingProtocol(database, table)
+        protocol.lock_composite("T2", h["k1"], "read")
+        with pytest.raises(LockConflictError):
+            protocol.lock_composite("T3", h["k2"], "write", wait=False)
+
+    def test_release_unblocks(self, figure9_db):
+        database, h = figure9_db
+        table = LockTable()
+        protocol = CompositeLockingProtocol(database, table)
+        protocol.lock_composite("T1", h["i1"], "write")
+        with pytest.raises(LockConflictError):
+            protocol.lock_composite("T3", h["k2"], "write", wait=False)
+        protocol.release("T3")
+        protocol.release("T1")
+        protocol.lock_composite("T3", h["k2"], "write", wait=False)
+
+    def test_disjoint_composites_same_hierarchy_update_concurrently(self, db):
+        # "multiple users [may] read and update different composite objects
+        # that share the same composite class hierarchy"
+        from repro.workloads.parts import build_assembly
+
+        t1 = build_assembly(db, depth=1, fanout=3)
+        t2 = build_assembly(db, depth=1, fanout=3)
+        table = LockTable()
+        protocol = CompositeLockingProtocol(db, table)
+        protocol.lock_composite("T1", t1.root, "write")
+        protocol.lock_composite("T2", t2.root, "write")  # no conflict
+        assert table.modes_held("T1", ("class", "Part")) == {M.IXO}
+        assert table.modes_held("T2", ("class", "Part")) == {M.IXO}
+
+    def test_composite_writer_blocks_direct_component_writer(self, figure9_db):
+        # The paper's own restriction: composite access excludes direct
+        # instance access to the component classes.
+        database, h = figure9_db
+        table = LockTable()
+        protocol = CompositeLockingProtocol(database, table)
+        protocol.lock_composite("T1", h["i1"], "write")   # C locked IXO
+        with pytest.raises(LockConflictError):
+            protocol.lock_instance("T2", h["c2"], "write", wait=False)  # C IX
+
+    def test_composite_reader_allows_direct_component_reader(self, figure9_db):
+        database, h = figure9_db
+        table = LockTable()
+        protocol = CompositeLockingProtocol(database, table)
+        protocol.lock_composite("T1", h["i1"], "read")    # C locked ISO
+        protocol.lock_instance("T2", h["c2"], "read", wait=False)  # C IS: ok
+
+
+class TestInstanceBaseline:
+    def test_lock_count_grows_with_composite_size(self, db):
+        from repro.workloads.parts import build_assembly
+
+        small = build_assembly(db, depth=1, fanout=2)
+        large = build_assembly(db, depth=2, fanout=4)
+        baseline = InstanceLockingBaseline(db)
+        protocol = CompositeLockingProtocol(db)
+        small_plan = baseline.plan_composite(small.root, "read")
+        large_plan = baseline.plan_composite(large.root, "read")
+        assert len(large_plan) > len(small_plan)
+        # The composite protocol's plan does not grow with object size.
+        assert len(protocol.plan_composite(small.root, "read")) == len(
+            protocol.plan_composite(large.root, "read")
+        )
+
+    def test_baseline_acquires_every_instance(self, db):
+        from repro.workloads.parts import build_assembly
+
+        tree = build_assembly(db, depth=1, fanout=3)
+        table = LockTable()
+        baseline = InstanceLockingBaseline(db, table)
+        baseline.lock_composite("T1", tree.root, "write")
+        for uid in tree.all_uids:
+            assert table.modes_held("T1", ("instance", uid)) == {M.X}
+
+
+class TestRootLockingAlgorithm:
+    def test_exclusive_hierarchy_sound(self, vehicle_db):
+        database, v = vehicle_db
+        table = LockTable()
+        algorithm = RootLockingAlgorithm(database, table)
+        algorithm.lock_component("T1", v.body, "read")
+        # Conflicting access collides on the single root in the table.
+        with pytest.raises(LockConflictError):
+            algorithm.lock_component("T2", v.drivetrain, "write", wait=False)
+        assert algorithm.detect_implicit_conflicts() == []
+
+    def test_lock_call_count_independent_of_size(self, vehicle_db):
+        database, v = vehicle_db
+        algorithm = RootLockingAlgorithm(database)
+        roots = algorithm.lock_component("T1", v.body, "read")
+        assert roots == [v.vehicle]
+
+    def test_shared_reference_anomaly(self, figure5_db):
+        # The paper: "The algorithm cannot be used for shared composite
+        # references."  T1 reads p (root j), T2 writes q (root k) — no
+        # root-level conflict, but both implicitly cover shared o'.
+        database, h = figure5_db
+        algorithm = RootLockingAlgorithm(database)
+        algorithm.lock_component("T1", h["p"], "read")
+        algorithm.lock_component("T2", h["q"], "write")
+        conflicts = algorithm.detect_implicit_conflicts()
+        assert any(c.instance == h["o_prime"] for c in conflicts)
+
+    def test_shared_component_access_locks_all_roots(self, figure5_db):
+        database, h = figure5_db
+        table = LockTable()
+        algorithm = RootLockingAlgorithm(database, table)
+        algorithm.lock_component("T1", h["o_prime"], "read")
+        assert table.modes_held("T1", ("instance", h["j"])) == {M.S}
+        assert table.modes_held("T1", ("instance", h["k"])) == {M.S}
+
+    def test_release_clears_implicit_coverage(self, figure5_db):
+        database, h = figure5_db
+        algorithm = RootLockingAlgorithm(database)
+        algorithm.lock_component("T1", h["p"], "read")
+        algorithm.release("T1")
+        assert algorithm.implicit_coverage("T1") == {}

@@ -1,0 +1,137 @@
+"""Tests for flag-based change notification ([CHOU88])."""
+
+import pytest
+
+from repro import AttributeSpec, Database, SetOf
+from repro.versions import VersionManager
+from repro.versions.notify import ChangeNotifier
+
+
+@pytest.fixture
+def env():
+    database = Database()
+    database.make_class("Module", versionable=True, attributes=[
+        AttributeSpec("Gates", domain="integer", init=0),
+    ])
+    database.make_class("Design", versionable=True, attributes=[
+        AttributeSpec("Modules", domain=SetOf("Module"), composite=True,
+                      exclusive=True, dependent=False),
+    ])
+    database.make_class("Testbench", attributes=[
+        AttributeSpec("Target", domain="Design"),   # weak dynamic reference
+    ])
+    manager = VersionManager(database)
+    notifier = ChangeNotifier(database, manager)
+    return database, manager, notifier
+
+
+class TestEventCapture:
+    def test_derive_recorded(self, env):
+        database, manager, notifier = env
+        g_mod, mod_v0 = manager.create("Module")
+        mod_v1 = manager.derive(mod_v0).new_version
+        events = notifier.events_for(g_mod)
+        assert any(e.kind == "derived" and e.subject == mod_v1 for e in events)
+
+    def test_update_recorded(self, env):
+        database, manager, notifier = env
+        g_mod, mod_v0 = manager.create("Module")
+        database.set_value(mod_v0, "Gates", 99)
+        events = notifier.events_for(g_mod)
+        assert any(e.kind == "updated" and e.subject == mod_v0 for e in events)
+
+    def test_deletions_recorded(self, env):
+        database, manager, notifier = env
+        g_mod, mod_v0 = manager.create("Module")
+        mod_v1 = manager.derive(mod_v0).new_version
+        manager.delete_version(mod_v0)
+        kinds = [e.kind for e in notifier.events_for(g_mod)]
+        assert "version-deleted" in kinds
+        manager.delete_version(mod_v1)
+        kinds = [e.kind for e in notifier.events_for(g_mod)]
+        assert "generic-deleted" in kinds
+
+    def test_sequence_is_global_and_ordered(self, env):
+        database, manager, notifier = env
+        g_a, a0 = manager.create("Module")
+        g_b, b0 = manager.create("Module")
+        manager.derive(a0)
+        manager.derive(b0)
+        seqs = [e.seq for g in (g_a, g_b) for e in notifier.events_for(g)]
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestPendingNotifications:
+    def test_dynamic_reference_flagged(self, env):
+        database, manager, notifier = env
+        g_mod, mod_v0 = manager.create("Module")
+        g_design, design_v0 = manager.create("Design", values={"Modules": [g_mod]})
+        notifier.acknowledge(design_v0)
+        assert not notifier.has_pending(design_v0)
+        manager.derive(mod_v0)
+        pending = notifier.pending(design_v0)
+        assert len(pending) == 1 and pending[0].kind == "derived"
+
+    def test_static_reference_flagged(self, env):
+        database, manager, notifier = env
+        g_mod, mod_v0 = manager.create("Module")
+        g_design, design_v0 = manager.create("Design",
+                                             values={"Modules": [mod_v0]})
+        notifier.acknowledge(design_v0)
+        database.set_value(mod_v0, "Gates", 10)
+        assert notifier.has_pending(design_v0)
+
+    def test_weak_reference_flagged(self, env):
+        database, manager, notifier = env
+        g_design, design_v0 = manager.create("Design")
+        bench = database.make("Testbench", values={"Target": g_design})
+        notifier.acknowledge(bench)
+        manager.derive(design_v0)
+        assert notifier.has_pending(bench)
+
+    def test_acknowledge_clears(self, env):
+        database, manager, notifier = env
+        g_mod, mod_v0 = manager.create("Module")
+        g_design, design_v0 = manager.create("Design", values={"Modules": [g_mod]})
+        manager.derive(mod_v0)
+        assert notifier.has_pending(design_v0)
+        notifier.acknowledge(design_v0)
+        assert not notifier.has_pending(design_v0)
+        manager.derive(manager.default_version(g_mod))
+        assert notifier.has_pending(design_v0)  # new events re-flag
+
+    def test_unrelated_changes_not_flagged(self, env):
+        database, manager, notifier = env
+        g_mod, mod_v0 = manager.create("Module")
+        g_other, other_v0 = manager.create("Module")
+        g_design, design_v0 = manager.create("Design", values={"Modules": [g_mod]})
+        notifier.acknowledge(design_v0)
+        manager.derive(other_v0)
+        assert not notifier.has_pending(design_v0)
+
+    def test_recursive_pending_through_composite(self, env):
+        database, manager, notifier = env
+        # A Design version references a module; a wrapper object holds the
+        # design as a component.  Recursive pending sees module changes.
+        database.make_class("Project", attributes=[
+            AttributeSpec("Designs", domain=SetOf("Design"), composite=True,
+                          exclusive=False, dependent=False),
+        ])
+        g_mod, mod_v0 = manager.create("Module")
+        g_design, design_v0 = manager.create("Design", values={"Modules": [g_mod]})
+        project = database.make("Project", values={"Designs": [design_v0]})
+        notifier.acknowledge(project)
+        manager.derive(mod_v0)
+        assert not notifier.has_pending(project)            # not a direct ref
+        assert notifier.has_pending(project, recursive=True)
+
+    def test_watchers_of(self, env):
+        database, manager, notifier = env
+        g_mod, mod_v0 = manager.create("Module")
+        g_d1, d1 = manager.create("Design", values={"Modules": [g_mod]})
+        g_d2, d2 = manager.create("Design")
+        manager.derive(mod_v0)
+        watchers = notifier.watchers_of(g_mod)
+        assert d1 in watchers and d2 not in watchers
+        notifier.acknowledge(d1)
+        assert d1 not in notifier.watchers_of(g_mod)

@@ -1,0 +1,189 @@
+"""Tests for the Section 3 operations (components-of, parents-of, ...)."""
+
+import pytest
+
+from repro import AttributeSpec, Database, SetOf
+from repro.core.operations import find_dangling_references, roots_of
+
+
+class TestComponentsOf:
+    def test_vehicle_components(self, vehicle_db):
+        database, v = vehicle_db
+        components = database.components_of(v.vehicle)
+        assert set(components) == {v.body, v.drivetrain, *v.tires}
+
+    def test_class_filter(self, vehicle_db):
+        database, v = vehicle_db
+        only_tires = database.components_of(v.vehicle, classes=["AutoTires"])
+        assert set(only_tires) == set(v.tires)
+
+    def test_level_limit(self, db):
+        from repro.workloads.parts import build_part_tree
+
+        tree = build_part_tree(db, depth=3, fanout=2)
+        level1 = db.components_of(tree.root, level=1)
+        assert set(level1) == set(tree.levels[1])
+        level2 = db.components_of(tree.root, level=2)
+        assert set(level2) == set(tree.levels[1]) | set(tree.levels[2])
+        everything = db.components_of(tree.root)
+        assert len(everything) == tree.size - 1
+
+    def test_level_is_shortest_path(self, db):
+        # An object reachable at levels 1 and 2 counts as level 1.
+        db.make_class("N")
+        db.make_class("M", attributes=[
+            AttributeSpec("kids", domain=SetOf("N"), composite=True,
+                          exclusive=False, dependent=False),
+        ])
+        db.make_class("Top", attributes=[
+            AttributeSpec("ms", domain=SetOf("M"), composite=True,
+                          exclusive=False, dependent=False),
+            AttributeSpec("ns", domain=SetOf("N"), composite=True,
+                          exclusive=False, dependent=False),
+        ])
+        n = db.make("N")
+        m = db.make("M", values={"kids": [n]})
+        top = db.make("Top", values={"ms": [m], "ns": [n]})
+        assert n in db.components_of(top, level=1)
+
+    def test_exclusive_shared_filters(self, document_db):
+        database, h = document_db
+        exclusive_only = database.components_of(h["doc_a"], exclusive=True)
+        shared_only = database.components_of(h["doc_a"], shared=True)
+        assert h["note"] in exclusive_only and h["note"] not in shared_only
+        assert h["shared_section"] in shared_only
+        assert h["shared_section"] not in exclusive_only
+        # Both filters True -> union (everything).
+        both = database.components_of(h["doc_a"], exclusive=True, shared=True)
+        assert set(both) == set(database.components_of(h["doc_a"]))
+
+    def test_children_of(self, document_db):
+        database, h = document_db
+        children = database.children_of(h["doc_a"])
+        assert h["shared_section"] in children
+        assert h["p_shared"] not in children  # level 2
+
+    def test_weak_refs_not_traversed(self, db):
+        db.make_class("Leaf")
+        db.make_class("Holder", attributes=[
+            AttributeSpec("part", domain="Leaf", composite=True),
+            AttributeSpec("see", domain="Leaf"),
+        ])
+        l1, l2 = db.make("Leaf"), db.make("Leaf")
+        h = db.make("Holder", values={"part": l1, "see": l2})
+        assert db.components_of(h) == [l1]
+
+
+class TestParentsAndAncestors:
+    def test_parents_of_shared(self, document_db):
+        database, h = document_db
+        parents = database.parents_of(h["shared_section"])
+        assert set(parents) == {h["doc_a"], h["doc_b"]}
+
+    def test_parents_filters(self, document_db):
+        database, h = document_db
+        assert database.parents_of(h["note"], exclusive=True) == [h["doc_a"]]
+        assert database.parents_of(h["note"], shared=True) == []
+
+    def test_ancestors(self, document_db):
+        database, h = document_db
+        ancestors = database.ancestors_of(h["p_shared"])
+        assert set(ancestors) == {h["shared_section"], h["doc_a"], h["doc_b"]}
+
+    def test_ancestors_class_filter(self, document_db):
+        database, h = document_db
+        docs = database.ancestors_of(h["p_shared"], classes=["Document"])
+        assert set(docs) == {h["doc_a"], h["doc_b"]}
+
+    def test_parents_of_root_empty(self, document_db):
+        database, h = document_db
+        assert database.parents_of(h["doc_a"]) == []
+
+
+class TestPredicates:
+    def test_child_of(self, document_db):
+        database, h = document_db
+        assert database.child_of(h["shared_section"], h["doc_a"])
+        assert not database.child_of(h["p_shared"], h["doc_a"])
+
+    def test_component_of_transitive(self, document_db):
+        database, h = document_db
+        assert database.component_of(h["p_shared"], h["doc_a"])
+        assert database.component_of(h["p_shared"], h["doc_b"])
+        assert not database.component_of(h["doc_a"], h["p_shared"])
+
+    def test_exclusive_component_of(self, document_db):
+        database, h = document_db
+        assert database.exclusive_component_of(h["note"], h["doc_a"])
+        assert not database.exclusive_component_of(h["shared_section"], h["doc_a"])
+
+    def test_shared_component_of(self, document_db):
+        database, h = document_db
+        assert database.shared_component_of(h["shared_section"], h["doc_a"])
+        assert not database.shared_component_of(h["note"], h["doc_a"])
+        # Not a component at all -> False for both.
+        assert not database.shared_component_of(h["doc_b"], h["doc_a"])
+        assert not database.exclusive_component_of(h["doc_b"], h["doc_a"])
+
+    def test_paper_equivalence_shared_equals_component_and_not_exclusive(
+        self, document_db
+    ):
+        # Paper 3.2: component-of + negative exclusive-component-of in one
+        # transaction has the same effect as shared-component-of.
+        database, h = document_db
+        for uid in (h["shared_section"], h["note"], h["p_shared"]):
+            direct = database.shared_component_of(uid, h["doc_a"])
+            derived = database.component_of(uid, h["doc_a"]) and not (
+                database.exclusive_component_of(uid, h["doc_a"])
+            )
+            assert direct == derived
+
+    def test_class_predicates_via_database(self, document_db):
+        database, _ = document_db
+        assert database.compositep("Document")
+        assert database.compositep("Document", "Sections")
+        assert not database.compositep("Document", "Title")
+        assert database.exclusive_compositep("Document", "Annotations")
+        assert database.shared_compositep("Document", "Sections")
+        assert database.dependent_compositep("Document", "Sections")
+        assert not database.dependent_compositep("Document", "Figures")
+
+
+class TestRootsOf:
+    def test_root_of_itself(self, document_db):
+        database, h = document_db
+        assert database.roots_of(h["doc_a"]) == [h["doc_a"]]
+
+    def test_shared_component_has_two_roots(self, document_db):
+        database, h = document_db
+        roots = database.roots_of(h["p_shared"])
+        assert set(roots) == {h["doc_a"], h["doc_b"]}
+
+    def test_exclusive_component_single_root(self, vehicle_db):
+        database, v = vehicle_db
+        assert database.roots_of(v.body) == [v.vehicle]
+
+    def test_cyclic_parents_fall_back_to_self(self, db):
+        db.make_class("Node", attributes=[
+            AttributeSpec("next", domain="Node", composite=True,
+                          exclusive=False, dependent=False),
+        ])
+        a = db.make("Node")
+        b = db.make("Node", values={"next": a})
+        db.set_value(a, "next", b)
+        assert roots_of(db, a) == [a]
+
+
+class TestDanglingReferences:
+    def test_weak_reference_dangles_after_delete(self, db):
+        db.make_class("Leaf")
+        db.make_class("Holder", attributes=[AttributeSpec("see", domain="Leaf")])
+        leaf = db.make("Leaf")
+        holder = db.make("Holder", values={"see": leaf})
+        db.delete(leaf)
+        dangles = find_dangling_references(db)
+        assert (holder, "see", leaf) in dangles
+
+    def test_clean_database_has_no_dangles(self, document_db):
+        database, _ = document_db
+        assert find_dangling_references(database) == []

@@ -1,0 +1,362 @@
+"""Executable specification: one test per rule the paper states.
+
+Each test quotes (or tightly paraphrases) the paper and asserts the
+behaviour *through the ORION message language* — the user-visible surface
+— so this suite doubles as conformance documentation.  Section order
+follows the paper.
+"""
+
+import pytest
+
+from repro import LegacyModelError, TopologyError
+from repro.errors import VersionTopologyError
+from repro.query import Interpreter
+
+
+@pytest.fixture
+def orion():
+    return Interpreter()
+
+
+def _vehicle_schema(orion):
+    orion.run("""
+      (make-class 'AutoBody)
+      (make-class 'AutoDrivetrain)
+      (make-class 'AutoTires)
+      (make-class 'Vehicle
+        :attributes '((Body :domain AutoBody :composite t :exclusive t
+                            :dependent nil)
+                      (Drivetrain :domain AutoDrivetrain :composite t
+                                  :exclusive t :dependent nil)
+                      (Tires :domain (set-of AutoTires) :composite t
+                             :exclusive t :dependent nil)))
+    """)
+
+
+def _document_schema(orion):
+    orion.run("""
+      (make-class 'Paragraph)
+      (make-class 'Image)
+      (make-class 'Section
+        :attributes '((Content :domain (set-of Paragraph) :composite t
+                               :exclusive nil :dependent t)))
+      (make-class 'Document
+        :attributes '((Sections :domain (set-of Section) :composite t
+                                :exclusive nil :dependent t)
+                      (Figures :domain (set-of Image) :composite t
+                               :exclusive nil :dependent nil)
+                      (Annotations :domain (set-of Paragraph) :composite t
+                                   :exclusive t :dependent t)))
+    """)
+
+
+class TestSection1Shortcomings:
+    """The three [KIM87b] shortcomings the extended model removes."""
+
+    def test_logical_hierarchy_an_identical_chapter_in_two_books(self, orion):
+        # "an identical chapter may be a part of two different books"
+        _document_schema(orion)
+        orion.run("""
+          (setq chapter (make Section))
+          (setq book1 (make Document))
+          (setq book2 (make Document))
+          (insert book1 Sections chapter)
+          (insert book2 Sections chapter)
+        """)
+        assert len(orion.run_one("(parents-of chapter)")) == 2
+
+    def test_bottom_up_creation_by_assembling_existing_objects(self, orion):
+        _vehicle_schema(orion)
+        orion.run("""
+          (setq body (make AutoBody))     ;; component exists first
+          (setq v (make Vehicle))
+          (make-part-of body v Body)
+        """)
+        assert orion.run_one("(component-of body v)")
+
+    def test_deletion_no_longer_forces_component_loss(self, orion):
+        # "Sometimes, however, it impedes reuse of objects" — independent
+        # references fix it.
+        _vehicle_schema(orion)
+        orion.run("""
+          (setq body (make AutoBody))
+          (setq v (make Vehicle :Body body))
+          (delete v)
+        """)
+        assert orion.run_one("(parents-of body)") == []
+        # the body is alive and reusable:
+        orion.run("(setq v2 (make Vehicle :Body body))")
+        assert orion.run_one("(component-of body v2)")
+
+    def test_kim87b_baseline_still_rejects_all_three(self):
+        from repro import AttributeSpec, LegacyDatabase
+
+        legacy = LegacyDatabase()
+        legacy.make_class("P")
+        with pytest.raises(LegacyModelError):  # no shared references
+            legacy.make_class("Bad", attributes=[
+                AttributeSpec("x", domain="P", composite=True,
+                              exclusive=False),
+            ])
+
+
+class TestSection2Semantics:
+    def test_composite_reference_is_a_weak_reference_plus_is_part_of(self, orion):
+        _vehicle_schema(orion)
+        orion.run("""
+          (setq body (make AutoBody))
+          (setq v (make Vehicle :Body body))
+        """)
+        # The reference holds the UID (weak aspect)...
+        assert orion.run_one("(get v Body)") == orion.env["body"]
+        # ...plus IS-PART-OF (the composite aspect).
+        assert orion.run_one("(child-of body v)")
+
+    def test_exclusive_means_part_of_only_one(self, orion):
+        _vehicle_schema(orion)
+        orion.run("""
+          (setq body (make AutoBody))
+          (setq v1 (make Vehicle :Body body))
+          (setq v2 (make Vehicle))
+        """)
+        with pytest.raises(TopologyError):
+            orion.run("(set v2 Body body)")
+
+    def test_shared_means_part_of_possibly_many(self, orion):
+        _document_schema(orion)
+        orion.run("""
+          (setq p (make Paragraph))
+          (setq s1 (make Section))
+          (setq s2 (make Section))
+          (insert s1 Content p)
+          (insert s2 Content p)
+        """)
+        assert len(orion.run_one("(parents-of p)")) == 2
+
+    def test_root_of_a_composite_object_may_change(self, orion):
+        # "an object which is the current root of a composite object may
+        # become the target of a composite reference from another object"
+        _document_schema(orion)
+        orion.run("""
+          (setq s (make Section))         ;; s is its own root
+          (setq d (make Document))
+          (insert d Sections s)           ;; now d is the root
+        """)
+        assert orion.db.roots_of(orion.env["s"]) == [orion.env["d"]]
+
+    def test_deletion_rule_dependent_shared_refcounting(self, orion):
+        # del(O') => del(O) only if DS(O) = {O'}
+        _document_schema(orion)
+        orion.run("""
+          (setq s (make Section))
+          (setq d1 (make Document))
+          (setq d2 (make Document))
+          (insert d1 Sections s)
+          (insert d2 Sections s)
+          (delete d1)
+        """)
+        assert orion.db.exists(orion.env["s"])
+        orion.run("(delete d2)")
+        assert not orion.db.exists(orion.env["s"])
+
+    def test_example2_annotations_exclusive_figures_independent(self, orion):
+        _document_schema(orion)
+        orion.run("""
+          (setq note (make Paragraph))
+          (setq fig (make Image))
+          (setq d (make Document))
+          (insert d Annotations note)
+          (insert d Figures fig)
+          (delete d)
+        """)
+        # "we assume that a given annotation is used in only one document"
+        # (dependent exclusive: dies), "the existence of images does not
+        # depend on the documents containing them" (independent: lives).
+        assert not orion.db.exists(orion.env["note"])
+        assert orion.db.exists(orion.env["fig"])
+
+    def test_multi_parent_make_requires_shared_attributes(self, orion):
+        # "because of topology rule 3, these attributes must be shared
+        # composite attributes"
+        _vehicle_schema(orion)
+        _document_schema(orion)
+        orion.run("""
+          (setq v (make Vehicle))
+          (setq d (make Document))
+        """)
+        # Tires is exclusive: two composite parents are illegal.
+        with pytest.raises(TopologyError):
+            orion.db.make(
+                "AutoTires",
+                parents=[(orion.env["v"], "Tires"),
+                         (orion.env["v"], "Tires")],
+            )
+
+    def test_simultaneous_shared_parents_succeed(self, orion):
+        _document_schema(orion)
+        orion.run("""
+          (setq s1 (make Section))
+          (setq s2 (make Section))
+          (setq p (make Paragraph :parent ((s1 Content) (s2 Content))))
+        """)
+        assert len(orion.run_one("(parents-of p)")) == 2
+
+
+class TestSection3Operations:
+    @pytest.fixture
+    def loaded(self, orion):
+        _document_schema(orion)
+        orion.run("""
+          (setq p (make Paragraph))
+          (setq s (make Section))
+          (insert s Content p)
+          (setq d (make Document))
+          (insert d Sections s)
+        """)
+        return orion
+
+    def test_components_of_all_levels(self, loaded):
+        assert set(loaded.run_one("(components-of d)")) == {
+            loaded.env["s"], loaded.env["p"],
+        }
+
+    def test_level_argument_is_shortest_path(self, loaded):
+        assert loaded.run_one("(components-of d nil nil nil 1)") == \
+            [loaded.env["s"]]
+
+    def test_ancestors_of(self, loaded):
+        assert set(loaded.run_one("(ancestors-of p)")) == {
+            loaded.env["s"], loaded.env["d"],
+        }
+
+    def test_component_of_direct_and_indirect(self, loaded):
+        assert loaded.run_one("(component-of p d)")     # indirect
+        assert loaded.run_one("(child-of s d)")         # direct
+        assert not loaded.run_one("(child-of p d)")     # not direct
+
+    def test_shared_component_of_equivalence(self, loaded):
+        # "sending the component-of and exclusive-component-of messages in
+        # sequence has the same effect as shared-component-of"
+        direct = loaded.run_one("(shared-component-of s d)")
+        derived = loaded.run_one("(component-of s d)") and not \
+            loaded.run_one("(exclusive-component-of s d)")
+        assert direct == derived is True
+
+    def test_compositep_without_attribute(self, loaded):
+        # "If the argument AttributeName is not supplied, the message
+        # returns True if the class has at least one attribute with such
+        # property."
+        assert loaded.run_one("(compositep Document)")
+        assert not loaded.run_one("(compositep Paragraph)")
+
+
+class TestSection5Versions:
+    def test_cv2x_one_exclusive_reference_per_version_instance(self):
+        from repro import AttributeSpec, Database
+        from repro.versions import VersionManager
+
+        db = Database()
+        db.make_class("B", versionable=True)
+        db.make_class("A", versionable=True, attributes=[
+            AttributeSpec("b", domain="B", composite=True, exclusive=True,
+                          dependent=False),
+        ])
+        vm = VersionManager(db)
+        gb, b0 = vm.create("B")
+        ga, a0 = vm.create("A", values={"b": b0})
+        gc, c0 = vm.create("A")
+        with pytest.raises(TopologyError):
+            db.set_value(c0, "b", b0)
+
+    def test_cv2x_generic_exclusive_same_hierarchy_only(self):
+        from repro import AttributeSpec, Database
+        from repro.versions import VersionManager
+
+        db = Database()
+        db.make_class("B", versionable=True)
+        db.make_class("A", versionable=True, attributes=[
+            AttributeSpec("b", domain="B", composite=True, exclusive=True,
+                          dependent=False),
+        ])
+        vm = VersionManager(db)
+        gb, b0 = vm.create("B")
+        ga, a0 = vm.create("A", values={"b": gb})
+        a1 = vm.derive(a0).new_version
+        db.set_value(a1, "b", gb)  # same hierarchy: legal
+        gc, c0 = vm.create("A")
+        with pytest.raises(VersionTopologyError):
+            db.set_value(c0, "b", gb)
+
+    def test_last_version_deletes_generic(self):
+        from repro import Database
+        from repro.versions import VersionManager
+
+        db = Database()
+        db.make_class("B", versionable=True)
+        vm = VersionManager(db)
+        gb, b0 = vm.create("B")
+        vm.delete_version(b0)
+        assert not vm.registry.is_generic(gb)
+
+
+class TestSection6Authorization:
+    def test_strongest_of_all_implied_authorizations(self, figure5_db):
+        from repro.authorization import AuthorizationEngine
+
+        db, h = figure5_db
+        engine = AuthorizationEngine(db)
+        engine.grant("u", "sR", on_instance=h["j"])
+        engine.grant("u", "sW", on_instance=h["k"])
+        # "the authorization implied on Instance[o'] is a strong W
+        # authorization, which in turn implies a strong R authorization."
+        resolution = engine.resolve("u", h["o_prime"])
+        assert resolution.permits("W") and resolution.permits("R")
+
+    def test_negative_example_from_the_paper(self, figure5_db):
+        from repro import AuthorizationConflict
+        from repro.authorization import AuthorizationEngine
+
+        db, h = figure5_db
+        engine = AuthorizationEngine(db)
+        engine.grant("u", "s¬R", on_instance=h["j"])
+        # "a later attempt to grant the user a strong W authorization on
+        # Instance[k] will fail. This is because ¬R implies ¬W, which
+        # contradicts the positive strong W being granted."
+        with pytest.raises(AuthorizationConflict):
+            engine.grant("u", "sW", on_instance=h["k"])
+
+
+class TestSection7Locking:
+    def test_protocol_quote_multiple_users_different_composites(self):
+        from repro import Database
+        from repro.locking import CompositeLockingProtocol, LockTable
+        from repro.workloads.parts import build_assembly
+
+        db = Database()
+        t1 = build_assembly(db, depth=1, fanout=2)
+        t2 = build_assembly(db, depth=1, fanout=2)
+        protocol = CompositeLockingProtocol(db, LockTable())
+        protocol.lock_composite("T1", t1.root, "write")
+        protocol.lock_composite("T2", t2.root, "write")  # coexists
+
+    def test_paper_compatibility_sentence(self):
+        # "while IS and IX modes do not conflict, the ISO mode conflicts
+        # with IX mode, and IXO and SIXO modes conflict with both IS and
+        # IX modes."
+        from repro.locking import LockMode as M, compatible
+
+        assert compatible(M.IS, M.IX)
+        assert not compatible(M.ISO, M.IX)
+        for offender in (M.IXO, M.SIXO):
+            assert not compatible(offender, M.IS)
+            assert not compatible(offender, M.IX)
+
+    def test_readers_and_writers_quote(self):
+        # "several readers and writers on a component class of exclusive
+        # references, and several readers and one writer on a component
+        # class of shared references."
+        from repro.locking import LockMode as M, compatible
+
+        assert compatible(M.ISO, M.IXO)      # readers AND writers coexist
+        assert compatible(M.ISOS, M.ISOS)    # several readers
+        assert not compatible(M.IXOS, M.IXOS)  # but one writer

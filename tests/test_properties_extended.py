@@ -1,0 +1,480 @@
+"""Extended property-based suites.
+
+Three stateful machines beyond the core topology machine:
+
+* **EvolutionMachine** — random I1-I4 changes (immediate or deferred) over
+  a populated schema; after a full catch-up, every reverse reference's
+  flags agree with the schema.
+* **LockTableMachine** — random acquire/release with queuing; granted
+  modes are pairwise compatible across transactions, queue entries never
+  duplicate, and releases never strand a grantable waiter.
+* **Durability round-trip** — any random mutation sequence on a
+  DurableDatabase survives reopen byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro import AttributeSpec, Database, ReproError, SetOf
+from repro.locking.modes import COMPATIBILITY, FIGURE8_MODES
+from repro.locking.table import LockTable
+from repro.schema.evolution import SchemaEvolutionManager
+
+# ---------------------------------------------------------------------------
+# Evolution machine
+# ---------------------------------------------------------------------------
+
+
+class EvolutionMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.db = Database()
+        self.manager = SchemaEvolutionManager(self.db)
+        self.db.make_class("Part")
+        self.db.make_class("Widget", attributes=[
+            AttributeSpec("Piece", domain=SetOf("Part"), composite=True,
+                          exclusive=False, dependent=True),
+        ])
+        self.parts = []
+
+    @rule()
+    def add_pair(self):
+        part = self.db.make("Part")
+        self.db.make("Widget", values={"Piece": [part]})
+        self.parts.append(part)
+
+    @rule(mode=st.sampled_from(["immediate", "deferred"]))
+    def toggle_dependency(self, mode):
+        spec = self.db.classdef("Widget").attribute("Piece")
+        if spec.dependent:
+            self.manager.make_independent("Widget", "Piece", mode=mode)
+        else:
+            self.manager.make_dependent("Widget", "Piece", mode=mode)
+
+    @rule(mode=st.sampled_from(["immediate", "deferred"]))
+    def toggle_exclusivity(self, mode):
+        spec = self.db.classdef("Widget").attribute("Piece")
+        if not spec.exclusive:
+            # D3 is state-dependent: only attempt when every part has at
+            # most one reverse reference (always true here: one widget per
+            # part).  Reject paths are exercised by the unit tests.
+            try:
+                self.manager.make_exclusive("Widget", "Piece")
+            except ReproError:
+                pass
+        else:
+            self.manager.make_shared("Widget", "Piece", mode=mode)
+
+    @rule(data=st.data())
+    def access_some(self, data):
+        if not self.parts:
+            return
+        part = data.draw(st.sampled_from(self.parts))
+        if self.db.exists(part):
+            self.db.resolve(part)
+
+    @invariant()
+    def flags_agree_after_catch_up(self):
+        self.manager.catch_up_all()
+        spec = self.db.classdef("Widget").attribute("Piece")
+        for part in self.parts:
+            instance = self.db.peek(part)
+            if instance is None:
+                continue
+            for ref in instance.reverse_references:
+                assert ref.exclusive == spec.exclusive
+                assert ref.dependent == spec.dependent
+        self.db.validate()
+
+
+EvolutionMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=20, deadline=None
+)
+TestEvolutionMachine = EvolutionMachine.TestCase
+
+
+# ---------------------------------------------------------------------------
+# Lock table machine
+# ---------------------------------------------------------------------------
+
+_TXNS = ["T1", "T2", "T3", "T4"]
+_RESOURCES = ["r1", "r2", "c1"]
+
+
+class LockTableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = LockTable()
+
+    @rule(
+        txn=st.sampled_from(_TXNS),
+        resource=st.sampled_from(_RESOURCES),
+        mode=st.sampled_from(FIGURE8_MODES),
+    )
+    def request(self, txn, resource, mode):
+        self.table.acquire(txn, resource, mode, wait=True)
+
+    @rule(txn=st.sampled_from(_TXNS))
+    def release(self, txn):
+        self.table.release_all(txn)
+
+    @invariant()
+    def grants_pairwise_compatible(self):
+        for resource in _RESOURCES:
+            holders = self.table.holders(resource)
+            for i, txn_a in enumerate(holders):
+                for txn_b in holders[i + 1 :]:
+                    for mode_a in self.table.modes_held(txn_a, resource):
+                        for mode_b in self.table.modes_held(txn_b, resource):
+                            assert COMPATIBILITY[(mode_a, mode_b)], (
+                                f"{txn_a}:{mode_a} granted alongside "
+                                f"{txn_b}:{mode_b} on {resource}"
+                            )
+
+    @invariant()
+    def no_duplicate_queue_entries(self):
+        for resource in _RESOURCES:
+            seen = set()
+            for request in self.table.waiters(resource):
+                key = (request.txn, request.mode)
+                assert key not in seen
+                seen.add(key)
+
+    @invariant()
+    def no_strandable_head(self):
+        # The queue head must actually be blocked by a current holder (it
+        # could be granted otherwise — promotion ran at every release).
+        for resource in _RESOURCES:
+            waiters = self.table.waiters(resource)
+            if not waiters:
+                continue
+            head = waiters[0]
+            assert not self.table.is_compatible(head.txn, resource, head.mode)
+
+
+LockTableMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestLockTableMachine = LockTableMachine.TestCase
+
+
+# ---------------------------------------------------------------------------
+# Durability round-trip
+# ---------------------------------------------------------------------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("make"), st.text(max_size=8)),
+        st.tuples(st.just("link"), st.integers(0, 30), st.integers(0, 30)),
+        st.tuples(st.just("unlink"), st.integers(0, 30), st.integers(0, 30)),
+        st.tuples(st.just("set"), st.integers(0, 30), st.text(max_size=8)),
+        st.tuples(st.just("delete"), st.integers(0, 30)),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(ops=_ops)
+@settings(max_examples=25, deadline=None)
+def test_durable_roundtrip_random_ops(ops, tmp_path_factory):
+    from repro.storage.durable import DurableDatabase
+
+    directory = tmp_path_factory.mktemp("durable")
+    db = DurableDatabase(directory)
+    db.make_class("Node", attributes=[
+        AttributeSpec("Tag", domain="string"),
+        AttributeSpec("Kids", domain=SetOf("Node"), composite=True,
+                      exclusive=False, dependent=False),
+    ])
+    uids = []
+
+    def pick(index):
+        live = [u for u in uids if db.exists(u)]
+        return live[index % len(live)] if live else None
+
+    for op in ops:
+        try:
+            if op[0] == "make":
+                uids.append(db.make("Node", values={"Tag": op[1]}))
+            elif op[0] == "link":
+                parent, child = pick(op[1]), pick(op[2])
+                if parent and child and parent != child:
+                    db.make_part_of(child, parent, "Kids")
+            elif op[0] == "unlink":
+                parent, child = pick(op[1]), pick(op[2])
+                if parent and child:
+                    db.remove_part_of(child, parent, "Kids")
+            elif op[0] == "set":
+                target = pick(op[1])
+                if target:
+                    db.set_value(target, "Tag", op[2])
+            elif op[0] == "delete":
+                target = pick(op[1])
+                if target:
+                    db.delete(target)
+        except ReproError:
+            pass  # topology rejections are fine
+    expected = {
+        instance.uid: (dict(instance.values),
+                       sorted(map(str, instance.reverse_references)))
+        for instance in db.live_instances()
+    }
+    db.close()
+    recovered = DurableDatabase.open(directory)
+    actual = {
+        instance.uid: (dict(instance.values),
+                       sorted(map(str, instance.reverse_references)))
+        for instance in recovered.live_instances()
+    }
+    assert actual == expected
+    recovered.validate()
+    recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# Version-manager machine: ref-counts always equal a from-scratch recount
+# ---------------------------------------------------------------------------
+
+
+def _recount_generic_links(db, vm):
+    """Independent recomputation of the CV-3X generic link counts by
+    scanning every live instance's composite values."""
+    counts = {}
+    for instance in db.live_instances():
+        for attr, child in db.iter_composite_values(instance):
+            target = vm.registry.hierarchy_key(child)
+            if not vm.registry.is_generic(target):
+                continue
+            source = vm.registry.hierarchy_key(instance.uid)
+            key = (source, attr, target)
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class VersionMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        from repro.versions import VersionManager
+
+        self.db = Database()
+        self.db.make_class("Mod", versionable=True)
+        self.db.make_class("Asm", versionable=True, attributes=[
+            AttributeSpec("mods", domain=SetOf("Mod"), composite=True,
+                          exclusive=True, dependent=False),
+        ])
+        self.vm = VersionManager(self.db)
+        self.mod_versions = []
+        self.asm_versions = []
+
+    @rule()
+    def create_mod(self):
+        _generic, version = self.vm.create("Mod")
+        self.mod_versions.append(version)
+
+    @rule()
+    def create_asm(self):
+        _generic, version = self.vm.create("Asm")
+        self.asm_versions.append(version)
+
+    @rule(data=st.data())
+    def derive_something(self, data):
+        pool = [v for v in self.mod_versions + self.asm_versions
+                if self.db.exists(v)]
+        if not pool:
+            return
+        source = data.draw(st.sampled_from(pool))
+        new = self.vm.derive(source).new_version
+        if self.vm.registry.generic_of(new) and new.class_name == "Mod":
+            self.mod_versions.append(new)
+        else:
+            self.asm_versions.append(new)
+
+    @rule(data=st.data(), dynamic=st.booleans())
+    def link(self, data, dynamic):
+        asms = [v for v in self.asm_versions if self.db.exists(v)]
+        mods = [v for v in self.mod_versions if self.db.exists(v)]
+        if not asms or not mods:
+            return
+        asm = data.draw(st.sampled_from(asms))
+        mod = data.draw(st.sampled_from(mods))
+        target = self.vm.registry.generic_of(mod) if dynamic else mod
+        if target is None or not self.db.exists(target):
+            return
+        try:
+            self.db.insert_into(asm, "mods", target)
+        except ReproError:
+            pass  # CV-2X rejections are expected
+
+    @rule(data=st.data())
+    def unlink(self, data):
+        asms = [v for v in self.asm_versions if self.db.exists(v)]
+        if not asms:
+            return
+        asm = data.draw(st.sampled_from(asms))
+        members = self.db.value(asm, "mods")
+        if members:
+            self.db.remove_from(asm, "mods", data.draw(st.sampled_from(members)))
+
+    @rule(data=st.data())
+    def delete_version(self, data):
+        pool = [v for v in self.mod_versions + self.asm_versions
+                if self.db.exists(v) and self.vm.registry.is_version(v)]
+        if not pool:
+            return
+        self.vm.delete_version(data.draw(st.sampled_from(pool)))
+
+    @invariant()
+    def refcounts_match_recount(self):
+        assert self.vm._counts == _recount_generic_links(self.db, self.vm)
+
+    @invariant()
+    def registry_consistent_with_table(self):
+        for generic_uid in self.vm.registry.all_generics():
+            info = self.vm.registry.generic_info(generic_uid)
+            assert self.db.exists(generic_uid)
+            for version in info.versions:
+                assert self.db.exists(version)
+                assert self.vm.registry.generic_of(version) == generic_uid
+
+    @invariant()
+    def database_valid(self):
+        self.db.validate()
+
+
+VersionMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)
+TestVersionMachine = VersionMachine.TestCase
+
+
+# ---------------------------------------------------------------------------
+# Checkout machine: abandon is a perfect no-op; checkin merges and cleans up
+# ---------------------------------------------------------------------------
+
+
+def _composite_fingerprint(db, root):
+    """Order-insensitive structural fingerprint of a composite object.
+
+    Reference values (UIDs) are excluded — the original and its workspace
+    copy differ in identity by construction; what must match is class,
+    primitive values, and component multiset.
+    """
+    from repro.core.identity import UID
+
+    def keep(value):
+        if isinstance(value, UID):
+            return False
+        if isinstance(value, list):
+            return not any(isinstance(item, UID) for item in value)
+        return True
+
+    items = []
+    for uid in [root] + db.components_of(root):
+        instance = db.peek(uid)
+        values = {
+            k: (sorted(map(str, v)) if isinstance(v, list) else str(v))
+            for k, v in instance.values.items()
+            if keep(v)
+        }
+        items.append((instance.class_name, tuple(sorted(values.items()))))
+    return sorted(map(str, items))
+
+
+class CheckoutMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        from repro.txn import CheckoutManager
+
+        self.db = Database()
+        self.db.make_class("Pin", attributes=[
+            AttributeSpec("Signal", domain="string"),
+        ])
+        self.db.make_class("Cell", attributes=[
+            AttributeSpec("Name", domain="string"),
+            AttributeSpec("Pins", domain=SetOf("Pin"), composite=True,
+                          exclusive=True, dependent=True),
+        ])
+        pins = [self.db.make("Pin", values={"Signal": f"s{i}"})
+                for i in range(3)]
+        self.root = self.db.make("Cell", values={"Name": "c", "Pins": pins})
+        self.manager = CheckoutManager(self.db)
+        self.checkout = None
+        self.edits = 0
+        self.baseline = _composite_fingerprint(self.db, self.root)
+        self.object_count = len(self.db)
+
+    @rule()
+    def open_checkout(self):
+        if self.checkout is None:
+            self.checkout = self.manager.checkout("user", self.root)
+            self.edits = 0
+
+    @rule(name=st.text(alphabet="abcxyz", min_size=1, max_size=6))
+    def edit_scalar(self, name):
+        if self.checkout is None:
+            return
+        working = self.checkout.workspace_of(self.root)
+        self.db.set_value(working, "Name", name)
+        self.edits += 1
+
+    @rule(signal=st.text(alphabet="pqr", min_size=1, max_size=4))
+    def add_pin(self, signal):
+        if self.checkout is None:
+            return
+        working = self.checkout.workspace_of(self.root)
+        self.db.make("Pin", values={"Signal": signal},
+                     parents=[(working, "Pins")])
+        self.edits += 1
+
+    @rule(data=st.data())
+    def drop_pin(self, data):
+        if self.checkout is None:
+            return
+        working = self.checkout.workspace_of(self.root)
+        pins = self.db.value(working, "Pins")
+        if not pins:
+            return
+        self.db.remove_from(working, "Pins", data.draw(st.sampled_from(pins)))
+        self.edits += 1
+
+    @rule()
+    def abandon(self):
+        if self.checkout is None:
+            return
+        self.manager.abandon(self.checkout)
+        self.checkout = None
+        # Abandon must be a perfect no-op on the original.
+        assert _composite_fingerprint(self.db, self.root) == self.baseline
+        assert len(self.db) == self.object_count
+
+    @rule()
+    def checkin(self):
+        if self.checkout is None:
+            return
+        working = self.checkout.workspace_of(self.root)
+        expected = _composite_fingerprint(self.db, working)
+        self.manager.checkin(self.checkout)
+        self.checkout = None
+        # The original now mirrors the workspace exactly...
+        assert _composite_fingerprint(self.db, self.root) == expected
+        # ...and nothing of the workspace remains.
+        self.baseline = _composite_fingerprint(self.db, self.root)
+        self.object_count = len(self.db)
+
+    @invariant()
+    def original_untouched_while_checked_out(self):
+        assert _composite_fingerprint(self.db, self.root) == self.baseline
+
+    @invariant()
+    def database_valid(self):
+        self.db.validate()
+
+
+CheckoutMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestCheckoutMachine = CheckoutMachine.TestCase

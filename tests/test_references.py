@@ -1,0 +1,92 @@
+"""Tests for the five reference types and reverse references (paper 2.1, 2.4)."""
+
+import pytest
+
+from repro.core.identity import UID
+from repro.core.references import (
+    ALL_REFERENCE_KINDS,
+    COMPOSITE_REFERENCE_KINDS,
+    ReferenceKind,
+    ReverseReference,
+)
+
+
+class TestReferenceKind:
+    def test_five_kinds(self):
+        assert len(ALL_REFERENCE_KINDS) == 5
+
+    def test_four_composite_kinds(self):
+        assert len(COMPOSITE_REFERENCE_KINDS) == 4
+        assert ReferenceKind.WEAK not in COMPOSITE_REFERENCE_KINDS
+
+    def test_weak_flags(self):
+        weak = ReferenceKind.WEAK
+        assert not weak.composite and not weak.exclusive and not weak.dependent
+        assert not weak.shared
+
+    @pytest.mark.parametrize(
+        "kind, exclusive, dependent",
+        [
+            (ReferenceKind.DEPENDENT_EXCLUSIVE, True, True),
+            (ReferenceKind.INDEPENDENT_EXCLUSIVE, True, False),
+            (ReferenceKind.DEPENDENT_SHARED, False, True),
+            (ReferenceKind.INDEPENDENT_SHARED, False, False),
+        ],
+    )
+    def test_composite_flags(self, kind, exclusive, dependent):
+        assert kind.composite
+        assert kind.exclusive is exclusive
+        assert kind.dependent is dependent
+        assert kind.shared is (not exclusive)
+
+    def test_from_flags_noncomposite(self):
+        assert ReferenceKind.from_flags(False) is ReferenceKind.WEAK
+
+    def test_from_flags_paper_defaults(self):
+        # Defaults exclusive=True, dependent=True mirror [KIM87b].
+        assert ReferenceKind.from_flags(True) is ReferenceKind.DEPENDENT_EXCLUSIVE
+
+    @pytest.mark.parametrize("kind", COMPOSITE_REFERENCE_KINDS)
+    def test_from_flags_roundtrip(self, kind):
+        assert (
+            ReferenceKind.from_flags(True, kind.exclusive, kind.dependent) is kind
+        )
+
+
+class TestReverseReference:
+    def _ref(self, dependent=True, exclusive=True):
+        return ReverseReference(
+            parent=UID(1, "P"),
+            dependent=dependent,
+            exclusive=exclusive,
+            attribute="Body",
+        )
+
+    def test_kind_mapping(self):
+        assert self._ref(True, True).kind is ReferenceKind.DEPENDENT_EXCLUSIVE
+        assert self._ref(False, True).kind is ReferenceKind.INDEPENDENT_EXCLUSIVE
+        assert self._ref(True, False).kind is ReferenceKind.DEPENDENT_SHARED
+        assert self._ref(False, False).kind is ReferenceKind.INDEPENDENT_SHARED
+
+    def test_with_flags_dependent(self):
+        updated = self._ref().with_flags(dependent=False)
+        assert not updated.dependent and updated.exclusive
+        assert updated.parent == UID(1, "P") and updated.attribute == "Body"
+
+    def test_with_flags_exclusive(self):
+        updated = self._ref().with_flags(exclusive=False)
+        assert updated.dependent and not updated.exclusive
+
+    def test_with_flags_noop_preserves(self):
+        ref = self._ref()
+        assert ref.with_flags() == ref
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            self._ref().dependent = False
+
+    def test_str_shows_flags(self):
+        text = str(self._ref(True, True))
+        assert "DX" in text and "Body" in text
+        text = str(self._ref(False, False))
+        assert "--" in text

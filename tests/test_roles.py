@@ -1,0 +1,121 @@
+"""Tests for role-based authorization ([RABI88] substrate)."""
+
+import pytest
+
+from repro import AccessDenied, AttributeSpec, Database, SetOf
+from repro.authorization.roles import RoleAuthorizationEngine, RoleManager
+from repro.errors import AuthorizationError
+
+
+@pytest.fixture
+def env(figure5_db):
+    database, handles = figure5_db
+    roles = RoleManager()
+    roles.define_role("designer")
+    roles.define_role("reviewer")
+    roles.define_role("chief", juniors=["designer", "reviewer"])
+    engine = RoleAuthorizationEngine(database, roles)
+    return database, handles, roles, engine
+
+
+class TestRoleManager:
+    def test_junior_closure(self, env):
+        _, _, roles, _ = env
+        assert roles.junior_closure("chief") == {"chief", "designer", "reviewer"}
+        assert roles.junior_closure("designer") == {"designer"}
+
+    def test_cycle_rejected(self, env):
+        _, _, roles, _ = env
+        with pytest.raises(AuthorizationError):
+            roles.add_seniority("designer", "chief")
+        with pytest.raises(AuthorizationError):
+            roles.define_role("self", juniors=["self"])
+
+    def test_assignment(self, env):
+        _, _, roles, _ = env
+        roles.assign("alice", "chief")
+        assert roles.roles_of("alice") == ["chief"]
+        assert roles.principals("alice") == {"alice", "chief", "designer",
+                                             "reviewer"}
+        roles.unassign("alice", "chief")
+        assert roles.principals("alice") == {"alice"}
+
+    def test_unknown_role_assignment(self, env):
+        _, _, roles, _ = env
+        with pytest.raises(AuthorizationError):
+            roles.assign("bob", "manager")
+
+    def test_multiple_roles(self, env):
+        _, _, roles, _ = env
+        roles.assign("bob", "designer")
+        roles.assign("bob", "reviewer")
+        assert roles.principals("bob") == {"bob", "designer", "reviewer"}
+
+
+class TestRoleGrants:
+    def test_role_grant_applies_to_members(self, env):
+        database, h, roles, engine = env
+        engine.grant("designer", "sR", on_instance=h["j"])
+        roles.assign("alice", "designer")
+        assert engine.check("alice", "R", h["p"])
+        assert not engine.check("bob", "R", h["p"])  # not a member
+
+    def test_seniority_inherits_grants(self, env):
+        database, h, roles, engine = env
+        engine.grant("designer", "sR", on_instance=h["j"])
+        engine.grant("reviewer", "sR", on_instance=h["k"])
+        roles.assign("carol", "chief")
+        # Chief inherits both junior roles' authorizations.
+        assert engine.check("carol", "R", h["p"])
+        assert engine.check("carol", "R", h["q"])
+
+    def test_junior_does_not_inherit_senior(self, env):
+        database, h, roles, engine = env
+        engine.grant("chief", "sW", on_instance=h["j"])
+        roles.assign("dave", "designer")
+        assert not engine.check("dave", "W", h["p"])
+
+    def test_personal_and_role_grants_combine(self, env):
+        database, h, roles, engine = env
+        engine.grant("designer", "sR", on_instance=h["j"])
+        engine.grant("erin", "sW", on_instance=h["k"])
+        roles.assign("erin", "designer")
+        # Strongest-wins on the shared component across principals.
+        assert engine.check("erin", "W", h["o_prime"])
+        assert engine.check("erin", "R", h["o_prime"])
+
+    def test_explain_names_the_role(self, env):
+        database, h, roles, engine = env
+        engine.grant("designer", "sR", on_instance=h["j"])
+        roles.assign("alice", "designer")
+        reasons = engine.explain("alice", h["p"])
+        assert any("via role designer" in why for _grant, why in reasons)
+
+    def test_role_conflict_denies_and_audits(self, env):
+        database, h, roles, engine = env
+        # Two roles carry contradictory strong grants; a user holding both
+        # is denied on the overlap, and audit() pinpoints the objects.
+        engine.grant("designer", "sW", on_instance=h["j"])
+        engine.grant("reviewer", "s¬R", on_instance=h["k"])
+        roles.assign("frank", "designer")
+        roles.assign("frank", "reviewer")
+        with pytest.raises(AccessDenied):
+            engine.require("frank", "W", h["o_prime"])
+        conflicted = engine.audit("frank")
+        assert h["o_prime"] in conflicted
+        assert h["p"] not in conflicted  # only under designer's grant
+
+    def test_weak_role_grant_overridden_by_strong_personal(self, env):
+        database, h, roles, engine = env
+        engine.grant("reviewer", "w¬W", on_instance=h["j"])
+        engine.grant("grace", "sW", on_instance=h["j"])
+        roles.assign("grace", "reviewer")
+        assert engine.check("grace", "W", h["p"])
+
+    def test_revoking_role_grant_affects_members(self, env):
+        database, h, roles, engine = env
+        engine.grant("designer", "sR", on_instance=h["j"])
+        roles.assign("alice", "designer")
+        assert engine.check("alice", "R", h["p"])
+        engine.revoke("designer", "sR", on_instance=h["j"])
+        assert not engine.check("alice", "R", h["p"])

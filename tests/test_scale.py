@@ -1,0 +1,84 @@
+"""Laptop-scale smoke: the subsystems stay correct at thousands of objects.
+
+Not a performance test (the benchmarks measure that) — a correctness test
+at a size where O(n^2) accidents, recursion limits, and bookkeeping drift
+would surface.
+"""
+
+import pytest
+
+from repro import AttributeSpec, Database, SetOf
+from repro.workloads import build_corpus, build_part_tree
+
+
+class TestScale:
+    def test_five_thousand_object_corpus(self):
+        db = Database()
+        corpus = build_corpus(db, documents=120, sections_per_document=6,
+                              paragraphs_per_section=5, share_ratio=0.4,
+                              seed=99)
+        assert len(db) > 2500
+        db.validate()
+        # Operations stay consistent at scale.
+        doc = corpus.documents[0]
+        components = db.components_of(doc)
+        for uid in components[:50]:
+            assert db.component_of(uid, doc)
+        # Tear down every document; only the independent images survive.
+        for document in corpus.documents:
+            if db.exists(document):
+                db.delete(document)
+        survivors = [inst for inst in db.live_instances()]
+        assert all(inst.class_name == "Image" for inst in survivors)
+        db.validate()
+
+    def test_deep_tree_no_recursion_limit(self):
+        # 600 levels deep: all traversals and the deletion cascade are
+        # iterative, so Python's recursion limit is never at risk.
+        db = Database()
+        db.make_class("Link", attributes=[
+            AttributeSpec("next", domain="Link", composite=True,
+                          exclusive=True, dependent=True),
+        ])
+        head = db.make("Link")
+        current = head
+        for _ in range(600):
+            current = db.make("Link", parents=[(current, "next")])
+        assert len(db.components_of(head)) == 600
+        assert len(db.ancestors_of(current)) == 600
+        assert db.roots_of(current) == [head]
+        report = db.delete(head)
+        assert report.deleted_count == 601
+        assert len(db) == 0
+
+    def test_wide_tree_operations(self):
+        db = Database()
+        tree = build_part_tree(db, depth=2, fanout=40)  # 1 + 40 + 1600
+        assert tree.size == 1641
+        assert len(db.components_of(tree.root)) == 1640
+        assert len(db.components_of(tree.root, level=1)) == 40
+        db.validate()
+
+    def test_serializer_on_large_instance(self):
+        from repro.storage.serializer import decode_instance, encode_instance
+
+        db = Database()
+        db.make_class("Doc", attributes=[
+            AttributeSpec("Body", domain="string"),
+            AttributeSpec("Refs", domain=SetOf("Doc")),
+        ])
+        others = [db.make("Doc") for _ in range(500)]
+        big = db.make("Doc", values={"Body": "x" * 200_000, "Refs": others})
+        restored = decode_instance(encode_instance(db.resolve(big)))
+        assert restored.values["Body"] == "x" * 200_000
+        assert restored.values["Refs"] == others
+
+    @pytest.mark.parametrize("buffer_capacity", [4, 64])
+    def test_paged_database_at_scale(self, buffer_capacity):
+        db = Database(paged=True, buffer_capacity=buffer_capacity)
+        build_corpus(db, documents=40, share_ratio=0.3, seed=5)
+        # Every record survives a cold-cache read-back.
+        db.store.drop_cache()
+        for instance in list(db.live_instances())[:200]:
+            stored = db.store.read(instance.uid)
+            assert stored.values == instance.values

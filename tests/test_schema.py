@@ -1,0 +1,290 @@
+"""Tests for attribute specs, class definitions, and the class lattice."""
+
+import pytest
+
+from repro import AttributeSpec, SetOf
+from repro.errors import (
+    ClassDefinitionError,
+    UnknownAttributeError,
+    UnknownClassError,
+)
+from repro.schema.classdef import ClassDef
+from repro.schema.lattice import ROOT_CLASS, ClassLattice
+
+
+class TestAttributeSpec:
+    def test_defaults_match_paper(self):
+        # ":exclusive and :dependent default to True to be compatible with
+        # the semantics of composite objects currently supported in ORION."
+        spec = AttributeSpec("Body", domain="AutoBody", composite=True)
+        assert spec.exclusive and spec.dependent
+
+    def test_noncomposite_by_default(self):
+        assert not AttributeSpec("Color", domain="string").is_composite
+
+    def test_primitive_composite_rejected(self):
+        with pytest.raises(ClassDefinitionError):
+            AttributeSpec("Color", domain="string", composite=True)
+
+    def test_set_of_primitive_composite_rejected(self):
+        with pytest.raises(ClassDefinitionError):
+            AttributeSpec("Names", domain=SetOf("string"), composite=True)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ClassDefinitionError):
+            AttributeSpec("has space", domain="string")
+
+    def test_set_domain(self):
+        spec = AttributeSpec("Tires", domain=SetOf("AutoTires"))
+        assert spec.is_set and spec.domain_class == "AutoTires"
+
+    def test_kind_properties(self):
+        shared = AttributeSpec(
+            "Sections", domain=SetOf("Section"),
+            composite=True, exclusive=False, dependent=True,
+        )
+        assert shared.is_shared_composite
+        assert shared.is_dependent_composite
+        assert not shared.is_exclusive_composite
+
+    def test_primitive_acceptance(self):
+        spec = AttributeSpec("N", domain="integer")
+        assert spec.accepts_primitive(5)
+        assert spec.accepts_primitive(None)
+        assert not spec.accepts_primitive("five")
+        assert not spec.accepts_primitive(True)  # bool is not an integer here
+
+    def test_float_accepts_int(self):
+        assert AttributeSpec("F", domain="float").accepts_primitive(3)
+
+    def test_any_accepts_everything(self):
+        spec = AttributeSpec("A", domain="any")
+        assert spec.accepts_primitive("x") and spec.accepts_primitive(1.5)
+
+    def test_evolved_copy(self):
+        spec = AttributeSpec("B", domain="Body", composite=True)
+        shared = spec.evolved(exclusive=False)
+        assert shared.is_shared_composite and spec.is_exclusive_composite
+
+    def test_describe_orion_syntax(self):
+        spec = AttributeSpec(
+            "Body", domain="AutoBody", composite=True, dependent=False
+        )
+        text = spec.describe()
+        assert ":composite true" in text and ":dependent nil" in text
+
+
+class TestClassDef:
+    def test_duplicate_attribute_rejected_via_make_class(self):
+        from repro import Database
+
+        database = Database()
+        with pytest.raises(ClassDefinitionError):
+            database.make_class(
+                "C",
+                attributes=[
+                    AttributeSpec("A", domain="string"),
+                    AttributeSpec("A", domain="integer"),
+                ],
+            )
+
+    def test_self_inheritance_rejected(self):
+        with pytest.raises(ClassDefinitionError):
+            ClassDef(name="C", superclasses=("C",))
+
+    def test_predicates(self):
+        classdef = ClassDef(
+            name="Document",
+            local={
+                "Title": AttributeSpec("Title", domain="string"),
+                "Sections": AttributeSpec(
+                    "Sections", domain=SetOf("Section"),
+                    composite=True, exclusive=False, dependent=True,
+                ),
+                "Annotations": AttributeSpec(
+                    "Annotations", domain=SetOf("Paragraph"),
+                    composite=True, exclusive=True, dependent=True,
+                ),
+            },
+        )
+        assert classdef.compositep()
+        assert classdef.compositep("Sections")
+        assert not classdef.compositep("Title")
+        assert classdef.exclusive_compositep("Annotations")
+        assert not classdef.exclusive_compositep("Sections")
+        assert classdef.shared_compositep("Sections")
+        assert classdef.dependent_compositep()
+        assert classdef.dependent_compositep("Sections")
+
+    def test_unknown_attribute(self):
+        classdef = ClassDef(name="C")
+        with pytest.raises(UnknownAttributeError):
+            classdef.attribute("nope")
+
+    def test_describe_contains_make_class(self):
+        classdef = ClassDef(name="Vehicle")
+        assert "make-class 'Vehicle" in classdef.describe()
+
+    def test_default_segment_per_class(self):
+        assert ClassDef(name="C").segment == "seg:C"
+
+
+class TestClassLattice:
+    def _lattice(self):
+        lattice = ClassLattice()
+        lattice.define(ClassDef(name="A", local={
+            "x": AttributeSpec("x", domain="string", init="ax"),
+        }))
+        lattice.define(ClassDef(name="B", local={
+            "x": AttributeSpec("x", domain="string", init="bx"),
+            "y": AttributeSpec("y", domain="integer"),
+        }))
+        lattice.define(ClassDef(name="AB", superclasses=("A", "B")))
+        lattice.define(ClassDef(name="AB2", superclasses=("AB",)))
+        return lattice
+
+    def test_root_exists(self):
+        assert ROOT_CLASS in ClassLattice()
+
+    def test_define_and_get(self):
+        lattice = self._lattice()
+        assert lattice.get("A").name == "A"
+
+    def test_redefinition_rejected(self):
+        lattice = self._lattice()
+        with pytest.raises(ClassDefinitionError):
+            lattice.define(ClassDef(name="A"))
+
+    def test_primitive_name_rejected(self):
+        with pytest.raises(ClassDefinitionError):
+            ClassLattice().define(ClassDef(name="integer"))
+
+    def test_unknown_superclass(self):
+        with pytest.raises(UnknownClassError):
+            ClassLattice().define(ClassDef(name="C", superclasses=("Nope",)))
+
+    def test_unknown_class(self):
+        with pytest.raises(UnknownClassError):
+            ClassLattice().get("Nope")
+
+    def test_default_superclass_is_root(self):
+        lattice = self._lattice()
+        assert lattice.direct_superclasses("A") == [ROOT_CLASS]
+
+    def test_multiple_inheritance_first_wins(self):
+        lattice = self._lattice()
+        assert lattice.get("AB").attribute("x").init == "ax"
+        assert lattice.get("AB").attribute("y").domain == "integer"
+
+    def test_transitive_inheritance(self):
+        lattice = self._lattice()
+        assert lattice.get("AB2").has_attribute("x")
+        assert lattice.get("AB2").has_attribute("y")
+
+    def test_subclass_queries(self):
+        lattice = self._lattice()
+        assert lattice.direct_subclasses("A") == ["AB"]
+        assert lattice.all_subclasses("A") == ["AB", "AB2"]
+        assert lattice.is_subclass("AB2", "A")
+        assert lattice.is_subclass("AB2", "B")
+        assert not lattice.is_subclass("A", "AB2")
+        assert lattice.is_subclass("A", "A")
+
+    def test_class_hierarchy_scope(self):
+        lattice = self._lattice()
+        assert lattice.class_hierarchy_scope("A") == ["A", "AB", "AB2"]
+
+    def test_all_superclasses_nearest_first(self):
+        lattice = self._lattice()
+        supers = lattice.all_superclasses("AB2")
+        assert supers[0] == "AB"
+        assert set(supers) == {"AB", "A", "B", ROOT_CLASS}
+
+    def test_remove_reattaches_subclasses(self):
+        lattice = self._lattice()
+        lattice.remove("AB")
+        assert "AB" not in lattice
+        assert set(lattice.direct_superclasses("AB2")) == {"A", "B"}
+        # AB2 still sees inherited attributes through A and B.
+        assert lattice.get("AB2").has_attribute("x")
+        assert lattice.get("AB2").has_attribute("y")
+
+    def test_remove_root_rejected(self):
+        with pytest.raises(ClassDefinitionError):
+            ClassLattice().remove(ROOT_CLASS)
+
+    def test_local_override(self):
+        lattice = self._lattice()
+        lattice.define(
+            ClassDef(
+                name="A2",
+                superclasses=("A",),
+                local={"x": AttributeSpec("x", domain="string", init="override")},
+            )
+        )
+        assert lattice.get("A2").attribute("x").init == "override"
+
+    def test_inherit_from_preference(self):
+        lattice = self._lattice()
+        lattice.define(
+            ClassDef(
+                name="ABpick",
+                superclasses=("A", "B"),
+                local={
+                    "x": AttributeSpec(
+                        "x", domain="string", init="bx", inherit_from="B"
+                    )
+                },
+            )
+        )
+        assert lattice.get("ABpick").attribute("x").init == "bx"
+
+
+class TestCompositeClassHierarchy:
+    def _lattice(self):
+        lattice = ClassLattice()
+        lattice.define(ClassDef(name="W"))
+        lattice.define(ClassDef(name="C", local={
+            "w": AttributeSpec("w", domain="W", composite=True),
+        }))
+        lattice.define(ClassDef(name="I", local={
+            "c": AttributeSpec("c", domain="C", composite=True),
+            "note": AttributeSpec("note", domain="string"),
+        }))
+        lattice.define(ClassDef(name="K", local={
+            "cs": AttributeSpec(
+                "cs", domain=SetOf("C"), composite=True, exclusive=False,
+                dependent=False,
+            ),
+        }))
+        return lattice
+
+    def test_component_classes(self):
+        lattice = self._lattice()
+        assert lattice.component_classes("I") == ["C", "W"]
+        assert lattice.component_classes("K") == ["C", "W"]
+        assert lattice.component_classes("W") == []
+
+    def test_links_carry_reference_semantics(self):
+        lattice = self._lattice()
+        links = {(l.owner, l.component): l for l in lattice.composite_class_hierarchy("K")}
+        assert links[("K", "C")].exclusive is False
+        assert links[("C", "W")].exclusive is True
+
+    def test_weak_attributes_excluded(self):
+        lattice = self._lattice()
+        assert all(l.attribute != "note" for l in lattice.composite_class_hierarchy("I"))
+
+    def test_recursive_schema_terminates(self):
+        lattice = ClassLattice()
+        lattice.define(ClassDef(name="Part", local={
+            "sub": AttributeSpec("sub", domain=SetOf("Part"), composite=True),
+        }))
+        edges = lattice.composite_class_hierarchy("Part")
+        assert len(edges) == 1
+        assert edges[0].component == "Part"
+
+    def test_domain_dependents(self):
+        lattice = self._lattice()
+        owners = lattice.domain_dependents("C")
+        assert ("I", "c") in owners and ("K", "cs") in owners

@@ -1,0 +1,291 @@
+"""Tests for the storage substrate: serializer, pages, buffer pool,
+segments, object store, clustering."""
+
+import pytest
+
+from repro import AttributeSpec, Database, SetOf
+from repro.core.identity import UID
+from repro.core.instance import Instance
+from repro.errors import PageFullError, SerializationError, UnknownObjectError
+from repro.storage.buffer import BufferPool, PageFile
+from repro.storage.clustering import ClusteringPolicy, shared_segment
+from repro.storage.page import Page
+from repro.storage.serializer import decode_instance, encode_instance
+from repro.storage.store import ObjectStore
+
+
+class TestSerializer:
+    def _roundtrip(self, instance):
+        return decode_instance(encode_instance(instance))
+
+    def test_values_roundtrip(self):
+        original = Instance(UID(5, "C"), "C", {
+            "i": 42, "f": 3.25, "s": "hello", "b": True, "n": None,
+            "neg": -7, "list": [1, "two", None, UID(9, "D")],
+        }, change_count=3)
+        restored = self._roundtrip(original)
+        assert restored.uid == original.uid
+        assert restored.class_name == "C"
+        assert restored.values == original.values
+        assert restored.change_count == 3
+
+    def test_reverse_references_roundtrip(self):
+        original = Instance(UID(1, "C"), "C")
+        original.add_reverse_reference(UID(2, "P"), True, False, "kids")
+        original.add_reverse_reference(UID(3, "Q"), False, True, "main")
+        restored = self._roundtrip(original)
+        assert restored.reverse_references == original.reverse_references
+
+    def test_uid_roundtrip_preserves_class(self):
+        original = Instance(UID(1, "C"), "C", {"ref": UID(77, "Other")})
+        restored = self._roundtrip(original)
+        assert restored.values["ref"].class_name == "Other"
+
+    def test_unicode_strings(self):
+        original = Instance(UID(1, "C"), "C", {"s": "héllo wörld ¬"})
+        assert self._roundtrip(original).values["s"] == "héllo wörld ¬"
+
+    def test_nested_lists(self):
+        original = Instance(UID(1, "C"), "C", {"ll": [[1, 2], ["a"]]})
+        assert self._roundtrip(original).values["ll"] == [[1, 2], ["a"]]
+
+    def test_unsupported_type_rejected(self):
+        bad = Instance(UID(1, "C"), "C", {"x": object()})
+        with pytest.raises(SerializationError):
+            encode_instance(bad)
+
+    def test_truncated_record_rejected(self):
+        data = encode_instance(Instance(UID(1, "C"), "C", {"x": 42}))
+        with pytest.raises(SerializationError):
+            decode_instance(data[: len(data) // 2])
+
+    def test_not_an_instance_record(self):
+        with pytest.raises(SerializationError):
+            decode_instance(b"Zjunk")
+
+
+class TestPage:
+    def test_insert_read_delete(self):
+        page = Page(0, "seg", capacity=256)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+        page.delete(slot)
+        with pytest.raises(KeyError):
+            page.read(slot)
+
+    def test_free_space_accounting(self):
+        page = Page(0, "seg", capacity=256)
+        before = page.free_space
+        slot = page.insert(b"x" * 50)
+        assert page.free_space == before - 50 - 8
+        page.delete(slot)
+        assert page.free_space == before
+
+    def test_page_full(self):
+        page = Page(0, "seg", capacity=64)
+        page.insert(b"x" * 40)
+        with pytest.raises(PageFullError):
+            page.insert(b"y" * 40)
+
+    def test_fits(self):
+        page = Page(0, "seg", capacity=64)
+        assert page.fits(40)
+        assert not page.fits(64)
+
+    def test_update_in_place(self):
+        page = Page(0, "seg", capacity=256)
+        slot = page.insert(b"short")
+        page.update(slot, b"a-bit-longer-record")
+        assert page.read(slot) == b"a-bit-longer-record"
+
+    def test_update_overflow(self):
+        page = Page(0, "seg", capacity=64)
+        slot = page.insert(b"x" * 30)
+        with pytest.raises(PageFullError):
+            page.update(slot, b"y" * 60)
+
+
+class TestBufferPool:
+    def test_hit_and_fault_counting(self):
+        pool = BufferPool(PageFile(), capacity=2)
+        p0 = pool.new_page("seg", 256)
+        pool.pin(p0.page_id)
+        assert pool.stats.buffer_hits == 1
+        assert pool.stats.page_faults == 0
+
+    def test_lru_eviction(self):
+        file = PageFile()
+        pool = BufferPool(file, capacity=2)
+        pages = [pool.new_page("seg", 256) for _ in range(3)]
+        # p0 was evicted when p2 was admitted.
+        assert not pool.resident(pages[0].page_id)
+        pool.pin(pages[0].page_id)
+        assert pool.stats.page_faults == 1
+
+    def test_dirty_eviction_counts_write(self):
+        file = PageFile()
+        pool = BufferPool(file, capacity=1)
+        p0 = pool.new_page("seg", 256)
+        pool.mark_dirty(p0.page_id)
+        pool.new_page("seg", 256)  # evicts dirty p0
+        assert pool.stats.page_writes >= 1
+
+    def test_flush(self):
+        pool = BufferPool(PageFile(), capacity=4)
+        p0 = pool.new_page("seg", 256)
+        pool.mark_dirty(p0.page_id)
+        pool.flush()
+        assert pool.stats.page_writes >= 1
+
+    def test_zero_capacity_all_faults(self):
+        file = PageFile()
+        pool = BufferPool(file, capacity=0)
+        p0 = pool.new_page("seg", 256)
+        pool.pin(p0.page_id)
+        pool.pin(p0.page_id)
+        assert pool.stats.page_faults == 2
+
+    def test_hit_ratio(self):
+        pool = BufferPool(PageFile(), capacity=4)
+        p0 = pool.new_page("seg", 256)
+        pool.pin(p0.page_id)
+        pool.pin(p0.page_id)
+        assert pool.stats.hit_ratio == 1.0
+
+
+class TestObjectStore:
+    def _instance(self, n, text="data"):
+        return Instance(UID(n, "C"), "C", {"text": text})
+
+    def test_write_read_roundtrip(self):
+        store = ObjectStore()
+        inst = self._instance(1)
+        store.write(inst, "seg:C")
+        assert store.read(inst.uid).values == {"text": "data"}
+
+    def test_unknown_read(self):
+        store = ObjectStore()
+        with pytest.raises(UnknownObjectError):
+            store.read(UID(9, "C"))
+
+    def test_update_in_place(self):
+        store = ObjectStore()
+        inst = self._instance(1)
+        page_a, _ = store.write(inst, "seg:C")
+        inst.set("text", "updated")
+        page_b, _ = store.write(inst, "seg:C")
+        assert page_a == page_b
+        assert store.read(inst.uid).values["text"] == "updated"
+
+    def test_grown_record_relocates(self):
+        store = ObjectStore()
+        inst = self._instance(1, text="small")
+        store.write(inst, "seg:C")
+        inst.set("text", "x" * 8000)  # larger than a page
+        store.write(inst, "seg:C")
+        assert store.read(inst.uid).values["text"] == "x" * 8000
+
+    def test_delete(self):
+        store = ObjectStore()
+        inst = self._instance(1)
+        store.write(inst, "seg:C")
+        assert store.delete(inst.uid)
+        assert inst.uid not in store
+        assert not store.delete(inst.uid)
+
+    def test_clustering_hint_places_near(self):
+        store = ObjectStore()
+        parent = self._instance(1)
+        store.write(parent, "seg:shared")
+        child = self._instance(2)
+        store.write(child, "seg:shared", near_uid=parent.uid)
+        assert store.page_of(child.uid) == store.page_of(parent.uid)
+
+    def test_hint_across_segments_ignored(self):
+        store = ObjectStore()
+        parent = self._instance(1)
+        store.write(parent, "seg:A")
+        child = self._instance(2)
+        store.write(child, "seg:B", near_uid=parent.uid)
+        assert store.page_of(child.uid) != store.page_of(parent.uid)
+
+    def test_cold_cache_faults(self):
+        store = ObjectStore(buffer_capacity=4)
+        instances = [self._instance(n) for n in range(1, 20)]
+        for inst in instances:
+            store.write(inst, "seg:C")
+        store.drop_cache()
+        store.stats.reset()
+        for inst in instances:
+            store.read(inst.uid)
+        assert store.stats.page_faults > 0
+
+
+class TestClusteringPolicy:
+    def test_first_parent_same_segment(self):
+        database = Database()
+        database.make_class("A", segment="seg:shared")
+        database.make_class("B", segment="seg:shared")
+        policy = ClusteringPolicy(database.lattice, mode="parent")
+        parent_uid = UID(1, "A")
+        segment, near = policy.placement("B", [parent_uid])
+        assert segment == "seg:shared" and near == parent_uid
+
+    def test_cross_segment_hint_dropped(self):
+        database = Database()
+        database.make_class("A")
+        database.make_class("B")
+        policy = ClusteringPolicy(database.lattice, mode="parent")
+        segment, near = policy.placement("B", [UID(1, "A")])
+        assert near is None
+
+    def test_mode_none_ignores_parents(self):
+        database = Database()
+        database.make_class("A", segment="s")
+        database.make_class("B", segment="s")
+        policy = ClusteringPolicy(database.lattice, mode="none")
+        _, near = policy.placement("B", [UID(1, "A")])
+        assert near is None
+
+    def test_unknown_mode_rejected(self):
+        database = Database()
+        with pytest.raises(ValueError):
+            ClusteringPolicy(database.lattice, mode="magic")
+
+    def test_shared_segment_helper(self):
+        database = Database()
+        database.make_class("A")
+        database.make_class("B")
+        shared_segment(database.lattice, ["A", "B"], "seg:x")
+        assert database.classdef("A").segment == "seg:x"
+        assert database.classdef("B").segment == "seg:x"
+
+
+class TestPagedDatabase:
+    def test_write_through_and_mirror(self):
+        database = Database(paged=True)
+        database.make_class("Leaf")
+        database.make_class("Box", attributes=[
+            AttributeSpec("L", domain=SetOf("Leaf"), composite=True),
+        ])
+        box = database.make("Box")
+        leaf = database.make("Leaf", parents=[(box, "L")])
+        stored = database.store.read(leaf)
+        assert stored.reverse_references[0].parent == box
+
+    def test_delete_removes_record(self):
+        database = Database(paged=True)
+        database.make_class("Leaf")
+        leaf = database.make("Leaf")
+        database.delete(leaf)
+        assert leaf not in database.store
+
+    def test_parent_clustering_end_to_end(self):
+        database = Database(paged=True)
+        database.make_class("Leaf", segment="seg:tree")
+        database.make_class("Box", segment="seg:tree", attributes=[
+            AttributeSpec("L", domain=SetOf("Leaf"), composite=True),
+        ])
+        box = database.make("Box")
+        leaf = database.make("Leaf", parents=[(box, "L")])
+        assert database.store.page_of(leaf) == database.store.page_of(box)

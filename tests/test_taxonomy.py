@@ -1,0 +1,223 @@
+"""Tests for the rest of the [BANE87b] schema-evolution taxonomy."""
+
+import pytest
+
+from repro import AttributeSpec, Database, SetOf
+from repro.errors import ClassDefinitionError, SchemaEvolutionError
+from repro.schema.evolution import SchemaEvolutionManager
+
+
+@pytest.fixture
+def env():
+    database = Database()
+    manager = SchemaEvolutionManager(database)
+    database.make_class("Part")
+    database.make_class("Widget", attributes=[
+        AttributeSpec("Piece", domain="Part", composite=True,
+                      exclusive=True, dependent=True),
+        AttributeSpec("Label", domain="string", init="unnamed"),
+    ])
+    database.make_class("SubWidget", superclasses=["Widget"])
+    return database, manager
+
+
+class TestAddAttribute:
+    def test_existing_instances_get_default(self, env):
+        database, manager = env
+        widget = database.make("Widget")
+        manager.add_attribute("Widget", AttributeSpec("Mass", domain="integer",
+                                                      init=7))
+        assert database.value(widget, "Mass") == 7
+
+    def test_set_attribute_gets_empty_set(self, env):
+        database, manager = env
+        widget = database.make("Widget")
+        manager.add_attribute("Widget",
+                              AttributeSpec("Tags", domain=SetOf("string")))
+        assert database.value(widget, "Tags") == []
+
+    def test_subclass_instances_covered(self, env):
+        database, manager = env
+        sub = database.make("SubWidget")
+        manager.add_attribute("Widget", AttributeSpec("Mass", domain="integer",
+                                                      init=3))
+        assert database.value(sub, "Mass") == 3
+        assert database.classdef("SubWidget").has_attribute("Mass")
+
+    def test_duplicate_rejected(self, env):
+        database, manager = env
+        with pytest.raises(SchemaEvolutionError):
+            manager.add_attribute("Widget", AttributeSpec("Label",
+                                                          domain="string"))
+
+    def test_add_composite_attribute_usable(self, env):
+        database, manager = env
+        manager.add_attribute("Widget", AttributeSpec(
+            "Extra", domain=SetOf("Part"), composite=True, exclusive=False,
+            dependent=False))
+        widget = database.make("Widget")
+        part = database.make("Part")
+        database.insert_into(widget, "Extra", part)
+        assert database.parents_of(part) == [widget]
+        database.validate()
+
+    def test_dict_spec_accepted(self, env):
+        database, manager = env
+        manager.add_attribute("Widget", {"name": "Note", "domain": "string"})
+        assert database.classdef("Widget").has_attribute("Note")
+
+
+class TestRenameAttribute:
+    def test_values_migrate(self, env):
+        database, manager = env
+        widget = database.make("Widget", values={"Label": "x"})
+        manager.rename_attribute("Widget", "Label", "Name")
+        assert database.value(widget, "Name") == "x"
+        assert not database.classdef("Widget").has_attribute("Label")
+
+    def test_reverse_references_patched(self, env):
+        database, manager = env
+        part = database.make("Part")
+        widget = database.make("Widget", values={"Piece": part})
+        manager.rename_attribute("Widget", "Piece", "MainPiece")
+        ref = database.resolve(part).reverse_references[0]
+        assert ref.attribute == "MainPiece"
+        database.validate()
+
+    def test_subclass_values_migrate(self, env):
+        database, manager = env
+        sub = database.make("SubWidget", values={"Label": "y"})
+        manager.rename_attribute("Widget", "Label", "Name")
+        assert database.value(sub, "Name") == "y"
+
+    def test_inherited_rename_rejected(self, env):
+        database, manager = env
+        with pytest.raises(SchemaEvolutionError):
+            manager.rename_attribute("SubWidget", "Label", "Name")
+
+    def test_collision_rejected(self, env):
+        database, manager = env
+        with pytest.raises(SchemaEvolutionError):
+            manager.rename_attribute("Widget", "Label", "Piece")
+
+    def test_operations_work_after_rename(self, env):
+        database, manager = env
+        part = database.make("Part")
+        widget = database.make("Widget", values={"Piece": part})
+        manager.rename_attribute("Widget", "Piece", "MainPiece")
+        assert database.components_of(widget) == [part]
+        report = database.delete(widget)
+        assert part in report.deleted  # dependent exclusive still cascades
+
+
+class TestChangeDefault:
+    def test_future_instances_only(self, env):
+        database, manager = env
+        before = database.make("Widget")
+        manager.change_default("Widget", "Label", "fresh")
+        after = database.make("Widget")
+        assert database.value(before, "Label") == "unnamed"
+        assert database.value(after, "Label") == "fresh"
+
+    def test_subclass_sees_new_default(self, env):
+        database, manager = env
+        manager.change_default("Widget", "Label", "fresh")
+        sub = database.make("SubWidget")
+        assert database.value(sub, "Label") == "fresh"
+
+    def test_change_via_subclass_updates_origin(self, env):
+        database, manager = env
+        manager.change_default("SubWidget", "Label", "fresh")
+        widget = database.make("Widget")
+        assert database.value(widget, "Label") == "fresh"
+
+
+class TestAddSuperclass:
+    def test_gains_attributes_with_defaults(self, env):
+        database, manager = env
+        database.make_class("Colored", attributes=[
+            AttributeSpec("Color", domain="string", init="red"),
+        ])
+        widget = database.make("Widget")
+        gained = manager.add_superclass("Widget", "Colored")
+        assert gained == ["Color"]
+        assert database.value(widget, "Color") == "red"
+        assert database.lattice.is_subclass("Widget", "Colored")
+
+    def test_existing_attributes_not_overridden(self, env):
+        database, manager = env
+        database.make_class("Labeled", attributes=[
+            AttributeSpec("Label", domain="string", init="other"),
+        ])
+        widget = database.make("Widget", values={"Label": "mine"})
+        gained = manager.add_superclass("Widget", "Labeled")
+        assert "Label" not in gained
+        assert database.value(widget, "Label") == "mine"
+
+    def test_cycle_rejected(self, env):
+        database, manager = env
+        with pytest.raises(ClassDefinitionError):
+            manager.add_superclass("Widget", "SubWidget")
+
+    def test_duplicate_rejected(self, env):
+        database, manager = env
+        database.make_class("Colored")
+        manager.add_superclass("Widget", "Colored")
+        with pytest.raises(SchemaEvolutionError):
+            manager.add_superclass("Widget", "Colored")
+
+    def test_then_remove_superclass_roundtrip(self, env):
+        database, manager = env
+        database.make_class("Colored", attributes=[
+            AttributeSpec("Color", domain="string"),
+        ])
+        manager.add_superclass("Widget", "Colored")
+        lost = manager.remove_superclass("Widget", "Colored")
+        assert lost == ["Color"]
+        assert not database.classdef("Widget").has_attribute("Color")
+
+
+class TestRenameClass:
+    def test_basic_rename(self, env):
+        database, manager = env
+        widget = database.make("Widget")
+        manager.rename_class("Widget", "Gadget")
+        assert "Gadget" in database.lattice
+        assert "Widget" not in database.lattice
+        assert database.peek(widget).class_name == "Gadget"
+        assert database.instances_of("Gadget")
+
+    def test_domains_follow(self, env):
+        database, manager = env
+        manager.rename_class("Part", "Component")
+        spec = database.classdef("Widget").attribute("Piece")
+        assert spec.domain_class == "Component"
+        part = database.make("Component")
+        widget = database.make("Widget", values={"Piece": part})
+        database.validate()
+
+    def test_subclasses_follow(self, env):
+        database, manager = env
+        manager.rename_class("Widget", "Gadget")
+        assert database.lattice.direct_superclasses("SubWidget") == ["Gadget"]
+        assert database.classdef("SubWidget").has_attribute("Label")
+
+    def test_collision_rejected(self, env):
+        database, manager = env
+        with pytest.raises(SchemaEvolutionError):
+            manager.rename_class("Widget", "Part")
+
+    def test_invalid_name_rejected(self, env):
+        database, manager = env
+        with pytest.raises(ClassDefinitionError):
+            manager.rename_class("Widget", "not a name")
+
+    def test_operations_after_rename(self, env):
+        database, manager = env
+        part = database.make("Part")
+        widget = database.make("Widget", values={"Piece": part})
+        manager.rename_class("Widget", "Gadget")
+        assert database.components_of(widget) == [part]
+        assert database.compositep("Gadget", "Piece")
+        # Class filters use the new name.
+        assert database.parents_of(part, classes=["Gadget"]) == [widget]

@@ -1,0 +1,202 @@
+"""Tests for Topology Rules 1-4 and the Make-Component Rule (paper 2.2)."""
+
+import pytest
+
+from repro import AttributeSpec, Database, SetOf, TopologyError
+from repro.core.identity import UID
+from repro.core.instance import Instance
+from repro.core.topology import (
+    check_attribute_change_feasible,
+    check_make_component,
+    check_topology_rules,
+)
+
+
+def _obj():
+    return Instance(UID(1, "C"), "C")
+
+
+def _add(obj, n, dependent, exclusive):
+    obj.add_reverse_reference(UID(n, "P"), dependent, exclusive, f"a{n}")
+
+
+class TestTopologyRules:
+    def test_empty_ok(self):
+        check_topology_rules(_obj())
+
+    def test_single_of_each_kind_ok(self):
+        for dependent, exclusive in [(True, True), (False, True),
+                                     (True, False), (False, False)]:
+            obj = _obj()
+            _add(obj, 10, dependent, exclusive)
+            check_topology_rules(obj)
+
+    def test_rule1_two_independent_exclusive(self):
+        obj = _obj()
+        _add(obj, 10, False, True)
+        _add(obj, 11, False, True)
+        with pytest.raises(TopologyError) as excinfo:
+            check_topology_rules(obj)
+        assert excinfo.value.rule == 1
+
+    def test_rule1_two_dependent_exclusive(self):
+        obj = _obj()
+        _add(obj, 10, True, True)
+        _add(obj, 11, True, True)
+        with pytest.raises(TopologyError) as excinfo:
+            check_topology_rules(obj)
+        assert excinfo.value.rule == 1
+
+    def test_rule2_mixed_exclusive(self):
+        obj = _obj()
+        _add(obj, 10, True, True)
+        _add(obj, 11, False, True)
+        with pytest.raises(TopologyError) as excinfo:
+            check_topology_rules(obj)
+        assert excinfo.value.rule == 2
+
+    def test_rule3_exclusive_plus_shared(self):
+        obj = _obj()
+        _add(obj, 10, True, True)
+        _add(obj, 11, True, False)
+        with pytest.raises(TopologyError) as excinfo:
+            check_topology_rules(obj)
+        assert excinfo.value.rule == 3
+
+    def test_many_shared_ok(self):
+        obj = _obj()
+        for n in range(10, 20):
+            _add(obj, n, n % 2 == 0, False)
+        check_topology_rules(obj)
+
+
+class TestMakeComponentRule:
+    def _spec(self, exclusive):
+        return AttributeSpec(
+            "kids", domain="C", composite=True, exclusive=exclusive
+        )
+
+    def test_exclusive_into_fresh_object(self):
+        check_make_component(_obj(), self._spec(True))
+
+    def test_exclusive_rejected_when_any_composite_ref(self):
+        obj = _obj()
+        _add(obj, 10, False, False)  # even a shared ref blocks exclusive
+        with pytest.raises(TopologyError):
+            check_make_component(obj, self._spec(True))
+
+    def test_shared_rejected_when_exclusive_ref(self):
+        obj = _obj()
+        _add(obj, 10, True, True)
+        with pytest.raises(TopologyError):
+            check_make_component(obj, self._spec(False))
+
+    def test_shared_allowed_when_shared_refs(self):
+        obj = _obj()
+        _add(obj, 10, False, False)
+        check_make_component(obj, self._spec(False))
+
+    def test_weak_attribute_unconstrained(self):
+        # Topology Rule 4: weak references are never constrained.
+        obj = _obj()
+        _add(obj, 10, True, True)
+        weak = AttributeSpec("ref", domain="C")
+        check_make_component(obj, weak)
+
+
+class TestRule4WeakReferences:
+    def test_weak_references_coexist_with_composite(self, db):
+        db.make_class("Leaf")
+        db.make_class("Holder", attributes=[
+            AttributeSpec("part", domain="Leaf", composite=True),
+            AttributeSpec("see_also", domain="Leaf"),
+        ])
+        leaf = db.make("Leaf")
+        h1 = db.make("Holder", values={"part": leaf, "see_also": leaf})
+        h2 = db.make("Holder", values={"see_also": leaf})
+        h3 = db.make("Holder", values={"see_also": leaf})
+        # One composite reference and any number of weak ones.
+        assert db.parents_of(leaf) == [h1]
+        assert db.value(h2, "see_also") == leaf and db.value(h3, "see_also") == leaf
+        db.validate()
+
+
+class TestAttributeChangeFeasibility:
+    def test_to_exclusive_needs_single_ref(self):
+        obj = _obj()
+        _add(obj, 10, False, False)
+        _add(obj, 11, False, False)
+        assert check_attribute_change_feasible(obj, to_exclusive=True) is not None
+
+    def test_to_exclusive_rejects_shared(self):
+        obj = _obj()
+        _add(obj, 10, False, False)
+        assert check_attribute_change_feasible(obj, to_exclusive=True) is not None
+
+    def test_to_shared_rejects_exclusive(self):
+        obj = _obj()
+        _add(obj, 10, False, True)
+        assert check_attribute_change_feasible(obj, to_exclusive=False) is not None
+
+    def test_clean_object_feasible_both_ways(self):
+        assert check_attribute_change_feasible(_obj(), to_exclusive=True) is None
+        assert check_attribute_change_feasible(_obj(), to_exclusive=False) is None
+
+
+class TestMultiParentTopology:
+    def test_multi_parent_make_requires_shared(self, db):
+        # Paper 2.3: simultaneous multiple composite parents must all be
+        # shared composite attributes (Topology Rule 3).
+        db.make_class("Item")
+        db.make_class("ExclusiveOwner", attributes=[
+            AttributeSpec("kids", domain=SetOf("Item"), composite=True,
+                          exclusive=True),
+        ])
+        db.make_class("SharedOwner", attributes=[
+            AttributeSpec("kids", domain=SetOf("Item"), composite=True,
+                          exclusive=False),
+        ])
+        e = db.make("ExclusiveOwner")
+        s = db.make("SharedOwner")
+        with pytest.raises(TopologyError):
+            db.make("Item", parents=[(e, "kids"), (s, "kids")])
+        # Nothing was created or wired by the failed make.
+        assert db.value(e, "kids") == [] and db.value(s, "kids") == []
+        db.validate()
+
+    def test_multi_shared_parents_ok(self, db):
+        db.make_class("Item")
+        db.make_class("SharedOwner", attributes=[
+            AttributeSpec("kids", domain=SetOf("Item"), composite=True,
+                          exclusive=False),
+        ])
+        s1, s2, s3 = (db.make("SharedOwner") for _ in range(3))
+        item = db.make("Item", parents=[(s1, "kids"), (s2, "kids"), (s3, "kids")])
+        assert set(db.parents_of(item)) == {s1, s2, s3}
+        db.validate()
+
+    def test_one_exclusive_parent_ok(self, db):
+        db.make_class("Item")
+        db.make_class("ExclusiveOwner", attributes=[
+            AttributeSpec("kids", domain=SetOf("Item"), composite=True,
+                          exclusive=True),
+        ])
+        e = db.make("ExclusiveOwner")
+        item = db.make("Item", parents=[(e, "kids")])
+        assert db.parents_of(item) == [e]
+
+    def test_weak_parent_pairs_not_constrained(self, db):
+        db.make_class("Item")
+        db.make_class("WeakOwner", attributes=[
+            AttributeSpec("refs", domain=SetOf("Item")),
+        ])
+        db.make_class("ExclusiveOwner", attributes=[
+            AttributeSpec("kids", domain=SetOf("Item"), composite=True,
+                          exclusive=True),
+        ])
+        w = db.make("WeakOwner")
+        e = db.make("ExclusiveOwner")
+        # One composite + one weak parent pair is fine.
+        item = db.make("Item", parents=[(e, "kids"), (w, "refs")])
+        assert db.parents_of(item) == [e]
+        assert db.value(w, "refs") == [item]

@@ -1,0 +1,424 @@
+"""Tests for the version subsystem (paper Section 5, Figures 1-3)."""
+
+import pytest
+
+from repro import AttributeSpec, Database, NotVersionableError, SetOf, VersionError
+from repro.errors import TopologyError, VersionTopologyError
+from repro.versions import VersionManager
+
+
+@pytest.fixture
+def vdb():
+    database = Database()
+    database.make_class("B", versionable=True, attributes=[
+        AttributeSpec("data", domain="string"),
+    ])
+    database.make_class("A", versionable=True, attributes=[
+        AttributeSpec("b", domain="B", composite=True, exclusive=True,
+                      dependent=False),
+        AttributeSpec("note", domain="string"),
+    ])
+    database.make_class("Plain")
+    manager = VersionManager(database)
+    return database, manager
+
+
+class TestRegistryBasics:
+    def test_create_returns_generic_and_version(self, vdb):
+        database, manager = vdb
+        generic, version = manager.create("B", values={"data": "v0"})
+        assert manager.registry.is_generic(generic)
+        assert manager.registry.is_version(version)
+        assert manager.registry.generic_of(version) == generic
+        assert database.value(version, "data") == "v0"
+
+    def test_nonversionable_class_rejected(self, vdb):
+        database, manager = vdb
+        with pytest.raises(NotVersionableError):
+            manager.create("Plain")
+
+    def test_version_numbers_monotonic(self, vdb):
+        database, manager = vdb
+        generic, v0 = manager.create("B")
+        v1 = manager.derive(v0).new_version
+        v2 = manager.derive(v1).new_version
+        info = manager.registry
+        assert info.version_info(v0).number == 1
+        assert info.version_info(v1).number == 2
+        assert info.version_info(v2).number == 3
+
+    def test_derivation_tree(self, vdb):
+        database, manager = vdb
+        generic, v0 = manager.create("B")
+        v1 = manager.derive(v0).new_version
+        v2 = manager.derive(v0).new_version  # branch
+        tree = manager.registry.derivation_tree(generic)
+        assert (None, v0) in tree and (v0, v1) in tree and (v0, v2) in tree
+
+    def test_hierarchy_key(self, vdb):
+        database, manager = vdb
+        generic, v0 = manager.create("B")
+        plain = database.make("Plain")
+        registry = manager.registry
+        assert registry.hierarchy_key(generic) == generic
+        assert registry.hierarchy_key(v0) == generic
+        assert registry.hierarchy_key(plain) == plain
+
+
+class TestDefaultVersions:
+    def test_system_default_is_latest(self, vdb):
+        database, manager = vdb
+        generic, v0 = manager.create("B")
+        v1 = manager.derive(v0).new_version
+        assert manager.default_version(generic) == v1
+
+    def test_user_default_overrides(self, vdb):
+        database, manager = vdb
+        generic, v0 = manager.create("B")
+        v1 = manager.derive(v0).new_version
+        manager.set_default(generic, v0)
+        assert manager.default_version(generic) == v0
+        manager.set_default(generic, None)
+        assert manager.default_version(generic) == v1
+
+    def test_default_must_be_a_version(self, vdb):
+        database, manager = vdb
+        generic, v0 = manager.create("B")
+        other_generic, other_v = manager.create("B")
+        with pytest.raises(VersionError):
+            manager.set_default(generic, other_v)
+
+    def test_dereference(self, vdb):
+        database, manager = vdb
+        generic, v0 = manager.create("B")
+        assert manager.dereference(generic) == v0
+        assert manager.dereference(v0) == v0
+
+    def test_resolve_value_dynamic(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": gb})  # dynamic binding
+        assert manager.is_dynamically_bound(a0, "b")
+        assert manager.resolve_value(a0, "b") == b0
+        b1 = manager.derive(b0).new_version
+        assert manager.resolve_value(a0, "b") == b1  # default moved
+
+
+class TestFigure1Derivation:
+    def test_independent_exclusive_rebinds_to_generic(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": b0})  # static binding
+        report = manager.derive(a0)
+        assert database.value(report.new_version, "b") == gb
+        assert report.rebound["b"] == [(b0, gb)]
+
+    def test_dependent_reference_set_to_nil(self):
+        database = Database()
+        database.make_class("D", versionable=True)
+        database.make_class("C", versionable=True, attributes=[
+            AttributeSpec("d", domain="D", composite=True, exclusive=True,
+                          dependent=True),
+        ])
+        manager = VersionManager(database)
+        gd, d0 = manager.create("D")
+        gc, c0 = manager.create("C", values={"d": d0})
+        report = manager.derive(c0)
+        assert database.value(report.new_version, "d") is None
+        assert report.nilled["d"] == [d0]
+
+    def test_independent_shared_static_kept(self):
+        database = Database()
+        database.make_class("D", versionable=True)
+        database.make_class("C", versionable=True, attributes=[
+            AttributeSpec("ds", domain=SetOf("D"), composite=True,
+                          exclusive=False, dependent=False),
+        ])
+        manager = VersionManager(database)
+        gd, d0 = manager.create("D")
+        gc, c0 = manager.create("C", values={"ds": [d0]})
+        report = manager.derive(c0)
+        assert database.value(report.new_version, "ds") == [d0]
+        assert report.kept_static["ds"] == [d0]
+
+    def test_dynamic_reference_kept(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": gb})
+        report = manager.derive(a0)
+        assert database.value(report.new_version, "b") == gb
+        assert report.kept_dynamic["b"] == [gb]
+
+    def test_exclusive_to_nonversionable_nilled(self):
+        database = Database()
+        database.make_class("P")
+        database.make_class("C", versionable=True, attributes=[
+            AttributeSpec("p", domain="P", composite=True, exclusive=True,
+                          dependent=False),
+        ])
+        manager = VersionManager(database)
+        p = database.make("P")
+        gc, c0 = manager.create("C", values={"p": p})
+        report = manager.derive(c0)
+        assert database.value(report.new_version, "p") is None
+        assert report.nilled["p"] == [p]
+
+    def test_non_composite_values_copied(self, vdb):
+        database, manager = vdb
+        ga, a0 = manager.create("A", values={"note": "hello"})
+        new = manager.derive(a0).new_version
+        assert database.value(new, "note") == "hello"
+
+    def test_overrides_apply(self, vdb):
+        database, manager = vdb
+        ga, a0 = manager.create("A", values={"note": "old"})
+        new = manager.derive(a0, overrides={"note": "new"}).new_version
+        assert database.value(new, "note") == "new"
+
+
+class TestCV2X:
+    def test_version_instance_single_exclusive_ref(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": b0})
+        ga2, a2_0 = manager.create("A")
+        with pytest.raises(TopologyError):
+            database.set_value(a2_0, "b", b0)
+
+    def test_generic_exclusive_refs_same_hierarchy_only(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": gb})
+        a1 = manager.derive(a0).new_version
+        database.set_value(a1, "b", gb)  # same hierarchy: allowed
+        gc, c0 = manager.create("A")
+        with pytest.raises(VersionTopologyError):
+            database.set_value(c0, "b", gb)  # different hierarchy
+
+    def test_generic_shared_refs_unconstrained(self):
+        database = Database()
+        database.make_class("D", versionable=True)
+        database.make_class("C", versionable=True, attributes=[
+            AttributeSpec("ds", domain=SetOf("D"), composite=True,
+                          exclusive=False, dependent=False),
+        ])
+        manager = VersionManager(database)
+        gd, d0 = manager.create("D")
+        for _ in range(3):
+            gc, c0 = manager.create("C", values={"ds": [gd]})
+        assert len(manager.generic_parents(gd)) == 3
+
+    def test_cv3x_corollary_across_objects(self, vdb):
+        # Versions of different objects may not hold exclusive references
+        # to different versions of the same object.
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        b1 = manager.derive(b0).new_version
+        ga, a0 = manager.create("A", values={"b": b0})
+        gc, c0 = manager.create("A")
+        with pytest.raises(VersionTopologyError):
+            database.set_value(c0, "b", b1)
+
+
+class TestFigure3RefCounts:
+    def test_counts_aggregate_static_and_dynamic(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": b0})
+        a1 = manager.derive(a0).new_version  # rebinds to gb
+        a2 = manager.derive(a1).new_version  # keeps dynamic gb
+        assert manager.ref_count(ga, "b", gb) == 3
+
+    def test_decrement_and_removal(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": b0})
+        a1 = manager.derive(a0).new_version
+        database.set_value(a0, "b", None)
+        assert manager.ref_count(ga, "b", gb) == 1
+        database.set_value(a1, "b", None)
+        assert manager.ref_count(ga, "b", gb) == 0
+        assert manager.generic_parents(gb) == []
+
+    def test_generic_parents_reproduces_figure3b(self, vdb):
+        # parents-of on the generic b1 yields a1 even when all composite
+        # references are statically bound.
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": b0})
+        assert manager.generic_parents(gb) == [ga]
+
+    def test_generic_links_flags(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": b0})
+        links = manager.generic_links(gb)
+        assert len(links) == 1
+        link, count = links[0]
+        assert link.source == ga and link.exclusive and not link.dependent
+        assert count == 1
+
+    def test_nonversionable_parent_key_is_itself(self, vdb):
+        database, manager = vdb
+        database.make_class("Holder", attributes=[
+            AttributeSpec("b", domain="B", composite=True, exclusive=False,
+                          dependent=False),
+        ])
+        gb, b0 = manager.create("B")
+        holder = database.make("Holder", values={"b": b0})
+        assert manager.generic_parents(gb) == [holder]
+
+
+class TestCV4XDeletion:
+    def test_delete_nonlast_version_keeps_generic(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        b1 = manager.derive(b0).new_version
+        manager.delete_version(b0)
+        assert manager.registry.is_generic(gb)
+        assert database.exists(b1)
+        assert not database.exists(b0)
+
+    def test_delete_last_version_deletes_generic(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        manager.delete_version(b0)
+        assert not manager.registry.is_generic(gb)
+        assert not database.exists(gb)
+
+    def test_generic_deletion_spares_independent_exclusive_targets(self, vdb):
+        # A.b is *independent* exclusive: under the dependency-based CV-4X
+        # reading (see manager docstring) the module generics survive.
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": b0})
+        manager.delete_generic(ga)
+        assert not manager.registry.is_generic(ga)
+        assert manager.registry.is_generic(gb)
+        assert database.exists(b0)
+        # The survivor is detached and reusable.
+        assert database.peek(b0).reverse_references == []
+
+    def test_generic_deletion_cascades_dependent_exclusive_generics(self):
+        database = Database()
+        database.make_class("D", versionable=True)
+        database.make_class("C", versionable=True, attributes=[
+            AttributeSpec("d", domain="D", composite=True, exclusive=True,
+                          dependent=True),
+        ])
+        manager = VersionManager(database)
+        gd, d0 = manager.create("D")
+        gc, c0 = manager.create("C", values={"d": d0})
+        manager.delete_generic(gc)
+        assert not manager.registry.is_generic(gc)
+        assert not manager.registry.is_generic(gd)
+        assert not database.exists(d0)
+
+    def test_generic_deletion_dependent_shared_last_source(self):
+        database = Database()
+        database.make_class("D", versionable=True)
+        database.make_class("C", versionable=True, attributes=[
+            AttributeSpec("ds", domain=SetOf("D"), composite=True,
+                          exclusive=False, dependent=True),
+        ])
+        manager = VersionManager(database)
+        gd, d0 = manager.create("D")
+        gc1, c1 = manager.create("C", values={"ds": [d0]})
+        gc2, c2 = manager.create("C", values={"ds": [d0]})
+        manager.delete_generic(gc1)
+        assert manager.registry.is_generic(gd)  # gc2 still depends on it
+        manager.delete_generic(gc2)
+        assert not manager.registry.is_generic(gd)
+
+    def test_generic_deletion_spares_shared_targets(self):
+        database = Database()
+        database.make_class("D", versionable=True)
+        database.make_class("C", versionable=True, attributes=[
+            AttributeSpec("ds", domain=SetOf("D"), composite=True,
+                          exclusive=False, dependent=False),
+        ])
+        manager = VersionManager(database)
+        gd, d0 = manager.create("D")
+        gc, c0 = manager.create("C", values={"ds": [d0]})
+        manager.delete_generic(gc)
+        assert manager.registry.is_generic(gd)
+        assert database.exists(d0)
+
+    def test_dependent_static_cascade_on_version_delete(self):
+        database = Database()
+        database.make_class("D", versionable=True)
+        database.make_class("C", versionable=True, attributes=[
+            AttributeSpec("d", domain="D", composite=True, exclusive=True,
+                          dependent=True),
+        ])
+        manager = VersionManager(database)
+        gd, d0 = manager.create("D")
+        gc, c0 = manager.create("C", values={"d": d0})
+        manager.delete_version(c0)
+        assert not database.exists(d0)
+        assert not manager.registry.is_generic(gd)  # emptied by cascade
+
+    def test_default_falls_back_after_user_default_deleted(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        b1 = manager.derive(b0).new_version
+        manager.set_default(gb, b0)
+        manager.delete_version(b0)
+        assert manager.default_version(gb) == b1
+
+
+class TestManagerGuards:
+    def test_single_manager_per_database(self, vdb):
+        database, manager = vdb
+        with pytest.raises(VersionError):
+            VersionManager(database)
+
+    def test_version_info_of_plain_object_raises(self, vdb):
+        database, manager = vdb
+        plain = database.make("Plain")
+        with pytest.raises(NotVersionableError):
+            manager.registry.version_info(plain)
+
+
+class TestCV2XStaticDynamicInteraction:
+    """Regression: exclusive static and dynamic references to the same
+    versionable object must be mutually visible across hierarchies."""
+
+    def test_dynamic_after_foreign_static_rejected(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": b0})   # static, hierarchy A
+        gc, c0 = manager.create("A")
+        with pytest.raises(VersionTopologyError):
+            database.set_value(c0, "b", gb)              # dynamic, hierarchy C
+
+    def test_static_after_foreign_dynamic_rejected(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": gb})   # dynamic, hierarchy A
+        gc, c0 = manager.create("A")
+        with pytest.raises(VersionTopologyError):
+            database.set_value(c0, "b", b0)              # static, hierarchy C
+
+    def test_same_hierarchy_mixing_is_legal(self, vdb):
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        b1 = manager.derive(b0).new_version
+        ga, a0 = manager.create("A", values={"b": b0})   # static
+        a1 = manager.derive(a0).new_version              # rebinds to gb
+        assert database.value(a1, "b") == gb
+        database.validate()
+
+    def test_failed_derive_leaves_no_orphan_version(self, vdb):
+        # Atomicity of _new_version: force a mid-materialization failure
+        # and check the registry holds no half-wired version.
+        database, manager = vdb
+        gb, b0 = manager.create("B")
+        ga, a0 = manager.create("A", values={"b": b0})
+        versions_before = list(manager.registry.generic_info(ga).versions)
+        count_before = len(database)
+        with pytest.raises(Exception):
+            manager.derive(a0, overrides={"b": "not-a-uid"})
+        assert manager.registry.generic_info(ga).versions == versions_before
+        assert len(database) == count_before
+        database.validate()
