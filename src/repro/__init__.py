@@ -64,11 +64,15 @@ def __getattr__(name):
         from repro import VersionManager, AuthorizationEngine, Interpreter
     """
     lazy = {
+        "AsyncClient": ("repro.server", "AsyncClient"),
         "AuthorizationEngine": ("repro.authorization", "AuthorizationEngine"),
         "ChangeNotifier": ("repro.versions", "ChangeNotifier"),
         "CheckoutManager": ("repro.txn", "CheckoutManager"),
+        "Client": ("repro.server", "Client"),
         "DurableDatabase": ("repro.storage.durable", "DurableDatabase"),
         "Interpreter": ("repro.query", "Interpreter"),
+        "ReproServer": ("repro.server", "ReproServer"),
+        "ServerThread": ("repro.server", "ServerThread"),
         "RoleAuthorizationEngine": ("repro.authorization.roles",
                                     "RoleAuthorizationEngine"),
         "SchemaEvolutionManager": ("repro.schema.evolution",

@@ -5,6 +5,11 @@ callers can catch a single base class.  Sub-hierarchies mirror the paper's
 subsystems: the composite-object model itself (topology and make-component
 violations), schema evolution, versioning, authorization, locking, and the
 storage substrate.
+
+Every class carries a stable, wire-serializable ``code`` string.  The
+network protocol (:mod:`repro.server.protocol`) marshals exceptions as
+``{code, message, data}`` frames and rebuilds the matching class on the
+client from :func:`error_registry` — no string matching on messages.
 """
 
 from __future__ import annotations
@@ -12,6 +17,11 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
+
+    #: Stable wire identifier for this error class.  Subclasses override;
+    #: the protocol layer maps codes back to classes via
+    #: :func:`error_registry`.
+    code = "REPRO"
 
 
 # ---------------------------------------------------------------------------
@@ -22,9 +32,13 @@ class ReproError(Exception):
 class ObjectModelError(ReproError):
     """Base class for errors in the core composite-object model."""
 
+    code = "OBJECT_MODEL"
+
 
 class UnknownObjectError(ObjectModelError, KeyError):
     """An operation referenced a UID that does not name a live object."""
+
+    code = "UNKNOWN_OBJECT"
 
     def __init__(self, uid):
         super().__init__(uid)
@@ -37,6 +51,8 @@ class UnknownObjectError(ObjectModelError, KeyError):
 class UnknownClassError(ObjectModelError, KeyError):
     """An operation referenced a class name that has not been defined."""
 
+    code = "UNKNOWN_CLASS"
+
     def __init__(self, name):
         super().__init__(name)
         self.class_name = name
@@ -47,6 +63,8 @@ class UnknownClassError(ObjectModelError, KeyError):
 
 class UnknownAttributeError(ObjectModelError, AttributeError):
     """An operation referenced an attribute a class does not define."""
+
+    code = "UNKNOWN_ATTRIBUTE"
 
     def __init__(self, class_name, attribute):
         super().__init__(f"class {class_name!r} has no attribute {attribute!r}")
@@ -63,6 +81,8 @@ class TopologyError(ObjectModelError):
     composite reference.
     """
 
+    code = "TOPOLOGY"
+
     def __init__(self, message, rule=None):
         super().__init__(message)
         #: Which topology rule was violated (1, 2 or 3), when known.
@@ -72,9 +92,13 @@ class TopologyError(ObjectModelError):
 class DomainError(ObjectModelError, TypeError):
     """An attribute value does not belong to the attribute's domain class."""
 
+    code = "DOMAIN"
+
 
 class DanglingReferenceError(ObjectModelError):
     """A composite reference points at an object that no longer exists."""
+
+    code = "DANGLING_REFERENCE"
 
 
 class LegacyModelError(ObjectModelError):
@@ -83,6 +107,8 @@ class LegacyModelError(ObjectModelError):
     The baseline restricts composite objects to dependent exclusive
     references created top-down; bottom-up assembly and sharing raise this.
     """
+
+    code = "LEGACY_MODEL"
 
 
 # ---------------------------------------------------------------------------
@@ -93,13 +119,19 @@ class LegacyModelError(ObjectModelError):
 class SchemaError(ReproError):
     """Base class for schema definition and evolution errors."""
 
+    code = "SCHEMA"
+
 
 class ClassDefinitionError(SchemaError):
     """A make-class call was malformed (bad superclass, duplicate name...)."""
 
+    code = "CLASS_DEFINITION"
+
 
 class SchemaEvolutionError(SchemaError):
     """A schema-change operation could not be applied."""
+
+    code = "SCHEMA_EVOLUTION"
 
 
 class StateDependentChangeRejected(SchemaEvolutionError):
@@ -109,6 +141,8 @@ class StateDependentChangeRejected(SchemaEvolutionError):
     the reverse composite references of every affected instance; if the
     flags are inconsistent with the new constraint the change is rejected.
     """
+
+    code = "STATE_DEPENDENT_REJECTED"
 
     def __init__(self, change, offending_uid, message=""):
         detail = message or f"instance {offending_uid!r} violates {change}"
@@ -125,13 +159,19 @@ class StateDependentChangeRejected(SchemaEvolutionError):
 class VersionError(ReproError):
     """Base class for version-model errors."""
 
+    code = "VERSION"
+
 
 class NotVersionableError(VersionError):
     """A version operation targeted an instance of a non-versionable class."""
 
+    code = "NOT_VERSIONABLE"
+
 
 class VersionTopologyError(VersionError):
     """A version-composite reference violates rules CV-1X..CV-4X."""
+
+    code = "VERSION_TOPOLOGY"
 
 
 # ---------------------------------------------------------------------------
@@ -142,6 +182,8 @@ class VersionTopologyError(VersionError):
 class AuthorizationError(ReproError):
     """Base class for authorization-subsystem errors."""
 
+    code = "AUTHORIZATION"
+
 
 class AuthorizationConflict(AuthorizationError):
     """A new grant conflicts with an existing explicit or implied one.
@@ -149,6 +191,8 @@ class AuthorizationConflict(AuthorizationError):
     Paper Section 6: "if a new authorization issued conflicts with an
     existing authorization, the new authorization is rejected."
     """
+
+    code = "AUTHORIZATION_CONFLICT"
 
     def __init__(self, message, existing=None, requested=None):
         super().__init__(message)
@@ -159,6 +203,8 @@ class AuthorizationConflict(AuthorizationError):
 class AccessDenied(AuthorizationError):
     """An access check failed (negative authorization or no authorization)."""
 
+    code = "ACCESS_DENIED"
+
 
 # ---------------------------------------------------------------------------
 # Locking / transaction errors (Section 7)
@@ -168,12 +214,16 @@ class AccessDenied(AuthorizationError):
 class ConcurrencyError(ReproError):
     """Base class for locking and transaction errors."""
 
+    code = "CONCURRENCY"
+
 
 class LockConflictError(ConcurrencyError):
     """A lock request is incompatible with currently granted locks.
 
     Raised in no-wait mode; in wait mode requests queue instead.
     """
+
+    code = "LOCK_CONFLICT"
 
     def __init__(self, message, resource=None, requested=None, holders=()):
         super().__init__(message)
@@ -185,6 +235,8 @@ class LockConflictError(ConcurrencyError):
 class DeadlockError(ConcurrencyError):
     """The wait-for graph contains a cycle involving this transaction."""
 
+    code = "DEADLOCK"
+
     def __init__(self, message, victim=None, cycle=()):
         super().__init__(message)
         self.victim = victim
@@ -193,6 +245,8 @@ class DeadlockError(ConcurrencyError):
 
 class TransactionStateError(ConcurrencyError):
     """An operation was issued on a transaction in the wrong state."""
+
+    code = "TRANSACTION_STATE"
 
 
 # ---------------------------------------------------------------------------
@@ -203,10 +257,41 @@ class TransactionStateError(ConcurrencyError):
 class StorageError(ReproError):
     """Base class for page-store / buffer-pool errors."""
 
+    code = "STORAGE"
+
 
 class PageFullError(StorageError):
     """A record does not fit in the remaining free space of a page."""
 
+    code = "PAGE_FULL"
+
 
 class SerializationError(StorageError):
     """A value could not be encoded to or decoded from storage bytes."""
+
+    code = "SERIALIZATION"
+
+# ---------------------------------------------------------------------------
+# Wire registry
+# ---------------------------------------------------------------------------
+
+
+def error_registry():
+    """Map every known ``code`` to its most-derived exception class.
+
+    Walks the live subclass tree of :class:`ReproError`, so errors defined
+    outside this module (e.g. the query layer's) are included as long as
+    their module has been imported.  When several classes share a code the
+    most-derived one wins, keeping inherited codes from shadowing leaves.
+    """
+    registry = {}
+
+    def visit(cls):
+        declared = "code" in vars(cls)
+        if declared or cls.code not in registry:
+            registry[cls.code] = cls
+        for sub in cls.__subclasses__():
+            visit(sub)
+
+    visit(ReproError)
+    return registry

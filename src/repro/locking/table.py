@@ -172,6 +172,34 @@ class LockTable:
         grants = self._granted.setdefault(resource, OrderedDict())
         grants.setdefault(txn, set()).add(mode)
 
+    def cancel(self, txn, resource, mode=None):
+        """Withdraw *txn*'s queued (ungranted) requests on *resource*.
+
+        Granted modes are untouched.  With *mode* only that request is
+        withdrawn; otherwise all of the transaction's requests on the
+        resource.  Returns the requests newly granted to other
+        transactions (the withdrawal may unblock the queue), as
+        :meth:`release_all` does.  The network server uses this to time
+        out a lock wait without aborting the whole transaction.
+        """
+        queue = self._waiting.get(resource)
+        if not queue:
+            return []
+        remaining = deque(
+            request
+            for request in queue
+            if not (
+                request.txn is txn and (mode is None or request.mode is mode)
+            )
+        )
+        if len(remaining) == len(queue):
+            return []
+        if remaining:
+            self._waiting[resource] = remaining
+        else:
+            del self._waiting[resource]
+        return self._promote()
+
     # -- release -------------------------------------------------------------
 
     def release_all(self, txn):

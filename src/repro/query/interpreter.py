@@ -33,6 +33,8 @@ from .sexpr import Keyword, QUOTE, QuerySyntaxError, Symbol, parse_all
 class QueryEvaluationError(ReproError):
     """A well-formed message could not be evaluated."""
 
+    code = "QUERY_EVALUATION"
+
 
 def _split_keywords(items):
     """Split a message tail into positional arguments and keyword pairs."""

@@ -28,6 +28,8 @@ from ..errors import ReproError
 class QuerySyntaxError(ReproError):
     """The query text could not be tokenized or parsed."""
 
+    code = "QUERY_SYNTAX"
+
 
 @dataclass(frozen=True, slots=True)
 class Symbol:

@@ -1,0 +1,63 @@
+"""``python -m repro.server`` / ``repro-server`` — run a standalone server.
+
+Serves a fresh (or paged) database until interrupted::
+
+    repro-server --host 0.0.0.0 --port 4957 --paged
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+
+from ..core.database import Database
+from .server import ReproServer
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description="Serve an ORION-style composite-object database over TCP",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=4957,
+                        help="TCP port (default 4957; 0 picks a free port)")
+    parser.add_argument("--paged", action="store_true",
+                        help="serve a page-backed database")
+    parser.add_argument("--buffer-capacity", type=int, default=64,
+                        help="buffer-pool frames in paged mode (default 64)")
+    parser.add_argument("--lock-wait-timeout", type=float, default=30.0,
+                        help="seconds a lock wait may last (default 30)")
+    return parser
+
+
+async def _amain(args):
+    database = Database(paged=args.paged,
+                        buffer_capacity=args.buffer_capacity)
+    server = ReproServer(
+        database=database,
+        host=args.host,
+        port=args.port,
+        lock_wait_timeout=args.lock_wait_timeout,
+    )
+    await server.start()
+    print(f"repro-server listening on {server.host}:{server.port}")
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(_amain(args))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,443 @@
+"""Client library: a blocking :class:`Client` and an :class:`AsyncClient`.
+
+Both share the wire codec (:mod:`repro.server.protocol`) and the request
+bookkeeping in :class:`_ClientCore`; they differ only in transport.  The
+surface mirrors the :class:`repro.Database` API::
+
+    with Client(port=server.port) as db:
+        db.make_class("AutoBody")
+        db.make_class("Vehicle", attributes=[
+            {"name": "Body", "domain": "AutoBody", "composite": True}])
+        body = db.make("AutoBody")
+        vehicle = db.make("Vehicle", values={"Body": body})
+        with db.transaction():
+            db.set_value(vehicle, "Body", None)
+
+Server-side errors surface as the *typed* exceptions of
+:mod:`repro.errors` (a deadlock abort raises
+:class:`repro.errors.DeadlockError` here, carrying victim and cycle ids).
+
+The blocking client reconnects with exponential backoff when the
+connection drops **between** requests — but never silently inside an open
+transaction scope, whose server-side state (locks, undo log) died with
+the connection; there it raises :class:`ConnectionError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import socket
+import time
+
+from ..schema.attribute import AttributeSpec
+from .protocol import (
+    SUPPORTED_VERSIONS,
+    ProtocolError,
+    build_error,
+    decode_frame,
+    encode_frame,
+    frame_length,
+    read_frame,
+    request_frame,
+    wire_decode,
+    wire_encode,
+)
+
+
+def spec_to_wire(spec):
+    """Lower an attribute spec (or dict) to its wire form."""
+    if isinstance(spec, AttributeSpec):
+        # Not dataclasses.asdict: that would deep-convert a SetOf domain
+        # into a plain dict and lose its wire tag.
+        fields = {
+            f.name: getattr(spec, f.name)
+            for f in dataclasses.fields(spec)
+            if f.name != "defined_in"  # server-side bookkeeping
+        }
+        return wire_encode(fields)
+    if isinstance(spec, dict):
+        return wire_encode(dict(spec))
+    raise TypeError(f"attribute spec must be AttributeSpec or dict: {spec!r}")
+
+
+class _ClientCore:
+    """Request building and response interpretation (transport-free)."""
+
+    def __init__(self, user=None):
+        self.user = user
+        self.protocol_version = None
+        self.session_id = None
+        self._next_id = 0
+        self._in_transaction = False
+
+    def _request(self, op, args):
+        self._next_id += 1
+        return self._next_id, request_frame(self._next_id, op, args)
+
+    def _interpret(self, request_id, frame):
+        if frame.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {frame.get('id')!r} does not match request "
+                f"{request_id}"
+            )
+        if frame.get("ok"):
+            return wire_decode(frame.get("result"))
+        raise build_error(frame.get("error") or {})
+
+    def _hello_args(self):
+        return {"versions": list(SUPPORTED_VERSIONS), "client": "repro-client"}
+
+    def _note_hello(self, result):
+        self.protocol_version = result["version"]
+        self.session_id = result.get("session")
+
+
+def _add_api(cls):
+    """Generate the one-liner RPC methods shared by both clients.
+
+    Each entry maps a method name to (op, positional arg names); the
+    method body is ``self.call(op, **bound_args)`` — sync or async
+    depending on the class's ``call``.
+    """
+    simple = {
+        "ping": ("ping", ()),
+        "resolve": ("resolve", ("uid",)),
+        "value": ("value", ("uid", "attribute")),
+        "set_value": ("set_value", ("uid", "attribute", "value")),
+        "insert_into": ("insert_into", ("uid", "attribute", "member")),
+        "remove_from": ("remove_from", ("uid", "attribute", "member")),
+        "make_part_of": ("make_part_of", ("child", "parent", "attribute")),
+        "remove_part_of": ("remove_part_of",
+                           ("child", "parent", "attribute")),
+        "delete": ("delete", ("uid",)),
+        "components_of": ("components_of", ("uid",)),
+        "children_of": ("children_of", ("uid",)),
+        "parents_of": ("parents_of", ("uid",)),
+        "ancestors_of": ("ancestors_of", ("uid",)),
+        "roots_of": ("roots_of", ("uid",)),
+        "instances_of": ("instances_of", ("class_name",)),
+        "describe": ("describe", ("class_name",)),
+        "query": ("query", ("text",)),
+        "whoami": ("whoami", ()),
+        "stats": ("stats", ()),
+    }
+
+    def make_method(op, names):
+        def method(self, *values, **extra):
+            if len(values) > len(names):
+                raise TypeError(f"{op} takes at most {len(names)} arguments")
+            args = dict(zip(names, values))
+            args.update(extra)
+            return self.call(op, **args)
+
+        method.__name__ = op
+        method.__doc__ = f"Invoke the ``{op}`` op on the server."
+        return method
+
+    for name, (op, arg_names) in simple.items():
+        setattr(cls, name, make_method(op, arg_names))
+    return cls
+
+
+@_add_api
+class Client(_ClientCore):
+    """Blocking TCP client.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    user:
+        When given, ``login`` runs right after the handshake (and again
+        after every reconnect).
+    timeout:
+        Socket timeout per response.  Lock waits on the server count
+        against it, so keep it above the server's ``lock_wait_timeout``
+        when contention is expected.
+    max_retries, backoff:
+        Reconnect-with-backoff policy for dropped connections (each retry
+        sleeps ``backoff * 2**attempt`` seconds).  ``max_retries=0``
+        disables reconnection.
+    """
+
+    def __init__(self, host="127.0.0.1", port=4957, user=None, timeout=60.0,
+                 max_retries=5, backoff=0.05):
+        super().__init__(user=user)
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self._sock = None
+        self.connect()
+
+    # -- transport --------------------------------------------------------
+
+    def connect(self):
+        """(Re)establish the connection and run the handshake."""
+        self.close()
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._note_hello(self._roundtrip("hello", self._hello_args()))
+        if self.user is not None:
+            self._roundtrip("login", {"user": self.user})
+
+    def close(self):
+        if self._sock is not None:
+            with contextlib.suppress(OSError):
+                self._sock.close()
+            self._sock = None
+
+    def _send_bytes(self, data):
+        self._sock.sendall(data)
+
+    def _recv_exactly(self, size):
+        chunks = []
+        while size:
+            chunk = self._sock.recv(min(size, 65536))
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            chunks.append(chunk)
+            size -= len(chunk)
+        return b"".join(chunks)
+
+    def _roundtrip(self, op, args):
+        request_id, frame = self._request(op, args)
+        self._send_bytes(encode_frame(frame))
+        length = frame_length(self._recv_exactly(4))
+        response = decode_frame(self._recv_exactly(length))
+        return self._interpret(request_id, response)
+
+    # -- calls ------------------------------------------------------------
+
+    def call(self, op, **args):
+        """One request/response cycle, reconnecting on a dead connection."""
+        attempt = 0
+        while True:
+            if self._sock is None:
+                self._reconnect_or_raise(attempt)
+            try:
+                return self._roundtrip(op, args)
+            except socket.timeout:
+                # No response in time (e.g. a server-side lock wait beyond
+                # our patience).  The request may still execute — do NOT
+                # retry it on a fresh connection.
+                self.close()
+                self._in_transaction = False
+                raise TimeoutError(
+                    f"no response to {op!r} within {self.timeout}s"
+                ) from None
+            except (ConnectionError, OSError) as error:
+                self.close()
+                if self._in_transaction:
+                    self._in_transaction = False
+                    raise ConnectionError(
+                        f"connection lost inside a transaction ({error}); "
+                        f"its locks and undo state are gone — retry the scope"
+                    ) from None
+                attempt += 1
+                self._reconnect_or_raise(attempt, error)
+
+    def _reconnect_or_raise(self, attempt, error=None):
+        if attempt > self.max_retries:
+            raise ConnectionError(
+                f"could not reach {self.host}:{self.port} after "
+                f"{self.max_retries} retries"
+            ) from error
+        if attempt:
+            time.sleep(self.backoff * (2 ** (attempt - 1)))
+        try:
+            self.connect()
+        except OSError as connect_error:
+            self.close()
+            if attempt >= self.max_retries:
+                raise ConnectionError(
+                    f"could not reach {self.host}:{self.port} after "
+                    f"{self.max_retries} retries"
+                ) from connect_error
+
+    # -- conveniences -----------------------------------------------------
+
+    def login(self, user):
+        result = self.call("login", user=user)
+        self.user = user
+        return result
+
+    def make_class(self, name, superclasses=(), attributes=(), **kwargs):
+        return self.call(
+            "make_class",
+            name=name,
+            superclasses=list(superclasses),
+            attributes=[spec_to_wire(spec) for spec in attributes],
+            **kwargs,
+        )
+
+    def make(self, class_name, values=None, parents=(), **kw_values):
+        merged = dict(values or {})
+        merged.update(kw_values)
+        return self.call(
+            "make",
+            class_name=class_name,
+            values=merged,
+            parents=[list(pair) for pair in parents],
+        )
+
+    def begin(self):
+        result = self.call("begin")
+        self._in_transaction = True
+        return result["txn"]
+
+    def commit(self):
+        result = self.call("commit")
+        self._in_transaction = False
+        return result["txn"]
+
+    def abort(self):
+        result = self.call("abort")
+        self._in_transaction = False
+        return result["txn"]
+
+    @contextlib.contextmanager
+    def transaction(self):
+        """``begin`` on entry; ``commit`` on success, ``abort`` on error.
+
+        A server-side deadlock abort (:class:`repro.errors.DeadlockError`)
+        has already rolled the transaction back — the scope re-raises it
+        without sending a redundant ``abort``.
+        """
+        self.begin()
+        try:
+            yield self
+        except BaseException as error:
+            if self._in_transaction:
+                from ..errors import DeadlockError
+
+                if isinstance(error, DeadlockError):
+                    self._in_transaction = False
+                else:
+                    with contextlib.suppress(Exception):
+                        self.abort()
+            raise
+        else:
+            self.commit()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+@_add_api
+class AsyncClient(_ClientCore):
+    """Asyncio TCP client with the same surface as :class:`Client`.
+
+    Construct then ``await client.connect()``, or use it as an async
+    context manager.  No automatic reconnection: an asyncio caller is
+    expected to own retry policy (create a fresh client).
+    """
+
+    def __init__(self, host="127.0.0.1", port=4957, user=None):
+        super().__init__(user=user)
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+
+    async def connect(self):
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._note_hello(await self._roundtrip("hello", self._hello_args()))
+        if self.user is not None:
+            await self._roundtrip("login", {"user": self.user})
+        return self
+
+    async def close(self):
+        if self._writer is not None:
+            self._writer.close()
+            with contextlib.suppress(Exception):
+                await self._writer.wait_closed()
+            self._writer = None
+            self._reader = None
+
+    async def _roundtrip(self, op, args):
+        if self._writer is None:
+            raise ConnectionError("not connected; call connect() first")
+        request_id, frame = self._request(op, args)
+        self._writer.write(encode_frame(frame))
+        await self._writer.drain()
+        response = await read_frame(self._reader)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        return self._interpret(request_id, response)
+
+    def call(self, op, **args):
+        return self._roundtrip(op, args)
+
+    async def login(self, user):
+        result = await self.call("login", user=user)
+        self.user = user
+        return result
+
+    async def make_class(self, name, superclasses=(), attributes=(),
+                         **kwargs):
+        return await self.call(
+            "make_class",
+            name=name,
+            superclasses=list(superclasses),
+            attributes=[spec_to_wire(spec) for spec in attributes],
+            **kwargs,
+        )
+
+    async def make(self, class_name, values=None, parents=(), **kw_values):
+        merged = dict(values or {})
+        merged.update(kw_values)
+        return await self.call(
+            "make",
+            class_name=class_name,
+            values=merged,
+            parents=[list(pair) for pair in parents],
+        )
+
+    async def begin(self):
+        result = await self.call("begin")
+        self._in_transaction = True
+        return result["txn"]
+
+    async def commit(self):
+        result = await self.call("commit")
+        self._in_transaction = False
+        return result["txn"]
+
+    async def abort(self):
+        result = await self.call("abort")
+        self._in_transaction = False
+        return result["txn"]
+
+    @contextlib.asynccontextmanager
+    async def transaction(self):
+        await self.begin()
+        try:
+            yield self
+        except BaseException as error:
+            if self._in_transaction:
+                from ..errors import DeadlockError
+
+                if isinstance(error, DeadlockError):
+                    self._in_transaction = False
+                else:
+                    with contextlib.suppress(Exception):
+                        await self.abort()
+            raise
+        else:
+            await self.commit()
+
+    async def __aenter__(self):
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info):
+        await self.close()

@@ -1,0 +1,322 @@
+"""The server's command table.
+
+Each wire ``op`` maps to an async handler ``handler(session, args)``.
+Handlers are responsible for three things, in order:
+
+1. **authorization** — when the server carries an
+   :class:`repro.authorization.engine.AuthorizationEngine`, the session's
+   user must hold the operation's authorization type on the target
+   object(s) (composite coverage included, paper Section 6);
+2. **locking** — the Section 7 composite protocol's plan for the access
+   is acquired *asynchronously* through the server's lock service, so a
+   conflicting client waits (or aborts on deadlock) instead of failing;
+3. **the operation** — applied through the session's transaction via the
+   :class:`repro.txn.manager.TransactionManager`, so every change is
+   undo-logged and strict-2PL holds to commit/abort.
+
+Ops that run outside an explicit ``begin``/``commit`` scope auto-commit:
+the session wraps them in a transaction of their own.
+"""
+
+from __future__ import annotations
+
+from ..locking.modes import LockMode
+from ..schema.attribute import AttributeSpec, SetOf
+from .protocol import ProtocolError
+
+#: Authorization types the engine understands (see authorization/atoms.py).
+READ, WRITE = "R", "W"
+
+
+def _require(args, *names):
+    missing = [name for name in names if name not in args]
+    if missing:
+        raise ProtocolError(f"missing argument(s): {', '.join(missing)}")
+    return [args[name] for name in names]
+
+
+def _attribute_spec(item):
+    """Build an :class:`AttributeSpec` from its wire form (a dict)."""
+    if isinstance(item, AttributeSpec):
+        return item
+    if not isinstance(item, dict):
+        raise ProtocolError(f"attribute spec must be an object, got {item!r}")
+    fields = dict(item)
+    domain = fields.get("domain")
+    if isinstance(domain, dict) and set(domain) == {"$set_of"}:
+        fields["domain"] = SetOf(domain["$set_of"])
+    try:
+        return AttributeSpec(**fields)
+    except TypeError as error:
+        raise ProtocolError(f"bad attribute spec: {error}") from None
+
+
+def _snapshot(db, instance):
+    """An instance's wire view: identity, class, and attribute values."""
+    classdef = db.lattice.get(instance.class_name)
+    values = {}
+    for spec in classdef.attributes():
+        value = instance.get(spec.name)
+        if spec.is_set and value is None:
+            value = []
+        values[spec.name] = list(value) if isinstance(value, list) else value
+    return {
+        "uid": instance.uid,
+        "class": instance.class_name,
+        "values": values,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Handlers
+# ---------------------------------------------------------------------------
+
+
+async def _op_ping(session, args):
+    return "pong"
+
+
+async def _op_login(session, args):
+    (user,) = _require(args, "user")
+    session.user = user
+    return {"user": user}
+
+
+async def _op_whoami(session, args):
+    return {"user": session.user, "session": session.session_id,
+            "txn": session.txn.txn_id if session.txn is not None else None}
+
+
+async def _op_stats(session, args):
+    return session.server.describe_stats(session)
+
+
+async def _op_make_class(session, args):
+    (name,) = _require(args, "name")
+    specs = [_attribute_spec(item) for item in args.get("attributes", ())]
+    session.server.db.make_class(
+        name,
+        superclasses=tuple(args.get("superclasses", ())),
+        attributes=specs,
+        versionable=bool(args.get("versionable", False)),
+        segment=args.get("segment", ""),
+        document=args.get("document", ""),
+    )
+    return {"class": name}
+
+
+async def _op_describe(session, args):
+    (name,) = _require(args, "class_name")
+    classdef = session.server.db.classdef(name)
+    return {
+        "class": classdef.name,
+        "superclasses": list(classdef.superclasses),
+        "attributes": [spec.describe() for spec in classdef.attributes()],
+    }
+
+
+async def _op_make(session, args):
+    (class_name,) = _require(args, "class_name")
+    values = args.get("values") or {}
+    parents = [tuple(pair) for pair in args.get("parents", ())]
+    for parent_uid, _attribute in parents:
+        session.authorize(WRITE, parent_uid)
+    async with session.txn_scope() as txn:
+        for parent_uid, _attribute in parents:
+            await session.lock_instance(txn, parent_uid, "write")
+        return session.server.tm.make(
+            txn, class_name, values=values, parents=parents
+        )
+
+
+async def _op_resolve(session, args):
+    (uid,) = _require(args, "uid")
+    session.authorize(READ, uid)
+    async with session.txn_scope() as txn:
+        await session.lock_instance(txn, uid, "read")
+        return _snapshot(session.server.db, session.server.db.resolve(uid))
+
+
+async def _op_value(session, args):
+    uid, attribute = _require(args, "uid", "attribute")
+    session.authorize(READ, uid)
+    async with session.txn_scope() as txn:
+        await session.lock_instance(txn, uid, "read")
+        return session.server.tm.read(txn, uid, attribute)
+
+
+async def _op_set_value(session, args):
+    uid, attribute = _require(args, "uid", "attribute")
+    session.authorize(WRITE, uid)
+    async with session.txn_scope() as txn:
+        await session.lock_instance(txn, uid, "write")
+        session.server.tm.write(txn, uid, attribute, args.get("value"))
+        return True
+
+
+async def _op_insert_into(session, args):
+    uid, attribute, member = _require(args, "uid", "attribute", "member")
+    session.authorize(WRITE, uid)
+    async with session.txn_scope() as txn:
+        await session.lock_instance(txn, uid, "write")
+        return session.server.tm.insert(txn, uid, attribute, member)
+
+
+async def _op_remove_from(session, args):
+    uid, attribute, member = _require(args, "uid", "attribute", "member")
+    session.authorize(WRITE, uid)
+    async with session.txn_scope() as txn:
+        await session.lock_instance(txn, uid, "write")
+        return session.server.tm.remove(txn, uid, attribute, member)
+
+
+def _parent_spec(db, parent_uid, attribute):
+    parent = db.resolve(parent_uid)
+    classdef = db.lattice.get(parent.class_name)
+    return classdef.attribute(attribute)
+
+
+async def _op_make_part_of(session, args):
+    child, parent, attribute = _require(args, "child", "parent", "attribute")
+    session.authorize(WRITE, parent)
+    async with session.txn_scope() as txn:
+        await session.lock_instance(txn, parent, "write")
+        spec = _parent_spec(session.server.db, parent, attribute)
+        if spec.is_set:
+            return session.server.tm.insert(txn, parent, attribute, child)
+        session.server.tm.write(txn, parent, attribute, child)
+        return True
+
+
+async def _op_remove_part_of(session, args):
+    child, parent, attribute = _require(args, "child", "parent", "attribute")
+    session.authorize(WRITE, parent)
+    async with session.txn_scope() as txn:
+        await session.lock_instance(txn, parent, "write")
+        db = session.server.db
+        spec = _parent_spec(db, parent, attribute)
+        if spec.is_set:
+            return session.server.tm.remove(txn, parent, attribute, child)
+        if db.resolve(parent).get(attribute) != child:
+            return False
+        session.server.tm.write(txn, parent, attribute, None)
+        return True
+
+
+async def _op_delete(session, args):
+    (uid,) = _require(args, "uid")
+    session.authorize(WRITE, uid)
+    async with session.txn_scope() as txn:
+        await session.lock_composite(txn, uid, "write")
+        report = session.server.tm.delete(txn, uid)
+        return {
+            "deleted": list(report.deleted),
+            "preserved_independent": list(report.preserved_independent),
+            "preserved_shared": list(report.preserved_shared),
+        }
+
+
+async def _op_components_of(session, args):
+    (uid,) = _require(args, "uid")
+    session.authorize(READ, uid)
+    async with session.txn_scope() as txn:
+        await session.lock_composite(txn, uid, "read")
+        return session.server.db.components_of(
+            uid,
+            classes=args.get("classes"),
+            exclusive=bool(args.get("exclusive", False)),
+            shared=bool(args.get("shared", False)),
+            level=args.get("level"),
+        )
+
+
+def _navigation(method):
+    async def handler(session, args):
+        (uid,) = _require(args, "uid")
+        session.authorize(READ, uid)
+        async with session.txn_scope() as txn:
+            await session.lock_instance(txn, uid, "read")
+            return getattr(session.server.db, method)(uid)
+
+    handler.__name__ = f"_op_{method}"
+    return handler
+
+
+async def _op_instances_of(session, args):
+    (class_name,) = _require(args, "class_name")
+    async with session.txn_scope() as txn:
+        # An extent scan reads every instance of the class: S on the class
+        # (conflicts with any writer's IX) is the right single granule.
+        await session.server.locks.acquire(
+            txn, ("class", class_name), LockMode.S
+        )
+        instances = session.server.db.instances_of(
+            class_name,
+            include_subclasses=bool(args.get("include_subclasses", True)),
+        )
+        if session.server.auth is not None:
+            instances = [
+                inst for inst in instances
+                if session.server.auth.check(session.user, READ, inst.uid)
+            ]
+        return [inst.uid for inst in instances]
+
+
+async def _op_query(session, args):
+    (text,) = _require(args, "text")
+    # The s-expression interpreter runs against the shared database with a
+    # per-session environment (setq bindings survive across requests).
+    # Query evaluation is read-oriented; data definition through it is
+    # not undo-logged, so transactional clients should prefer the command
+    # ops for updates (documented in docs/SERVER.md).
+    return session.interpreter.run(text)
+
+
+async def _op_begin(session, args):
+    txn = session.begin()
+    return {"txn": txn.txn_id}
+
+
+async def _op_commit(session, args):
+    return {"txn": session.commit()}
+
+
+async def _op_abort(session, args):
+    return {"txn": session.abort()}
+
+
+COMMANDS = {
+    "ping": _op_ping,
+    "login": _op_login,
+    "whoami": _op_whoami,
+    "stats": _op_stats,
+    "make_class": _op_make_class,
+    "describe": _op_describe,
+    "make": _op_make,
+    "resolve": _op_resolve,
+    "value": _op_value,
+    "set_value": _op_set_value,
+    "insert_into": _op_insert_into,
+    "remove_from": _op_remove_from,
+    "make_part_of": _op_make_part_of,
+    "remove_part_of": _op_remove_part_of,
+    "delete": _op_delete,
+    "components_of": _op_components_of,
+    "children_of": _navigation("children_of"),
+    "parents_of": _navigation("parents_of"),
+    "ancestors_of": _navigation("ancestors_of"),
+    "roots_of": _navigation("roots_of"),
+    "instances_of": _op_instances_of,
+    "query": _op_query,
+    "begin": _op_begin,
+    "commit": _op_commit,
+    "abort": _op_abort,
+}
+
+
+async def dispatch(session, op, args):
+    """Route one request to its handler."""
+    handler = COMMANDS.get(op)
+    if handler is None:
+        raise ProtocolError(f"unknown op {op!r}")
+    return await handler(session, args)

@@ -1,0 +1,250 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Requests and responses are JSON objects::
+
+    request   {"id": 7, "op": "set_value", "args": {...}}
+    response  {"id": 7, "ok": true,  "result": ...}
+    response  {"id": 7, "ok": false, "error": {"code": "...",
+                                               "message": "...",
+                                               "data": {...}}}
+
+The first request on a connection must be the ``hello`` handshake, which
+negotiates a protocol version: the client offers the versions it speaks,
+the server picks the highest it supports and echoes it (or fails the
+connection with a ``PROTOCOL`` error).
+
+Two value types of the object model cross the wire beyond what JSON
+carries natively, marked with ``$``-keyed singleton objects:
+
+* :class:`repro.core.identity.UID` — ``{"$uid": [number, class_name]}``;
+* :class:`repro.schema.attribute.SetOf` — ``{"$set_of": member_class}``.
+
+Errors marshal by their stable ``code`` (see :mod:`repro.errors`): the
+encoder captures the exception's public attributes, the decoder rebuilds
+the registered class and reattaches them, so a client catches e.g.
+:class:`repro.errors.DeadlockError` from a server-side deadlock with its
+``victim`` and ``cycle`` intact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from ..core.identity import UID
+from ..errors import ReproError, error_registry
+from ..schema.attribute import SetOf
+
+#: Protocol versions this build speaks, newest first.
+SUPPORTED_VERSIONS = (1,)
+
+#: Hard ceiling on one frame's payload; a length prefix beyond this is
+#: treated as a corrupt or hostile stream, not an allocation request.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(ReproError):
+    """The byte stream or frame structure violates the wire protocol."""
+
+    code = "PROTOCOL"
+
+
+# ---------------------------------------------------------------------------
+# Value encoding
+# ---------------------------------------------------------------------------
+
+
+def wire_encode(value):
+    """Lower *value* to JSON-representable data (UIDs and SetOf tagged)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, UID):
+        return {"$uid": [value.number, value.class_name]}
+    if isinstance(value, SetOf):
+        return {"$set_of": value.member}
+    if isinstance(value, (list, tuple)):
+        return [wire_encode(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): wire_encode(item) for key, item in value.items()}
+    # Query results may carry library objects (class defs, reports...);
+    # they cross the wire as their readable rendering.
+    return str(value)
+
+
+def wire_decode(value):
+    """Invert :func:`wire_encode` (rebuilding UID / SetOf values)."""
+    if isinstance(value, list):
+        return [wire_decode(item) for item in value]
+    if isinstance(value, dict):
+        if "$uid" in value and len(value) == 1:
+            number, class_name = value["$uid"]
+            return UID(int(number), class_name)
+        if "$set_of" in value and len(value) == 1:
+            return SetOf(value["$set_of"])
+        return {key: wire_decode(item) for key, item in value.items()}
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Frame encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(payload):
+    """Serialize one JSON-encodable *payload* object to wire bytes."""
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(data)) + data
+
+
+def decode_frame(data):
+    """Parse one frame payload (the bytes after the length prefix)."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def frame_length(prefix):
+    """Validate a 4-byte length prefix; return the payload length."""
+    if len(prefix) != 4:
+        raise ProtocolError("truncated length prefix")
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+async def read_frame(reader, counter=None):
+    """Read one frame from an asyncio stream; None at clean EOF.
+
+    *counter*, when given, is called with the number of wire bytes the
+    frame occupied (prefix included) — the server's byte metering.
+    """
+    try:
+        prefix = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection dropped mid-frame") from None
+    length = frame_length(prefix)
+    try:
+        data = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection dropped mid-frame") from None
+    if counter is not None:
+        counter(4 + length)
+    return decode_frame(data)
+
+
+def write_frame(writer, payload):
+    """Queue one frame on an asyncio stream; returns the bytes written."""
+    data = encode_frame(payload)
+    writer.write(data)
+    return len(data)
+
+
+# ---------------------------------------------------------------------------
+# Request / response shapes
+# ---------------------------------------------------------------------------
+
+
+def request_frame(request_id, op, args):
+    return {"id": request_id, "op": op, "args": wire_encode(args or {})}
+
+
+def result_frame(request_id, result):
+    return {"id": request_id, "ok": True, "result": wire_encode(result)}
+
+
+def check_request(frame):
+    """Validate a request frame; return ``(id, op, args)``."""
+    request_id = frame.get("id")
+    op = frame.get("op")
+    args = frame.get("args", {})
+    if not isinstance(request_id, int):
+        raise ProtocolError("request is missing an integer 'id'")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request is missing a string 'op'")
+    if not isinstance(args, dict):
+        raise ProtocolError("'args' must be an object")
+    return request_id, op, wire_decode(args)
+
+
+# ---------------------------------------------------------------------------
+# Error marshalling
+# ---------------------------------------------------------------------------
+
+#: Exception attributes that never cross the wire.
+_PRIVATE = ("args",)
+
+
+def _wire_safe(value):
+    """Encode an exception attribute, reducing transactions to their ids."""
+    if hasattr(value, "txn_id"):
+        return value.txn_id
+    if isinstance(value, (list, tuple)):
+        return [_wire_safe(item) for item in value]
+    return wire_encode(value)
+
+
+def error_frame(request_id, error):
+    """Build the error response for *error* (any exception)."""
+    if isinstance(error, ReproError):
+        code = error.code
+        data = {
+            name: _wire_safe(value)
+            for name, value in vars(error).items()
+            if not name.startswith("_") and name not in _PRIVATE
+        }
+    else:
+        code = "INTERNAL"
+        data = {"type": type(error).__name__}
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": str(error), "data": data},
+    }
+
+
+def build_error(payload):
+    """Rebuild a typed exception from a response's ``error`` object.
+
+    The registered class for the code is instantiated without running its
+    (signature-varying) constructor; the message and marshalled public
+    attributes are reattached.  Unknown codes degrade to
+    :class:`ProtocolError` for protocol-level failures and
+    :class:`repro.errors.ReproError` otherwise.
+    """
+    code = payload.get("code", "REPRO")
+    message = payload.get("message", "")
+    data = payload.get("data") or {}
+    registry = error_registry()
+    registry.setdefault("PROTOCOL", ProtocolError)
+    cls = registry.get(code)
+    if cls is None:
+        cls = ReproError
+        message = f"[{code}] {message}"
+    error = cls.__new__(cls)
+    Exception.__init__(error, message)
+    for name, value in data.items():
+        try:
+            setattr(error, name, wire_decode(value))
+        except AttributeError:  # slotted / read-only attribute
+            pass
+    return error

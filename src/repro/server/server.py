@@ -1,0 +1,619 @@
+"""The asyncio TCP server: many clients, one database.
+
+Architecture
+------------
+
+Every connection gets a :class:`Session`.  A session owns at most one
+:class:`repro.txn.transaction.Transaction` at a time — either an explicit
+``begin``/``commit`` scope or a per-request auto-commit transaction — so
+the Section 7 composite locking protocol and the wait-for-graph deadlock
+detector mediate *real* cross-client conflicts: all sessions share one
+:class:`repro.locking.table.LockTable` through one
+:class:`repro.txn.manager.TransactionManager`.
+
+The synchronous transaction layer never blocks (no-wait locking); the
+server adds waiting on top with :class:`LockService`: lock plans are
+acquired step-by-step with ``wait=True`` (queueing in the table's FIFO
+queues), and a blocked session suspends on the event loop until a release
+promotes its request, a deadlock check names its transaction the victim,
+or the wait times out.  Because the data operations themselves run on the
+single event-loop thread, the database needs no internal locking.
+
+Metrics follow the counter style of :mod:`repro.storage.stats`: a
+:class:`ServerStats` aggregate plus per-session :class:`SessionStats`,
+both exposed over the wire through the ``stats`` op.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from dataclasses import dataclass
+
+from ..core.database import Database
+from ..errors import DeadlockError, LockConflictError, TransactionStateError
+from ..locking.deadlock import DeadlockDetector
+from ..txn.manager import TransactionManager
+from .dispatch import dispatch
+from .protocol import (
+    SUPPORTED_VERSIONS,
+    ProtocolError,
+    check_request,
+    error_frame,
+    read_frame,
+    result_frame,
+    write_frame,
+)
+
+
+@dataclass
+class SessionStats:
+    """Counters for one client connection."""
+
+    requests: int = 0
+    errors: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    lock_waits: int = 0
+    commits: int = 0
+    aborts: int = 0
+    deadlock_aborts: int = 0
+
+    def row(self):
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "lock_waits": self.lock_waits,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "deadlock_aborts": self.deadlock_aborts,
+        }
+
+
+@dataclass
+class ServerStats:
+    """Aggregate counters for one server."""
+
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    requests: int = 0
+    errors: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    lock_waits: int = 0
+    commits: int = 0
+    aborts: int = 0
+    deadlock_aborts: int = 0
+    lock_timeouts: int = 0
+
+    def row(self):
+        return {
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "requests": self.requests,
+            "errors": self.errors,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "lock_waits": self.lock_waits,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "deadlock_aborts": self.deadlock_aborts,
+            "lock_timeouts": self.lock_timeouts,
+        }
+
+
+class LockService:
+    """Asynchronous lock waiting over the shared no-wait lock table.
+
+    ``acquire`` queues in the table (FIFO fairness and wait-for edges come
+    for free) and suspends the session until the request is granted.  On
+    every queue transition — a block that may complete a wait-for cycle —
+    the deadlock detector runs; the victim (youngest in the cycle, as in
+    :mod:`repro.locking.deadlock`) is flagged and woken, and raises
+    :class:`DeadlockError` out of its own ``acquire``, whose session then
+    aborts the transaction, releasing its locks and unblocking the rest.
+    """
+
+    #: Upper bound on one sleep; bounds victim-notice latency even if a
+    #: wake-up is missed.
+    _POLL = 0.05
+
+    def __init__(self, table, stats, wait_timeout=30.0):
+        self.table = table
+        self.stats = stats
+        self.wait_timeout = wait_timeout
+        self.detector = DeadlockDetector(table)
+        self._victims = {}
+        self._waiter_events = []
+
+    def wake(self):
+        """Wake every blocked acquirer to re-examine the table."""
+        for event in self._waiter_events:
+            event.set()
+
+    def _check_deadlock(self):
+        victim = self.detector.check(raise_on_deadlock=False)
+        if victim is not None and victim not in self._victims:
+            self._victims[victim] = DeadlockError(
+                f"transaction {victim.txn_id} chosen as deadlock victim",
+                victim=victim.txn_id,
+            )
+            self.wake()
+
+    async def acquire(self, txn, resource, mode, timeout=None):
+        """Grant *mode* on *resource* to *txn*, waiting as needed.
+
+        Returns True when the grant was immediate, False after a wait.
+        """
+        if self.table.acquire(txn, resource, mode, wait=True):
+            return True
+        self.stats.lock_waits += 1
+        self._check_deadlock()
+        timeout = self.wait_timeout if timeout is None else timeout
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        event = asyncio.Event()
+        self._waiter_events.append(event)
+        try:
+            while True:
+                error = self._victims.pop(txn, None)
+                if error is not None:
+                    self.table.cancel(txn, resource, mode)
+                    raise error
+                if self.table.acquire(txn, resource, mode, wait=True):
+                    return False
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    self.stats.lock_timeouts += 1
+                    if self.table.cancel(txn, resource, mode):
+                        self.wake()
+                    raise LockConflictError(
+                        f"timed out after {timeout:.2f}s waiting for {mode} "
+                        f"on {resource!r}",
+                        resource=resource,
+                        requested=mode,
+                        holders=[
+                            getattr(holder, "txn_id", holder)
+                            for holder in self.table.holders(resource)
+                        ],
+                    )
+                event.clear()
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        event.wait(), min(remaining, self._POLL)
+                    )
+        finally:
+            self._waiter_events.remove(event)
+
+    async def acquire_plan(self, txn, plan, timeout=None):
+        """Acquire every (resource, mode) step; return the wait count."""
+        waits = 0
+        for resource, mode in plan:
+            if not await self.acquire(txn, resource, mode, timeout=timeout):
+                waits += 1
+        return waits
+
+    def forget(self, txn):
+        """Drop any pending victim flag for *txn* (post-abort cleanup)."""
+        self._victims.pop(txn, None)
+
+
+class Session:
+    """One client connection: user, transaction, interpreter, counters."""
+
+    def __init__(self, server, session_id, peer):
+        self.server = server
+        self.session_id = session_id
+        self.peer = peer
+        self.user = None
+        self.txn = None
+        self.stats = SessionStats()
+        self._interpreter = None
+
+    @property
+    def interpreter(self):
+        if self._interpreter is None:
+            from ..query.interpreter import Interpreter
+
+            self._interpreter = Interpreter(self.server.db)
+        return self._interpreter
+
+    # -- authorization ----------------------------------------------------
+
+    def authorize(self, auth_type, uid):
+        """Require *auth_type* on *uid* when the server enforces auth."""
+        engine = self.server.auth
+        if engine is not None:
+            engine.require(self.user, auth_type, uid)
+
+    # -- locking ----------------------------------------------------------
+
+    async def lock_instance(self, txn, uid, intent):
+        plan = self.server.tm.protocol.plan_instance(uid, intent)
+        await self._acquire(txn, plan)
+
+    async def lock_composite(self, txn, root_uid, intent):
+        plan = self.server.tm.protocol.plan_composite(root_uid, intent)
+        await self._acquire(txn, plan)
+
+    async def _acquire(self, txn, plan):
+        self.stats.lock_waits += await self.server.locks.acquire_plan(
+            txn, plan
+        )
+
+    # -- transactions -----------------------------------------------------
+
+    def begin(self):
+        if self.txn is not None and self.txn.active:
+            raise TransactionStateError(
+                f"session {self.session_id} already has active transaction "
+                f"{self.txn.txn_id}; commit or abort it first"
+            )
+        self.txn = self.server.tm.begin()
+        return self.txn
+
+    def commit(self):
+        if self.txn is None:
+            raise TransactionStateError("no transaction to commit")
+        txn_id = self.txn.txn_id
+        self.server.finish(self.txn, commit=True)
+        self.stats.commits += 1
+        self.txn = None
+        return txn_id
+
+    def abort(self):
+        if self.txn is None:
+            raise TransactionStateError("no transaction to abort")
+        txn_id = self.txn.txn_id
+        self.server.finish(self.txn, commit=False)
+        self.stats.aborts += 1
+        self.txn = None
+        return txn_id
+
+    @contextlib.asynccontextmanager
+    async def txn_scope(self):
+        """The session's transaction, or a per-request auto-commit one.
+
+        A deadlock abort always tears the transaction down (the victim
+        *must* release its locks to break the cycle); other errors roll
+        back auto-commit scopes but leave an explicit transaction active
+        for the client to abort or retry.
+        """
+        if self.txn is not None:
+            if not self.txn.active:
+                raise TransactionStateError(
+                    f"transaction {self.txn.txn_id} is "
+                    f"{self.txn.state.value}; abort it first"
+                )
+            try:
+                yield self.txn
+            except DeadlockError:
+                self.abort()
+                self.stats.deadlock_aborts += 1
+                self.server.stats.deadlock_aborts += 1
+                raise
+            return
+        txn = self.server.tm.begin()
+        try:
+            yield txn
+        except Exception as error:
+            self.server.finish(txn, commit=False)
+            self.stats.aborts += 1
+            if isinstance(error, DeadlockError):
+                self.stats.deadlock_aborts += 1
+                self.server.stats.deadlock_aborts += 1
+            raise
+        else:
+            self.server.finish(txn, commit=True)
+            self.stats.commits += 1
+
+    def close(self):
+        """Release everything on disconnect."""
+        if self.txn is not None and self.txn.active:
+            self.server.finish(self.txn, commit=False)
+            self.stats.aborts += 1
+        self.txn = None
+
+
+class ReproServer:
+    """A TCP server multiplexing clients onto one :class:`repro.Database`.
+
+    Parameters
+    ----------
+    database:
+        The database to serve (a fresh one by default).
+    host, port:
+        Bind address; port 0 picks a free port (read it back from
+        ``server.port`` after :meth:`start`).
+    auth:
+        Optional :class:`repro.authorization.engine.AuthorizationEngine`;
+        when given, every data op checks the session's ``login`` user.
+    lock_wait_timeout:
+        Seconds a lock wait may last before failing with
+        :class:`repro.errors.LockConflictError`.
+    """
+
+    def __init__(self, database=None, host="127.0.0.1", port=0, auth=None,
+                 lock_wait_timeout=30.0):
+        self.db = database if database is not None else Database()
+        self.host = host
+        self.port = port
+        self.auth = auth
+        self.tm = TransactionManager(self.db)
+        self.stats = ServerStats()
+        self.locks = LockService(
+            self.tm.table, self.stats, wait_timeout=lock_wait_timeout
+        )
+        self._server = None
+        self._sessions = {}
+        self._conn_tasks = set()
+        self._next_session = 0
+
+    # -- transaction completion (single funnel so waiters always wake) ----
+
+    def finish(self, txn, commit):
+        if commit:
+            self.tm.commit(txn)
+            self.stats.commits += 1
+        else:
+            self.tm.abort(txn)
+            self.stats.aborts += 1
+        self.locks.forget(txn)
+        self.locks.wake()
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self):
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self):
+        """Graceful shutdown: stop accepting, abort and drop sessions."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for session, writer in list(self._sessions.values()):
+            session.close()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._sessions.clear()
+        self.locks.wake()
+        # Reap the per-connection tasks so nothing is left mid-await.
+        tasks = [task for task in self._conn_tasks if not task.done()]
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        self._conn_tasks.clear()
+
+    async def serve_forever(self):
+        """Run until cancelled (the ``repro-server`` entry point)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- stats ------------------------------------------------------------
+
+    def describe_stats(self, session=None):
+        lock_stats = self.tm.table.stats
+        payload = {
+            "server": self.stats.row(),
+            "locks": {
+                "requests": lock_stats.requests,
+                "grants": lock_stats.grants,
+                "blocks": lock_stats.blocks,
+                "denials": lock_stats.denials,
+                "deadlocks_detected": self.locks.detector.detections,
+            },
+            "sessions": {
+                str(other.session_id): other.stats.row()
+                for other, _writer in self._sessions.values()
+            },
+        }
+        if session is not None:
+            payload["session"] = session.stats.row()
+        return payload
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        # Absorb the shutdown cancellation at the task boundary: asyncio's
+        # stream-server bookkeeping calls task.exception() on completion,
+        # which blows up on tasks that finish cancelled.
+        try:
+            await self._connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+
+    async def _connection(self, reader, writer):
+        self._conn_tasks.add(asyncio.current_task())
+        self._next_session += 1
+        session = Session(
+            self, self._next_session, writer.get_extra_info("peername")
+        )
+        self._sessions[session.session_id] = (session, writer)
+        self.stats.sessions_opened += 1
+        try:
+            if not await self._handshake(session, reader, writer):
+                return
+            await self._serve_session(session, reader, writer)
+        except ProtocolError as error:
+            # Corrupt stream: report once (best effort), then hang up.
+            with contextlib.suppress(Exception):
+                await self._send(session, writer, error_frame(0, error))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # broken peer: tear the session down below
+        finally:
+            session.close()
+            self._sessions.pop(session.session_id, None)
+            self.stats.sessions_closed += 1
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            self._conn_tasks.discard(asyncio.current_task())
+
+    def _meter_in(self, session):
+        def count(size):
+            session.stats.bytes_in += size
+            self.stats.bytes_in += size
+
+        return count
+
+    async def _handshake(self, session, reader, writer):
+        frame = await read_frame(reader, counter=self._meter_in(session))
+        if frame is None:
+            return False
+        try:
+            request_id, op, args = check_request(frame)
+            if op != "hello":
+                raise ProtocolError("first request must be 'hello'")
+            offered = args.get("versions")
+            if not isinstance(offered, list) or not offered:
+                raise ProtocolError("'hello' must offer a list of versions")
+            common = [v for v in SUPPORTED_VERSIONS if v in offered]
+            if not common:
+                raise ProtocolError(
+                    f"no common protocol version: client speaks {offered}, "
+                    f"server speaks {list(SUPPORTED_VERSIONS)}"
+                )
+        except ProtocolError as error:
+            await self._send(
+                session, writer, error_frame(frame.get("id", 0), error)
+            )
+            return False
+        from .. import __version__
+
+        await self._send(session, writer, result_frame(request_id, {
+            "version": common[0],
+            "server": f"repro/{__version__}",
+            "session": session.session_id,
+        }))
+        return True
+
+    async def _serve_session(self, session, reader, writer):
+        meter = self._meter_in(session)
+        while True:
+            frame = await read_frame(reader, counter=meter)
+            if frame is None:
+                return
+            self.stats.requests += 1
+            session.stats.requests += 1
+            try:
+                request_id, op, args = check_request(frame)
+            except ProtocolError as error:
+                session.stats.errors += 1
+                self.stats.errors += 1
+                await self._send(
+                    session, writer, error_frame(frame.get("id", 0), error)
+                )
+                continue
+            try:
+                result = await dispatch(session, op, args)
+                response = result_frame(request_id, result)
+            except Exception as error:
+                session.stats.errors += 1
+                self.stats.errors += 1
+                response = error_frame(request_id, error)
+            await self._send(session, writer, response)
+
+    async def _send(self, session, writer, payload):
+        size = write_frame(writer, payload)
+        session.stats.bytes_out += size
+        self.stats.bytes_out += size
+        await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# Threaded harness (tests, examples, benchmarks, embedding)
+# ---------------------------------------------------------------------------
+
+
+class ServerThread:
+    """Run a :class:`ReproServer` on a dedicated event-loop thread.
+
+    Lets synchronous code (tests, the benchmark driver, examples) stand up
+    a real TCP server without owning an event loop::
+
+        with ServerThread(database=db) as handle:
+            client = Client(port=handle.port)
+
+    ``submit`` schedules a coroutine or plain callable onto the server's
+    loop — the supported way to touch server state from other threads.
+    """
+
+    def __init__(self, database=None, **server_kwargs):
+        self.server = ReproServer(database=database, **server_kwargs)
+        self._loop = None
+        self._thread = None
+        self._started = threading.Event()
+
+    @property
+    def port(self):
+        return self.server.port
+
+    @property
+    def db(self):
+        return self.server.db
+
+    def start(self):
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("server thread failed to start")
+        return self
+
+    def _run(self):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def boot():
+            await self.server.start()
+            self._started.set()
+
+        self._loop.run_until_complete(boot())
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+    def submit(self, work):
+        """Run *work* (coroutine or callable) on the server loop; block."""
+        if asyncio.iscoroutine(work):
+            future = asyncio.run_coroutine_threadsafe(work, self._loop)
+        else:
+            future = asyncio.run_coroutine_threadsafe(
+                _call(work), self._loop
+            )
+        return future.result(timeout=30.0)
+
+    def stop(self):
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+
+async def _call(fn):
+    return fn()
