@@ -18,7 +18,6 @@ import time
 from repro import AttributeSpec, Database, SetOf
 from repro.bench import print_table
 from repro.txn import CheckoutManager, TransactionManager
-from repro.workloads.parts import build_assembly
 
 
 def _design_db():

@@ -13,7 +13,7 @@ touched fraction approaches 1 (plus the per-access CC-check overhead).
 
 import time
 
-from repro import AttributeSpec, Database, SetOf
+from repro import AttributeSpec, Database
 from repro.bench import print_table
 from repro.schema.evolution import SchemaEvolutionManager
 

@@ -9,7 +9,7 @@
   reference at zero; parents-of on the generic still answers.
 """
 
-from repro import AttributeSpec, Database, SetOf
+from repro import AttributeSpec, Database
 from repro.bench import print_table
 from repro.versions import VersionManager
 

@@ -1,0 +1,28 @@
+"""Static analysis and integrity checking for the composite-object DB.
+
+Two planes over one findings model (:mod:`repro.analysis.findings`):
+
+* Plane 1 — :class:`SchemaAnalyzer` (static schema/topology analysis and
+  schema-evolution pre-flight) and :func:`check_query` (static query
+  validation), both schema-only: no instance is touched.
+* Plane 2 — :func:`fsck_database`, the offline integrity checker that
+  walks a whole database and verifies every invariant end-to-end.
+
+The ``repro-check`` console script (:mod:`repro.analysis.cli`) and the
+server's ``check`` op expose both planes.
+"""
+
+from .findings import Finding, Report, Severity
+from .fsck import fsck_database
+from .query_check import check_query
+from .schema_check import EVOLUTION_CHANGES, SchemaAnalyzer
+
+__all__ = [
+    "EVOLUTION_CHANGES",
+    "Finding",
+    "Report",
+    "SchemaAnalyzer",
+    "Severity",
+    "check_query",
+    "fsck_database",
+]

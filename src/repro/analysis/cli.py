@@ -1,0 +1,270 @@
+"""``repro-check`` — the command-line front end of :mod:`repro.analysis`.
+
+Four commands, all reporting through the shared findings model:
+
+``repro-check schema DIR``
+    Recover the class lattice of a durable store (read-only) and run the
+    static schema analyzer over it.
+
+``repro-check fsck DIR``
+    Recover a durable store (read-only) and audit every invariant: the
+    offline integrity checker.
+
+``repro-check query DIR FILE...``
+    Statically validate s-expression query files against a store's
+    schema, without executing anything.
+
+``repro-check self-test`` (also reachable as ``repro-check --self-test``)
+    Build every seed workload and figure scenario in memory, run the
+    schema analyzer over each lattice (no errors allowed) and fsck over
+    each database (no findings allowed).  CI runs this so schema
+    regressions fail the build.
+
+Exit codes: 0 — no errors (``--strict``: no warnings either); 1 —
+findings at the gating severity; 2 — usage or I/O problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .findings import Report
+from .fsck import fsck_database
+from .query_check import check_query
+from .schema_check import SchemaAnalyzer
+
+
+def _open_store(directory):
+    """Recover a durable store read-only (no journal is created/appended)."""
+    from pathlib import Path
+
+    from ..core.database import Database
+    from ..storage.journal import Journal
+
+    if not Path(directory).is_dir():
+        raise OSError(f"no store directory at {directory}")
+    db = Database()
+    Journal.recover_into(db, directory)
+    return db
+
+
+def _emit(report, options):
+    if options.json:
+        print(report.to_json())
+    elif options.quiet:
+        print(report.summary())
+    else:
+        print(report.render())
+
+
+def _exit_code(report, options):
+    if report.errors:
+        return 1
+    if options.strict and report.warnings:
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+def _cmd_schema(options):
+    db = _open_store(options.directory)
+    report = SchemaAnalyzer(db.lattice).analyze()
+    _emit(report, options)
+    return _exit_code(report, options)
+
+
+def _cmd_fsck(options):
+    db = _open_store(options.directory)
+    report = fsck_database(db)
+    _emit(report, options)
+    return _exit_code(report, options)
+
+
+def _cmd_query(options):
+    db = _open_store(options.directory)
+    report = Report(plane="query")
+    for path in options.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"repro-check: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        partial = check_query(db.lattice, text)
+        for finding in partial:
+            report.findings.append(finding)
+        report.checked += partial.checked
+    _emit(report, options)
+    return _exit_code(report, options)
+
+
+# ----------------------------------------------------------------------
+# Self-test: the seed workloads and figures, analyzed and fsck'd
+# ----------------------------------------------------------------------
+
+def _seed_scenarios():
+    """Yield ``(name, database, managers)`` for every seed scenario.
+
+    Each scenario is built through the public API, so the analyzer must
+    find no schema errors and fsck must find nothing at all.
+    """
+    from ..core.database import Database
+    from ..versions.manager import VersionManager
+    from ..workloads.cad import build_design_bench
+    from ..workloads.documents import build_corpus, define_document_schema
+    from ..workloads.figures import build_figure4, build_figure5, build_figure9
+    from ..workloads.parts import (
+        build_assembly,
+        build_fleet,
+        build_part_tree,
+        define_vehicle_schema,
+    )
+
+    db = Database()
+    define_vehicle_schema(db)
+    build_fleet(db, 5)
+    yield "vehicle-fleet", db
+
+    db = Database()
+    build_part_tree(db, depth=3, fanout=3)
+    yield "part-tree", db
+
+    db = Database()
+    build_assembly(db, depth=2, fanout=3)
+    yield "assembly", db
+
+    for name, builder in (
+        ("figure4", build_figure4),
+        ("figure5", build_figure5),
+        ("figure9", build_figure9),
+    ):
+        db = Database()
+        builder(db)
+        yield name, db
+
+    db = Database()
+    define_document_schema(db)
+    build_corpus(db, documents=4)
+    yield "documents", db
+
+    db = Database()
+    versions = VersionManager(db)
+    build_design_bench(db, versions)
+    yield "cad-versions", db
+
+
+def _cmd_self_test(options):
+    failed = 0
+    for name, db in _seed_scenarios():
+        schema_report = SchemaAnalyzer(db.lattice).analyze()
+        fsck_report = fsck_database(db)
+        problems = []
+        if schema_report.errors:
+            problems.append(f"{len(schema_report.errors)} schema error(s)")
+        if not fsck_report.clean:
+            problems.append(f"{len(fsck_report)} fsck finding(s)")
+        status = "FAIL" if problems else "ok"
+        if problems:
+            failed += 1
+        if not options.quiet or problems:
+            print(
+                f"{status:4s} {name}: "
+                f"schema [{schema_report.summary()}], "
+                f"fsck [{fsck_report.summary()}]"
+            )
+        if problems and not options.json:
+            for finding in schema_report.errors:
+                print(f"     {finding}")
+            for finding in fsck_report:
+                print(f"     {finding}")
+    print(
+        "self-test: all seed scenarios pass"
+        if not failed
+        else f"self-test: {failed} scenario(s) FAILED"
+    )
+    return 1 if failed else 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def _add_output_flags(parser, subcommand=False):
+    """The output/gating flags, accepted both before and after the
+    subcommand.  The subcommand copies default to SUPPRESS so an
+    absent flag never clobbers one given before the subcommand."""
+    extra = {"default": argparse.SUPPRESS} if subcommand else {}
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON", **extra
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true", help="summaries only", **extra
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings, not just errors",
+        **extra,
+    )
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Static schema analyzer and database integrity checker "
+        "for the composite-object database.",
+    )
+    _add_output_flags(parser)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    schema = commands.add_parser(
+        "schema", help="static schema/topology analysis of a durable store"
+    )
+    schema.add_argument("directory", help="durable store directory")
+    _add_output_flags(schema, subcommand=True)
+    schema.set_defaults(run=_cmd_schema)
+
+    fsck = commands.add_parser(
+        "fsck", help="offline integrity check of a durable store"
+    )
+    fsck.add_argument("directory", help="durable store directory")
+    _add_output_flags(fsck, subcommand=True)
+    fsck.set_defaults(run=_cmd_fsck)
+
+    query = commands.add_parser(
+        "query", help="statically validate s-expression query files"
+    )
+    query.add_argument("directory", help="durable store directory")
+    query.add_argument("files", nargs="+", help="query files to validate")
+    _add_output_flags(query, subcommand=True)
+    query.set_defaults(run=_cmd_query)
+
+    self_test = commands.add_parser(
+        "self-test",
+        help="analyze and fsck every seed workload/figure scenario",
+    )
+    _add_output_flags(self_test, subcommand=True)
+    self_test.set_defaults(run=_cmd_self_test)
+
+    return parser
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # ``repro-check --self-test`` is the documented CI spelling.
+    argv = ["self-test" if arg == "--self-test" else arg for arg in argv]
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    try:
+        return options.run(options)
+    except OSError as error:
+        print(f"repro-check: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""The shared findings model of both analysis planes.
+
+Every check in :mod:`repro.analysis` — the static schema analyzer and the
+offline integrity checker (fsck) — reports problems the same way: as a
+:class:`Finding` with a severity, a stable machine-readable rule id, a
+location (a class, ``Class.attribute``, or an object UID), and a
+human-readable message.  A :class:`Report` collects the findings of one
+run and renders them for terminals (one line per finding) and machines
+(JSON), so CI gates, the ``repro-check`` CLI, and the server's ``check``
+op all speak the same schema.
+
+Rule-id convention: ``<PLANE>-<NAME>`` where the plane prefix is ``SCH``
+(schema analyzer), ``EVO`` (schema-evolution pre-flight), ``QRY`` (static
+query validation), or ``FSCK`` (database integrity).  Ids are stable wire
+contract — tests and remote clients match on them, never on messages.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.
+
+    * ``INFO`` — worth knowing, not wrong (e.g. a dangling weak reference,
+      which the Deletion Rule legitimately leaves behind).
+    * ``WARNING`` — a suspect design or risky change: legal today, likely
+      to violate a topology rule or strand objects later.
+    * ``ERROR`` — an invariant of the paper is violated, or an operation
+      can never succeed.
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One problem reported by an analysis plane."""
+
+    #: How severe the problem is.
+    severity: Severity
+    #: Stable machine-readable rule identifier (e.g. ``FSCK-RULE1``).
+    rule: str
+    #: Where: a class name, ``Class.attribute``, or an object UID string.
+    location: str
+    #: Human-readable description, actionable without a second query.
+    message: str
+    #: Extra machine-readable context (UIDs stringified for JSON).
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-able rendering (the wire/CLI schema)."""
+        return {
+            "severity": self.severity.label,
+            "rule": self.rule,
+            "location": self.location,
+            "message": self.message,
+            "detail": {key: _jsonable(value) for key, value in self.detail.items()},
+        }
+
+    def __str__(self) -> str:
+        return f"{self.severity.label:7s} {self.rule:22s} {self.location}: {self.message}"
+
+
+class Report:
+    """The findings of one analysis run."""
+
+    def __init__(self, plane: str = "", findings: Optional[list] = None):
+        #: Which plane produced the report (``schema``, ``fsck``, ...).
+        self.plane = plane
+        self.findings: list = list(findings or [])
+        #: Objects / classes / forms examined (coverage metric).
+        self.checked = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def add(
+        self,
+        severity: Severity,
+        rule: str,
+        location: Any,
+        message: str,
+        **detail: Any,
+    ) -> Finding:
+        """Append one finding (location is stringified)."""
+        finding = Finding(
+            severity=severity,
+            rule=rule,
+            location=str(location),
+            message=message,
+            detail=detail,
+        )
+        self.findings.append(finding)
+        return finding
+
+    def extend(self, other: "Report") -> "Report":
+        """Fold *other*'s findings and coverage into this report."""
+        self.findings.extend(other.findings)
+        self.checked += other.checked
+        return self
+
+    # -- queries ------------------------------------------------------------
+
+    def by_severity(self, severity: Severity) -> list:
+        return [f for f in self.findings if f.severity == severity]
+
+    def by_rule(self, rule: str) -> list:
+        return [f for f in self.findings if f.rule == rule]
+
+    def rules(self) -> set:
+        """The distinct rule ids present in this report."""
+        return {f.rule for f in self.findings}
+
+    @property
+    def errors(self) -> list:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> list:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing at WARNING level or above was found."""
+        return not self.errors and not self.warnings
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing at all was found (INFO included)."""
+        return not self.findings
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "plane": self.plane,
+            "checked": self.checked,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.infos),
+            },
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        return (
+            f"{self.plane or 'analysis'}: checked {self.checked}, "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info"
+        )
+
+    def render(self) -> str:
+        """Terminal rendering: one line per finding plus the summary."""
+        lines = [str(f) for f in sorted(
+            self.findings, key=lambda f: (-f.severity, f.rule, f.location)
+        )]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    def __repr__(self) -> str:
+        return f"<Report {self.plane!r} {self.summary()!r}>"
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    return str(value)

@@ -1,0 +1,293 @@
+"""Static validation of s-expression queries against a schema.
+
+Checks ORION messages *before* the interpreter runs them: unknown
+messages, unknown classes, unknown attributes, and domain mismatches are
+all decidable from the class lattice alone, so a client (or CI) can vet a
+query corpus without touching any instance.  The checker is deliberately
+conservative: anything it cannot decide statically (values of variables,
+UID-typed arguments) passes silently — a finding here means the
+interpreter *will* fail or the predicate can never be satisfied.
+
+Rule ids
+--------
+``QRY-SYNTAX``            error    the text does not parse
+``QRY-UNKNOWN-MESSAGE``   error    the head symbol is not an ORION message
+``QRY-UNKNOWN-CLASS``     error    a class designator names no class
+``QRY-UNKNOWN-ATTRIBUTE`` error    a predicate names an attribute the
+                                   class does not have
+``QRY-DOMAIN-MISMATCH``   error    a literal compared against a primitive
+                                   attribute can never be in its domain
+``QRY-NOT-SET``           error    ``contains`` applied to a single-valued
+                                   attribute
+``QRY-UNORDERED-COMPARE`` warning  ``<``/``>`` comparison on a
+                                   non-primitive (UID-valued) attribute
+"""
+
+from __future__ import annotations
+
+from ..query.sexpr import (
+    Keyword,
+    QUOTE,
+    QuerySyntaxError,
+    Symbol,
+    parse_all,
+)
+from .findings import Report, Severity
+
+#: Messages the interpreter understands (mirrors Interpreter._handlers;
+#: test_analysis pins the two lists against each other).
+KNOWN_MESSAGES = frozenset({
+    "make-class", "make", "setq", "get", "set", "insert", "remove",
+    "delete", "make-part-of", "remove-part-of", "components-of",
+    "children-of", "parents-of", "ancestors-of", "component-of",
+    "child-of", "exclusive-component-of", "shared-component-of",
+    "compositep", "exclusive-compositep", "shared-compositep",
+    "dependent-compositep", "select", "create-index", "instances-of",
+    "describe", "make-shared", "make-exclusive", "make-independent",
+    "make-dependent", "make-noncomposite", "make-exclusive-composite",
+    "make-shared-composite", "drop-attribute", "rename-attribute",
+    "rename-class", "drop-class", "quote",
+})
+
+#: Messages whose first positional argument is a class designator.
+_CLASS_HEADED = frozenset({
+    "make", "select", "instances-of", "describe", "create-index",
+    "compositep", "exclusive-compositep", "shared-compositep",
+    "dependent-compositep", "make-shared", "make-exclusive",
+    "make-independent", "make-dependent", "make-noncomposite",
+    "make-exclusive-composite", "make-shared-composite",
+    "drop-attribute", "rename-attribute", "drop-class",
+})
+
+#: Messages taking (Class Attribute ...) whose attribute must exist.
+_CLASS_ATTRIBUTE = frozenset({
+    "create-index", "make-shared", "make-exclusive", "make-independent",
+    "make-dependent", "make-noncomposite", "drop-attribute",
+    "rename-attribute",
+})
+
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+_ORDERED = ("<", "<=", ">", ">=")
+
+
+def check_query(lattice, text):
+    """Statically validate every form in *text*; returns a :class:`Report`."""
+    report = Report(plane="query")
+    try:
+        forms = parse_all(text)
+    except QuerySyntaxError as error:
+        report.add(Severity.ERROR, "QRY-SYNTAX", "<input>", str(error))
+        return report
+    checker = _QueryChecker(lattice, report)
+    for form in forms:
+        checker.check_form(form)
+    report.checked = len(forms)
+    return report
+
+
+class _QueryChecker:
+    """Walks parsed forms, accumulating findings."""
+
+    def __init__(self, lattice, report):
+        self.lattice = lattice
+        self.report = report
+        #: setq-bound variable names seen so far (their values are opaque).
+        self.bound = set()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _unquote(self, form):
+        if isinstance(form, list) and form and form[0] == QUOTE:
+            return form[1]
+        return form
+
+    def _class_designator(self, form):
+        """The class name a form designates, or None when not static."""
+        form = self._unquote(form)
+        if isinstance(form, Symbol):
+            return form.name
+        if isinstance(form, str):
+            return form
+        return None
+
+    def _resolve_class(self, form, context):
+        """Look a class designator up in the lattice, reporting misses."""
+        name = self._class_designator(form)
+        if name is None or name in self.bound:
+            return None
+        if name not in self.lattice:
+            self.report.add(
+                Severity.ERROR,
+                "QRY-UNKNOWN-CLASS",
+                context,
+                f"unknown class {name!r}",
+                class_name=name,
+            )
+            return None
+        return self.lattice.get(name)
+
+    # -- form dispatch ------------------------------------------------------
+
+    def check_form(self, form):
+        if not isinstance(form, list) or not form:
+            return
+        head = form[0]
+        if not isinstance(head, Symbol):
+            return
+        name = head.name
+        if name == "quote":
+            return
+        if name not in KNOWN_MESSAGES:
+            self.report.add(
+                Severity.ERROR,
+                "QRY-UNKNOWN-MESSAGE",
+                name,
+                f"unknown message {name!r}",
+            )
+            return
+        args = form[1:]
+        if name == "setq":
+            if len(args) == 2 and isinstance(args[0], Symbol):
+                self.bound.add(args[0].name)
+                self.check_form(args[1])
+            return
+        classdef = None
+        if name in _CLASS_HEADED and args:
+            classdef = self._resolve_class(args[0], name)
+        if name in _CLASS_ATTRIBUTE and classdef is not None and len(args) > 1:
+            attr = self._attribute_name(args[1])
+            if attr is not None and not classdef.has_attribute(attr):
+                self.report.add(
+                    Severity.ERROR,
+                    "QRY-UNKNOWN-ATTRIBUTE",
+                    f"{classdef.name}.{attr}",
+                    f"class {classdef.name!r} has no attribute {attr!r}",
+                    class_name=classdef.name,
+                    attribute=attr,
+                )
+        if name == "select" and classdef is not None and len(args) > 1:
+            self._check_predicate(classdef, args[1])
+        if name == "make" and classdef is not None:
+            self._check_make(classdef, args[1:])
+        # Nested forms evaluate too (e.g. (delete (make ...))).
+        for arg in args:
+            if isinstance(arg, list) and arg and isinstance(arg[0], Symbol) \
+                    and arg[0].name in KNOWN_MESSAGES and name != "make":
+                self.check_form(arg)
+
+    @staticmethod
+    def _attribute_name(form):
+        if isinstance(form, Symbol):
+            return form.name
+        if isinstance(form, str):
+            return form
+        return None
+
+    # -- make ---------------------------------------------------------------
+
+    def _check_make(self, classdef, args):
+        """Keyword values of ``make`` must name effective attributes."""
+        index = 0
+        while index < len(args):
+            item = args[index]
+            if isinstance(item, Keyword):
+                if item.name not in ("parent",) and not classdef.has_attribute(
+                    item.name
+                ):
+                    self.report.add(
+                        Severity.ERROR,
+                        "QRY-UNKNOWN-ATTRIBUTE",
+                        f"{classdef.name}.{item.name}",
+                        f"make: class {classdef.name!r} has no attribute "
+                        f"{item.name!r}",
+                        class_name=classdef.name,
+                        attribute=item.name,
+                    )
+                index += 2
+            else:
+                index += 1
+
+    # -- select predicates ---------------------------------------------------
+
+    def _check_predicate(self, classdef, predicate):
+        if not isinstance(predicate, list) or not predicate:
+            return
+        op = predicate[0]
+        if not isinstance(op, Symbol):
+            return
+        name = op.name
+        if name in ("and", "or"):
+            for sub in predicate[1:]:
+                self._check_predicate(classdef, sub)
+            return
+        if name == "not":
+            if len(predicate) > 1:
+                self._check_predicate(classdef, predicate[1])
+            return
+        if name in ("part-of", "has-part"):
+            return  # target is a runtime UID; nothing static to check
+        if name == "contains":
+            spec = self._predicate_spec(classdef, predicate)
+            if spec is not None and not spec.is_set:
+                self.report.add(
+                    Severity.ERROR,
+                    "QRY-NOT-SET",
+                    f"{classdef.name}.{spec.name}",
+                    f"contains: {classdef.name}.{spec.name} is "
+                    f"single-valued",
+                    attribute=spec.name,
+                )
+            return
+        if name in _COMPARISONS:
+            spec = self._predicate_spec(classdef, predicate)
+            if spec is None or len(predicate) < 3:
+                return
+            literal = self._unquote(predicate[2])
+            if isinstance(literal, Symbol):
+                return  # a variable — value unknown statically
+            if spec.is_primitive and literal is not None \
+                    and not spec.accepts_primitive(literal):
+                self.report.add(
+                    Severity.ERROR,
+                    "QRY-DOMAIN-MISMATCH",
+                    f"{classdef.name}.{spec.name}",
+                    f"{name}: literal {literal!r} can never be in domain "
+                    f"{spec.domain_class!r} of {classdef.name}.{spec.name}",
+                    attribute=spec.name,
+                    domain=spec.domain_class,
+                )
+            if name in _ORDERED and not spec.is_primitive:
+                self.report.add(
+                    Severity.WARNING,
+                    "QRY-UNORDERED-COMPARE",
+                    f"{classdef.name}.{spec.name}",
+                    f"{name}: {classdef.name}.{spec.name} holds object "
+                    f"references; ordered comparison is never satisfied",
+                    attribute=spec.name,
+                )
+            return
+        self.report.add(
+            Severity.ERROR,
+            "QRY-UNKNOWN-MESSAGE",
+            name,
+            f"unknown predicate {name!r}",
+        )
+
+    def _predicate_spec(self, classdef, predicate):
+        """The AttributeSpec a predicate's attribute names, or None."""
+        if len(predicate) < 2:
+            return None
+        attr = self._attribute_name(predicate[1])
+        if attr is None:
+            return None
+        if not classdef.has_attribute(attr):
+            self.report.add(
+                Severity.ERROR,
+                "QRY-UNKNOWN-ATTRIBUTE",
+                f"{classdef.name}.{attr}",
+                f"class {classdef.name!r} has no attribute {attr!r}",
+                class_name=classdef.name,
+                attribute=attr,
+            )
+            return None
+        return classdef.attribute(attr)

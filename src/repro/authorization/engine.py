@@ -58,6 +58,7 @@ class AuthorizationEngine:
         self._versions = version_registry
         #: Access checks performed (benchmark metric).
         self.checks = 0
+        database.auth_engine = self
 
     # ------------------------------------------------------------------
     # Granting

@@ -23,7 +23,6 @@ from ..errors import (
     ClassDefinitionError,
     DomainError,
     TopologyError,
-    UnknownAttributeError,
     UnknownObjectError,
 )
 from ..schema.attribute import AttributeSpec
@@ -105,6 +104,12 @@ class Database:
         self.access_count = 0
         #: UID whose first store write is deferred to ``make`` placement.
         self._placement_pending = None
+        #: Subsystem managers register themselves here on construction so
+        #: the analysis plane (``Database.fsck()``, ``repro-check``, the
+        #: server's ``check`` op) can audit everything that is wired up.
+        self.versions = None
+        self.evolution = None
+        self.auth_engine = None
 
     # ------------------------------------------------------------------
     # Schema
@@ -305,10 +310,13 @@ class Database:
                 class_name, [p for p, _ in parent_pairs]
             )
             self.store.write(instance, segment, near_uid=near_hint)
-            for parent_uid, _ in parent_pairs:
-                parent = self.peek(parent_uid)
-                if parent is not None:
-                    self.persist(parent)
+        # Persist mutated parents even without a paged store: the
+        # durability journal listens on on_persist, and the parent's
+        # forward set just grew.
+        for parent_uid, _ in parent_pairs:
+            parent = self.peek(parent_uid)
+            if parent is not None:
+                self.persist(parent)
         self._notify_update(instance, None)
         return uid
 
@@ -553,6 +561,7 @@ class Database:
             if spec.is_composite:
                 self._link_component(parent, spec, child_uid)
             parent.set(attribute, list(current) + [child_uid])
+            self._notify_update(parent, attribute)
         else:
             self._assign(parent, spec, child_uid)
 
@@ -716,6 +725,26 @@ class Database:
                         f"{ref.parent}.{ref.attribute}"
                     )
         return True
+
+    def fsck(self):
+        """Audit every invariant; returns an analysis ``Report``.
+
+        Unlike :meth:`validate`, which raises on the first violation,
+        fsck keeps going and reports *every* problem as a finding — and
+        also covers the version registry, ref-counts, extents, and
+        authorization graph of whatever managers are registered (see
+        :mod:`repro.analysis.fsck`).
+        """
+        from ..analysis.fsck import fsck_database
+
+        return fsck_database(self)
+
+    def check_schema(self):
+        """Run the static schema analyzer; returns an analysis ``Report``
+        (see :mod:`repro.analysis.schema_check`)."""
+        from ..analysis.schema_check import SchemaAnalyzer
+
+        return SchemaAnalyzer(self.lattice).analyze()
 
     def __len__(self):
         return sum(1 for _ in self.live_instances())

@@ -26,6 +26,11 @@ from __future__ import annotations
 from ..errors import TopologyError
 
 
+def _uids(uids):
+    """Render parent UIDs for error messages ("[12, 34]")."""
+    return "[" + ", ".join(str(uid) for uid in uids) + "]"
+
+
 def check_topology_rules(instance):
     """Validate Rules 1-3 on *instance*'s reverse references.
 
@@ -35,25 +40,30 @@ def check_topology_rules(instance):
     """
     ix = instance.ix_parents()
     dx = instance.dx_parents()
-    shared = len(instance.is_parents()) + len(instance.ds_parents())
+    is_ = instance.is_parents()
+    ds = instance.ds_parents()
     if len(ix) > 1:
         raise TopologyError(
-            f"{instance.uid}: card(Ix) = {len(ix)} > 1", rule=1
+            f"{instance.uid}: card(Ix) = {len(ix)} > 1; independent "
+            f"exclusive parents {_uids(ix)}",
+            rule=1,
         )
     if len(dx) > 1:
         raise TopologyError(
-            f"{instance.uid}: card(Dx) = {len(dx)} > 1", rule=1
+            f"{instance.uid}: card(Dx) = {len(dx)} > 1; dependent "
+            f"exclusive parents {_uids(dx)}",
+            rule=1,
         )
     if ix and dx:
         raise TopologyError(
-            f"{instance.uid}: has both an independent and a dependent "
-            f"exclusive composite reference",
+            f"{instance.uid}: has both an independent ({_uids(ix)}) and a "
+            f"dependent ({_uids(dx)}) exclusive composite reference",
             rule=2,
         )
-    if (ix or dx) and shared:
+    if (ix or dx) and (is_ or ds):
         raise TopologyError(
-            f"{instance.uid}: has both exclusive and shared composite "
-            f"references",
+            f"{instance.uid}: has both exclusive ({_uids(ix + dx)}) and "
+            f"shared ({_uids(is_ + ds)}) composite references",
             rule=3,
         )
 
@@ -75,16 +85,18 @@ def check_make_component(instance, attribute_spec, *, parent_uid=None):
         if instance.has_composite_reference():
             raise TopologyError(
                 f"Make-Component Rule: {instance.uid} already has a "
-                f"composite reference and cannot become an exclusive "
-                f"component{whom}",
+                f"composite reference (parents "
+                f"{_uids(instance.composite_parents())}) and cannot become "
+                f"an exclusive component{whom}",
                 rule=3 if instance.has_shared_reference() else 1,
             )
     else:
         if instance.has_exclusive_reference():
             raise TopologyError(
                 f"Make-Component Rule: {instance.uid} already has an "
-                f"exclusive composite reference and cannot become a "
-                f"shared component{whom}",
+                f"exclusive composite reference (parents "
+                f"{_uids(instance.ix_parents() + instance.dx_parents())}) "
+                f"and cannot become a shared component{whom}",
                 rule=3,
             )
 

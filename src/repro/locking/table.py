@@ -17,7 +17,7 @@ detector consumes.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import LockConflictError
 from .modes import COMPATIBILITY, LockMode

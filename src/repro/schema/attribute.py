@@ -22,7 +22,7 @@ any), a user class name, or a ``set-of`` either.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..core.references import ReferenceKind
 from ..errors import ClassDefinitionError

@@ -75,6 +75,34 @@ class SchemaEvolutionManager(TaxonomyMixin):
         self.immediate_applications = 0
         database.access_hooks.append(self._catch_up)
         database.cc_provider = lambda class_name: self.oplog.current_cc
+        database.evolution = self
+        #: Analyzer report of the most recent pre-flighted change (see
+        #: :meth:`preflight`); None before any change runs.
+        self.last_preflight = None
+        #: When True, a change whose pre-flight finds errors is rejected
+        #: before anything is touched.
+        self.strict_preflight = False
+
+    def preflight(self, change, class_name, attribute=None):
+        """Consult the static analyzer (Plane 1) before a schema change.
+
+        Every destructive operation calls this first; the report is kept
+        in :attr:`last_preflight` so callers can inspect what the change
+        would strand or cascade.  With :attr:`strict_preflight` set,
+        error findings reject the change outright.
+        """
+        from ..analysis.schema_check import SchemaAnalyzer
+
+        report = SchemaAnalyzer(self._db.lattice).preflight(
+            change, class_name, attribute
+        )
+        self.last_preflight = report
+        if self.strict_preflight and report.errors:
+            raise SchemaEvolutionError(
+                f"{change} rejected by pre-flight: "
+                + "; ".join(f.message for f in report.errors)
+            )
+        return report
 
     # ------------------------------------------------------------------
     # 4.1 — structural changes
@@ -89,6 +117,7 @@ class SchemaEvolutionManager(TaxonomyMixin):
         Deletion Rule."
         """
         db = self._db
+        self.preflight("drop_attribute", class_name, attribute)
         classdef = db.lattice.get(class_name)
         spec = classdef.attribute(attribute)
         if spec.defined_in != class_name:
@@ -144,6 +173,7 @@ class SchemaEvolutionManager(TaxonomyMixin):
         like :meth:`drop_attribute` for C and its subclasses.
         """
         db = self._db
+        self.preflight("remove_superclass", class_name, superclass)
         classdef = db.lattice.get(class_name)
         if superclass not in classdef.superclasses:
             raise SchemaEvolutionError(
@@ -174,6 +204,7 @@ class SchemaEvolutionManager(TaxonomyMixin):
         instances (minus C's attributes).
         """
         db = self._db
+        self.preflight("drop_class", class_name)
         classdef = db.lattice.get(class_name)
         for instance in list(db.instances_of(class_name, include_subclasses=False)):
             if db.exists(instance.uid):
@@ -200,12 +231,14 @@ class SchemaEvolutionManager(TaxonomyMixin):
 
     def make_noncomposite(self, class_name, attribute, mode="immediate"):
         """**I1** — change a composite attribute to a non-composite one."""
+        self.preflight("I1", class_name, attribute)
         spec = self._composite_spec(class_name, attribute)
         self._apply_state_independent("I1", class_name, spec, mode)
         return self._rewrite_spec(class_name, attribute, composite=False)
 
     def make_shared(self, class_name, attribute, mode="immediate"):
         """**I2** — change an exclusive composite attribute to shared."""
+        self.preflight("I2", class_name, attribute)
         spec = self._composite_spec(class_name, attribute)
         if not spec.exclusive:
             raise SchemaEvolutionError(f"{class_name}.{attribute} is already shared")
@@ -214,6 +247,7 @@ class SchemaEvolutionManager(TaxonomyMixin):
 
     def make_independent(self, class_name, attribute, mode="immediate"):
         """**I3** — change a dependent composite attribute to independent."""
+        self.preflight("I3", class_name, attribute)
         spec = self._composite_spec(class_name, attribute)
         if not spec.dependent:
             raise SchemaEvolutionError(
@@ -224,6 +258,7 @@ class SchemaEvolutionManager(TaxonomyMixin):
 
     def make_dependent(self, class_name, attribute, mode="immediate"):
         """**I4** — change an independent composite attribute to dependent."""
+        self.preflight("I4", class_name, attribute)
         spec = self._composite_spec(class_name, attribute)
         if spec.dependent:
             raise SchemaEvolutionError(f"{class_name}.{attribute} is already dependent")
@@ -258,6 +293,7 @@ class SchemaEvolutionManager(TaxonomyMixin):
         than one reverse composite reference, and at least one of the
         reverse composite references is from an instance of the class C'."
         """
+        self.preflight("D3", class_name, attribute)
         db = self._db
         spec = self._composite_spec(class_name, attribute)
         if spec.exclusive:
@@ -286,6 +322,7 @@ class SchemaEvolutionManager(TaxonomyMixin):
         return self._rewrite_spec(class_name, attribute, exclusive=True)
 
     def _make_composite(self, class_name, attribute, exclusive):
+        self.preflight("D1" if exclusive else "D2", class_name, attribute)
         db = self._db
         classdef = db.lattice.get(class_name)
         spec = classdef.attribute(attribute)

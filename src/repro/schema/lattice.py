@@ -15,7 +15,7 @@ Implements the schema substrate of [BANE87a/b] that the paper builds on:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from ..errors import ClassDefinitionError, UnknownClassError
 from .attribute import PRIMITIVE_DOMAINS

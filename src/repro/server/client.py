@@ -122,6 +122,7 @@ def _add_api(cls):
         "query": ("query", ("text",)),
         "whoami": ("whoami", ()),
         "stats": ("stats", ()),
+        "check": ("check", ("plane", "text")),
     }
 
     def make_method(op, names):

@@ -285,6 +285,35 @@ async def _op_abort(session, args):
     return {"txn": session.abort()}
 
 
+async def _op_check(session, args):
+    """Audit the live database without taking it offline.
+
+    ``plane`` selects what runs: ``"fsck"`` (integrity checker),
+    ``"schema"`` (static analyzer), ``"query"`` (validate ``text``
+    statically), or ``"all"`` (default: fsck + schema).  Findings come
+    back in the shared JSON schema of :mod:`repro.analysis.findings`.
+    The audit only reads, so no locks are taken; a concurrent writer
+    mid-transaction can surface transient findings — run inside an idle
+    window (or a ``begin``/``commit`` scope) for a stable answer.
+    """
+    plane = args.get("plane", "all")
+    db = session.server.db
+    reports = {}
+    if plane in ("all", "fsck"):
+        reports["fsck"] = db.fsck().to_dict()
+    if plane in ("all", "schema"):
+        reports["schema"] = db.check_schema().to_dict()
+    if plane == "query":
+        from ..analysis.query_check import check_query
+
+        (text,) = _require(args, "text")
+        reports["query"] = check_query(db.lattice, text).to_dict()
+    if not reports:
+        raise ProtocolError(f"unknown check plane {plane!r}")
+    reports["ok"] = all(report["ok"] for report in reports.values())
+    return reports
+
+
 COMMANDS = {
     "ping": _op_ping,
     "login": _op_login,
@@ -311,6 +340,7 @@ COMMANDS = {
     "begin": _op_begin,
     "commit": _op_commit,
     "abort": _op_abort,
+    "check": _op_check,
 }
 
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import LockConflictError
 from ..locking.deadlock import DeadlockDetector
 from ..locking.modes import LockMode
 from ..locking.protocol import CompositeLockingProtocol, InstanceLockingBaseline

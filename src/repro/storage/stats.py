@@ -8,7 +8,7 @@ times, because the paper's prose claims are about access shape, not about
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

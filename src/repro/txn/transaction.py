@@ -12,7 +12,7 @@ resurrect an entire deletion cascade byte-for-byte.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import TransactionStateError
 

@@ -104,6 +104,10 @@ class VersionRegistry:
     def is_generic(self, uid):
         return uid in self._generics
 
+    def all_generics(self):
+        """UIDs of every registered generic instance, in creation order."""
+        return list(self._generics)
+
     def is_version(self, uid):
         return uid in self._versions
 

@@ -111,6 +111,7 @@ class VersionManager:
         database.topology_exempt = self.registry.is_generic
         database.on_link.append(self._note_link)
         database.on_unlink.append(self._note_unlink)
+        database.versions = self
 
     # ------------------------------------------------------------------
     # Creation and derivation

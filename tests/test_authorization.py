@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import AccessDenied, AttributeSpec, AuthorizationConflict, Database, SetOf
+from repro import AccessDenied, AttributeSpec, AuthorizationConflict, Database
 from repro.authorization import (
     AuthorizationEngine,
     AuthType,

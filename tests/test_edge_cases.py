@@ -3,7 +3,7 @@ operation-log registry, simulator internals, recorder, lock stats."""
 
 import pytest
 
-from repro import AccessDenied, AttributeSpec, AuthorizationConflict, Database, SetOf
+from repro import AttributeSpec, AuthorizationConflict, Database, SetOf
 from repro.authorization import AuthorizationEngine
 from repro.versions import VersionManager
 

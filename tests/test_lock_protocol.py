@@ -3,7 +3,7 @@ GARZ88 root-locking algorithm's shared-reference anomaly."""
 
 import pytest
 
-from repro import AttributeSpec, Database, SetOf
+from repro import AttributeSpec, SetOf
 from repro.errors import LockConflictError
 from repro.locking.modes import LockMode as M
 from repro.locking.protocol import (

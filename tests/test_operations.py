@@ -1,8 +1,7 @@
 """Tests for the Section 3 operations (components-of, parents-of, ...)."""
 
-import pytest
 
-from repro import AttributeSpec, Database, SetOf
+from repro import AttributeSpec, SetOf
 from repro.core.operations import find_dangling_references, roots_of
 
 

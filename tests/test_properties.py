@@ -16,7 +16,7 @@ from __future__ import annotations
 import string
 
 from hypothesis import given, settings, strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro import AttributeSpec, Database, ReproError, SetOf
 from repro.authorization import FIGURE6_ATOMS, combine

@@ -14,7 +14,6 @@ Three stateful machines beyond the core topology machine:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 

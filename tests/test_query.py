@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, TopologyError
+from repro import TopologyError
 from repro.query import (
     Interpreter,
     Keyword,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import AccessDenied, AttributeSpec, Database, SetOf
+from repro import AccessDenied
 from repro.authorization.roles import RoleAuthorizationEngine, RoleManager
 from repro.errors import AuthorizationError
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import AttributeSpec, Database, SetOf, TopologyError
+from repro import AttributeSpec, SetOf, TopologyError
 from repro.core.identity import UID
 from repro.core.instance import Instance
 from repro.core.topology import (
