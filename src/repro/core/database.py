@@ -19,6 +19,8 @@ The public surface mirrors ORION's message API with Pythonic names::
 
 from __future__ import annotations
 
+import contextlib
+
 from ..errors import (
     ClassDefinitionError,
     DomainError,
@@ -100,6 +102,25 @@ class Database:
         #: not alter forward attribute values).  The durability journal
         #: subscribes to both on_update and on_persist.
         self.on_persist = []
+        #: Callbacks ``()`` fired when a top-level mutating operation
+        #: (``make``, ``set_value``, ``insert_into``, ``remove_from``,
+        #: ``delete``) finishes.  The durability journal seals its
+        #: current write batch here, so all redo records of one operation
+        #: reach disk atomically.
+        self.on_op_end = []
+        #: Callbacks ``(txn,)`` fired by the transaction manager when a
+        #: transaction commits / aborts.  The durability journal flushes
+        #: the transaction's batched redo records on commit and drops
+        #: them on abort.
+        self.on_txn_commit = []
+        self.on_txn_abort = []
+        #: The transaction whose operation is currently executing (set by
+        #: :meth:`txn_context`); the journal routes redo records of an
+        #: open transaction into that transaction's commit batch.
+        self.current_txn = None
+        #: Nesting depth of :meth:`_operation` brackets (``make_part_of``
+        #: delegates to ``insert_into``/``set_value``, so brackets nest).
+        self._op_depth = 0
         #: Counter of instance accesses (benchmarks read this).
         self.access_count = 0
         #: UID whose first store write is deferred to ``make`` placement.
@@ -150,6 +171,39 @@ class Database:
     def classdef(self, name):
         """The :class:`ClassDef` named *name*."""
         return self.lattice.get(name)
+
+    # ------------------------------------------------------------------
+    # Operation / transaction scoping (durability batching)
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _operation(self):
+        """Bracket one top-level mutating operation.
+
+        ``on_op_end`` listeners run when the outermost bracket exits —
+        on success *and* on failure, because a failed operation may have
+        journaled compensating images that must still reach disk.
+        """
+        self._op_depth += 1
+        try:
+            yield
+        finally:
+            self._op_depth -= 1
+            if self._op_depth == 0:
+                for callback in self.on_op_end:
+                    callback()
+
+    @contextlib.contextmanager
+    def txn_context(self, txn):
+        """Mark *txn* as the transaction executing the enclosed operation
+        (the transaction manager wraps every data operation in this, so
+        the journal can batch redo records per transaction)."""
+        previous = self.current_txn
+        self.current_txn = txn
+        try:
+            yield
+        finally:
+            self.current_txn = previous
 
     # ------------------------------------------------------------------
     # Object table plumbing (used by the subsystem engines)
@@ -267,6 +321,10 @@ class Database:
 
         Returns the new instance's UID.
         """
+        with self._operation():
+            return self._make(class_name, values, parents, **kw_values)
+
+    def _make(self, class_name, values, parents, **kw_values):
         classdef = self.lattice.get(class_name)
         merged = dict(values or {})
         merged.update(kw_values)
@@ -383,8 +441,9 @@ class Database:
                 f"{instance.class_name}.{attribute} is a set-of attribute; "
                 f"use insert_into/remove_from"
             )
-        self._assign(instance, spec, value)
-        self.persist(instance)
+        with self._operation():
+            self._assign(instance, spec, value)
+            self.persist(instance)
 
     def insert_into(self, uid, attribute, member):
         """Add *member* to a set-of attribute (linking when composite)."""
@@ -397,14 +456,15 @@ class Database:
         current = instance.get(attribute) or []
         if member in current:
             return False
-        self._check_member(spec, member)
-        if spec.is_composite:
-            self._link_component(instance, spec, member)
-        current = list(current)
-        current.append(member)
-        instance.set(attribute, current)
-        self._notify_update(instance, attribute)
-        self.persist(instance)
+        with self._operation():
+            self._check_member(spec, member)
+            if spec.is_composite:
+                self._link_component(instance, spec, member)
+            current = list(current)
+            current.append(member)
+            instance.set(attribute, current)
+            self._notify_update(instance, attribute)
+            self.persist(instance)
         return True
 
     def remove_from(self, uid, attribute, member):
@@ -418,11 +478,12 @@ class Database:
         current = instance.get(attribute) or []
         if member not in current:
             return False
-        if spec.is_composite:
-            self._unlink_component(instance, spec, member)
-        instance.set(attribute, [v for v in current if v != member])
-        self._notify_update(instance, attribute)
-        self.persist(instance)
+        with self._operation():
+            if spec.is_composite:
+                self._unlink_component(instance, spec, member)
+            instance.set(attribute, [v for v in current if v != member])
+            self._notify_update(instance, attribute)
+            self.persist(instance)
         return True
 
     def make_part_of(self, child_uid, parent_uid, attribute):
@@ -610,7 +671,8 @@ class Database:
 
     def delete(self, uid):
         """Delete *uid* under the Deletion Rule; returns a DeletionReport."""
-        return self._deletion.delete(uid)
+        with self._operation():
+            return self._deletion.delete(uid)
 
     # ------------------------------------------------------------------
     # Section 3 operations, re-exported

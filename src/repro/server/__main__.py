@@ -30,17 +30,35 @@ def build_parser():
                         help="buffer-pool frames in paged mode (default 64)")
     parser.add_argument("--lock-wait-timeout", type=float, default=30.0,
                         help="seconds a lock wait may last (default 30)")
+    parser.add_argument("--data-dir", default=None,
+                        help="serve a durable store from this directory "
+                             "(recovered on start; in-memory when omitted)")
+    parser.add_argument("--sync-policy", default="commit",
+                        choices=("always", "commit", "group", "none"),
+                        help="journal sync policy for --data-dir "
+                             "(default commit; see docs/DURABILITY.md)")
+    parser.add_argument("--group-window", type=float, default=0.002,
+                        help="group-commit window in seconds under "
+                             "--sync-policy group (default 0.002)")
     return parser
 
 
 async def _amain(args):
-    database = Database(paged=args.paged,
-                        buffer_capacity=args.buffer_capacity)
+    if args.data_dir is not None:
+        from ..storage.durable import DurableDatabase
+
+        database = DurableDatabase(
+            args.data_dir, sync_policy=args.sync_policy
+        )
+    else:
+        database = Database(paged=args.paged,
+                            buffer_capacity=args.buffer_capacity)
     server = ReproServer(
         database=database,
         host=args.host,
         port=args.port,
         lock_wait_timeout=args.lock_wait_timeout,
+        group_commit_window=args.group_window,
     )
     await server.start()
     print(f"repro-server listening on {server.host}:{server.port}")
@@ -50,6 +68,8 @@ async def _amain(args):
         pass
     finally:
         await server.stop()
+        if args.data_dir is not None:
+            database.close()
 
 
 def main(argv=None):

@@ -46,6 +46,19 @@ from .protocol import (
 )
 
 
+#: Ops the blocking client may transparently re-send on a fresh
+#: connection after a mid-call disconnect: pure reads and session
+#: bootstrap.  Everything else (``make``, ``insert_into``, ``delete``,
+#: ``query``, transaction control, ...) may already have executed
+#: server-side before the connection died — re-sending would double-
+#: execute it, so those surface a ConnectionError instead.
+RETRYABLE_OPS = frozenset({
+    "ping", "hello", "login", "whoami", "stats", "resolve", "value",
+    "describe", "components_of", "children_of", "parents_of",
+    "ancestors_of", "roots_of", "instances_of", "check",
+})
+
+
 def spec_to_wire(spec):
     """Lower an attribute spec (or dict) to its wire form."""
     if isinstance(spec, AttributeSpec):
@@ -160,7 +173,10 @@ class Client(_ClientCore):
     max_retries, backoff:
         Reconnect-with-backoff policy for dropped connections (each retry
         sleeps ``backoff * 2**attempt`` seconds).  ``max_retries=0``
-        disables reconnection.
+        disables reconnection.  Only the read/handshake ops in
+        :data:`RETRYABLE_OPS` are re-sent after a *mid-call* disconnect;
+        a mutating op that dies mid-call raises ConnectionError because
+        it may already have executed server-side.
     """
 
     def __init__(self, host="127.0.0.1", port=4957, user=None, timeout=60.0,
@@ -217,9 +233,16 @@ class Client(_ClientCore):
     def call(self, op, **args):
         """One request/response cycle, reconnecting on a dead connection."""
         attempt = 0
+        last_error = None
         while True:
             if self._sock is None:
-                self._reconnect_or_raise(attempt)
+                self._reconnect_or_raise(attempt, last_error)
+                if self._sock is None:
+                    # The connect failed but retries remain: go around
+                    # again with a longer backoff instead of calling into
+                    # a dead socket.
+                    attempt += 1
+                    continue
             try:
                 return self._roundtrip(op, args)
             except socket.timeout:
@@ -239,10 +262,26 @@ class Client(_ClientCore):
                         f"connection lost inside a transaction ({error}); "
                         f"its locks and undo state are gone — retry the scope"
                     ) from None
+                if op not in RETRYABLE_OPS:
+                    # Like the timeout above: the mutating request may
+                    # already have executed server-side, so re-sending it
+                    # could double-execute.  Surface the break instead.
+                    raise ConnectionError(
+                        f"connection lost during non-idempotent {op!r} "
+                        f"({error}); it may have executed server-side — "
+                        f"verify before retrying"
+                    ) from None
+                last_error = error
                 attempt += 1
-                self._reconnect_or_raise(attempt, error)
 
     def _reconnect_or_raise(self, attempt, error=None):
+        """Back off, then try one reconnect.
+
+        Raises ConnectionError once *attempt* exhausts ``max_retries``.
+        A failed connect with retries remaining returns with
+        ``self._sock`` still None — the caller must increment its attempt
+        count and come back, not use the socket.
+        """
         if attempt > self.max_retries:
             raise ConnectionError(
                 f"could not reach {self.host}:{self.port} after "

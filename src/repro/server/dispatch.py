@@ -278,7 +278,11 @@ async def _op_begin(session, args):
 
 
 async def _op_commit(session, args):
-    return {"txn": session.commit()}
+    txn_id = session.commit()
+    # Under the journal's group policy the commit's batch is sealed but
+    # not yet fsynced; acknowledge only after the shared window flush.
+    await session.server.durability_barrier()
+    return {"txn": txn_id}
 
 
 async def _op_abort(session, args):

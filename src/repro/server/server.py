@@ -105,6 +105,54 @@ class ServerStats:
         }
 
 
+class GroupCommitGate:
+    """Time-window group commit over one journal.
+
+    Under the journal's ``group`` sync policy a commit seals its batch
+    (write + flush) but leaves the fsync to whoever syncs next.  The gate
+    is that whoever: the first committer of a window starts a flush round
+    that sleeps ``window`` seconds and then fsyncs once; every commit
+    arriving inside the window awaits the same round, so concurrent
+    sessions share a single fsync.  A commit is acknowledged to its
+    client only after its round's fsync — durability is delayed by at
+    most ``window`` seconds, never dropped.
+
+    The fsync itself runs on the event loop (journal writes are
+    single-threaded there); at the default 2 ms window the stall is the
+    point — it is the shared price of durability for the whole window.
+    """
+
+    def __init__(self, journal, window=0.002):
+        self.journal = journal
+        self.window = window
+        #: Commits that passed through the gate / fsyncs actually issued.
+        self.commits = 0
+        self.flushes = 0
+        self._round = None
+
+    async def wait(self):
+        """Block until the caller's sealed batch is on disk."""
+        self.commits += 1
+        if self.journal.closed or not self.journal.needs_sync:
+            return
+        if self._round is None:
+            self._round = asyncio.create_task(self._run_round())
+        # Shield: a committer whose connection dies mid-wait must not
+        # cancel the flush every other committer in the window shares.
+        await asyncio.shield(self._round)
+
+    async def _run_round(self):
+        try:
+            await asyncio.sleep(self.window)
+        finally:
+            # Later commits start a fresh round: their bytes may land
+            # after this round's fsync begins.
+            self._round = None
+        if not self.journal.closed and self.journal.needs_sync:
+            self.journal.sync()
+            self.flushes += 1
+
+
 class LockService:
     """Asynchronous lock waiting over the shared no-wait lock table.
 
@@ -309,6 +357,8 @@ class Session:
         else:
             self.server.finish(txn, commit=True)
             self.stats.commits += 1
+            # Auto-commit acks like any commit: after the group fsync.
+            await self.server.durability_barrier()
 
     def close(self):
         """Release everything on disconnect."""
@@ -334,10 +384,15 @@ class ReproServer:
     lock_wait_timeout:
         Seconds a lock wait may last before failing with
         :class:`repro.errors.LockConflictError`.
+    group_commit_window:
+        When the served database journals under the ``group`` sync
+        policy, commits acknowledged within this many seconds share one
+        fsync (see :class:`GroupCommitGate`).  Ignored for databases
+        without a journal or under other policies.
     """
 
     def __init__(self, database=None, host="127.0.0.1", port=0, auth=None,
-                 lock_wait_timeout=30.0):
+                 lock_wait_timeout=30.0, group_commit_window=0.002):
         self.db = database if database is not None else Database()
         self.host = host
         self.port = port
@@ -347,6 +402,12 @@ class ReproServer:
         self.locks = LockService(
             self.tm.table, self.stats, wait_timeout=lock_wait_timeout
         )
+        self.journal = getattr(self.db, "journal", None)
+        self.gate = None
+        if self.journal is not None and self.journal.sync_policy == "group":
+            self.gate = GroupCommitGate(
+                self.journal, window=group_commit_window
+            )
         self._server = None
         self._sessions = {}
         self._conn_tasks = set()
@@ -363,6 +424,16 @@ class ReproServer:
             self.stats.aborts += 1
         self.locks.forget(txn)
         self.locks.wake()
+
+    async def durability_barrier(self):
+        """Return once the calling commit's batch is durable.
+
+        A no-op unless the journal runs the ``group`` policy (``always``
+        and ``commit`` fsync inside :meth:`finish`; ``none`` never
+        promises durability before close).
+        """
+        if self.gate is not None:
+            await self.gate.wait()
 
     # -- lifecycle --------------------------------------------------------
 
@@ -421,6 +492,13 @@ class ReproServer:
                 for other, _writer in self._sessions.values()
             },
         }
+        if self.journal is not None:
+            durability = self.journal.stats_row()
+            if self.gate is not None:
+                durability["group_commits"] = self.gate.commits
+                durability["group_flushes"] = self.gate.flushes
+                durability["group_window_s"] = self.gate.window
+            payload["durability"] = durability
         if session is not None:
             payload["session"] = session.stats.row()
         return payload

@@ -8,6 +8,12 @@ Usage::
     db.close()
 
     db2 = DurableDatabase.open("/path/to/dir")  # same state, crash or not
+
+The write-path cost is governed by the journal's *sync policy*
+(``always`` | ``commit`` | ``group`` | ``none``; see
+:mod:`repro.storage.journal` and docs/DURABILITY.md)::
+
+    db = DurableDatabase("/path", sync_policy="commit")  # fsync per commit
 """
 
 from __future__ import annotations
@@ -23,13 +29,20 @@ class DurableDatabase(Database):
     changes (``make_class``, and anything done through a
     :class:`~repro.schema.evolution.SchemaEvolutionManager`, which should
     call :meth:`checkpoint` after DDL) trigger a checkpoint.
+
+    ``sync_policy`` and ``group_size`` configure the journal's group
+    commit pipeline (default ``always``: one fsync per mutating
+    operation, the most conservative policy).
     """
 
-    def __init__(self, directory, recover=True, **kwargs):
+    def __init__(self, directory, recover=True, sync_policy="always",
+                 group_size=8, **kwargs):
         super().__init__(**kwargs)
         if recover:
             Journal.recover_into(self, directory)
-        self.journal = Journal(self, directory)
+        self.journal = Journal(
+            self, directory, sync_policy=sync_policy, group_size=group_size
+        )
 
     @classmethod
     def open(cls, directory, **kwargs):
@@ -38,8 +51,9 @@ class DurableDatabase(Database):
 
     def make_class(self, *args, **kwargs):
         classdef = super().make_class(*args, **kwargs)
-        if getattr(self, "journal", None) is not None:
-            self.journal.checkpoint()
+        journal = getattr(self, "journal", None)
+        if journal is not None and not journal.closed:
+            journal.checkpoint()
         return classdef
 
     def checkpoint(self):
@@ -47,5 +61,7 @@ class DurableDatabase(Database):
         self.journal.checkpoint()
 
     def close(self):
-        """Flush and close the journal (the state is already durable)."""
+        """Seal pending batches, fsync, close the journal, and deregister
+        its hooks — mutations after close work in-memory only instead of
+        crashing into a closed file.  Idempotent."""
         self.journal.close()

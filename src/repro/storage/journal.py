@@ -1,4 +1,4 @@
-"""Durability: checkpoint snapshots plus a redo journal.
+"""Durability: checkpoint snapshots plus a redo journal with group commit.
 
 ORION is a persistent database; this module supplies the disk story for
 the reproduction with a classic two-file design:
@@ -8,12 +8,40 @@ the reproduction with a classic two-file design:
   and an after-image of every live instance (the binary record format of
   :mod:`repro.storage.serializer`);
 * **journal** (``journal.log``) — an append-only redo log of instance
-  after-images and deletion tombstones written on every mutation.
+  after-images and deletion tombstones, grouped into *batches* terminated
+  by commit markers.
 
-Opening a directory loads the latest snapshot and replays the journal, so
-any prefix of the journal yields a consistent database — mutations are
-whole-instance images, and reverse composite references live inside the
-instances, so replay needs no interpretation of operations.
+Opening a directory loads the latest snapshot and replays the journal.
+Replay applies records batch by batch: records are buffered until their
+commit marker and an unterminated tail (a torn final batch) is discarded,
+exactly as a torn record was discarded before batching existed.  Because
+every batch boundary is an operation or transaction boundary, any journal
+prefix yields a consistent database.
+
+Sync policies (`how hard the log manager leans on fsync`):
+
+``always``
+    Every redo record is flushed as it is produced and the batch of each
+    top-level operation is sealed with its own fsync — the seed behavior,
+    one fsync per mutating operation.
+``commit``
+    Redo records are buffered in memory per transaction (per operation
+    outside a transaction) and written with a single flush+fsync when the
+    transaction commits.  Records of an aborted transaction never reach
+    disk at all.
+``group``
+    Like ``commit`` but the fsync itself is deferred so several commits
+    can share one: embedded callers sync every ``group_size`` sealed
+    batches (or on :meth:`sync`/:meth:`close`); the asyncio server layers
+    a time-window group commit on top (see ``repro.server.server``).
+``none``
+    Batches are written and flushed but never fsynced while running (the
+    OS decides); :meth:`close` still syncs, so only a crash loses data.
+
+Write coalescing: within one batch, only the *final* image of each UID is
+written — link bookkeeping that re-images the same instance several times
+inside one operation journals once.  Across batches, a digest of the last
+journaled image per UID suppresses byte-identical rewrites.
 
 Schema changes (DDL) force a checkpoint; the journal itself only carries
 instance-level changes.  This is a deliberate simplification over ARIES —
@@ -22,6 +50,7 @@ there are no partial page writes to repair because images are logical.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import struct
@@ -33,10 +62,19 @@ from .serializer import decode_instance, encode_instance
 _U32 = struct.Struct(">I")
 _IMAGE = b"I"
 _TOMBSTONE = b"D"
+_COMMIT = b"C"
 
 SNAPSHOT_NAME = "checkpoint.db"
 JOURNAL_NAME = "journal.log"
 _MAGIC = b"REPRO-SNAP-1"
+
+#: The sync policies :class:`Journal` understands.
+SYNC_POLICIES = ("always", "commit", "group", "none")
+
+
+def _digest(image):
+    """Fixed-size fingerprint of an encoded image (dedup bookkeeping)."""
+    return hashlib.blake2b(image, digest_size=16).digest()
 
 
 def _encode_uid(uid):
@@ -114,22 +152,109 @@ def _restore_schema(database, classes):
         defined.add(entry["name"])
 
 
-class Journal:
-    """Checkpoint/journal persistence for one database."""
+class _Batch:
+    """Buffered redo records of one transaction (or one operation).
 
-    def __init__(self, database, directory):
+    Records are keyed by UID so re-images coalesce: only the final state
+    of each instance within the batch is ever written.  ``stale`` marks a
+    batch whose earlier records were subsumed by a mid-transaction
+    checkpoint — its abort must *write* the compensating records instead
+    of dropping them, because the checkpoint persisted uncommitted state.
+    """
+
+    __slots__ = ("records", "stale")
+
+    def __init__(self):
+        self.records = {}  # uid -> (kind, payload)
+        self.stale = False
+
+    def put(self, uid, kind, payload):
+        """Buffer a record; returns True when it replaced an earlier one."""
+        replaced = uid in self.records
+        self.records[uid] = (kind, payload)
+        return replaced
+
+    def __len__(self):
+        return len(self.records)
+
+
+class Journal:
+    """Checkpoint/journal persistence for one database.
+
+    Parameters
+    ----------
+    database:
+        The :class:`repro.Database` to journal (hooks are registered on
+        its ``on_update`` / ``on_persist`` / ``on_op_end`` /
+        ``on_txn_commit`` / ``on_txn_abort`` lists).
+    directory:
+        Store directory (created when missing).
+    sync_policy:
+        One of :data:`SYNC_POLICIES`; see the module docstring.
+    group_size:
+        Under the ``group`` policy, fsync after this many sealed batches
+        (embedded auto-sync; the server's time window calls :meth:`sync`
+        directly).
+    """
+
+    def __init__(self, database, directory, sync_policy="always",
+                 group_size=8):
+        if sync_policy not in SYNC_POLICIES:
+            raise StorageError(
+                f"unknown sync policy {sync_policy!r}; "
+                f"expected one of {', '.join(SYNC_POLICIES)}"
+            )
         self._db = database
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.sync_policy = sync_policy
+        self.group_size = group_size
         self._journal_file = None
+        self.closed = False
         #: Journal records written since the last checkpoint.
         self.records_since_checkpoint = 0
-        #: Last journaled image per UID (dedup: link bookkeeping can
-        #: persist the same state several times in one operation).
+        #: Digest of the last journaled/buffered image per UID (dedup:
+        #: link bookkeeping can persist the same state several times).
         self._last_image = {}
-        database.on_update.append(self._on_update)
-        database.on_persist.append(self._on_persist)
+        #: Buffered batches: one per open transaction plus the implicit
+        #: auto batch of the operation outside any transaction.
+        self._txn_batches = {}
+        self._auto_batch = _Batch()
+        #: Records written to the stream since the last commit marker
+        #: (``always`` policy, which does not buffer).
+        self._unsealed_records = 0
+        #: True when flushed bytes await an fsync (group/none policies).
+        self._dirty = False
+        self._unsynced_seals = 0
+        # -- durability counters (the stats op and B12c report these) --
+        self.records_written = 0
+        self.records_coalesced = 0
+        self.records_skipped = 0
+        self.records_dropped = 0
+        self.batches_sealed = 0
+        self.batches_dropped = 0
+        self.fsyncs = 0
+        self._register_hooks(database)
         self._open_journal()
+
+    def _register_hooks(self, database):
+        self._hooks = (
+            (database.on_update, self._on_update),
+            (database.on_persist, self._on_persist),
+            (database.on_op_end, self._on_op_end),
+            (database.on_txn_commit, self._on_txn_commit),
+            (database.on_txn_abort, self._on_txn_abort),
+        )
+        for hook_list, callback in self._hooks:
+            hook_list.append(callback)
+
+    def detach(self):
+        """Deregister every database hook (mutations after this are no
+        longer journaled — the close path uses this so a mutation on a
+        closed database degrades to in-memory instead of crashing)."""
+        for hook_list, callback in self._hooks:
+            if callback in hook_list:
+                hook_list.remove(callback)
 
     # -- paths --------------------------------------------------------------
 
@@ -144,34 +269,191 @@ class Journal:
     def _open_journal(self):
         self._journal_file = open(self.journal_path, "ab")
 
+    def _ensure_open(self, what):
+        if self.closed:
+            raise StorageError(
+                f"journal at {self.directory} is closed; cannot {what}"
+            )
+
     # -- journaling ----------------------------------------------------------
+
+    @property
+    def batching(self):
+        """True when records buffer in commit-scoped batches."""
+        return self.sync_policy != "always"
+
+    @property
+    def needs_sync(self):
+        """True when flushed journal bytes still await an fsync."""
+        return self._dirty
 
     def _on_update(self, instance, _attribute):
         if instance.deleted:
             self._last_image.pop(instance.uid, None)
-            self._append(_TOMBSTONE, encode_instance(instance))
+            self._add(_TOMBSTONE, encode_instance(instance), instance.uid)
         else:
             self._on_persist(instance)
 
     def _on_persist(self, instance):
         image = encode_instance(instance)
-        if self._last_image.get(instance.uid) == image:
+        digest = _digest(image)
+        if self._last_image.get(instance.uid) == digest:
+            self.records_skipped += 1
             return
-        self._last_image[instance.uid] = image
-        self._append(_IMAGE, image)
+        self._last_image[instance.uid] = digest
+        self._add(_IMAGE, image, instance.uid)
 
-    def _append(self, kind, payload):
+    def _add(self, kind, payload, uid):
+        """Route one redo record: buffer it (batching policies) or write
+        it through (``always``); seal immediately when no operation or
+        transaction scope is open to seal it later."""
+        self._ensure_open("append a record")
+        bare = self._db.current_txn is None and self._db._op_depth == 0
+        if not self.batching:
+            self._write_record(kind, payload)
+            self._unsealed_records += 1
+            if bare:
+                self._seal_stream()
+            return
+        batch = self._current_batch()
+        if batch.put(uid, kind, payload):
+            self.records_coalesced += 1
+        if bare and batch is self._auto_batch:
+            self._seal_batch(batch)
+
+    def _current_batch(self):
+        txn = self._db.current_txn
+        if txn is None:
+            return self._auto_batch
+        batch = self._txn_batches.get(txn)
+        if batch is None:
+            batch = self._txn_batches[txn] = _Batch()
+        return batch
+
+    def _write_record(self, kind, payload):
         self._journal_file.write(kind)
         self._journal_file.write(_U32.pack(len(payload)))
         self._journal_file.write(payload)
-        self._journal_file.flush()
-        os.fsync(self._journal_file.fileno())
+        self.records_written += 1
         self.records_since_checkpoint += 1
+
+    def _seal_batch(self, batch):
+        """Write a buffered batch and its commit marker; fsync per policy."""
+        if not batch.records:
+            return
+        for kind, payload in batch.records.values():
+            self._write_record(kind, payload)
+        batch.records.clear()
+        batch.stale = False
+        self._finish_seal()
+
+    def _seal_stream(self):
+        """Terminate the written-through records of one operation
+        (``always`` policy) with a commit marker."""
+        if not self._unsealed_records:
+            return
+        self._unsealed_records = 0
+        self._finish_seal()
+
+    def _finish_seal(self):
+        self._journal_file.write(_COMMIT)
+        self._journal_file.write(_U32.pack(0))
+        self._journal_file.flush()
+        self.batches_sealed += 1
+        if self.sync_policy in ("always", "commit"):
+            self._fsync()
+        elif self.sync_policy == "group":
+            self._dirty = True
+            self._unsynced_seals += 1
+            if self.group_size and self._unsynced_seals >= self.group_size:
+                self.sync()
+        else:  # none: flushed, never fsynced while running
+            self._dirty = True
+
+    def _fsync(self):
+        os.fsync(self._journal_file.fileno())
+        self.fsyncs += 1
+        self._dirty = False
+        self._unsynced_seals = 0
+
+    def sync(self):
+        """Flush and fsync the journal now (the group-commit flush)."""
+        self._ensure_open("sync")
+        self._journal_file.flush()
+        self._fsync()
+
+    # -- transaction hooks ---------------------------------------------------
+
+    def _on_op_end(self):
+        if self.closed:
+            return
+        if not self.batching:
+            self._seal_stream()
+        elif self._db.current_txn is None:
+            self._seal_batch(self._auto_batch)
+
+    def _on_txn_commit(self, txn):
+        if self.closed:
+            return
+        batch = self._txn_batches.pop(txn, None)
+        if batch is not None:
+            self._seal_batch(batch)
+
+    def _on_txn_abort(self, txn):
+        """Drop the aborted transaction's batched records.
+
+        Nothing of the transaction reached disk, so discarding the batch
+        leaves the journal exactly at the pre-transaction state — no
+        compensating records needed.  A ``stale`` batch (a checkpoint ran
+        mid-transaction and persisted uncommitted state) must instead
+        *write* its records: they are the compensating images produced by
+        the undo pass.
+        """
+        if self.closed:
+            return
+        batch = self._txn_batches.pop(txn, None)
+        if batch is None:
+            return
+        if batch.stale:
+            self._seal_batch(batch)
+            return
+        if batch.records:
+            self.records_dropped += len(batch.records)
+            self.batches_dropped += 1
+            for uid in batch.records:
+                self._last_image.pop(uid, None)
+            batch.records.clear()
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats_row(self):
+        """Durability counters (the server's ``stats`` op and B12c)."""
+        return {
+            "policy": self.sync_policy,
+            "records_written": self.records_written,
+            "records_coalesced": self.records_coalesced,
+            "records_skipped": self.records_skipped,
+            "records_dropped": self.records_dropped,
+            "batches_sealed": self.batches_sealed,
+            "batches_dropped": self.batches_dropped,
+            "fsyncs": self.fsyncs,
+            "records_per_fsync": (
+                self.records_written / self.fsyncs if self.fsyncs else None
+            ),
+            "pending_sync": self._dirty,
+        }
 
     # -- checkpointing --------------------------------------------------------
 
     def checkpoint(self):
-        """Write a full snapshot and truncate the journal."""
+        """Write a full snapshot and truncate the journal.
+
+        The snapshot captures the *current* in-memory state — including
+        any buffered (not yet sealed) batch records, which are therefore
+        cleared.  Open transactions' batches are marked stale so their
+        abort writes compensating records instead of dropping them.
+        """
+        self._ensure_open("checkpoint")
         database = self._db
         temp_path = self.snapshot_path.with_suffix(".tmp")
         with open(temp_path, "wb") as handle:
@@ -195,11 +477,38 @@ class Journal:
         self.journal_path.unlink(missing_ok=True)
         self._open_journal()
         self._last_image.clear()
+        self._auto_batch = _Batch()
+        for batch in self._txn_batches.values():
+            batch.records.clear()
+            batch.stale = True
         self.records_since_checkpoint = 0
+        self._unsealed_records = 0
+        self._dirty = False
+        self._unsynced_seals = 0
 
     def close(self):
+        """Seal every pending batch, fsync, close, and deregister hooks.
+
+        Idempotent.  Any journal method used after close raises
+        :class:`~repro.errors.StorageError`; mutations on the database
+        itself keep working in-memory (the hooks are gone).
+        """
+        if self.closed:
+            return
         if self._journal_file and not self._journal_file.closed:
+            # A clean shutdown persists everything written through the
+            # hooks — including batches of still-open transactions, which
+            # matches the write-through semantics of the always policy.
+            self._seal_stream()
+            self._seal_batch(self._auto_batch)
+            for batch in self._txn_batches.values():
+                self._seal_batch(batch)
+            self._txn_batches.clear()
+            self._journal_file.flush()
+            os.fsync(self._journal_file.fileno())
             self._journal_file.close()
+        self.detach()
+        self.closed = True
 
     # -- recovery ----------------------------------------------------------------
 
@@ -207,9 +516,11 @@ class Journal:
     def recover_into(database, directory):
         """Load snapshot + journal from *directory* into a fresh database.
 
-        Returns (instances_restored, journal_records_replayed).  A
-        truncated final journal record (torn write) is discarded, as a
-        real redo log would after a crash.
+        Returns (instances_restored, journal_records_replayed).  Records
+        apply batch-at-a-time: a batch's records take effect only once
+        its commit marker is seen, so a truncated final batch (torn
+        write) is discarded in full, as a real redo log would after a
+        crash.
         """
         directory = Path(directory)
         snapshot = directory / SNAPSHOT_NAME
@@ -234,22 +545,32 @@ class Journal:
         if journal.exists():
             data = journal.read_bytes()
             position = 0
+            pending = []
             while position + 5 <= len(data):
                 kind = data[position:position + 1]
                 size = _U32.unpack(data[position + 1:position + 5])[0]
                 end = position + 5 + size
                 if end > len(data):
-                    break  # torn final record: discard
-                payload = data[position + 5:end]
-                instance = decode_instance(payload)
-                if kind == _TOMBSTONE:
-                    database._objects.pop(instance.uid, None)
+                    break  # torn final record: discard the whole batch
+                if kind == _COMMIT:
+                    # Batch complete: apply its buffered records.
+                    for record_kind, payload in pending:
+                        instance = decode_instance(payload)
+                        if record_kind == _TOMBSTONE:
+                            database._objects.pop(instance.uid, None)
+                        else:
+                            instance.deleted = False
+                            database._objects[instance.uid] = instance
+                            max_uid = max(max_uid, instance.uid.number)
+                        replayed += 1
+                    pending.clear()
+                elif kind in (_IMAGE, _TOMBSTONE):
+                    pending.append((kind, data[position + 5:end]))
                 else:
-                    instance.deleted = False
-                    database._objects[instance.uid] = instance
-                    max_uid = max(max_uid, instance.uid.number)
-                replayed += 1
+                    break  # corrupt stream: stop at the last good batch
                 position = end
+            # Records after the last commit marker belong to an
+            # unterminated batch — discarded, like a torn record.
         from ..core.identity import UIDAllocator
 
         database.allocator = UIDAllocator(start=max_uid + 1)

@@ -37,24 +37,42 @@ class TransactionManager:
         return Transaction()
 
     def commit(self, txn):
-        """Commit: discard the undo log, release all locks."""
+        """Commit: make the redo batch durable, discard the undo log,
+        release all locks.
+
+        ``on_txn_commit`` listeners (the durability journal) run *before*
+        locks release, so a transaction's changes are on disk before any
+        conflicting transaction can read them.
+        """
         txn.ensure_active()
         txn.state = TxnState.COMMITTED
         txn.undo_log.clear()
         self.commits += 1
+        for callback in self._db.on_txn_commit:
+            callback(txn)
         return self.table.release_all(txn)
 
     def abort(self, txn):
-        """Abort: apply the undo log in reverse, release all locks."""
+        """Abort: apply the undo log in reverse, release all locks.
+
+        The undo pass runs inside the transaction's journal context, so
+        under a batching sync policy the compensating records land in the
+        same (never-written) batch and the whole batch is dropped by the
+        ``on_txn_abort`` listeners — an aborted transaction leaves no
+        trace in the journal.
+        """
         if txn.state in (TxnState.COMMITTED, TxnState.ABORTED):
             raise TransactionStateError(
                 f"transaction {txn.txn_id} is {txn.state.value}"
             )
-        for record in reversed(txn.undo_log):
-            self._undo(record)
+        with self._db.txn_context(txn):
+            for record in reversed(txn.undo_log):
+                self._undo(record)
         txn.undo_log.clear()
         txn.state = TxnState.ABORTED
         self.aborts += 1
+        for callback in self._db.on_txn_abort:
+            callback(txn)
         return self.table.release_all(txn)
 
     # -- data operations --------------------------------------------------------
@@ -71,13 +89,16 @@ class TransactionManager:
         self.protocol.lock_instance(txn, uid, "write", wait=False)
         old = self._db.value(uid, attribute)
         txn.log("set", uid=uid, attribute=attribute, payload=old)
-        self._db.set_value(uid, attribute, value)
+        with self._db.txn_context(txn):
+            self._db.set_value(uid, attribute, value)
 
     def insert(self, txn, uid, attribute, member):
         """Insert into a set-of attribute under an X instance lock."""
         txn.ensure_active()
         self.protocol.lock_instance(txn, uid, "write", wait=False)
-        if self._db.insert_into(uid, attribute, member):
+        with self._db.txn_context(txn):
+            inserted = self._db.insert_into(uid, attribute, member)
+        if inserted:
             txn.log("insert", uid=uid, attribute=attribute, payload=member)
             return True
         return False
@@ -86,7 +107,9 @@ class TransactionManager:
         """Remove from a set-of attribute under an X instance lock."""
         txn.ensure_active()
         self.protocol.lock_instance(txn, uid, "write", wait=False)
-        if self._db.remove_from(uid, attribute, member):
+        with self._db.txn_context(txn):
+            removed = self._db.remove_from(uid, attribute, member)
+        if removed:
             txn.log("remove", uid=uid, attribute=attribute, payload=member)
             return True
         return False
@@ -96,7 +119,10 @@ class TransactionManager:
         txn.ensure_active()
         for parent_uid, _attribute in parents:
             self.protocol.lock_instance(txn, parent_uid, "write", wait=False)
-        uid = self._db.make(class_name, values=values, parents=parents, **kw_values)
+        with self._db.txn_context(txn):
+            uid = self._db.make(
+                class_name, values=values, parents=parents, **kw_values
+            )
         txn.log("make", uid=uid)
         return uid
 
@@ -115,7 +141,8 @@ class TransactionManager:
             instance = self._db.peek(victim_uid)
             if instance is not None:
                 victims.append(encode_instance(instance))
-        report = self._db.delete(uid)
+        with self._db.txn_context(txn):
+            report = self._db.delete(uid)
         txn.log("delete", uid=uid, payload=victims)
         return report
 
