@@ -179,7 +179,7 @@ def test_b12c_sync_policy_throughput(benchmark, recorder, tmp_path):
 
     def kernel():
         txn = tm.begin()
-        for i in range(txn_size):
+        for _ in range(txn_size):
             tm.make(txn, "Item", values={"Payload": "x"})
         tm.commit(txn)
 

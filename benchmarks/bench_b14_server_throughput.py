@@ -72,7 +72,7 @@ def _run_tcp(port, clients):
         _client_ops(client, uid, OPS_PER_CLIENT)
 
     try:
-        for connection, uid in zip(connections, uids):
+        for connection, uid in zip(connections, uids, strict=True):
             thread = threading.Thread(target=work, args=(connection, uid))
             thread.start()
             workers.append(thread)

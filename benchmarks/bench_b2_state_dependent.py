@@ -66,7 +66,7 @@ def test_b2_d2_scan_cost_vs_d3(benchmark, recorder):
     rows = []
     for owners in (200, 800, 3200):
         d2_time = _best_of(
-            lambda: _weak_db(owners),
+            lambda owners=owners: _weak_db(owners),
             lambda mgr: mgr.make_shared_composite("Widget", "Ref"),
         )
         d3_time = _best_of(

@@ -33,7 +33,7 @@ def _interleaved_fleet(clustering, composites=12, parts=24, buffer_capacity=8):
     machines = [db.make("Machine") for _ in range(composites)]
     # Round-robin creation: machine 0 part 0, machine 1 part 0, ... — the
     # access pattern that interleaves composites on disk without hints.
-    for part_index in range(parts):
+    for _part_index in range(parts):
         for machine in machines:
             db.make("Part2",
                     values={"Payload": "x" * 64},

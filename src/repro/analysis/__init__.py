@@ -1,28 +1,43 @@
 """Static analysis and integrity checking for the composite-object DB.
 
-Two planes over one findings model (:mod:`repro.analysis.findings`):
+Three planes over one findings model (:mod:`repro.analysis.findings`):
 
 * Plane 1 — :class:`SchemaAnalyzer` (static schema/topology analysis and
   schema-evolution pre-flight) and :func:`check_query` (static query
   validation), both schema-only: no instance is touched.
 * Plane 2 — :func:`fsck_database`, the offline integrity checker that
   walks a whole database and verifies every invariant end-to-end.
+* Plane 3 — the concurrency pass: :class:`LockOrderRecorder` (lockdep-
+  style latent-deadlock detection from runs that never deadlocked),
+  :func:`analyze_templates` (the same lock-order analysis predicted
+  statically from transaction templates), and :func:`lint_package`
+  (AST linter enforcing the codebase's concurrency/durability
+  discipline on ``src/repro`` itself).
 
 The ``repro-check`` console script (:mod:`repro.analysis.cli`) and the
-server's ``check`` op expose both planes.
+server's ``check`` op expose all three planes.
 """
 
+from .codelint import lint_package, lint_source
 from .findings import Finding, Report, Severity
 from .fsck import fsck_database
+from .lockdep import LockOrderGraph, LockOrderRecorder
+from .locklint import TransactionTemplate, analyze_templates
 from .query_check import check_query
 from .schema_check import EVOLUTION_CHANGES, SchemaAnalyzer
 
 __all__ = [
     "EVOLUTION_CHANGES",
     "Finding",
+    "LockOrderGraph",
+    "LockOrderRecorder",
     "Report",
     "SchemaAnalyzer",
     "Severity",
+    "TransactionTemplate",
+    "analyze_templates",
     "check_query",
     "fsck_database",
+    "lint_package",
+    "lint_source",
 ]

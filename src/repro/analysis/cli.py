@@ -1,6 +1,6 @@
 """``repro-check`` — the command-line front end of :mod:`repro.analysis`.
 
-Four commands, all reporting through the shared findings model:
+Seven commands, all reporting through the shared findings model:
 
 ``repro-check schema DIR``
     Recover the class lattice of a durable store (read-only) and run the
@@ -13,6 +13,26 @@ Four commands, all reporting through the shared findings model:
 ``repro-check query DIR FILE...``
     Statically validate s-expression query files against a store's
     schema, without executing anything.
+
+``repro-check lockdep [--self-test]``
+    Run the seeded concurrency workload under the discrete-event
+    simulator with the lock-order recorder attached and report latent
+    deadlocks (lock-order inversions that never happened to collide).
+    ``--self-test`` instead verifies the detector itself: a seeded
+    opposite-order pair that runs without ever blocking *must* be
+    reported, and a uniform-order workload must come back clean — CI
+    runs this form.
+
+``repro-check locklint DIR FILE...``
+    Statically predict lock-order hazards of declarative transaction
+    templates (JSON) against a durable store, using the pure Section 7
+    lock planners: nothing executes, no lock is taken.
+
+``repro-check code [PATH]``
+    AST-lint the ``repro`` package itself (or a source tree at PATH) for
+    the codebase's concurrency/durability discipline: ``_operation()``
+    bracketing, ``txn_context`` wrapping, lock-table encapsulation,
+    journal-hook hygiene, no bare ``except``.  CI requires this clean.
 
 ``repro-check self-test`` (also reachable as ``repro-check --self-test``)
     Build every seed workload and figure scenario in memory, run the
@@ -28,14 +48,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Any, Iterator, Optional, Sequence
 
+from .codelint import lint_package
 from .findings import Report
 from .fsck import fsck_database
 from .query_check import check_query
 from .schema_check import SchemaAnalyzer
 
 
-def _open_store(directory):
+def _open_store(directory: str) -> Any:
     """Recover a durable store read-only (no journal is created/appended)."""
     from pathlib import Path
 
@@ -49,7 +71,7 @@ def _open_store(directory):
     return db
 
 
-def _emit(report, options):
+def _emit(report: Report, options: argparse.Namespace) -> None:
     if options.json:
         print(report.to_json())
     elif options.quiet:
@@ -58,7 +80,7 @@ def _emit(report, options):
         print(report.render())
 
 
-def _exit_code(report, options):
+def _exit_code(report: Report, options: argparse.Namespace) -> int:
     if report.errors:
         return 1
     if options.strict and report.warnings:
@@ -70,21 +92,21 @@ def _exit_code(report, options):
 # Commands
 # ----------------------------------------------------------------------
 
-def _cmd_schema(options):
+def _cmd_schema(options: argparse.Namespace) -> int:
     db = _open_store(options.directory)
     report = SchemaAnalyzer(db.lattice).analyze()
     _emit(report, options)
     return _exit_code(report, options)
 
 
-def _cmd_fsck(options):
+def _cmd_fsck(options: argparse.Namespace) -> int:
     db = _open_store(options.directory)
     report = fsck_database(db)
     _emit(report, options)
     return _exit_code(report, options)
 
 
-def _cmd_query(options):
+def _cmd_query(options: argparse.Namespace) -> int:
     db = _open_store(options.directory)
     report = Report(plane="query")
     for path in options.files:
@@ -103,10 +125,197 @@ def _cmd_query(options):
 
 
 # ----------------------------------------------------------------------
+# Concurrency plane: lockdep / locklint / code
+# ----------------------------------------------------------------------
+
+def _concurrency_scenario() -> tuple[Any, list[Any]]:
+    """An in-memory part-assembly database plus its composite roots."""
+    from ..core.database import Database
+    from ..workloads.parts import build_assembly
+
+    db = Database()
+    roots = [build_assembly(db, depth=2, fanout=2).root for _ in range(4)]
+    return db, roots
+
+
+def _record_inversion_seed(db: Any, roots: list[Any]) -> tuple[Any, Any]:
+    """Two serialized opposite-order composite writers.
+
+    Each transaction runs to completion before the next starts —
+    ``wait=False`` proves no request ever even blocks, let alone
+    deadlocks — yet the recorder's order graph contains the latent
+    inversion.  This is the lockdep premise in one function.
+    """
+    from ..locking.protocol import CompositeLockingProtocol
+    from ..locking.table import LockTable
+    from ..txn.transaction import Transaction
+    from .lockdep import LockOrderRecorder
+
+    table = LockTable()
+    recorder = LockOrderRecorder(table)
+    protocol = CompositeLockingProtocol(db, table)
+    for ordering in ((roots[0], roots[1]), (roots[1], roots[0])):
+        txn = Transaction()
+        for root in ordering:
+            for resource, mode in protocol.plan_composite(root, "write"):
+                table.acquire(txn, resource, mode, wait=False)
+        table.release_all(txn)
+    return recorder, table.stats
+
+
+def _record_simulation(db: Any, scripts: list[Any]) -> tuple[Any, Any]:
+    """Run *scripts* in the event simulator with a recorder attached."""
+    from ..sim.eventsim import ConcurrencySimulator
+    from .lockdep import LockOrderRecorder
+
+    simulator = ConcurrencySimulator(db, discipline="composite")
+    recorder = LockOrderRecorder(simulator.table)
+    result = simulator.run(scripts)
+    return recorder, result
+
+
+def _cmd_lockdep(options: argparse.Namespace) -> int:
+    from ..workloads.txmix import composite_mix
+
+    db, roots = _concurrency_scenario()
+    if options.self_test:
+        return _lockdep_self_test(db, roots, options)
+    recorder, result = _record_simulation(
+        db,
+        composite_mix(roots, transactions=options.transactions, seed=42),
+    )
+    report = recorder.analyze()
+    _emit(report, options)
+    if not options.quiet and not options.json:
+        print(
+            f"simulated {result.committed} commit(s), "
+            f"{result.deadlock_aborts} runtime deadlock abort(s); "
+            f"{recorder.transactions_recorded} trace(s) recorded"
+        )
+    return _exit_code(report, options)
+
+
+def _lockdep_self_test(
+    db: Any, roots: list[Any], options: argparse.Namespace
+) -> int:
+    """CI gate: the detector must fire on a seed and stay quiet on order.
+
+    Two checks, both required:
+
+    1. the serialized opposite-order seed (which never blocks) is
+       reported as ``LOCKDEP-INVERSION`` with both witness stacks;
+    2. a uniform-order workload (every transaction takes composites in
+       the same global order) runs deadlock-free *and* analyzes clean.
+    """
+    from ..sim.eventsim import Step
+
+    failures = []
+
+    recorder, stats = _record_inversion_seed(db, roots)
+    report = recorder.analyze()
+    inversions = [
+        finding for finding in report.errors
+        if finding.rule == "LOCKDEP-INVERSION"
+    ]
+    if stats.blocks or stats.denials:
+        failures.append(
+            f"seed run was supposed to never block "
+            f"(blocks={stats.blocks}, denials={stats.denials})"
+        )
+    if not inversions:
+        failures.append(
+            "seeded opposite-order writers were NOT reported as an "
+            "inversion"
+        )
+    elif not (
+        inversions[0].detail["witness_forward"]["acquire_stack"]
+        and inversions[0].detail["witness_reverse"]["acquire_stack"]
+    ):
+        failures.append("inversion finding is missing witness stacks")
+    if not options.quiet:
+        status = "ok  " if not failures else "FAIL"
+        print(
+            f"{status} seeded inversion: {len(inversions)} reported, "
+            f"0 runtime blocks [{report.summary()}]"
+        )
+
+    uniform = [
+        [
+            Step(action=action, target=roots[0]),
+            Step(action=action, target=roots[1]),
+        ]
+        for action in (
+            "update_composite", "update_composite", "read_composite"
+        )
+    ]
+    recorder, result = _record_simulation(db, uniform)
+    clean_report = recorder.analyze()
+    ordered_failures = []
+    if result.deadlock_aborts:
+        ordered_failures.append(
+            f"uniform-order workload hit {result.deadlock_aborts} "
+            f"runtime deadlock(s)"
+        )
+    if not clean_report.clean:
+        ordered_failures.append(
+            f"uniform-order workload analyzed dirty "
+            f"[{clean_report.summary()}]"
+        )
+    if not options.quiet:
+        status = "ok  " if not ordered_failures else "FAIL"
+        print(
+            f"{status} uniform order: {result.committed} commit(s), "
+            f"[{clean_report.summary()}]"
+        )
+    failures.extend(ordered_failures)
+
+    for failure in failures:
+        print(f"lockdep self-test: {failure}", file=sys.stderr)
+    print(
+        "lockdep self-test: pass"
+        if not failures
+        else f"lockdep self-test: {len(failures)} check(s) FAILED"
+    )
+    return 1 if failures else 0
+
+
+def _cmd_locklint(options: argparse.Namespace) -> int:
+    import json
+
+    from .locklint import analyze_templates, coerce_template
+
+    db = _open_store(options.directory)
+    templates = []
+    for path in options.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            print(f"repro-check: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        except ValueError as error:
+            print(f"repro-check: {path}: {error}", file=sys.stderr)
+            return 2
+        if isinstance(payload, dict):
+            payload = payload.get("templates", [payload])
+        for item in payload:
+            templates.append(coerce_template(item, len(templates)))
+    report = analyze_templates(db, templates, discipline=options.discipline)
+    _emit(report, options)
+    return _exit_code(report, options)
+
+
+def _cmd_code(options: argparse.Namespace) -> int:
+    report = lint_package(options.path)
+    _emit(report, options)
+    return _exit_code(report, options)
+
+
+# ----------------------------------------------------------------------
 # Self-test: the seed workloads and figures, analyzed and fsck'd
 # ----------------------------------------------------------------------
 
-def _seed_scenarios():
+def _seed_scenarios() -> Iterator[tuple[str, Any]]:
     """Yield ``(name, database, managers)`` for every seed scenario.
 
     Each scenario is built through the public API, so the analyzer must
@@ -157,7 +366,7 @@ def _seed_scenarios():
     yield "cad-versions", db
 
 
-def _cmd_self_test(options):
+def _cmd_self_test(options: argparse.Namespace) -> int:
     failed = 0
     for name, db in _seed_scenarios():
         schema_report = SchemaAnalyzer(db.lattice).analyze()
@@ -193,7 +402,9 @@ def _cmd_self_test(options):
 # Entry point
 # ----------------------------------------------------------------------
 
-def _add_output_flags(parser, subcommand=False):
+def _add_output_flags(
+    parser: argparse.ArgumentParser, subcommand: bool = False
+) -> None:
     """The output/gating flags, accepted both before and after the
     subcommand.  The subcommand copies default to SUPPRESS so an
     absent flag never clobbers one given before the subcommand."""
@@ -212,7 +423,7 @@ def _add_output_flags(parser, subcommand=False):
     )
 
 
-def build_parser():
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-check",
         description="Static schema analyzer and database integrity checker "
@@ -243,6 +454,58 @@ def build_parser():
     _add_output_flags(query, subcommand=True)
     query.set_defaults(run=_cmd_query)
 
+    lockdep = commands.add_parser(
+        "lockdep",
+        help="record a seeded concurrent workload and report latent "
+        "deadlocks (lock-order inversions)",
+    )
+    lockdep.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the detector: seeded inversion must be reported, "
+        "uniform order must be clean (CI gate)",
+    )
+    lockdep.add_argument(
+        "--transactions",
+        type=int,
+        default=20,
+        help="simulated transactions in the recorded mix (default 20)",
+    )
+    _add_output_flags(lockdep, subcommand=True)
+    lockdep.set_defaults(run=_cmd_lockdep)
+
+    locklint = commands.add_parser(
+        "locklint",
+        help="statically predict lock-order hazards of transaction "
+        "template files against a durable store",
+    )
+    locklint.add_argument("directory", help="durable store directory")
+    locklint.add_argument(
+        "files", nargs="+", help="JSON transaction-template files"
+    )
+    locklint.add_argument(
+        "--discipline",
+        default="composite",
+        choices=("composite", "instance", "class"),
+        help="locking discipline to plan under (default composite)",
+    )
+    _add_output_flags(locklint, subcommand=True)
+    locklint.set_defaults(run=_cmd_locklint)
+
+    code = commands.add_parser(
+        "code",
+        help="AST-lint the repro package for concurrency/durability "
+        "discipline (CI requires this clean)",
+    )
+    code.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="package root to lint (default: the installed repro package)",
+    )
+    _add_output_flags(code, subcommand=True)
+    code.set_defaults(run=_cmd_code)
+
     self_test = commands.add_parser(
         "self-test",
         help="analyze and fsck every seed workload/figure scenario",
@@ -253,10 +516,17 @@ def build_parser():
     return parser
 
 
-def main(argv=None):
+def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    # ``repro-check --self-test`` is the documented CI spelling.
-    argv = ["self-test" if arg == "--self-test" else arg for arg in argv]
+    # ``repro-check --self-test`` is the documented CI spelling — but
+    # only when no subcommand was named (``lockdep --self-test`` is that
+    # subcommand's own flag).
+    subcommands = {
+        "schema", "fsck", "query", "lockdep", "locklint", "code",
+        "self-test",
+    }
+    if not any(arg in subcommands for arg in argv):
+        argv = ["self-test" if arg == "--self-test" else arg for arg in argv]
     parser = build_parser()
     options = parser.parse_args(argv)
     try:

@@ -1,0 +1,438 @@
+"""AST discipline linter over ``src/repro`` itself (concurrency plane, part 3).
+
+PR 3's durability pipeline rests on conventions no runtime check can
+see: every mutating :class:`repro.core.database.Database` method must
+run inside the ``_operation()`` bracket (so ``on_op_end`` seals exactly
+one journal batch per operation), the transaction manager must wrap data
+operations in ``txn_context`` (so redo records land in the right commit
+batch), lock-table internals must stay inside ``locking/``, and journal
+hooks must only be attached or detached by the storage layer.  A
+violation compiles, imports, and passes most tests — it just corrupts
+batching semantics under exactly the crash/concurrency conditions the
+tests for *other* features never exercise.  So the conventions are
+enforced statically, over the package's own AST, in CI.
+
+Rule ids (all carry ``file:line`` anchors in ``location`` and
+machine-readable ``file``/``line`` keys in ``detail``):
+
+``CODE-BARE-EXCEPT``
+    (error) a bare ``except:`` — swallows ``KeyboardInterrupt`` /
+    ``SystemExit`` and hides programming errors; name the exception.
+``CODE-OP-BRACKET``
+    (error) in ``core/database.py``, a public ``Database`` method calls
+    a mutation primitive (``_make``, ``_assign``, ``_attach_child``,
+    ``_link_component``, ``_unlink_component``, ``_deletion.delete``)
+    outside ``with self._operation():`` — the journal would see the
+    mutation but never the operation-end seal.
+``CODE-TXN-CONTEXT``
+    (error) in ``txn/manager.py``, a public ``TransactionManager``
+    method calls a mutating database op (``set_value``, ``insert_into``,
+    ``remove_from``, ``make``, ``delete``) outside
+    ``with self._db.txn_context(...):`` — redo records would bypass the
+    transaction's commit batch.
+``CODE-LOCK-STATE``
+    (error) outside ``locking/``, code touches private
+    :class:`~repro.locking.table.LockTable` state (``_granted`` /
+    ``_waiting``) or calls its internal ``_grant`` / ``_promote`` —
+    bypassing compatibility checks, FIFO fairness, stats, and observers.
+``CODE-JOURNAL-HOOKS``
+    (error) outside ``storage/``, code attaches, detaches, or replaces
+    the journal hook lists (``on_persist``, ``on_op_end``,
+    ``on_txn_commit``, ``on_txn_abort``).  Reading/iterating them is
+    fine; only the storage layer may rewire durability.
+
+The linter is deliberately syntactic: it matches the discipline as
+written (``self._operation()``, ``self._db.txn_context(...)``), not a
+dataflow analysis.  Aliasing a primitive through a local variable evades
+it — and fails review, which is the second line of defense.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from .findings import Report, Severity
+
+__all__ = [
+    "DB_MUTATORS",
+    "JOURNAL_HOOKS",
+    "LOCK_PRIVATE_ATTRS",
+    "LOCK_PRIVATE_CALLS",
+    "MUTATION_PRIMITIVES",
+    "RULES",
+    "lint_package",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Database-internal mutation primitives that must be bracketed.
+MUTATION_PRIMITIVES = frozenset({
+    "_make", "_assign", "_attach_child", "_link_component",
+    "_unlink_component",
+})
+
+#: Mutating Database entry points the transaction manager must wrap.
+DB_MUTATORS = frozenset({
+    "set_value", "insert_into", "remove_from", "make", "delete",
+})
+
+#: Private LockTable state nobody outside locking/ may read or write.
+LOCK_PRIVATE_ATTRS = frozenset({"_granted", "_waiting"})
+
+#: Private LockTable methods nobody outside locking/ may call.
+LOCK_PRIVATE_CALLS = frozenset({"_grant", "_promote"})
+
+#: Hook lists only the storage layer may attach/detach/replace.
+JOURNAL_HOOKS = frozenset({
+    "on_persist", "on_op_end", "on_txn_commit", "on_txn_abort",
+})
+
+#: Mutating list-method names on a hook attribute.
+_LIST_MUTATORS = frozenset({
+    "append", "remove", "extend", "insert", "clear", "pop",
+})
+
+#: rule id -> one-line description (the linter's own documentation).
+RULES = {
+    "CODE-SYNTAX": "file does not parse",
+    "CODE-BARE-EXCEPT": "bare 'except:' swallows SystemExit and bugs alike",
+    "CODE-OP-BRACKET": "public Database method mutates outside "
+                       "'with self._operation():'",
+    "CODE-TXN-CONTEXT": "public TransactionManager method mutates outside "
+                        "'with self._db.txn_context(...):'",
+    "CODE-LOCK-STATE": "private LockTable state touched outside locking/",
+    "CODE-JOURNAL-HOOKS": "journal hook lists rewired outside storage/",
+}
+
+
+def _is_self_attr(node: ast.expr, attr: str) -> bool:
+    """True for the expression ``self.<attr>``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _self_call_name(node: ast.Call) -> Optional[str]:
+    """``self.<name>(...)`` -> name, else None."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return func.attr
+    return None
+
+
+def _self_chain_call(node: ast.Call, middle: str) -> Optional[str]:
+    """``self.<middle>.<name>(...)`` -> name, else None."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and _is_self_attr(func.value, middle):
+        return func.attr
+    return None
+
+
+def _is_operation_with(node: ast.With) -> bool:
+    """True for ``with self._operation():`` (possibly among other items)."""
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call) and _self_call_name(expr) == "_operation":
+            return True
+    return False
+
+
+def _is_txn_context_with(node: ast.With) -> bool:
+    """True for ``with self._db.txn_context(...):``."""
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Call)
+            and _self_chain_call(expr, "_db") == "txn_context"
+        ):
+            return True
+    return False
+
+
+class _FileLinter(ast.NodeVisitor):
+    """One file's traversal state."""
+
+    def __init__(self, rel_path: str, report: Report) -> None:
+        self.rel_path = rel_path
+        self.report = report
+        self.in_locking = rel_path.startswith("locking/")
+        self.in_storage = rel_path.startswith("storage/")
+        self.is_database_module = rel_path == "core/database.py"
+        self.is_txn_manager_module = rel_path == "txn/manager.py"
+        self._class_stack: list[str] = []
+        self._method: Optional[str] = None
+        self._op_bracket_depth = 0
+        self._txn_context_depth = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _add(self, rule: str, line: int, message: str, **detail: object) -> None:
+        self.report.add(
+            Severity.ERROR,
+            rule,
+            f"{self.rel_path}:{line}",
+            message,
+            file=self.rel_path,
+            line=line,
+            **detail,
+        )
+
+    @property
+    def _in_public_database_method(self) -> bool:
+        return (
+            self.is_database_module
+            and bool(self._class_stack)
+            and self._class_stack[-1] == "Database"
+            and self._method is not None
+            and not self._method.startswith("_")
+        )
+
+    @property
+    def _in_public_manager_method(self) -> bool:
+        return (
+            self.is_txn_manager_module
+            and bool(self._class_stack)
+            and self._class_stack[-1] == "TransactionManager"
+            and self._method is not None
+            and not self._method.startswith("_")
+        )
+
+    # -- structure ---------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        outer = self._method
+        # Nested defs inherit the enclosing method's identity: a closure
+        # inside a public method still runs under (or outside) its bracket.
+        if outer is None:
+            self._method = node.name
+        self.generic_visit(node)
+        self._method = outer
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        is_op = _is_operation_with(node)
+        is_txn = _is_txn_context_with(node)
+        self._op_bracket_depth += is_op
+        self._txn_context_depth += is_txn
+        self.generic_visit(node)
+        self._op_bracket_depth -= is_op
+        self._txn_context_depth -= is_txn
+
+    # -- rules -------------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._add(
+                "CODE-BARE-EXCEPT",
+                node.lineno,
+                "bare 'except:' — name the exception "
+                "(it also catches SystemExit and KeyboardInterrupt)",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_op_bracket(node)
+        self._check_txn_context(node)
+        self._check_lock_private_call(node)
+        self._check_hook_mutation_call(node)
+        self.generic_visit(node)
+
+    def _check_op_bracket(self, node: ast.Call) -> None:
+        if not self._in_public_database_method or self._op_bracket_depth:
+            return
+        name = _self_call_name(node)
+        primitive: Optional[str] = None
+        if name in MUTATION_PRIMITIVES:
+            primitive = f"self.{name}"
+        elif _self_chain_call(node, "_deletion") == "delete":
+            primitive = "self._deletion.delete"
+        if primitive is not None:
+            self._add(
+                "CODE-OP-BRACKET",
+                node.lineno,
+                f"Database.{self._method} calls {primitive}() outside "
+                f"'with self._operation():' — the journal never sees the "
+                f"operation-end seal for this mutation",
+                method=self._method,
+                call=primitive,
+            )
+
+    def _check_txn_context(self, node: ast.Call) -> None:
+        if not self._in_public_manager_method or self._txn_context_depth:
+            return
+        name = _self_chain_call(node, "_db")
+        if name in DB_MUTATORS:
+            self._add(
+                "CODE-TXN-CONTEXT",
+                node.lineno,
+                f"TransactionManager.{self._method} calls "
+                f"self._db.{name}() outside "
+                f"'with self._db.txn_context(...):' — its redo records "
+                f"bypass the transaction's commit batch",
+                method=self._method,
+                call=f"self._db.{name}",
+            )
+
+    def _check_lock_private_call(self, node: ast.Call) -> None:
+        if self.in_locking:
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in LOCK_PRIVATE_CALLS
+        ):
+            self._add(
+                "CODE-LOCK-STATE",
+                node.lineno,
+                f"call of private LockTable method {func.attr}() outside "
+                f"locking/ — grants must go through acquire()/release_all()",
+                call=func.attr,
+            )
+
+    def _check_hook_mutation_call(self, node: ast.Call) -> None:
+        if self.in_storage:
+            return
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute) and func.attr in _LIST_MUTATORS
+        ):
+            return
+        target = func.value
+        if isinstance(target, ast.Attribute) and target.attr in JOURNAL_HOOKS:
+            self._add(
+                "CODE-JOURNAL-HOOKS",
+                node.lineno,
+                f"journal hook list '{target.attr}' mutated via "
+                f".{func.attr}() outside storage/ — only the journal may "
+                f"attach or detach durability hooks",
+                hook=target.attr,
+                mutator=func.attr,
+            )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if not self.in_locking and node.attr in LOCK_PRIVATE_ATTRS:
+            self._add(
+                "CODE-LOCK-STATE",
+                node.lineno,
+                f"private LockTable state '{node.attr}' touched outside "
+                f"locking/ — use holders()/waiters()/modes_held()",
+                attribute=node.attr,
+            )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_hook_assignment(node.targets, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_hook_assignment([node.target], node.lineno, augmented=True)
+        self.generic_visit(node)
+
+    def _check_hook_assignment(
+        self,
+        targets: Iterable[ast.expr],
+        line: int,
+        augmented: bool = False,
+    ) -> None:
+        if self.in_storage:
+            return
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and target.attr in JOURNAL_HOOKS
+            ):
+                continue
+            # The Database constructor *defines* the hook lists; that
+            # single site is the one legitimate assignment outside
+            # storage/.
+            if self.is_database_module and not augmented:
+                continue
+            self._add(
+                "CODE-JOURNAL-HOOKS",
+                line,
+                f"journal hook list '{target.attr}' "
+                f"{'extended in place' if augmented else 'replaced'} "
+                f"outside storage/ — only the journal may rewire "
+                f"durability hooks",
+                hook=target.attr,
+            )
+
+
+def lint_source(source: str, rel_path: str, report: Optional[Report] = None) -> Report:
+    """Lint one module's *source* as if at *rel_path* inside ``repro``.
+
+    *rel_path* is the path relative to the package root with ``/``
+    separators (e.g. ``"core/database.py"``) — it selects which rules
+    apply.  Used directly by tests to check seeded violations without
+    touching the real tree.
+    """
+    if report is None:
+        report = Report(plane="code")
+    rel_path = rel_path.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as error:
+        report.add(
+            Severity.ERROR,
+            "CODE-SYNTAX",
+            f"{rel_path}:{error.lineno or 0}",
+            f"file does not parse: {error.msg}",
+            file=rel_path,
+            line=error.lineno or 0,
+        )
+        report.checked += 1
+        return report
+    _FileLinter(rel_path, report).visit(tree)
+    report.checked += 1
+    return report
+
+
+def lint_paths(
+    paths: Iterable[Path], root: Path, report: Optional[Report] = None
+) -> Report:
+    """Lint *paths* (absolute) with rule applicability relative to *root*."""
+    if report is None:
+        report = Report(plane="code")
+    for path in sorted(paths):
+        rel_path = path.relative_to(root).as_posix()
+        lint_source(path.read_text(encoding="utf-8"), rel_path, report)
+    return report
+
+
+def lint_package(root: Union[str, Path, None] = None) -> Report:
+    """Lint the ``repro`` package tree (default: the installed package).
+
+    This is what ``repro-check code`` and the server's
+    ``check(plane="code")`` run; CI requires it clean.
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root)
+    paths = [
+        path for path in root.rglob("*.py")
+        if "__pycache__" not in path.parts
+    ]
+    return lint_paths(paths, root)

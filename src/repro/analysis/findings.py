@@ -11,8 +11,10 @@ op all speak the same schema.
 
 Rule-id convention: ``<PLANE>-<NAME>`` where the plane prefix is ``SCH``
 (schema analyzer), ``EVO`` (schema-evolution pre-flight), ``QRY`` (static
-query validation), or ``FSCK`` (database integrity).  Ids are stable wire
-contract — tests and remote clients match on them, never on messages.
+query validation), ``FSCK`` (database integrity), ``LOCKDEP`` (runtime
+lock-order recording), ``LOCK`` (static lock-order prediction), or
+``CODE`` (AST discipline lint).  Ids are stable wire contract — tests,
+CI diffs, and remote clients match on them, never on messages.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterator, Optional
 
 
 class Severity(enum.IntEnum):
@@ -56,9 +58,9 @@ class Finding:
     #: Human-readable description, actionable without a second query.
     message: str
     #: Extra machine-readable context (UIDs stringified for JSON).
-    detail: dict = field(default_factory=dict)
+    detail: dict[str, Any] = field(default_factory=dict)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-able rendering (the wire/CLI schema)."""
         return {
             "severity": self.severity.label,
@@ -75,10 +77,12 @@ class Finding:
 class Report:
     """The findings of one analysis run."""
 
-    def __init__(self, plane: str = "", findings: Optional[list] = None):
+    def __init__(
+        self, plane: str = "", findings: Optional[list[Finding]] = None
+    ) -> None:
         #: Which plane produced the report (``schema``, ``fsck``, ...).
         self.plane = plane
-        self.findings: list = list(findings or [])
+        self.findings: list[Finding] = list(findings or [])
         #: Objects / classes / forms examined (coverage metric).
         self.checked = 0
 
@@ -111,26 +115,26 @@ class Report:
 
     # -- queries ------------------------------------------------------------
 
-    def by_severity(self, severity: Severity) -> list:
+    def by_severity(self, severity: Severity) -> list[Finding]:
         return [f for f in self.findings if f.severity == severity]
 
-    def by_rule(self, rule: str) -> list:
+    def by_rule(self, rule: str) -> list[Finding]:
         return [f for f in self.findings if f.rule == rule]
 
-    def rules(self) -> set:
+    def rules(self) -> set[str]:
         """The distinct rule ids present in this report."""
         return {f.rule for f in self.findings}
 
     @property
-    def errors(self) -> list:
+    def errors(self) -> list[Finding]:
         return self.by_severity(Severity.ERROR)
 
     @property
-    def warnings(self) -> list:
+    def warnings(self) -> list[Finding]:
         return self.by_severity(Severity.WARNING)
 
     @property
-    def infos(self) -> list:
+    def infos(self) -> list[Finding]:
         return self.by_severity(Severity.INFO)
 
     @property
@@ -145,7 +149,7 @@ class Report:
 
     # -- rendering -----------------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "plane": self.plane,
             "checked": self.checked,
@@ -179,7 +183,7 @@ class Report:
     def __len__(self) -> int:
         return len(self.findings)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Finding]:
         return iter(self.findings)
 
     def __repr__(self) -> str:

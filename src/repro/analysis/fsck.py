@@ -39,10 +39,17 @@ Rule ids
 
 from __future__ import annotations
 
+from typing import Any
+
 from .findings import Report, Severity
 
 
-def fsck_database(db, versions=None, auth=None, evolution=None):
+def fsck_database(
+    db: Any,
+    versions: Any = None,
+    auth: Any = None,
+    evolution: Any = None,
+) -> Report:
     """Audit *db*; returns a :class:`Report` (never raises on corruption).
 
     *versions*, *auth*, and *evolution* are the database's
@@ -65,14 +72,16 @@ def fsck_database(db, versions=None, auth=None, evolution=None):
 class _Fsck:
     """One audit pass over a database."""
 
-    def __init__(self, db, versions, auth, evolution):
+    def __init__(
+        self, db: Any, versions: Any, auth: Any, evolution: Any
+    ) -> None:
         self.db = db
         self.versions = versions
         self.auth = auth
         self.evolution = evolution
         self.report = Report(plane="fsck")
 
-    def run(self):
+    def run(self) -> Report:
         for instance in self.db.live_instances():
             self.report.checked += 1
             self._check_instance(instance)
@@ -88,7 +97,7 @@ class _Fsck:
     # Per-instance checks
     # ------------------------------------------------------------------
 
-    def _check_instance(self, instance):
+    def _check_instance(self, instance: Any) -> None:
         db = self.db
         if instance.class_name not in db.lattice:
             self.report.add(
@@ -104,7 +113,7 @@ class _Fsck:
         self._check_forward(instance, pending)
         self._check_reverse(instance, pending)
 
-    def _check_topology(self, instance):
+    def _check_topology(self, instance: Any) -> None:
         """Rules 1-3 over the reverse-reference partitions (paper 2.2)."""
         exempt = (
             self.db.topology_exempt is not None
@@ -155,7 +164,7 @@ class _Fsck:
                 shared=is_ + ds,
             )
 
-    def _pending_attributes(self, instance):
+    def _pending_attributes(self, instance: Any) -> set[str]:
         """Attributes with deferred I1-I4 changes this instance has not
         caught up with (paper 4.3) — their flags legitimately lag."""
         if self.evolution is None:
@@ -173,7 +182,7 @@ class _Fsck:
             )
         )
 
-    def _check_forward(self, instance, pending):
+    def _check_forward(self, instance: Any, pending: set[str]) -> None:
         """Every forward reference: liveness, domain, reverse-ref match."""
         db = self.db
         classdef = db.lattice.get(instance.class_name)
@@ -256,7 +265,7 @@ class _Fsck:
                         attribute=spec.name,
                     )
 
-    def _check_reverse(self, instance, pending):
+    def _check_reverse(self, instance: Any, pending: set[str]) -> None:
         """Every reverse reference must point at a live, linking parent."""
         db = self.db
         for ref in instance.reverse_references:
@@ -295,7 +304,7 @@ class _Fsck:
     # Whole-database structures
     # ------------------------------------------------------------------
 
-    def _check_extents(self):
+    def _check_extents(self) -> None:
         """Class extents must mirror the live object table exactly."""
         db = self.db
         extents = getattr(db, "_extents", None)
@@ -332,7 +341,7 @@ class _Fsck:
                     class_name=instance.class_name,
                 )
 
-    def _check_version_registry(self):
+    def _check_version_registry(self) -> None:
         """Derivation graphs must be live, well-formed, and acyclic."""
         registry = self.versions.registry
         for generic_uid in registry.all_generics():
@@ -368,7 +377,7 @@ class _Fsck:
                     )
             self._check_derivation_acyclic(generic_uid, info)
 
-    def _check_derivation_acyclic(self, generic_uid, info):
+    def _check_derivation_acyclic(self, generic_uid: Any, info: Any) -> None:
         """The derivation relation must be a forest (paper 5.1)."""
         for start in info.versions:
             seen = set()
@@ -387,7 +396,7 @@ class _Fsck:
                 seen.add(current)
                 current = info.derived_from.get(current)
 
-    def _check_refcounts(self):
+    def _check_refcounts(self) -> None:
         """Recount every reverse composite generic reference (paper 5.3)."""
         registry = self.versions.registry
         actual = {}
@@ -425,7 +434,7 @@ class _Fsck:
                 recounted=0,
             )
 
-    def _check_authorizations(self):
+    def _check_authorizations(self) -> None:
         """Grant scopes must resolve; combined authorizations must not
         conflict (paper Section 6)."""
         db = self.db
@@ -465,5 +474,5 @@ class _Fsck:
                     )
 
 
-def _uids(uids):
+def _uids(uids: Any) -> list[str]:
     return ", ".join(str(uid) for uid in uids) or "none"

@@ -1,0 +1,236 @@
+"""Static lock analysis of transaction templates (concurrency plane, part 2).
+
+Workloads declare transactions as *templates* — the ``(action, target)``
+step lists consumed by :class:`repro.sim.eventsim.ConcurrencySimulator`
+and produced by :mod:`repro.workloads.txmix`.  Because the Section 7 lock
+planners are pure (``plan_composite`` / ``plan_instance`` never touch the
+lock table), every template's full acquisition sequence — root locks,
+class intention locks, and the ISO/IXO-family locks on composite
+component classes — can be computed **without executing anything**, and
+the same order-graph analysis the runtime recorder uses
+(:class:`repro.analysis.lockdep.LockOrderGraph`) then predicts:
+
+* ``LOCK-INVERSION`` (error) — two templates acquire two resources in
+  opposite orders with modes that conflict under the Figure 7/8
+  matrices: a latent deadlock for *any* interleaving that overlaps.
+* ``LOCK-UPGRADE`` (warning) — a template escalates a held lock to a
+  conflicting mode (e.g. ``read_composite`` then ``update_composite`` of
+  the same root plans S then X on the root instance): two concurrent
+  instances of the template deadlock on the upgrade.
+* ``LOCK-CYCLE`` (warning) — an acquisition-order cycle through three or
+  more resources.
+* ``LOCK-TEMPLATE`` (error) — a template step that cannot be planned
+  (unknown action, unresolvable target).
+
+Step targets may be UIDs (API use), ``"Class#number"`` strings, bare
+integers (UID numbers), or class names (resolved to a representative
+instance) — the string forms make JSON template files possible
+(``repro-check locklint``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from ..core.identity import UID
+from ..locking.modes import LockMode
+from ..locking.table import LockTable
+from .findings import Report, Severity
+from .lockdep import Acquisition, LockOrderGraph
+
+__all__ = [
+    "ACTIONS",
+    "TransactionTemplate",
+    "analyze_templates",
+    "coerce_template",
+    "plan_template",
+    "resolve_target",
+]
+
+#: The simulator's step vocabulary: action -> (accessor kind, intent).
+ACTIONS = {
+    "read_composite": ("composite", "read"),
+    "update_composite": ("composite", "write"),
+    "read_instance": ("instance", "read"),
+    "update_instance": ("instance", "write"),
+}
+
+
+class TransactionTemplate:
+    """One declarative transaction: a name plus ``(action, target)`` steps."""
+
+    def __init__(self, name: str, steps: Sequence[Any]) -> None:
+        self.name = name
+        self.steps: list[tuple[str, Any]] = [
+            _coerce_step(step, index) for index, step in enumerate(steps)
+        ]
+
+    def __repr__(self) -> str:
+        return f"<TransactionTemplate {self.name!r} steps={len(self.steps)}>"
+
+
+def _coerce_step(step: Any, index: int) -> tuple[str, Any]:
+    """Normalize a step to ``(action, target)``.
+
+    Accepts :class:`repro.sim.eventsim.Step`, ``(action, target)``
+    pairs, and ``{"action": ..., "target": ...}`` dicts (JSON files).
+    """
+    if hasattr(step, "action") and hasattr(step, "target"):
+        return (step.action, step.target)
+    if isinstance(step, dict):
+        try:
+            return (step["action"], step["target"])
+        except KeyError as missing:
+            raise ValueError(
+                f"step {index}: template dict needs 'action' and 'target' "
+                f"keys, missing {missing}"
+            ) from None
+    if isinstance(step, (tuple, list)) and len(step) == 2:
+        return (step[0], step[1])
+    raise ValueError(f"step {index}: cannot interpret {step!r} as a step")
+
+
+def coerce_template(item: Any, index: int) -> TransactionTemplate:
+    """Normalize one template (template object, dict, or step list)."""
+    if isinstance(item, TransactionTemplate):
+        return item
+    if isinstance(item, dict) and "steps" in item:
+        return TransactionTemplate(
+            str(item.get("name") or f"template-{index + 1}"), item["steps"]
+        )
+    return TransactionTemplate(f"template-{index + 1}", item)
+
+
+def resolve_target(db: Any, target: Any) -> UID:
+    """Resolve a template target to a live UID.
+
+    ``UID`` objects pass through (after a liveness check); ``int`` is a
+    UID number; ``"Class#number"`` names one instance; a bare class name
+    resolves to the class's first live instance (a representative — lock
+    *shapes* depend on the class, not the individual).
+    """
+    if isinstance(target, UID):
+        if db.exists(target):
+            return target
+        raise LookupError(f"{target} is not a live object")
+    if isinstance(target, int):
+        for instance in db.live_instances():
+            if instance.uid.number == target:
+                return instance.uid
+        raise LookupError(f"no live object with UID number {target}")
+    if isinstance(target, str):
+        name, sep, number = target.partition("#")
+        if sep:
+            uid = UID(int(number), name)
+            for instance in db.live_instances():
+                if instance.uid.number == uid.number:
+                    return instance.uid
+            raise LookupError(f"no live object {target}")
+        instances = db.instances_of(name) if name in db.lattice else []
+        if not instances:
+            raise LookupError(
+                f"no live instance of class {name!r} to represent the target"
+            )
+        return instances[0].uid
+    raise LookupError(f"cannot interpret target {target!r}")
+
+
+def plan_template(
+    db: Any,
+    template: TransactionTemplate,
+    discipline: str = "composite",
+    report: Optional[Report] = None,
+) -> list[Acquisition]:
+    """The template's full predicted acquisition sequence.
+
+    Unplannable steps are reported as ``LOCK-TEMPLATE`` errors (when a
+    report is given) and skipped, so one bad step does not hide the
+    other steps' hazards.
+    """
+    from ..locking.protocol import CompositeLockingProtocol
+    from ..sim.eventsim import _DISCIPLINES  # planners; simulator not run
+
+    if discipline not in _DISCIPLINES:
+        raise ValueError(
+            f"discipline must be one of {sorted(_DISCIPLINES)}, "
+            f"got {discipline!r}"
+        )
+    planner = _DISCIPLINES[discipline](db, LockTable())
+    instance_planner = CompositeLockingProtocol(db, planner.table)
+    acquisitions: list[Acquisition] = []
+    for index, (action, target) in enumerate(template.steps):
+        provenance = (
+            f"{template.name} step {index}: {action} {target}",
+        )
+        if action not in ACTIONS:
+            if report is not None:
+                report.add(
+                    Severity.ERROR,
+                    "LOCK-TEMPLATE",
+                    f"{template.name}[{index}]",
+                    f"unknown action {action!r} (expected one of "
+                    f"{sorted(ACTIONS)})",
+                    template=template.name,
+                    step=index,
+                )
+            continue
+        accessor, intent = ACTIONS[action]
+        try:
+            uid = resolve_target(db, target)
+            if accessor == "composite":
+                plan = list(planner.plan(uid, intent))
+            else:
+                # Direct instance access: class intent + instance lock.
+                plan = list(instance_planner.plan_instance(uid, intent))
+        except Exception as error:
+            if report is not None:
+                report.add(
+                    Severity.ERROR,
+                    "LOCK-TEMPLATE",
+                    f"{template.name}[{index}]",
+                    f"cannot plan {action} on {target!r}: {error}",
+                    template=template.name,
+                    step=index,
+                )
+            continue
+        for resource, mode in plan:
+            acquisitions.append(Acquisition(
+                resource=resource,
+                mode=mode,
+                order=len(acquisitions),
+                stack=provenance,
+            ))
+    return acquisitions
+
+
+def analyze_templates(
+    db: Any,
+    templates: Iterable[Union[TransactionTemplate, dict, Sequence[Any]]],
+    discipline: str = "composite",
+) -> Report:
+    """Statically analyze a set of transaction templates.
+
+    *templates* accepts :class:`TransactionTemplate` objects, dicts with
+    ``name``/``steps`` (the JSON file format), or raw step lists (the
+    :mod:`repro.workloads.txmix` output).  Returns a report whose
+    ``checked`` counts analyzed templates.
+    """
+    report = Report(plane="locklint")
+    graph = LockOrderGraph(rule_prefix="LOCK")
+    for index, item in enumerate(templates):
+        template = coerce_template(item, index)
+        trace = plan_template(db, template, discipline, report)
+        if trace:
+            graph.add_trace(template.name, trace)
+        report.checked += 1
+    # Templates, not traces, are this plane's coverage unit: fold only
+    # the graph's findings in, not its trace count.
+    report.findings.extend(graph.analyze().findings)
+    return report
+
+
+#: Modes a write-intent template plans (documentation/introspection aid).
+WRITE_MODES = frozenset({
+    LockMode.IX, LockMode.X, LockMode.IXO, LockMode.IXOS,
+    LockMode.SIX, LockMode.SIXO, LockMode.SIXOS,
+})

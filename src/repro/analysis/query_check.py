@@ -25,6 +25,8 @@ Rule ids
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..query.sexpr import (
     Keyword,
     QUOTE,
@@ -70,7 +72,7 @@ _COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
 _ORDERED = ("<", "<=", ">", ">=")
 
 
-def check_query(lattice, text):
+def check_query(lattice: Any, text: str) -> Report:
     """Statically validate every form in *text*; returns a :class:`Report`."""
     report = Report(plane="query")
     try:
@@ -88,7 +90,7 @@ def check_query(lattice, text):
 class _QueryChecker:
     """Walks parsed forms, accumulating findings."""
 
-    def __init__(self, lattice, report):
+    def __init__(self, lattice: Any, report: Report) -> None:
         self.lattice = lattice
         self.report = report
         #: setq-bound variable names seen so far (their values are opaque).
@@ -96,12 +98,12 @@ class _QueryChecker:
 
     # -- helpers -----------------------------------------------------------
 
-    def _unquote(self, form):
+    def _unquote(self, form: Any) -> Any:
         if isinstance(form, list) and form and form[0] == QUOTE:
             return form[1]
         return form
 
-    def _class_designator(self, form):
+    def _class_designator(self, form: Any) -> Any:
         """The class name a form designates, or None when not static."""
         form = self._unquote(form)
         if isinstance(form, Symbol):
@@ -110,7 +112,7 @@ class _QueryChecker:
             return form
         return None
 
-    def _resolve_class(self, form, context):
+    def _resolve_class(self, form: Any, context: str) -> Any:
         """Look a class designator up in the lattice, reporting misses."""
         name = self._class_designator(form)
         if name is None or name in self.bound:
@@ -128,7 +130,7 @@ class _QueryChecker:
 
     # -- form dispatch ------------------------------------------------------
 
-    def check_form(self, form):
+    def check_form(self, form: Any) -> None:
         if not isinstance(form, list) or not form:
             return
         head = form[0]
@@ -176,7 +178,7 @@ class _QueryChecker:
                 self.check_form(arg)
 
     @staticmethod
-    def _attribute_name(form):
+    def _attribute_name(form: Any) -> Any:
         if isinstance(form, Symbol):
             return form.name
         if isinstance(form, str):
@@ -185,7 +187,7 @@ class _QueryChecker:
 
     # -- make ---------------------------------------------------------------
 
-    def _check_make(self, classdef, args):
+    def _check_make(self, classdef: Any, args: Any) -> None:
         """Keyword values of ``make`` must name effective attributes."""
         index = 0
         while index < len(args):
@@ -209,7 +211,7 @@ class _QueryChecker:
 
     # -- select predicates ---------------------------------------------------
 
-    def _check_predicate(self, classdef, predicate):
+    def _check_predicate(self, classdef: Any, predicate: Any) -> None:
         if not isinstance(predicate, list) or not predicate:
             return
         op = predicate[0]
@@ -273,7 +275,7 @@ class _QueryChecker:
             f"unknown predicate {name!r}",
         )
 
-    def _predicate_spec(self, classdef, predicate):
+    def _predicate_spec(self, classdef: Any, predicate: Any) -> Any:
         """The AttributeSpec a predicate's attribute names, or None."""
         if len(predicate) < 2:
             return None

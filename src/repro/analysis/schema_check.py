@@ -32,6 +32,8 @@ Rule ids
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..schema.attribute import PRIMITIVE_DOMAINS
 from .findings import Report, Severity
 
@@ -45,14 +47,14 @@ EVOLUTION_CHANGES = (
 class SchemaAnalyzer:
     """Static analysis over one :class:`repro.schema.lattice.ClassLattice`."""
 
-    def __init__(self, lattice):
+    def __init__(self, lattice: Any) -> None:
         self.lattice = lattice
 
     # ------------------------------------------------------------------
     # The composite class graph
     # ------------------------------------------------------------------
 
-    def composite_declarations(self):
+    def composite_declarations(self) -> Any:
         """Deduplicated composite-attribute declarations in the lattice.
 
         Returns ``(defined_in, attribute, domain_class, exclusive,
@@ -79,7 +81,7 @@ class SchemaAnalyzer:
     # Full-lattice analysis
     # ------------------------------------------------------------------
 
-    def analyze(self):
+    def analyze(self) -> Report:
         """Run every static check; returns a :class:`Report`."""
         report = Report(plane="schema")
         self._check_domains(report)
@@ -88,7 +90,7 @@ class SchemaAnalyzer:
         report.checked = sum(1 for _ in self.lattice)
         return report
 
-    def _check_domains(self, report):
+    def _check_domains(self, report: Report) -> None:
         """Every attribute domain must resolve to a primitive or a class."""
         seen = set()
         for classdef in self.lattice:
@@ -109,7 +111,7 @@ class SchemaAnalyzer:
                     domain=domain,
                 )
 
-    def _check_reference_contention(self, report):
+    def _check_reference_contention(self, report: Report) -> None:
         """Class-level Rule 1/2/3 contention between declarations.
 
         The topology rules constrain the references *one object* may
@@ -167,7 +169,7 @@ class SchemaAnalyzer:
                     shared=[d[0] for d in shared_decls],
                 )
 
-    def _check_cycles(self, report):
+    def _check_cycles(self, report: Report) -> None:
         """Cycles in the composite class graph.
 
         A self-referential composite attribute (``Part.SubParts`` with
@@ -190,7 +192,7 @@ class SchemaAnalyzer:
                 (attr, exclusive, dependent)
             )
         for cycle in _find_cycles(edges):
-            links = list(zip(cycle, cycle[1:] + cycle[:1]))
+            links = list(zip(cycle, cycle[1:] + cycle[:1], strict=True))
             all_dependent = all(
                 any(dep for _attr, _excl, dep in edge_info[link])
                 for link in links
@@ -217,7 +219,9 @@ class SchemaAnalyzer:
     # Evolution pre-flight (paper Section 4)
     # ------------------------------------------------------------------
 
-    def preflight(self, change, class_name, attribute=None):
+    def preflight(
+        self, change: str, class_name: str, attribute: Any = None
+    ) -> Report:
         """Analyze a schema-evolution operation *before* it runs.
 
         *change* is one of :data:`EVOLUTION_CHANGES`.  Findings:
@@ -331,7 +335,9 @@ class SchemaAnalyzer:
             self._preflight_shared(report, location, class_name, spec)
         return report
 
-    def _preflight_drop_spec(self, report, location, spec, change):
+    def _preflight_drop_spec(
+        self, report: Report, location: str, spec: Any, change: str
+    ) -> None:
         if spec.is_composite and spec.dependent:
             report.add(
                 Severity.WARNING,
@@ -343,7 +349,9 @@ class SchemaAnalyzer:
                 domain=spec.domain_class,
             )
 
-    def _preflight_drop_class(self, report, class_name, classdef):
+    def _preflight_drop_class(
+        self, report: Report, class_name: str, classdef: Any
+    ) -> None:
         for spec in classdef.attributes():
             if spec.is_composite and spec.dependent:
                 self._preflight_drop_spec(
@@ -381,7 +389,7 @@ class SchemaAnalyzer:
                     )
                     break
 
-    def _other_declarations(self, class_name, spec):
+    def _other_declarations(self, class_name: str, spec: Any) -> Any:
         """Composite declarations into *spec*'s domain other than *spec*."""
         mine = (spec.defined_in or class_name, spec.name)
         return [
@@ -392,7 +400,9 @@ class SchemaAnalyzer:
             if domain == spec.domain_class and (owner, attr) != mine
         ]
 
-    def _preflight_exclusive(self, report, location, class_name, spec):
+    def _preflight_exclusive(
+        self, report: Report, location: str, class_name: str, spec: Any
+    ) -> None:
         others = self._other_declarations(class_name, spec)
         if others:
             names = ", ".join(f"{o}.{a}" for o, a, *_rest in others)
@@ -406,7 +416,9 @@ class SchemaAnalyzer:
                 competing=[f"{o}.{a}" for o, a, *_rest in others],
             )
 
-    def _preflight_shared(self, report, location, class_name, spec):
+    def _preflight_shared(
+        self, report: Report, location: str, class_name: str, spec: Any
+    ) -> None:
         exclusive_others = [
             d for d in self._other_declarations(class_name, spec) if d[3]
         ]
@@ -423,7 +435,7 @@ class SchemaAnalyzer:
             )
 
 
-def _find_cycles(edges):
+def _find_cycles(edges: Any) -> Any:
     """Elementary cycles of a small digraph, canonicalized.
 
     Iterative DFS per start node; each cycle is rotated to start at its

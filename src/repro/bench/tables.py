@@ -30,10 +30,14 @@ def format_table(rows, columns=None, title=""):
         max(len(col), *(len(r[i]) for r in rendered))
         for i, col in enumerate(columns)
     ]
-    header = "  ".join(f"{col:>{w}}" for col, w in zip(columns, widths))
+    header = "  ".join(
+        f"{col:>{w}}" for col, w in zip(columns, widths, strict=True)
+    )
     rule = "  ".join("-" * w for w in widths)
     body = [
-        "  ".join(f"{value:>{w}}" for value, w in zip(row, widths))
+        "  ".join(
+            f"{value:>{w}}" for value, w in zip(row, widths, strict=True)
+        )
         for row in rendered
     ]
     lines = ([title, ""] if title else []) + [header, rule] + body

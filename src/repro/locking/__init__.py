@@ -24,7 +24,7 @@ from .protocol import (
     LockPlan,
     RootLockingAlgorithm,
 )
-from .table import LockRequest, LockStats, LockTable
+from .table import LockObserver, LockRequest, LockStats, LockTable
 
 __all__ = [
     "COMPATIBILITY",
@@ -38,6 +38,7 @@ __all__ = [
     "ImplicitConflict",
     "InstanceLockingBaseline",
     "LockMode",
+    "LockObserver",
     "LockPlan",
     "LockRequest",
     "LockStats",

@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Iterable, Mapping, TypeVar
 
 
 class Scope(enum.Enum):
@@ -83,11 +84,11 @@ class Claim:
     scope: Scope
     op: Op
 
-    def __str__(self):
+    def __str__(self) -> str:
         return f"{self.scope.name}:{self.op.value}"
 
 
-def _claims_conflict(a, b):
+def _claims_conflict(a: Claim, b: Claim) -> bool:
     """True when claims *a* (of T1) and *b* (of T2) can collide."""
     writes = a.op is Op.WRITE or b.op is Op.WRITE
     pair = {a.scope, b.scope}
@@ -107,21 +108,28 @@ def _claims_conflict(a, b):
     return a.op is Op.WRITE and b.op is Op.WRITE
 
 
-def modes_compatible(claims_a, claims_b):
+def modes_compatible(
+    claims_a: Iterable[Claim], claims_b: Iterable[Claim]
+) -> bool:
     """True when no claim of one mode conflicts with a claim of the other."""
     return not any(
         _claims_conflict(ca, cb) for ca in claims_a for cb in claims_b
     )
 
 
-def derive_matrix(mode_claims):
+ModeT = TypeVar("ModeT")
+
+
+def derive_matrix(
+    mode_claims: Mapping[ModeT, Iterable[Claim]],
+) -> dict[tuple[ModeT, ModeT], bool]:
     """Derive a full compatibility matrix.
 
     *mode_claims* maps mode name -> iterable of :class:`Claim`.  Returns
     ``{(requested, current): bool}`` over all ordered pairs; the relation
     is symmetric by construction.
     """
-    matrix = {}
+    matrix: dict[tuple[ModeT, ModeT], bool] = {}
     names = list(mode_claims)
     for requested in names:
         for current in names:

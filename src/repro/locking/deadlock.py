@@ -8,10 +8,14 @@ done the least work to redo.
 
 from __future__ import annotations
 
+from typing import Any, Callable, Hashable, Iterable, Optional
+
 from ..errors import DeadlockError
 
 
-def find_cycle(edges):
+def find_cycle(
+    edges: Iterable[tuple[Hashable, Hashable]],
+) -> Optional[list[Hashable]]:
     """Find one cycle in the directed graph given as (src, dst) pairs.
 
     Returns the cycle as an ordered list of nodes (first node repeated
@@ -19,13 +23,13 @@ def find_cycle(edges):
     colouring — the graphs here are small but may be built frequently, so
     no recursion and no allocation beyond the stacks.
     """
-    graph = {}
+    graph: dict[Hashable, list[Hashable]] = {}
     for src, dst in edges:
         graph.setdefault(src, []).append(dst)
         graph.setdefault(dst, [])
     WHITE, GREY, BLACK = 0, 1, 2
     colour = {node: WHITE for node in graph}
-    parent = {}
+    parent: dict[Hashable, Hashable] = {}
     for start in graph:
         if colour[start] is not WHITE:
             continue
@@ -56,7 +60,10 @@ def find_cycle(edges):
     return None
 
 
-def choose_victim(cycle, txn_id=lambda txn: getattr(txn, "txn_id", txn)):
+def choose_victim(
+    cycle: Iterable[Any],
+    txn_id: Callable[[Any], Any] = lambda txn: getattr(txn, "txn_id", txn),
+) -> Any:
     """Pick the victim of a deadlock cycle (youngest = max id)."""
     return max(cycle, key=txn_id)
 
@@ -64,12 +71,12 @@ def choose_victim(cycle, txn_id=lambda txn: getattr(txn, "txn_id", txn)):
 class DeadlockDetector:
     """Detects deadlocks over a :class:`repro.locking.table.LockTable`."""
 
-    def __init__(self, lock_table):
+    def __init__(self, lock_table: Any) -> None:
         self._table = lock_table
         #: Deadlocks detected so far (benchmark metric).
         self.detections = 0
 
-    def check(self, raise_on_deadlock=True):
+    def check(self, raise_on_deadlock: bool = True) -> Any:
         """Look for a cycle; return the chosen victim or None.
 
         With *raise_on_deadlock*, raises :class:`DeadlockError` carrying

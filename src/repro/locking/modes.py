@@ -18,6 +18,7 @@ exposed as :data:`FIGURE7_MATRIX` / :data:`FIGURE8_MATRIX`.
 from __future__ import annotations
 
 import enum
+from typing import Optional
 
 from .claims import Claim, Op, Scope, derive_matrix
 
@@ -37,7 +38,7 @@ class LockMode(enum.Enum):
     IXOS = "IXOS"
     SIXOS = "SIXOS"
 
-    def __str__(self):
+    def __str__(self) -> str:
         return self.value
 
 
@@ -86,7 +87,7 @@ FIGURE7_MATRIX = {
 FIGURE8_MATRIX = dict(COMPATIBILITY)
 
 
-def compatible(requested, current):
+def compatible(requested: LockMode, current: LockMode) -> bool:
     """True when *requested* can be granted alongside held *current*."""
     return COMPATIBILITY[(requested, current)]
 
@@ -125,7 +126,7 @@ _SUPREMA = {
 }
 
 
-def supremum(mode_a, mode_b):
+def supremum(mode_a: LockMode, mode_b: LockMode) -> LockMode:
     """The weakest mode granting everything both modes grant.
 
     Falls back to X (the top of the lattice) when no tighter supremum is
@@ -137,7 +138,10 @@ def supremum(mode_a, mode_b):
     return sup if sup is not None else LockMode.X
 
 
-def render_matrix(modes=FIGURE8_MODES, matrix=None):
+def render_matrix(
+    modes: tuple[LockMode, ...] = FIGURE8_MODES,
+    matrix: Optional[dict[tuple[LockMode, LockMode], bool]] = None,
+) -> str:
     """Render a compatibility matrix as fixed-width text.
 
     Mirrors the layout of the paper's figures: rows are the requested

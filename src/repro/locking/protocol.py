@@ -27,6 +27,7 @@ Three lockers over the same :class:`repro.locking.table.LockTable`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator, Optional
 
 from .modes import LockMode
 from .table import LockTable
@@ -39,7 +40,9 @@ _INTENT_MODES = {
 }
 
 
-def _modes_for(intent):
+def _modes_for(
+    intent: str,
+) -> tuple[LockMode, LockMode, LockMode, LockMode]:
     try:
         return _INTENT_MODES[intent]
     except KeyError:
@@ -50,28 +53,30 @@ def _modes_for(intent):
 class LockPlan:
     """The ordered (resource, mode) pairs one operation acquires."""
 
-    steps: list = field(default_factory=list)
+    steps: list[tuple[Hashable, LockMode]] = field(default_factory=list)
 
-    def add(self, resource, mode):
+    def add(self, resource: Hashable, mode: LockMode) -> None:
         self.steps.append((resource, mode))
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[Hashable, LockMode]]:
         return iter(self.steps)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.steps)
 
 
 class CompositeLockingProtocol:
     """The Section 7 protocol: a composite object is one lockable granule."""
 
-    def __init__(self, database, lock_table=None):
+    def __init__(
+        self, database: Any, lock_table: Optional[LockTable] = None
+    ) -> None:
         self._db = database
         self.table = lock_table if lock_table is not None else LockTable()
 
     # -- planning (pure; also used by benchmarks to count lock calls) ------
 
-    def plan_composite(self, root_uid, intent="read"):
+    def plan_composite(self, root_uid: Any, intent: str = "read") -> LockPlan:
         """The locks required to read/update the whole composite at *root_uid*.
 
         Component classes reached through both exclusive and shared links
@@ -92,7 +97,7 @@ class CompositeLockingProtocol:
             plan.add(("class", link.component), mode)
         return plan
 
-    def plan_instance(self, uid, intent="read"):
+    def plan_instance(self, uid: Any, intent: str = "read") -> LockPlan:
         """Direct access to a single instance: class intent + instance lock."""
         class_intent, instance_mode, _, _ = _modes_for(intent)
         instance = self._db.resolve(uid)
@@ -103,7 +108,13 @@ class CompositeLockingProtocol:
 
     # -- acquisition -------------------------------------------------------------
 
-    def lock_composite(self, txn, root_uid, intent="read", wait=False):
+    def lock_composite(
+        self,
+        txn: Any,
+        root_uid: Any,
+        intent: str = "read",
+        wait: bool = False,
+    ) -> LockPlan:
         """Acquire the whole plan; returns it.  Raises on conflict when
         ``wait=False`` (locks already granted stay held — release via the
         transaction's abort, as in a real system)."""
@@ -112,14 +123,16 @@ class CompositeLockingProtocol:
             self.table.acquire(txn, resource, mode, wait=wait)
         return plan
 
-    def lock_instance(self, txn, uid, intent="read", wait=False):
+    def lock_instance(
+        self, txn: Any, uid: Any, intent: str = "read", wait: bool = False
+    ) -> LockPlan:
         """Acquire a direct-access plan for one instance."""
         plan = self.plan_instance(uid, intent)
         for resource, mode in plan:
             self.table.acquire(txn, resource, mode, wait=wait)
         return plan
 
-    def release(self, txn):
+    def release(self, txn: Any) -> list[Any]:
         """Release everything *txn* holds."""
         return self.table.release_all(txn)
 
@@ -133,17 +146,19 @@ class InstanceLockingBaseline:
     composite protocol's single granule avoids.
     """
 
-    def __init__(self, database, lock_table=None):
+    def __init__(
+        self, database: Any, lock_table: Optional[LockTable] = None
+    ) -> None:
         self._db = database
         self.table = lock_table if lock_table is not None else LockTable()
 
-    def plan_composite(self, root_uid, intent="read"):
+    def plan_composite(self, root_uid: Any, intent: str = "read") -> LockPlan:
         class_intent, instance_mode, _, _ = _modes_for(intent)
         root = self._db.resolve(root_uid)
         plan = LockPlan()
         classes_locked = set()
 
-        def lock_class(name):
+        def lock_class(name: str) -> None:
             if name not in classes_locked:
                 classes_locked.add(name)
                 plan.add(("class", name), class_intent)
@@ -155,13 +170,19 @@ class InstanceLockingBaseline:
             plan.add(("instance", component_uid), instance_mode)
         return plan
 
-    def lock_composite(self, txn, root_uid, intent="read", wait=False):
+    def lock_composite(
+        self,
+        txn: Any,
+        root_uid: Any,
+        intent: str = "read",
+        wait: bool = False,
+    ) -> LockPlan:
         plan = self.plan_composite(root_uid, intent)
         for resource, mode in plan:
             self.table.acquire(txn, resource, mode, wait=wait)
         return plan
 
-    def release(self, txn):
+    def release(self, txn: Any) -> list[Any]:
         return self.table.release_all(txn)
 
 
@@ -186,13 +207,17 @@ class RootLockingAlgorithm:
     algorithm's efficiency and, under shared references, its downfall.
     """
 
-    def __init__(self, database, lock_table=None):
+    def __init__(
+        self, database: Any, lock_table: Optional[LockTable] = None
+    ) -> None:
         self._db = database
         self.table = lock_table if lock_table is not None else LockTable()
         #: txn -> {instance_uid -> implicit LockMode} (S or X)
-        self._implicit = {}
+        self._implicit: dict[Any, dict[Any, LockMode]] = {}
 
-    def lock_component(self, txn, uid, intent="read", wait=False):
+    def lock_component(
+        self, txn: Any, uid: Any, intent: str = "read", wait: bool = False
+    ) -> list[Any]:
         """Lock *uid* for direct access by locking its composite roots."""
         _, instance_mode, _, _ = _modes_for(intent)
         roots = self._db.roots_of(uid)
@@ -205,11 +230,11 @@ class RootLockingAlgorithm:
                     coverage[covered] = instance_mode
         return roots
 
-    def implicit_coverage(self, txn):
+    def implicit_coverage(self, txn: Any) -> dict[Any, LockMode]:
         """Instances *txn* implicitly holds, with modes."""
         return dict(self._implicit.get(txn, {}))
 
-    def detect_implicit_conflicts(self):
+    def detect_implicit_conflicts(self) -> list[ImplicitConflict]:
         """Find conflicting implicit locks the lock table never saw.
 
         Under exclusive hierarchies this is always empty (each component
@@ -219,7 +244,7 @@ class RootLockingAlgorithm:
         reproducing the paper's conclusion that "the algorithm cannot be
         used for shared composite references."
         """
-        conflicts = []
+        conflicts: list[ImplicitConflict] = []
         txns = list(self._implicit)
         for i, txn_a in enumerate(txns):
             for txn_b in txns[i + 1 :]:
@@ -235,6 +260,6 @@ class RootLockingAlgorithm:
                         )
         return conflicts
 
-    def release(self, txn):
+    def release(self, txn: Any) -> list[Any]:
         self._implicit.pop(txn, None)
         return self.table.release_all(txn)

@@ -12,15 +12,36 @@ grant every request compatible with the new state (no barging past an
 incompatible head, to avoid starvation).  Deadlock handling lives in
 :mod:`repro.locking.deadlock`; the table maintains the wait-for edges the
 detector consumes.
+
+Observers (:class:`LockObserver`) may register in :attr:`LockTable.observers`
+to see every grant and full release — the lock-dependency recorder of
+:mod:`repro.analysis.lockdep` uses this to build lock-order graphs without
+touching the grant path when disabled.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass
+from typing import Any, Hashable, Optional
 
 from ..errors import LockConflictError
 from .modes import COMPATIBILITY, LockMode
+
+
+class LockObserver:
+    """Interface for passive lock-table observers.
+
+    Observers must never call back into the table — they see state
+    transitions, they do not make them.  Both callbacks default to
+    no-ops so subclasses override only what they need.
+    """
+
+    def on_grant(self, txn: Any, resource: Hashable, mode: LockMode) -> None:
+        """Called when *mode* on *resource* is newly granted to *txn*."""
+
+    def on_release(self, txn: Any) -> None:
+        """Called when every lock of *txn* has been released."""
 
 
 @dataclass
@@ -43,7 +64,7 @@ class LockStats:
     denials: int = 0
     releases: int = 0
 
-    def reset(self):
+    def reset(self) -> None:
         self.requests = 0
         self.grants = 0
         self.blocks = 0
@@ -54,40 +75,43 @@ class LockStats:
 class LockTable:
     """All locks of one database."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         #: resource -> OrderedDict txn -> set of LockMode
-        self._granted = {}
+        self._granted: dict[Hashable, OrderedDict[Any, set[LockMode]]] = {}
         #: resource -> deque of LockRequest (blocked requests, FIFO)
-        self._waiting = {}
+        self._waiting: dict[Hashable, deque[LockRequest]] = {}
         self.stats = LockStats()
+        #: Passive :class:`LockObserver` instances notified on every grant
+        #: and full release (see :mod:`repro.analysis.lockdep`).
+        self.observers: list[LockObserver] = []
 
     # -- queries ----------------------------------------------------------
 
-    def holders(self, resource):
+    def holders(self, resource: Hashable) -> list[Any]:
         """Transactions currently holding locks on *resource*."""
         return list(self._granted.get(resource, ()))
 
-    def modes_held(self, txn, resource):
+    def modes_held(self, txn: Any, resource: Hashable) -> set[LockMode]:
         """Modes *txn* holds on *resource* (empty set when none)."""
         return set(self._granted.get(resource, {}).get(txn, ()))
 
-    def held_resources(self, txn):
+    def held_resources(self, txn: Any) -> list[Hashable]:
         """Resources on which *txn* holds at least one mode."""
         return [r for r, grants in self._granted.items() if txn in grants]
 
-    def waiters(self, resource):
+    def waiters(self, resource: Hashable) -> list[LockRequest]:
         """Blocked requests queued on *resource*, in FIFO order."""
         return list(self._waiting.get(resource, ()))
 
-    def wait_for_edges(self):
+    def wait_for_edges(self) -> list[tuple[Any, Any]]:
         """Edges (waiter, holder) of the wait-for graph.
 
         A blocked transaction waits for every incompatible current holder
         and for every incompatible earlier waiter (FIFO ordering).
         """
-        edges = []
+        edges: list[tuple[Any, Any]] = []
         for resource, queue in self._waiting.items():
-            earlier = []
+            earlier: list[LockRequest] = []
             for request in queue:
                 for holder, modes in self._granted.get(resource, {}).items():
                     if holder is request.txn:
@@ -104,7 +128,9 @@ class LockTable:
                 earlier.append(request)
         return edges
 
-    def is_compatible(self, txn, resource, mode):
+    def is_compatible(
+        self, txn: Any, resource: Hashable, mode: LockMode
+    ) -> bool:
         """True when granting (*txn*, *mode*) now would not conflict."""
         for holder, modes in self._granted.get(resource, {}).items():
             if holder is txn:
@@ -115,7 +141,13 @@ class LockTable:
 
     # -- acquisition -----------------------------------------------------------
 
-    def acquire(self, txn, resource, mode, wait=True):
+    def acquire(
+        self,
+        txn: Any,
+        resource: Hashable,
+        mode: LockMode,
+        wait: bool = True,
+    ) -> bool:
         """Request *mode* on *resource* for *txn*.
 
         Returns True when granted immediately.  When incompatible:
@@ -168,11 +200,18 @@ class LockTable:
         )
         return False
 
-    def _grant(self, txn, resource, mode):
+    def _grant(self, txn: Any, resource: Hashable, mode: LockMode) -> None:
         grants = self._granted.setdefault(resource, OrderedDict())
         grants.setdefault(txn, set()).add(mode)
+        for observer in self.observers:
+            observer.on_grant(txn, resource, mode)
 
-    def cancel(self, txn, resource, mode=None):
+    def cancel(
+        self,
+        txn: Any,
+        resource: Hashable,
+        mode: Optional[LockMode] = None,
+    ) -> list[LockRequest]:
         """Withdraw *txn*'s queued (ungranted) requests on *resource*.
 
         Granted modes are untouched.  With *mode* only that request is
@@ -202,19 +241,24 @@ class LockTable:
 
     # -- release -------------------------------------------------------------
 
-    def release_all(self, txn):
+    def release_all(self, txn: Any) -> list[LockRequest]:
         """Release every lock of *txn* and cancel its queued requests.
 
         Returns the requests newly granted to other transactions, so a
         scheduler can resume them.
         """
+        held_any = False
         for resource in list(self._granted):
             grants = self._granted[resource]
             if txn in grants:
+                held_any = True
                 del grants[txn]
                 self.stats.releases += 1
                 if not grants:
                     del self._granted[resource]
+        if held_any:
+            for observer in self.observers:
+                observer.on_release(txn)
         for resource in list(self._waiting):
             queue = self._waiting[resource]
             remaining = deque(r for r in queue if r.txn is not txn)
@@ -224,9 +268,9 @@ class LockTable:
                 del self._waiting[resource]
         return self._promote()
 
-    def _promote(self):
+    def _promote(self) -> list[LockRequest]:
         """Grant queued requests that have become compatible (FIFO)."""
-        granted = []
+        granted: list[LockRequest] = []
         for resource in list(self._waiting):
             queue = self._waiting[resource]
             still_waiting = deque()
@@ -253,7 +297,7 @@ class LockTable:
                 del self._waiting[resource]
         return granted
 
-    def lock_count(self):
+    def lock_count(self) -> int:
         """Total (txn, resource, mode) grants currently outstanding."""
         return sum(
             len(modes)

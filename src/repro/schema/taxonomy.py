@@ -180,7 +180,7 @@ class TaxonomyMixin:
         lattice._classes[new_name] = classdef
         del lattice._classes[old_name]
         lattice._subclasses[new_name] = lattice._subclasses.pop(old_name)
-        for name, subs in lattice._subclasses.items():
+        for subs in lattice._subclasses.values():
             if old_name in subs:
                 subs.discard(old_name)
                 subs.add(new_name)

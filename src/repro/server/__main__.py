@@ -40,6 +40,10 @@ def build_parser():
     parser.add_argument("--group-window", type=float, default=0.002,
                         help="group-commit window in seconds under "
                              "--sync-policy group (default 0.002)")
+    parser.add_argument("--no-lockdep", action="store_true",
+                        help="disable the lock-order recorder (drops the "
+                             "check op's lockdep plane; saves the per-grant "
+                             "recording cost)")
     return parser
 
 
@@ -59,6 +63,7 @@ async def _amain(args):
         port=args.port,
         lock_wait_timeout=args.lock_wait_timeout,
         group_commit_window=args.group_window,
+        lockdep=not args.no_lockdep,
     )
     await server.start()
     print(f"repro-server listening on {server.host}:{server.port}")

@@ -142,7 +142,7 @@ def _add_api(cls):
         def method(self, *values, **extra):
             if len(values) > len(names):
                 raise TypeError(f"{op} takes at most {len(names)} arguments")
-            args = dict(zip(names, values))
+            args = dict(zip(names, values, strict=False))
             args.update(extra)
             return self.call(op, **args)
 

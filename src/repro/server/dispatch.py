@@ -294,11 +294,14 @@ async def _op_check(session, args):
 
     ``plane`` selects what runs: ``"fsck"`` (integrity checker),
     ``"schema"`` (static analyzer), ``"query"`` (validate ``text``
-    statically), or ``"all"`` (default: fsck + schema).  Findings come
-    back in the shared JSON schema of :mod:`repro.analysis.findings`.
-    The audit only reads, so no locks are taken; a concurrent writer
-    mid-transaction can surface transient findings — run inside an idle
-    window (or a ``begin``/``commit`` scope) for a stable answer.
+    statically), ``"lockdep"`` (latent-deadlock report from the
+    server's lock-order recorder), ``"code"`` (AST discipline lint of
+    the running ``repro`` package), or ``"all"`` (default: fsck +
+    schema + lockdep when recording).  Findings come back in the shared
+    JSON schema of :mod:`repro.analysis.findings`.  The audit only
+    reads, so no locks are taken; a concurrent writer mid-transaction
+    can surface transient findings — run inside an idle window (or a
+    ``begin``/``commit`` scope) for a stable answer.
     """
     plane = args.get("plane", "all")
     db = session.server.db
@@ -312,6 +315,19 @@ async def _op_check(session, args):
 
         (text,) = _require(args, "text")
         reports["query"] = check_query(db.lattice, text).to_dict()
+    if plane in ("all", "lockdep"):
+        recorder = session.server.lockdep
+        if recorder is not None:
+            reports["lockdep"] = recorder.analyze().to_dict()
+        elif plane == "lockdep":
+            raise ProtocolError(
+                "lock-order recording is disabled on this server "
+                "(started with lockdep=False)"
+            )
+    if plane == "code":
+        from ..analysis.codelint import lint_package
+
+        reports["code"] = lint_package().to_dict()
     if not reports:
         raise ProtocolError(f"unknown check plane {plane!r}")
     reports["ok"] = all(report["ok"] for report in reports.values())

@@ -389,10 +389,18 @@ class ReproServer:
         policy, commits acknowledged within this many seconds share one
         fsync (see :class:`GroupCommitGate`).  Ignored for databases
         without a journal or under other policies.
+    lockdep:
+        Attach a :class:`repro.analysis.lockdep.LockOrderRecorder` to
+        the shared lock table, so ``check(plane="lockdep")`` reports
+        latent deadlocks (lock-order inversions) across everything every
+        session acquired — even runs where no deadlock ever formed.
+        On by default; disable (``repro-server --no-lockdep``) to shave
+        the per-grant recording cost (benchmark B16 measures it).
     """
 
     def __init__(self, database=None, host="127.0.0.1", port=0, auth=None,
-                 lock_wait_timeout=30.0, group_commit_window=0.002):
+                 lock_wait_timeout=30.0, group_commit_window=0.002,
+                 lockdep=True):
         self.db = database if database is not None else Database()
         self.host = host
         self.port = port
@@ -402,6 +410,11 @@ class ReproServer:
         self.locks = LockService(
             self.tm.table, self.stats, wait_timeout=lock_wait_timeout
         )
+        self.lockdep = None
+        if lockdep:
+            from ..analysis.lockdep import LockOrderRecorder
+
+            self.lockdep = LockOrderRecorder(self.tm.table)
         self.journal = getattr(self.db, "journal", None)
         self.gate = None
         if self.journal is not None and self.journal.sync_policy == "group":
@@ -499,6 +512,8 @@ class ReproServer:
                 durability["group_flushes"] = self.gate.flushes
                 durability["group_window_s"] = self.gate.window
             payload["durability"] = durability
+        if self.lockdep is not None:
+            payload["lockdep"] = self.lockdep.stats_row()
         if session is not None:
             payload["session"] = session.stats.row()
         return payload

@@ -92,7 +92,7 @@ class BufferPool:
 
     def flush(self):
         """Write back every dirty resident page (counts page writes)."""
-        for page_id in sorted(self._dirty):
+        for _page_id in sorted(self._dirty):
             self.stats.page_writes += 1
         self._dirty.clear()
 

@@ -295,7 +295,7 @@ class TestServerGroupCommit:
         with self._server(db, group_commit_window=0.005) as handle:
             with Client(port=handle.port) as client:
                 client.make_class("Item")
-                for i in range(3):
+                for _ in range(3):
                     client.make("Item")
                 stats = client.stats()
         durability = stats["durability"]

@@ -89,7 +89,7 @@ class TestCadWorkload:
                                    modules_per_design=3, derivations=2)
         assert len(bench.designs) == 2
         assert len(bench.modules) == 6
-        for generic, chain in bench.derived.items():
+        for chain in bench.derived.values():
             assert len(chain) == 2
 
 
