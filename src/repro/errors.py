@@ -271,6 +271,19 @@ class SerializationError(StorageError):
 
     code = "SERIALIZATION"
 
+
+class ReadOnlyError(StorageError):
+    """A mutating operation reached a server degraded to read-only mode.
+
+    When the journal fails persistently (disk full, dead device) the
+    server stops accepting mutations instead of crashing or — worse —
+    acknowledging writes it cannot make durable.  Reads keep working
+    from the in-memory state; clients see this typed error and can fail
+    over or retry elsewhere.
+    """
+
+    code = "READ_ONLY"
+
 # ---------------------------------------------------------------------------
 # Wire registry
 # ---------------------------------------------------------------------------

@@ -1,0 +1,60 @@
+"""Deterministic fault injection: failpoints, plans, and crash simulation.
+
+Layers (low to high):
+
+- :mod:`repro.faults.registry` — named failpoint sites threaded through
+  the storage, server, and client code; the arming registry; the
+  ``fire()`` shim production code calls (a near-free no-op unless a
+  :func:`fault_scope` is active).
+- :mod:`repro.faults.plan` — seeded, deterministic :class:`FaultPlan`\\ s
+  bundling rules, workload size, sync policy, and crash point.
+- :mod:`repro.faults.crashsim` — the :class:`CrashSim` harness: run a
+  seeded workload under a plan, simulate ``kill -9`` (or a power cut),
+  recover, and check committed-prefix durability plus a clean fsck.
+- :mod:`repro.faults.sweep` — the CLI sweeping hundreds of plans in CI
+  (``python -m repro.faults.sweep`` / ``repro-crashsweep``).
+
+Only the registry is imported eagerly: the storage/server/client
+modules import ``fire`` from here at module load, and pulling the
+harness in would create an import cycle (the harness itself drives the
+storage layer).
+"""
+
+from .registry import (
+    ACTIONS,
+    FAILPOINTS,
+    FailpointRegistry,
+    FaultRule,
+    InjectedFault,
+    active,
+    fault_scope,
+    fire,
+)
+
+__all__ = [
+    "ACTIONS",
+    "FAILPOINTS",
+    "FailpointRegistry",
+    "FaultRule",
+    "InjectedFault",
+    "active",
+    "fault_scope",
+    "fire",
+    "CRASH_MODES",
+    "FaultPlan",
+    "random_plan",
+    "CrashSim",
+    "CrashReport",
+]
+
+
+def __getattr__(name):
+    if name in ("FaultPlan", "random_plan", "CRASH_MODES"):
+        from . import plan
+
+        return getattr(plan, name)
+    if name in ("CrashSim", "CrashReport"):
+        from . import crashsim
+
+        return getattr(crashsim, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

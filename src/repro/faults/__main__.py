@@ -1,0 +1,8 @@
+"""``python -m repro.faults`` runs the crash sweep (see sweep.py)."""
+
+import sys
+
+from .sweep import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` bundles everything one crash experiment needs —
+the sync policy, the injection rules, the workload size, where the
+simulated ``kill -9`` lands, and whether the crash is a *process* death
+(``kill``: flushed bytes survive in the OS page cache) or a *power*
+cut (``power``: only truly-fsynced bytes survive).  Two runs of the
+same plan produce byte-identical journals and identical recovery
+outcomes, which is what lets CI sweep hundreds of plans with fixed
+seeds and treat any failure as a regression, not flake.
+
+:func:`random_plan` derives a plan from a single integer seed; the
+plan's own ``seed`` also drives the workload generator in
+``repro.faults.crashsim``, so the seed is the complete experiment
+identifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+
+from ..storage.journal import SYNC_POLICIES
+from .registry import FailpointRegistry, FaultRule
+
+#: Simulated crash flavors.
+CRASH_MODES = ("kill", "power")
+
+
+@dataclass
+class FaultPlan:
+    """One deterministic crash experiment.
+
+    Parameters
+    ----------
+    seed:
+        Drives the workload generator and the power-cut point.
+    policy:
+        Journal sync policy (one of ``SYNC_POLICIES``).
+    crash_mode:
+        ``"kill"`` — the process dies; everything flushed to the OS
+        survives.  ``"power"`` — the machine dies; only bytes covered
+        by a *real* fsync are guaranteed, the rest survives partially
+        (a seeded cut somewhere past the durable watermark).
+    rules:
+        Failpoint rules armed for the run; the run also crashes at the
+        first injected :class:`~repro.errors.StorageError`.
+    units:
+        Workload units (transactions / bare operations) to attempt.
+    stop_at_unit:
+        Simulate ``kill -9`` after this unit when no fault fired first
+        (None: run every unit, crash at the end).
+    group_size:
+        Journal ``group`` policy auto-sync width.
+    """
+
+    seed: int
+    policy: str = "commit"
+    crash_mode: str = "kill"
+    rules: list[FaultRule] = field(default_factory=list)
+    units: int = 8
+    stop_at_unit: int | None = None
+    group_size: int = 3
+
+    def __post_init__(self):
+        if self.policy not in SYNC_POLICIES:
+            raise ValueError(f"unknown sync policy {self.policy!r}")
+        if self.crash_mode not in CRASH_MODES:
+            raise ValueError(f"unknown crash mode {self.crash_mode!r}")
+
+    def build_registry(self):
+        """A fresh registry armed with this plan's rules."""
+        return FailpointRegistry(rules=self.rules)
+
+    def describe(self):
+        """One-line human summary (sweep CLI output)."""
+        rules = ", ".join(
+            f"{r.site}:{r.action}@{r.nth}"
+            + ("+" if r.count is None else "" if r.count == 1 else f"x{r.count}")
+            for r in self.rules
+        ) or "no-fault"
+        stop = self.stop_at_unit if self.stop_at_unit is not None else self.units
+        return (
+            f"seed={self.seed} policy={self.policy} crash={self.crash_mode} "
+            f"units={stop}/{self.units} rules=[{rules}]"
+        )
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "policy": self.policy,
+            "crash_mode": self.crash_mode,
+            "rules": [rule.to_dict() for rule in self.rules],
+            "units": self.units,
+            "stop_at_unit": self.stop_at_unit,
+            "group_size": self.group_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        data["rules"] = [FaultRule.from_dict(r) for r in data.get("rules", ())]
+        return cls(**data)
+
+
+def random_plan(seed, policy=None):
+    """Derive a deterministic plan from *seed*.
+
+    Roughly a third of plans carry no injection rule at all (pure
+    crash-at-a-point runs); the rest mix write errors, torn writes, and
+    lying fsyncs, which are the storage failures recovery must absorb.
+    Network-site rules are deliberately absent here — wire faults are
+    exercised end-to-end in ``tests/test_net_faults.py``, while these
+    plans feed the embedded :class:`~repro.faults.crashsim.CrashSim`.
+    """
+    rng = Random(seed)
+    if policy is None:
+        policy = rng.choice(SYNC_POLICIES)
+    units = rng.randint(5, 12)
+    plan = FaultPlan(
+        seed=seed,
+        policy=policy,
+        crash_mode=rng.choice(CRASH_MODES),
+        units=units,
+        stop_at_unit=rng.randint(1, units),
+        group_size=rng.choice((2, 3, 4)),
+    )
+    for _ in range(rng.randint(0, 2)):
+        roll = rng.random()
+        if roll < 0.4:
+            plan.rules.append(FaultRule(
+                site="journal.write_record",
+                action="error",
+                nth=rng.randint(1, 40),
+            ))
+        elif roll < 0.7:
+            plan.rules.append(FaultRule(
+                site="journal.write_record",
+                action="torn",
+                nth=rng.randint(1, 40),
+                torn_bytes=rng.randint(1, 24),
+            ))
+        elif roll < 0.9:
+            plan.rules.append(FaultRule(
+                site="journal.fsync",
+                action="skip",
+                nth=rng.randint(1, 10),
+                count=rng.choice((1, 2, None)),
+            ))
+        else:
+            plan.rules.append(FaultRule(
+                site="journal.fsync",
+                action="error",
+                nth=rng.randint(1, 10),
+            ))
+    return plan

@@ -28,9 +28,11 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import dataclasses
+import random
 import socket
 import time
 
+from ..faults.registry import fire as _fire
 from ..schema.attribute import AttributeSpec
 from .protocol import (
     SUPPORTED_VERSIONS,
@@ -170,23 +172,33 @@ class Client(_ClientCore):
         Socket timeout per response.  Lock waits on the server count
         against it, so keep it above the server's ``lock_wait_timeout``
         when contention is expected.
-    max_retries, backoff:
-        Reconnect-with-backoff policy for dropped connections (each retry
-        sleeps ``backoff * 2**attempt`` seconds).  ``max_retries=0``
-        disables reconnection.  Only the read/handshake ops in
-        :data:`RETRYABLE_OPS` are re-sent after a *mid-call* disconnect;
-        a mutating op that dies mid-call raises ConnectionError because
-        it may already have executed server-side.
+    max_retries, backoff, jitter:
+        Reconnect-with-backoff policy for dropped connections: retry
+        *n* sleeps up to ``backoff * 2**(n-1)`` seconds, shortened by a
+        random fraction of ``jitter`` so a thundering herd of clients
+        losing one server spreads its reconnects instead of retrying in
+        lock-step.  ``max_retries=0`` disables reconnection;
+        ``jitter=0`` makes the schedule exact.  Only the read/handshake
+        ops in :data:`RETRYABLE_OPS` are re-sent after a *mid-call*
+        disconnect; a mutating op that dies mid-call raises
+        ConnectionError because it may already have executed
+        server-side.
+    rng:
+        Randomness source for the jitter (a seeded
+        :class:`random.Random` makes reconnect timing reproducible in
+        tests).
     """
 
     def __init__(self, host="127.0.0.1", port=4957, user=None, timeout=60.0,
-                 max_retries=5, backoff=0.05):
+                 max_retries=5, backoff=0.05, jitter=0.5, rng=None):
         super().__init__(user=user)
         self.host = host
         self.port = port
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff = backoff
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
         self._sock = None
         self.connect()
 
@@ -209,9 +221,11 @@ class Client(_ClientCore):
             self._sock = None
 
     def _send_bytes(self, data):
+        _fire("client.send", client=self, size=len(data))
         self._sock.sendall(data)
 
     def _recv_exactly(self, size):
+        _fire("client.recv", client=self, size=size)
         chunks = []
         while size:
             chunk = self._sock.recv(min(size, 65536))
@@ -288,7 +302,12 @@ class Client(_ClientCore):
                 f"{self.max_retries} retries"
             ) from error
         if attempt:
-            time.sleep(self.backoff * (2 ** (attempt - 1)))
+            delay = self.backoff * (2 ** (attempt - 1))
+            if self.jitter:
+                # "Decorrelated"-style full jitter below the exponential
+                # cap: herds desynchronize, the worst case never grows.
+                delay *= 1.0 - self.jitter * self._rng.random()
+            time.sleep(delay)
         try:
             self.connect()
         except OSError as connect_error:

@@ -20,12 +20,24 @@ the session wraps them in a transaction of their own.
 
 from __future__ import annotations
 
+from ..errors import ReadOnlyError
 from ..locking.modes import LockMode
 from ..schema.attribute import AttributeSpec, SetOf
 from .protocol import ProtocolError
 
 #: Authorization types the engine understands (see authorization/atoms.py).
 READ, WRITE = "R", "W"
+
+#: Ops rejected while the server is degraded to read-only mode (the
+#: journal failed persistently; see ``ReproServer._note_journal_failure``).
+#: ``query`` is included because the s-expression interpreter can define
+#: and mutate data; ``begin``/``commit``/``abort`` stay allowed so a
+#: client caught mid-transaction can still resolve its scope (the commit
+#: itself fails with a typed StorageError if it journals anything).
+MUTATING_OPS = frozenset({
+    "make_class", "make", "set_value", "insert_into", "remove_from",
+    "make_part_of", "remove_part_of", "delete", "query",
+})
 
 
 def _require(args, *names):
@@ -369,4 +381,9 @@ async def dispatch(session, op, args):
     handler = COMMANDS.get(op)
     if handler is None:
         raise ProtocolError(f"unknown op {op!r}")
+    if op in MUTATING_OPS and session.server.read_only:
+        raise ReadOnlyError(
+            f"server is read-only after a journal failure; "
+            f"{op!r} was rejected (reads are still served)"
+        )
     return await handler(session, args)

@@ -32,7 +32,13 @@ import threading
 from dataclasses import dataclass
 
 from ..core.database import Database
-from ..errors import DeadlockError, LockConflictError, TransactionStateError
+from ..errors import (
+    DeadlockError,
+    LockConflictError,
+    StorageError,
+    TransactionStateError,
+)
+from ..faults.registry import fire as _fire
 from ..locking.deadlock import DeadlockDetector
 from ..txn.manager import TransactionManager
 from .dispatch import dispatch
@@ -40,10 +46,10 @@ from .protocol import (
     SUPPORTED_VERSIONS,
     ProtocolError,
     check_request,
+    encode_frame,
     error_frame,
     read_frame,
     result_frame,
-    write_frame,
 )
 
 
@@ -306,20 +312,23 @@ class Session:
     def commit(self):
         if self.txn is None:
             raise TransactionStateError("no transaction to commit")
-        txn_id = self.txn.txn_id
-        self.server.finish(self.txn, commit=True)
+        # Detach before finishing: if the journal fails mid-commit the
+        # typed StorageError goes to the client, but the session must not
+        # keep a reference to the dead transaction (its locks are already
+        # released by the manager) — a wedged session could neither retry
+        # nor disconnect cleanly.
+        txn, self.txn = self.txn, None
+        self.server.finish(txn, commit=True)
         self.stats.commits += 1
-        self.txn = None
-        return txn_id
+        return txn.txn_id
 
     def abort(self):
         if self.txn is None:
             raise TransactionStateError("no transaction to abort")
-        txn_id = self.txn.txn_id
-        self.server.finish(self.txn, commit=False)
+        txn, self.txn = self.txn, None
+        self.server.finish(txn, commit=False)
         self.stats.aborts += 1
-        self.txn = None
-        return txn_id
+        return txn.txn_id
 
     @contextlib.asynccontextmanager
     async def txn_scope(self):
@@ -361,9 +370,16 @@ class Session:
             await self.server.durability_barrier()
 
     def close(self):
-        """Release everything on disconnect."""
+        """Release everything on disconnect.
+
+        A journal failure during the cleanup abort is swallowed: the
+        client is gone, the manager has already released the locks, and
+        :meth:`ReproServer.finish` has flagged the server read-only —
+        there is nobody left to report the error to.
+        """
         if self.txn is not None and self.txn.active:
-            self.server.finish(self.txn, commit=False)
+            with contextlib.suppress(StorageError):
+                self.server.finish(self.txn, commit=False)
             self.stats.aborts += 1
         self.txn = None
 
@@ -416,6 +432,11 @@ class ReproServer:
 
             self.lockdep = LockOrderRecorder(self.tm.table)
         self.journal = getattr(self.db, "journal", None)
+        #: True once the journal has failed persistently: mutating ops
+        #: are rejected with :class:`repro.errors.ReadOnlyError` instead
+        #: of being applied in memory without durability (or crashing
+        #: the server).  Reads keep being served.
+        self.read_only = False
         self.gate = None
         if self.journal is not None and self.journal.sync_policy == "group":
             self.gate = GroupCommitGate(
@@ -429,14 +450,34 @@ class ReproServer:
     # -- transaction completion (single funnel so waiters always wake) ----
 
     def finish(self, txn, commit):
-        if commit:
-            self.tm.commit(txn)
-            self.stats.commits += 1
-        else:
-            self.tm.abort(txn)
-            self.stats.aborts += 1
-        self.locks.forget(txn)
-        self.locks.wake()
+        try:
+            if commit:
+                self.tm.commit(txn)
+                self.stats.commits += 1
+            else:
+                self.tm.abort(txn)
+                self.stats.aborts += 1
+        except StorageError:
+            self._note_journal_failure()
+            raise
+        finally:
+            # Waiters must wake even when the journal failed: the
+            # manager released the transaction's locks regardless.
+            self.locks.forget(txn)
+            self.locks.wake()
+
+    def _note_journal_failure(self):
+        """Degrade to read-only when the journal is fail-stopped.
+
+        The journal sets ``failed`` on the first unrecoverable IO error
+        and rejects further writes, so any StorageError with that flag
+        up means no future mutation can be made durable.  Rejecting
+        mutations (dispatch checks ``read_only``) beats the two
+        alternatives: crashing drops the readable in-memory state, and
+        accepting writes silently diverges memory from disk.
+        """
+        if self.journal is not None and self.journal.failed:
+            self.read_only = True
 
     async def durability_barrier(self):
         """Return once the calling commit's batch is durable.
@@ -446,7 +487,11 @@ class ReproServer:
         promises durability before close).
         """
         if self.gate is not None:
-            await self.gate.wait()
+            try:
+                await self.gate.wait()
+            except StorageError:
+                self._note_journal_failure()
+                raise
 
     # -- lifecycle --------------------------------------------------------
 
@@ -491,8 +536,10 @@ class ReproServer:
 
     def describe_stats(self, session=None):
         lock_stats = self.tm.table.stats
+        server_row = self.stats.row()
+        server_row["read_only"] = self.read_only
         payload = {
-            "server": self.stats.row(),
+            "server": server_row,
             "locks": {
                 "requests": lock_stats.requests,
                 "grants": lock_stats.grants,
@@ -545,8 +592,11 @@ class ReproServer:
             # Corrupt stream: report once (best effort), then hang up.
             with contextlib.suppress(Exception):
                 await self._send(session, writer, error_frame(0, error))
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass  # broken peer: tear the session down below
+        except (OSError, asyncio.IncompleteReadError):
+            # Broken peer or injected socket fault: tear the session
+            # down below.  OSError (not just ConnectionError) so an
+            # armed failpoint's InjectedFault lands here too.
+            pass
         finally:
             session.close()
             self._sessions.pop(session.session_id, None)
@@ -600,6 +650,14 @@ class ReproServer:
             frame = await read_frame(reader, counter=meter)
             if frame is None:
                 return
+            directive = _fire(
+                "server.recv_frame", server=self, session=session,
+                frame=frame,
+            )
+            if directive == "drop":
+                continue  # lost request: the client times out, not us
+            if directive == "kill":
+                raise ConnectionError("connection killed by failpoint")
             self.stats.requests += 1
             session.stats.requests += 1
             try:
@@ -621,9 +679,25 @@ class ReproServer:
             await self._send(session, writer, response)
 
     async def _send(self, session, writer, payload):
-        size = write_frame(writer, payload)
-        session.stats.bytes_out += size
-        self.stats.bytes_out += size
+        data = encode_frame(payload)
+        directive = _fire(
+            "server.send_frame", server=self, session=session,
+            payload=payload,
+        )
+        if directive == "drop":
+            return
+        if directive == "kill":
+            raise ConnectionError("connection killed by failpoint")
+        if directive == "garble":
+            # Flip bits in the body but keep the length prefix honest:
+            # the client reads a full frame of garbage and must fail
+            # with a typed ProtocolError, not hang on a short read.
+            data = data[:4] + bytes(byte ^ 0x5A for byte in data[4:])
+        elif isinstance(directive, tuple) and directive[0] == "delay":
+            await asyncio.sleep(directive[1])
+        writer.write(data)
+        session.stats.bytes_out += len(data)
+        self.stats.bytes_out += len(data)
         await writer.drain()
 
 

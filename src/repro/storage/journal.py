@@ -54,9 +54,11 @@ import hashlib
 import json
 import os
 import struct
+from contextlib import contextmanager, suppress
 from pathlib import Path
 
 from ..errors import StorageError
+from ..faults.registry import fire as _fire
 from .serializer import decode_instance, encode_instance
 
 _U32 = struct.Struct(">I")
@@ -67,9 +69,55 @@ _COMMIT = b"C"
 SNAPSHOT_NAME = "checkpoint.db"
 JOURNAL_NAME = "journal.log"
 _MAGIC = b"REPRO-SNAP-1"
+#: The journal file opens with a fixed-size header carrying the
+#: checkpoint *epoch* (magic + u32).  The snapshot records the same
+#: epoch; recovery replays the journal only when the two agree.  This
+#: closes a crash window in :meth:`Journal.checkpoint`: a crash between
+#: the snapshot ``os.replace`` and the journal unlink used to leave a
+#: *stale* journal next to a *newer* snapshot, and replaying it rolled
+#: instances back to pre-checkpoint images.
+JOURNAL_MAGIC = b"REPRO-JRNL-1"
+JOURNAL_HEADER_SIZE = len(JOURNAL_MAGIC) + 4
 
 #: The sync policies :class:`Journal` understands.
 SYNC_POLICIES = ("always", "commit", "group", "none")
+
+
+def _snapshot_epoch(path):
+    """Checkpoint epoch recorded in the snapshot at *path* (0 if none)."""
+    path = Path(path)
+    if not path.exists():
+        return 0
+    with open(path, "rb") as handle:
+        if handle.read(len(_MAGIC)) != _MAGIC:
+            raise StorageError(f"{path} is not a snapshot file")
+        schema_len = _U32.unpack(handle.read(4))[0]
+        meta = json.loads(handle.read(schema_len).decode("utf-8"))
+    return meta.get("epoch", 0)
+
+
+def _journal_body(data, snapshot_epoch):
+    """Validate a raw journal byte string against *snapshot_epoch*.
+
+    Returns the record stream (header stripped), or None when the
+    journal must not be replayed: a header torn mid-write (no record
+    can follow a torn header), or an epoch mismatch (a stale journal
+    left behind by a crash mid-checkpoint).  A journal without the
+    magic is a legacy headerless stream, replayed only against an
+    epoch-0 snapshot.
+    """
+    if data[:len(JOURNAL_MAGIC)] == JOURNAL_MAGIC:
+        if len(data) < JOURNAL_HEADER_SIZE:
+            return None  # torn header
+        epoch = _U32.unpack(
+            data[len(JOURNAL_MAGIC):JOURNAL_HEADER_SIZE]
+        )[0]
+        if epoch != snapshot_epoch:
+            return None  # stale (or future) journal: do not replay
+        return data[JOURNAL_HEADER_SIZE:]
+    if JOURNAL_MAGIC[:len(data)] == data:
+        return None  # torn header shorter than the magic
+    return data if snapshot_epoch == 0 else None
 
 
 def _digest(image):
@@ -211,6 +259,12 @@ class Journal:
         self.group_size = group_size
         self._journal_file = None
         self.closed = False
+        #: Fail-stop flag: set on the first journal IO failure.  Every
+        #: later append/sync/checkpoint raises StorageError instead of
+        #: silently journaling onto a file in an unknown state.
+        self.failed = False
+        #: Checkpoint epoch (see :data:`JOURNAL_MAGIC`).
+        self.epoch = _snapshot_epoch(self.directory / SNAPSHOT_NAME)
         #: Journal records written since the last checkpoint.
         self.records_since_checkpoint = 0
         #: Digest of the last journaled/buffered image per UID (dedup:
@@ -268,12 +322,40 @@ class Journal:
 
     def _open_journal(self):
         self._journal_file = open(self.journal_path, "ab")
+        if self._journal_file.tell() == 0:
+            self._journal_file.write(JOURNAL_MAGIC)
+            self._journal_file.write(_U32.pack(self.epoch))
+            self._journal_file.flush()
 
     def _ensure_open(self, what):
         if self.closed:
             raise StorageError(
                 f"journal at {self.directory} is closed; cannot {what}"
             )
+        if self.failed:
+            raise StorageError(
+                f"journal at {self.directory} failed earlier and is "
+                f"fail-stop; cannot {what}"
+            )
+
+    @contextmanager
+    def _io_guard(self, what):
+        """Surface journal IO failures as fail-stop :class:`StorageError`.
+
+        Any :class:`OSError` (a real disk error or an injected fault —
+        see :mod:`repro.faults`) marks the journal ``failed`` so later
+        writes refuse instead of appending after a hole, then re-raises
+        wrapped.  Errors never pass silently out of a journal write
+        path.
+        """
+        try:
+            yield
+        except OSError as error:
+            self.failed = True
+            raise StorageError(
+                f"journal IO failed while trying to {what} "
+                f"at {self.directory}: {error}"
+            ) from error
 
     # -- journaling ----------------------------------------------------------
 
@@ -310,16 +392,18 @@ class Journal:
         self._ensure_open("append a record")
         bare = self._db.current_txn is None and self._db._op_depth == 0
         if not self.batching:
-            self._write_record(kind, payload)
-            self._unsealed_records += 1
-            if bare:
-                self._seal_stream()
+            with self._io_guard("append a record"):
+                self._write_record(kind, payload)
+                self._unsealed_records += 1
+                if bare:
+                    self._seal_stream()
             return
         batch = self._current_batch()
         if batch.put(uid, kind, payload):
             self.records_coalesced += 1
         if bare and batch is self._auto_batch:
-            self._seal_batch(batch)
+            with self._io_guard("seal an operation batch"):
+                self._seal_batch(batch)
 
     def _current_batch(self):
         txn = self._db.current_txn
@@ -331,6 +415,8 @@ class Journal:
         return batch
 
     def _write_record(self, kind, payload):
+        _fire("journal.write_record", journal=self, kind=kind,
+              payload=payload, file=self._journal_file)
         self._journal_file.write(kind)
         self._journal_file.write(_U32.pack(len(payload)))
         self._journal_file.write(payload)
@@ -371,7 +457,13 @@ class Journal:
             self._dirty = True
 
     def _fsync(self):
-        os.fsync(self._journal_file.fileno())
+        # A "skip" directive is the lying-fsync fault: counters advance
+        # exactly as on success, but nothing actually reached the disk
+        # — the crash simulator's durable watermark ("journal.fsynced",
+        # observer-only) does not move.
+        if _fire("journal.fsync", journal=self) != "skip":
+            os.fsync(self._journal_file.fileno())
+            _fire("journal.fsynced", journal=self)
         self.fsyncs += 1
         self._dirty = False
         self._unsynced_seals = 0
@@ -379,25 +471,46 @@ class Journal:
     def sync(self):
         """Flush and fsync the journal now (the group-commit flush)."""
         self._ensure_open("sync")
-        self._journal_file.flush()
-        self._fsync()
+        with self._io_guard("sync"):
+            self._journal_file.flush()
+            self._fsync()
 
     # -- transaction hooks ---------------------------------------------------
 
     def _on_op_end(self):
         if self.closed:
             return
+        if self.failed:
+            # This hook runs in the operation's ``finally`` — the write
+            # that failed already surfaced StorageError to the caller,
+            # and recovery discards the unterminated batch, which is
+            # exactly the failed operation's abort semantics.  Drop the
+            # bookkeeping instead of raising again mid-unwind.
+            self._unsealed_records = 0
+            self._drop_batch(self._auto_batch)
+            return
         if not self.batching:
-            self._seal_stream()
+            with self._io_guard("seal an operation"):
+                self._seal_stream()
         elif self._db.current_txn is None:
-            self._seal_batch(self._auto_batch)
+            with self._io_guard("seal an operation batch"):
+                self._seal_batch(self._auto_batch)
 
     def _on_txn_commit(self, txn):
         if self.closed:
             return
         batch = self._txn_batches.pop(txn, None)
+        if self.failed:
+            if batch is not None and batch.records:
+                raise StorageError(
+                    f"journal at {self.directory} failed earlier; "
+                    f"{len(batch.records)} buffered record(s) of the "
+                    f"committing transaction cannot be made durable"
+                )
+            return
         if batch is not None:
-            self._seal_batch(batch)
+            with self._io_guard("seal a transaction batch"):
+                self._seal_batch(batch)
 
     def _on_txn_abort(self, txn):
         """Drop the aborted transaction's batched records.
@@ -415,14 +528,34 @@ class Journal:
         if batch is None:
             return
         if batch.stale:
-            self._seal_batch(batch)
+            # Compensating records MUST reach the journal (a checkpoint
+            # persisted the uncommitted state they undo) — on a failed
+            # journal that is impossible, and staying silent would leave
+            # dirty state durable.  Raise instead.
+            if self.failed:
+                if batch.records:
+                    raise StorageError(
+                        f"journal at {self.directory} failed earlier; "
+                        f"{len(batch.records)} compensating record(s) of "
+                        f"the aborting transaction cannot be journaled"
+                    )
+                return
+            with self._io_guard("seal an abort's compensating batch"):
+                self._seal_batch(batch)
             return
-        if batch.records:
-            self.records_dropped += len(batch.records)
-            self.batches_dropped += 1
-            for uid in batch.records:
-                self._last_image.pop(uid, None)
-            batch.records.clear()
+        # Dropping is correct even after a failure: nothing of the
+        # batch reached disk, and an abort discards it by design.
+        self._drop_batch(batch)
+
+    def _drop_batch(self, batch):
+        """Discard a buffered batch and its dedup bookkeeping."""
+        if not batch.records:
+            return
+        self.records_dropped += len(batch.records)
+        self.batches_dropped += 1
+        for uid in batch.records:
+            self._last_image.pop(uid, None)
+        batch.records.clear()
 
     # -- stats ---------------------------------------------------------------
 
@@ -441,6 +574,8 @@ class Journal:
                 self.records_written / self.fsyncs if self.fsyncs else None
             ),
             "pending_sync": self._dirty,
+            "failed": self.failed,
+            "epoch": self.epoch,
         }
 
     # -- checkpointing --------------------------------------------------------
@@ -454,28 +589,37 @@ class Journal:
         abort writes compensating records instead of dropping them.
         """
         self._ensure_open("checkpoint")
+        _fire("journal.checkpoint", journal=self)
         database = self._db
         temp_path = self.snapshot_path.with_suffix(".tmp")
-        with open(temp_path, "wb") as handle:
-            handle.write(_MAGIC)
-            schema = json.dumps({
-                "classes": _schema_payload(database),
-                "next_uid": database.allocator.peek(),
-            }).encode("utf-8")
-            handle.write(_U32.pack(len(schema)))
-            handle.write(schema)
-            instances = list(database.live_instances())
-            handle.write(_U32.pack(len(instances)))
-            for instance in instances:
-                image = encode_instance(instance)
-                handle.write(_U32.pack(len(image)))
-                handle.write(image)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp_path, self.snapshot_path)
-        self._journal_file.close()
-        self.journal_path.unlink(missing_ok=True)
-        self._open_journal()
+        with self._io_guard("checkpoint"):
+            with open(temp_path, "wb") as handle:
+                handle.write(_MAGIC)
+                schema = json.dumps({
+                    "classes": _schema_payload(database),
+                    "next_uid": database.allocator.peek(),
+                    "epoch": self.epoch + 1,
+                }).encode("utf-8")
+                handle.write(_U32.pack(len(schema)))
+                handle.write(schema)
+                instances = list(database.live_instances())
+                handle.write(_U32.pack(len(instances)))
+                for instance in instances:
+                    image = encode_instance(instance)
+                    handle.write(_U32.pack(len(image)))
+                    handle.write(image)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, self.snapshot_path)
+            self._journal_file.close()
+            self.journal_path.unlink(missing_ok=True)
+            # The new snapshot carries epoch+1, so from here on only a
+            # journal stamped with the same epoch is replayed over it —
+            # a crash before the unlink leaves a stale journal behind,
+            # and recovery now ignores it instead of replaying
+            # pre-checkpoint images over the fresher snapshot.
+            self.epoch += 1
+            self._open_journal()
         self._last_image.clear()
         self._auto_batch = _Batch()
         for batch in self._txn_batches.values():
@@ -485,6 +629,7 @@ class Journal:
         self._unsealed_records = 0
         self._dirty = False
         self._unsynced_seals = 0
+        _fire("journal.checkpointed", journal=self)
 
     def close(self):
         """Seal every pending batch, fsync, close, and deregister hooks.
@@ -492,21 +637,55 @@ class Journal:
         Idempotent.  Any journal method used after close raises
         :class:`~repro.errors.StorageError`; mutations on the database
         itself keep working in-memory (the hooks are gone).
+
+        A failure while sealing or fsyncing here raises
+        :class:`~repro.errors.StorageError` — the caller must learn
+        that the shutdown did *not* persist everything — but the file
+        handle is still closed and the hooks deregistered, so close
+        stays idempotent and the database remains usable in-memory.
+        On a journal that already failed earlier, close is a quiet
+        cleanup: every lost record surfaced a StorageError at its own
+        write, and re-raising here would mask the original fault.
+        """
+        if self.closed:
+            return
+        try:
+            if (self._journal_file and not self._journal_file.closed
+                    and not self.failed):
+                # A clean shutdown persists everything written through
+                # the hooks — including batches of still-open
+                # transactions, which matches the write-through
+                # semantics of the always policy.
+                with self._io_guard("close"):
+                    self._seal_stream()
+                    self._seal_batch(self._auto_batch)
+                    for batch in self._txn_batches.values():
+                        self._seal_batch(batch)
+                    self._txn_batches.clear()
+                    self._journal_file.flush()
+                    os.fsync(self._journal_file.fileno())
+        finally:
+            if self._journal_file and not self._journal_file.closed:
+                with suppress(OSError):
+                    self._journal_file.close()
+            self.detach()
+            self.closed = True
+
+    def abandon(self):
+        """Drop the journal without sealing or fsyncing anything.
+
+        The crash simulator's ``kill -9``: buffered batches and pending
+        syncs are thrown away exactly as a dead process would leave
+        them, the file handle is closed (flushing nothing beyond what
+        the OS already had), and the hooks are deregistered.  Never
+        call this to shut down a database you care about — that is
+        :meth:`close`.
         """
         if self.closed:
             return
         if self._journal_file and not self._journal_file.closed:
-            # A clean shutdown persists everything written through the
-            # hooks — including batches of still-open transactions, which
-            # matches the write-through semantics of the always policy.
-            self._seal_stream()
-            self._seal_batch(self._auto_batch)
-            for batch in self._txn_batches.values():
-                self._seal_batch(batch)
-            self._txn_batches.clear()
-            self._journal_file.flush()
-            os.fsync(self._journal_file.fileno())
-            self._journal_file.close()
+            with suppress(OSError):
+                self._journal_file.close()
         self.detach()
         self.closed = True
 
@@ -527,12 +706,14 @@ class Journal:
         journal = directory / JOURNAL_NAME
         restored = replayed = 0
         max_uid = 0
+        snapshot_epoch = 0
         if snapshot.exists():
             with open(snapshot, "rb") as handle:
                 if handle.read(len(_MAGIC)) != _MAGIC:
                     raise StorageError(f"{snapshot} is not a snapshot file")
                 schema_len = _U32.unpack(handle.read(4))[0]
                 meta = json.loads(handle.read(schema_len).decode("utf-8"))
+                snapshot_epoch = meta.get("epoch", 0)
                 _restore_schema(database, meta["classes"])
                 count = _U32.unpack(handle.read(4))[0]
                 for _ in range(count):
@@ -543,7 +724,11 @@ class Journal:
                     restored += 1
                 max_uid = max(max_uid, meta.get("next_uid", 1) - 1)
         if journal.exists():
-            data = journal.read_bytes()
+            # A torn header or an epoch mismatch (stale journal left by
+            # a crash mid-checkpoint) yields None: replay nothing.
+            data = _journal_body(journal.read_bytes(), snapshot_epoch)
+            if data is None:
+                data = b""
             position = 0
             pending = []
             while position + 5 <= len(data):

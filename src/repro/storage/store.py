@@ -13,7 +13,8 @@ also drives the store directly.
 
 from __future__ import annotations
 
-from ..errors import PageFullError, UnknownObjectError
+from ..errors import PageFullError, StorageError, UnknownObjectError
+from ..faults.registry import fire as _fire
 from .buffer import BufferPool, PageFile
 from .page import DEFAULT_PAGE_SIZE
 from .segment import Segment
@@ -70,6 +71,12 @@ class ObjectStore:
         Rewrites of an existing UID update in place when the record still
         fits, otherwise relocate.
         """
+        try:
+            _fire("store.write", store=self, uid=instance.uid)
+        except OSError as error:
+            raise StorageError(
+                f"store write failed for {instance.uid}: {error}"
+            ) from error
         data = encode_instance(instance)
         uid = instance.uid
         existing = self._directory.get(uid)
@@ -108,6 +115,12 @@ class ObjectStore:
         Raises :class:`UnknownObjectError` when the UID was never written
         or has been deleted.
         """
+        try:
+            _fire("store.read", store=self, uid=uid)
+        except OSError as error:
+            raise StorageError(
+                f"store read failed for {uid}: {error}"
+            ) from error
         location = self._directory.get(uid)
         if location is None:
             raise UnknownObjectError(uid)

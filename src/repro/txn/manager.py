@@ -42,15 +42,21 @@ class TransactionManager:
 
         ``on_txn_commit`` listeners (the durability journal) run *before*
         locks release, so a transaction's changes are on disk before any
-        conflicting transaction can read them.
+        conflicting transaction can read them.  Locks release even when
+        a listener raises (a journal IO failure surfaces as
+        :class:`~repro.errors.StorageError`) — a transaction that cannot
+        become durable must not also wedge every lock it holds.
         """
         txn.ensure_active()
         txn.state = TxnState.COMMITTED
         txn.undo_log.clear()
         self.commits += 1
-        for callback in self._db.on_txn_commit:
-            callback(txn)
-        return self.table.release_all(txn)
+        try:
+            for callback in self._db.on_txn_commit:
+                callback(txn)
+        finally:
+            released = self.table.release_all(txn)
+        return released
 
     def abort(self, txn):
         """Abort: apply the undo log in reverse, release all locks.
@@ -65,15 +71,21 @@ class TransactionManager:
             raise TransactionStateError(
                 f"transaction {txn.txn_id} is {txn.state.value}"
             )
-        with self._db.txn_context(txn):
-            for record in reversed(txn.undo_log):
-                self._undo(record)
-        txn.undo_log.clear()
-        txn.state = TxnState.ABORTED
-        self.aborts += 1
-        for callback in self._db.on_txn_abort:
-            callback(txn)
-        return self.table.release_all(txn)
+        try:
+            with self._db.txn_context(txn):
+                for record in reversed(txn.undo_log):
+                    self._undo(record)
+            txn.undo_log.clear()
+            txn.state = TxnState.ABORTED
+            self.aborts += 1
+            for callback in self._db.on_txn_abort:
+                callback(txn)
+        finally:
+            # Locks release even when undo or a listener raises — an
+            # abort that fails (journal IO) must not wedge the lock
+            # table for every other transaction.
+            released = self.table.release_all(txn)
+        return released
 
     # -- data operations --------------------------------------------------------
 

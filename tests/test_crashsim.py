@@ -1,0 +1,160 @@
+"""CrashSim end-to-end: seeded crash plans must recover a committed
+prefix with a clean fsck.
+
+Three layers of assurance, cheapest first:
+
+* hand-picked plans covering each crash mode / policy / fault family
+  deterministically;
+* a Hypothesis property over *random* plans × all four sync policies ×
+  random workloads (satellite 1 of the ISSUE);
+* a fast subset of the CI crash sweep (the full ≥200-plan sweep runs as
+  its own CI job via ``python -m repro.faults.sweep``).
+"""
+
+from __future__ import annotations
+
+import io
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import CrashSim, FaultPlan, FaultRule, random_plan
+from repro.faults.crashsim import state_fingerprint
+from repro.faults.sweep import SEED_STRIDE, main, run_sweep, sweep_seeds
+from repro.storage.journal import SYNC_POLICIES
+
+#: Base seed of the tier-1 smoke subset — the same seed CI's full sweep
+#: uses, so the smoke plans are a strict prefix of the CI grid.
+SMOKE_SEED = 20260806
+
+
+def _run(plan):
+    with tempfile.TemporaryDirectory(prefix="crashsim-test-") as root:
+        return CrashSim(plan, root).run()
+
+
+class TestFixedPlans:
+    @pytest.mark.parametrize("policy", SYNC_POLICIES)
+    def test_pure_crash_recovers(self, policy):
+        plan = FaultPlan(seed=7, policy=policy, units=6, stop_at_unit=4)
+        report = _run(plan)
+        assert report.ok, report.summary()
+        assert report.completed_units == 4
+        assert not report.crashed_by_fault
+
+    @pytest.mark.parametrize("policy", SYNC_POLICIES)
+    def test_torn_write_recovers(self, policy):
+        plan = FaultPlan(seed=11, policy=policy, units=8, rules=[
+            FaultRule(site="journal.write_record", action="torn",
+                      nth=5, torn_bytes=6),
+        ])
+        report = _run(plan)
+        assert report.ok, report.summary()
+
+    def test_lying_fsync_under_power_cut(self):
+        # The adversarial pairing: a lying fsync claims durability while
+        # the power cut only honors *real* fsyncs — recovery must still
+        # land on a committed prefix (the lie just lowers the floor).
+        plan = FaultPlan(seed=13, policy="commit", crash_mode="power",
+                         units=8, rules=[
+                             FaultRule(site="journal.fsync", action="skip",
+                                       nth=2, count=None),
+                         ])
+        report = _run(plan)
+        assert report.ok, report.summary()
+
+    def test_fsync_error_crashes_and_recovers(self):
+        plan = FaultPlan(seed=17, policy="always", units=10, rules=[
+            FaultRule(site="journal.fsync", action="error", nth=4),
+        ])
+        report = _run(plan)
+        assert report.ok, report.summary()
+        assert report.crashed_by_fault
+        assert ("journal.fsync", 4, "error") in report.faults_triggered
+
+    def test_reports_are_deterministic(self):
+        plan = random_plan(20260806)
+        first, second = _run(plan), _run(plan)
+        assert first.ok and second.ok
+        assert first.completed_units == second.completed_units
+        assert first.crashed_by_fault == second.crashed_by_fault
+        assert first.faults_triggered == second.faults_triggered
+        assert first.surviving_bytes == second.surviving_bytes
+        assert first.recovered_index == second.recovered_index
+        assert first.durable_floor == second.durable_floor
+
+    def test_report_summary_is_reproduction_line(self):
+        report = _run(FaultPlan(seed=23, policy="group", stop_at_unit=3))
+        text = report.summary()
+        assert "seed=23" in text
+        assert "policy=group" in text
+        assert "[ok]" in text
+
+
+class TestFingerprint:
+    def test_set_order_is_canonicalized(self, tmp_path):
+        # Two databases with the same membership in different list order
+        # must fingerprint identically (an abort's undo re-inserts
+        # members at the tail).
+        from repro import AttributeSpec, Database, SetOf
+
+        def build(order):
+            db = Database()
+            db.make_class("P")
+            db.make_class("S", attributes=[
+                AttributeSpec("Members", domain=SetOf("P"), composite=True,
+                              exclusive=False, dependent=True),
+            ])
+            a, b = db.make("P"), db.make("P")
+            section = db.make("S")
+            for member in order(a, b):
+                db.insert_into(section, "Members", member)
+            return state_fingerprint(db)
+
+        assert build(lambda a, b: (a, b)) == build(lambda a, b: (b, a))
+
+
+class TestSweep:
+    def test_seed_grid_round_robins_policies(self):
+        grid = sweep_seeds(100, 6)
+        assert [policy for _seed, policy in grid] == \
+            list(SYNC_POLICIES) + list(SYNC_POLICIES[:2])
+        assert [seed for seed, _ in grid] == \
+            [100 + i * SEED_STRIDE for i in range(6)]
+
+    def test_smoke_subset_of_ci_sweep_is_clean(self):
+        # Tier-1 smoke (satellite 5): the first 24 plans of the CI grid
+        # — 6 per policy — must recover clean.  The full 200-plan run is
+        # the dedicated CI job.
+        failures = run_sweep(SMOKE_SEED, 24)
+        assert failures == [], [f.summary() for f in failures]
+
+    def test_cli_reports_and_exits_zero(self, capsys):
+        assert main(["--plans", "8", "--seed", str(SMOKE_SEED)]) == 0
+        out = capsys.readouterr().out
+        assert "crash sweep: 8/8 plans recovered clean" in out
+
+    def test_cli_verbose_prints_every_plan(self):
+        stream = io.StringIO()
+        failures = run_sweep(SMOKE_SEED, 4, report_stream=stream,
+                             verbose=True)
+        assert failures == []
+        assert stream.getvalue().count("ok    ") == 4
+
+    def test_cli_rejects_bad_plan_count(self):
+        with pytest.raises(SystemExit):
+            main(["--plans", "0"])
+
+
+class TestRandomPlansProperty:
+    @settings(deadline=None, max_examples=12)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           policy=st.sampled_from(SYNC_POLICIES))
+    def test_random_fault_plan_recovers_committed_prefix(self, seed, policy):
+        # Satellite 1: random fault plans × every sync policy × random
+        # workloads ⇒ committed-prefix recovery and zero fsck findings.
+        report = _run(random_plan(seed, policy=policy))
+        assert report.ok, report.summary()
+        assert report.fsck_clean, report.fsck_summary

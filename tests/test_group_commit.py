@@ -16,7 +16,13 @@ from repro import AttributeSpec, Database, SetOf
 from repro.analysis.fsck import fsck_database
 from repro.errors import StorageError
 from repro.storage.durable import DurableDatabase
-from repro.storage.journal import JOURNAL_NAME, SNAPSHOT_NAME, Journal
+from repro.storage.journal import (
+    JOURNAL_HEADER_SIZE,
+    JOURNAL_MAGIC,
+    JOURNAL_NAME,
+    SNAPSHOT_NAME,
+    Journal,
+)
 from repro.storage.serializer import encode_instance
 from repro.txn import TransactionManager
 
@@ -37,10 +43,10 @@ def _journal_size(db):
     return db.journal.journal_path.stat().st_size
 
 
-def _frames(data):
+def _frames(data, start=0):
     """Parse a journal byte string into complete (kind, start, end) frames."""
     frames = []
-    position = 0
+    position = start
     while position + 5 <= len(data):
         kind = data[position:position + 1]
         size = _U32.unpack(data[position + 1:position + 5])[0]
@@ -385,9 +391,12 @@ class TestCrashConsistency:
         data = (store / JOURNAL_NAME).read_bytes()
         snapshot = (store / SNAPSHOT_NAME).read_bytes()
         assert final_start < len(data)
+        # Record frames start after the epoch header.
+        assert data.startswith(JOURNAL_MAGIC)
+        base = JOURNAL_HEADER_SIZE
         # Every committed batch boundary is a legal recovery target.
-        marker_ends = [0] + [
-            end for kind, _start, end in _frames(data) if kind == b"C"
+        marker_ends = [base] + [
+            end for kind, _start, end in _frames(data, base) if kind == b"C"
         ]
         scratch = tmp_path / f"scratch-{policy}"
         scratch.mkdir()

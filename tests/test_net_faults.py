@@ -1,0 +1,328 @@
+"""Network fault injection end-to-end: real server, real sockets,
+armed failpoints.
+
+Covers the ISSUE's server/client satellites: frame drop/garble/kill on
+the wire, client retry classification under injected socket faults,
+seeded-jitter reconnect backoff, mid-op disconnect cleanup, deadlock
+abort under perturbed timing, and the server's degrade-to-read-only
+path when the journal fails persistently.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro import Database
+from repro.errors import (
+    DeadlockError,
+    ReadOnlyError,
+    StorageError,
+    TransactionStateError,
+)
+from repro.faults import fault_scope
+from repro.server import Client, ProtocolError, ServerThread
+from repro.storage.durable import DurableDatabase
+
+STRING_ATTR = {"name": "Text", "domain": "string"}
+
+
+def _doc_schema(client):
+    client.make_class("Doc", attributes=[STRING_ATTR])
+
+
+@pytest.fixture()
+def handle():
+    with ServerThread(database=Database()) as server:
+        yield server
+
+
+# ---------------------------------------------------------------------------
+# Wire-frame faults (server.send_frame / server.recv_frame)
+# ---------------------------------------------------------------------------
+
+
+class TestServerWireFaults:
+    def test_garbled_response_is_a_typed_protocol_error(self, handle):
+        with Client(port=handle.port) as client:
+            with fault_scope() as faults:
+                faults.add("server.send_frame", "garble")
+                with pytest.raises(ProtocolError):
+                    client.ping()
+
+    def test_dropped_request_times_out_client_side(self, handle):
+        client = Client(port=handle.port, timeout=0.5, max_retries=0)
+        try:
+            with fault_scope() as faults:
+                faults.add("server.recv_frame", "drop")
+                with pytest.raises(TimeoutError, match="no response"):
+                    client.ping()
+        finally:
+            client.close()
+
+    def test_dropped_response_times_out_client_side(self, handle):
+        client = Client(port=handle.port, timeout=0.5, max_retries=0)
+        try:
+            with fault_scope() as faults:
+                faults.add("server.send_frame", "drop")
+                with pytest.raises(TimeoutError):
+                    client.ping()
+        finally:
+            client.close()
+
+    def test_killed_connection_retryable_op_reconnects(self, handle):
+        with Client(port=handle.port, max_retries=4, backoff=0.01) as client:
+            with fault_scope() as faults:
+                faults.add("server.send_frame", "kill")
+                # The first response dies with the connection; ping is
+                # retryable, so the client reconnects (fresh handshake)
+                # and re-sends.
+                assert client.ping() == "pong"
+                assert faults.hit_count("server.send_frame") >= 2
+
+    def test_killed_connection_mid_mutation_raises(self, handle):
+        with Client(port=handle.port, max_retries=4, backoff=0.01) as client:
+            _doc_schema(client)
+            with fault_scope() as faults:
+                faults.add("server.send_frame", "kill")
+                with pytest.raises(ConnectionError, match="may have executed"):
+                    client.make("Doc")
+            # The make DID execute server-side before the response died —
+            # exactly why it must not be blind-retried.
+            assert len(client.instances_of("Doc")) == 1
+
+    def test_delayed_frames_only_slow_things_down(self, handle):
+        with Client(port=handle.port) as client:
+            with fault_scope() as faults:
+                faults.add("server.send_frame", "delay", delay_s=0.05,
+                           count=None)
+                started = time.monotonic()
+                assert client.ping() == "pong"
+                assert time.monotonic() - started >= 0.05
+
+
+# ---------------------------------------------------------------------------
+# Client-side socket faults (client.send / client.recv)
+# ---------------------------------------------------------------------------
+
+
+class TestClientSocketFaults:
+    def test_injected_send_fault_retries_retryable_op(self, handle):
+        with Client(port=handle.port, max_retries=4, backoff=0.01) as client:
+            with fault_scope() as faults:
+                faults.add("client.send", "error")
+                assert client.ping() == "pong"
+                # Hit 1 errored; the reconnect handshake and the re-sent
+                # ping account for the rest.
+                assert faults.hit_count("client.send") >= 2
+
+    def test_injected_recv_fault_on_mutation_raises(self, handle):
+        with Client(port=handle.port, max_retries=4, backoff=0.01) as client:
+            _doc_schema(client)
+            with fault_scope() as faults:
+                faults.add("client.recv", "error")
+                with pytest.raises(ConnectionError, match="may have executed"):
+                    client.make("Doc")
+
+    def test_injected_fault_inside_transaction_scope_raises(self, handle):
+        with Client(port=handle.port, max_retries=4, backoff=0.01) as client:
+            _doc_schema(client)
+            client.begin()
+            with fault_scope() as faults:
+                faults.add("client.send", "error")
+                with pytest.raises(ConnectionError,
+                                   match="inside a transaction"):
+                    client.ping()
+
+    def test_reconnect_backoff_is_jittered_and_seeded(self, handle,
+                                                      monkeypatch):
+        client = Client(port=handle.port, max_retries=3, backoff=0.05,
+                        jitter=0.5, rng=random.Random(7))
+        handle.stop()
+        delays = []
+        monkeypatch.setattr("repro.server.client.time.sleep", delays.append)
+        with pytest.raises(ConnectionError, match="could not reach"):
+            client.call("ping")
+        client.close()
+
+        reference = random.Random(7)
+        expected = [
+            0.05 * 2 ** (attempt - 1) * (1 - 0.5 * reference.random())
+            for attempt in (1, 2, 3)
+        ]
+        assert delays == pytest.approx(expected)
+        for attempt, delay in zip((1, 2, 3), delays, strict=True):
+            assert 0 < delay <= 0.05 * 2 ** (attempt - 1)
+
+    def test_zero_jitter_keeps_exact_schedule(self, handle, monkeypatch):
+        client = Client(port=handle.port, max_retries=2, backoff=0.04,
+                        jitter=0)
+        handle.stop()
+        delays = []
+        monkeypatch.setattr("repro.server.client.time.sleep", delays.append)
+        with pytest.raises(ConnectionError):
+            client.call("ping")
+        client.close()
+        assert delays == pytest.approx([0.04, 0.08])
+
+
+# ---------------------------------------------------------------------------
+# Session cleanup and deadlock abort under perturbed timing
+# ---------------------------------------------------------------------------
+
+
+class TestSessionRobustness:
+    def test_mid_op_disconnect_releases_locks_and_stays_consistent(self):
+        with ServerThread(database=Database(),
+                          lock_wait_timeout=5.0) as handle:
+            orphan = Client(port=handle.port)
+            _doc_schema(orphan)
+            uid = orphan.make("Doc", values={"Text": "start"})
+            orphan.begin()
+            orphan.set_value(uid, "Text", "orphaned")  # X lock held
+            orphan.close()  # abrupt: no abort, no goodbye
+
+            survivor = Client(port=handle.port, timeout=10.0)
+            try:
+                # The server reaps the dead session and aborts its
+                # transaction; the queued write below is granted once
+                # the X lock releases (well inside the wait timeout).
+                survivor.set_value(uid, "Text", "after")
+                assert survivor.value(uid, "Text") == "after"
+                report = survivor.call("check", plane="fsck")
+                assert report["ok"], report
+            finally:
+                survivor.close()
+
+    def test_deadlock_abort_under_injected_frame_delay(self):
+        # The classic crossing writers, with every server response
+        # delayed a little to perturb timing: the wait-for cycle must
+        # still resolve to exactly one DeadlockError victim.
+        with ServerThread(database=Database()) as handle:
+            c1 = Client(port=handle.port, timeout=30.0)
+            c2 = Client(port=handle.port, timeout=30.0)
+            try:
+                _doc_schema(c1)
+                a = c1.make("Doc", values={"Text": "a"})
+                b = c1.make("Doc", values={"Text": "b"})
+                with fault_scope() as faults:
+                    faults.add("server.send_frame", "delay", delay_s=0.005,
+                               count=None)
+                    c1.begin()
+                    c2.begin()
+                    c1.set_value(a, "Text", "a1")  # T1: X on a
+                    c2.set_value(b, "Text", "b1")  # T2: X on b
+
+                    outcome = {}
+
+                    def crossing(client, uid, key):
+                        try:
+                            client.set_value(uid, "Text", "x")
+                            outcome[key] = "ok"
+                        except DeadlockError as error:
+                            outcome[key] = error
+
+                    t1 = threading.Thread(target=crossing, args=(c1, b, "t1"))
+                    t2 = threading.Thread(target=crossing, args=(c2, a, "t2"))
+                    t1.start()
+                    time.sleep(0.3)
+                    t2.start()
+                    t1.join(timeout=15.0)
+                    t2.join(timeout=15.0)
+
+                victims = [key for key, value in outcome.items()
+                           if isinstance(value, DeadlockError)]
+                assert len(victims) == 1, f"one victim expected: {outcome}"
+                survivor = "t1" if victims == ["t2"] else "t2"
+                assert outcome[survivor] == "ok"
+                victim_client = c1 if victims == ["t1"] else c2
+                survivor_client = c2 if victims == ["t1"] else c1
+                with pytest.raises(TransactionStateError):
+                    victim_client.commit()
+                survivor_client.commit()
+            finally:
+                c1.close()
+                c2.close()
+
+
+# ---------------------------------------------------------------------------
+# Degrade to read-only on persistent journal failure
+# ---------------------------------------------------------------------------
+
+
+class TestReadOnlyDegrade:
+    def test_journal_failure_degrades_to_typed_read_only(self, tmp_path):
+        db = DurableDatabase(tmp_path / "store", sync_policy="commit")
+        with ServerThread(database=db) as handle:
+            client = Client(port=handle.port)
+            try:
+                _doc_schema(client)
+                uid = client.make("Doc", values={"Text": "durable"})
+
+                with fault_scope() as faults:
+                    faults.add("journal.fsync", "error", count=None)
+                    client.call("begin")
+                    client.call("set_value", uid=uid, attribute="Text",
+                                value="lost")
+                    # The commit cannot be made durable: a typed
+                    # StorageError reaches the client, never a silent ack.
+                    with pytest.raises(StorageError):
+                        client.call("commit")
+
+                # The server survived the failure in read-only mode:
+                # mutations are rejected with the typed wire error...
+                with pytest.raises(ReadOnlyError, match="read-only"):
+                    client.set_value(uid, "Text", "rejected")
+                with pytest.raises(ReadOnlyError):
+                    client.make("Doc")
+                with pytest.raises(ReadOnlyError):
+                    client.query('(instances "Doc")')
+                # ...reads keep being served from the in-memory state.
+                # That state includes the failed commit's effects (the
+                # client was TOLD the commit is not durable); read-only
+                # mode bounds the divergence, and a restart below rolls
+                # it back to the durable prefix.
+                assert client.value(uid, "Text") == "lost"
+                assert client.ping() == "pong"
+                # The stats op reports the degraded state.
+                stats = client.stats()
+                assert stats["server"]["read_only"] is True
+                assert stats["durability"]["failed"] is True
+            finally:
+                client.close()
+        db.journal.abandon()
+
+        # Restart: recovery is clean and lands on a captured state.  The
+        # failed commit's batch was flushed (marker included) before the
+        # fsync raised, so a process restart still sees it — it is a
+        # *power* cut that would lose it, which is CrashSim territory
+        # (tests/test_crashsim.py covers that with the same fault).
+        from repro.storage.journal import Journal
+
+        recovered = Database()
+        Journal.recover_into(recovered, tmp_path / "store")
+        assert recovered.value(uid, "Text") == "lost"
+        assert recovered.fsck().clean
+
+    def test_read_only_server_still_accepts_new_sessions(self, tmp_path):
+        db = DurableDatabase(tmp_path / "store", sync_policy="commit")
+        with ServerThread(database=db) as handle:
+            first = Client(port=handle.port)
+            _doc_schema(first)
+            uid = first.make("Doc", values={"Text": "kept"})
+            with fault_scope() as faults:
+                faults.add("journal.fsync", "error", count=None)
+                with pytest.raises(StorageError):
+                    first.make("Doc", values={"Text": "lost"})
+            first.close()
+
+            late = Client(port=handle.port)
+            try:
+                assert late.value(uid, "Text") == "kept"
+                with pytest.raises(ReadOnlyError):
+                    late.set_value(uid, "Text", "no")
+            finally:
+                late.close()
