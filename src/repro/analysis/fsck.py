@@ -35,6 +35,12 @@ Rule ids
                                     or an undefined class
 ``FSCK-AUTH-CONFLICT``     error    a user's authorizations on one object
                                     combine to a conflict
+``FSCK-SHARD-RESIDUE``     error    an object whose UID does not belong to
+                                    this shard's allocation stride (only
+                                    with ``placement=``; docs/SHARDING.md)
+``FSCK-SHARD-XREF``        error    a composite reference crossing shards
+                                    — the hierarchy was split (only with
+                                    ``placement=``)
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ def fsck_database(
     versions: Any = None,
     auth: Any = None,
     evolution: Any = None,
+    placement: tuple[int, int] | None = None,
 ) -> Report:
     """Audit *db*; returns a :class:`Report` (never raises on corruption).
 
@@ -59,13 +66,19 @@ def fsck_database(
     Each defaults to the manager the database itself knows about (managers
     register themselves on construction), so ``fsck_database(db)`` audits
     everything that is wired up.
+
+    *placement* — a ``(shard_id, shards)`` pair — additionally audits the
+    sharded-placement invariants: every UID must sit on this shard's
+    allocation stride and no composite reference may cross shards (the
+    placement layer keeps a composite hierarchy whole on one shard; see
+    docs/SHARDING.md and :mod:`repro.shard.placement`).
     """
     versions = versions if versions is not None else getattr(db, "versions", None)
     auth = auth if auth is not None else getattr(db, "auth_engine", None)
     evolution = (
         evolution if evolution is not None else getattr(db, "evolution", None)
     )
-    checker = _Fsck(db, versions, auth, evolution)
+    checker = _Fsck(db, versions, auth, evolution, placement)
     return checker.run()
 
 
@@ -73,18 +86,26 @@ class _Fsck:
     """One audit pass over a database."""
 
     def __init__(
-        self, db: Any, versions: Any, auth: Any, evolution: Any
+        self,
+        db: Any,
+        versions: Any,
+        auth: Any,
+        evolution: Any,
+        placement: tuple[int, int] | None = None,
     ) -> None:
         self.db = db
         self.versions = versions
         self.auth = auth
         self.evolution = evolution
+        self.placement = placement
         self.report = Report(plane="fsck")
 
     def run(self) -> Report:
         for instance in self.db.live_instances():
             self.report.checked += 1
             self._check_instance(instance)
+            if self.placement is not None:
+                self._check_placement(instance)
         self._check_extents()
         if self.versions is not None:
             self._check_version_registry()
@@ -298,6 +319,53 @@ class _Fsck:
                     f"forward reference",
                     parent=ref.parent,
                     attribute=ref.attribute,
+                )
+
+    def _check_placement(self, instance: Any) -> None:
+        """Sharded-placement invariants (docs/SHARDING.md).
+
+        Shard membership is a pure function of the UID: shard *i* of
+        *N* allocates numbers with ``(n - 1) % N == i``.  Every local
+        object must sit on this shard's stride, and no composite edge
+        (forward or reverse) may name an object on another stride — the
+        placement layer keeps composite hierarchies whole per shard.
+        """
+        shard_id, shards = self.placement  # type: ignore[misc]
+        residue = (instance.uid.number - 1) % shards
+        if residue != shard_id:
+            self.report.add(
+                Severity.ERROR,
+                "FSCK-SHARD-RESIDUE",
+                instance.uid,
+                f"UID number {instance.uid.number} belongs to shard "
+                f"{residue}, found on shard {shard_id}",
+                shard=shard_id,
+                residue=residue,
+            )
+        if instance.class_name in self.db.lattice:
+            for attr, child_uid in self.db.iter_composite_values(instance):
+                child_residue = (child_uid.number - 1) % shards
+                if child_residue != shard_id:
+                    self.report.add(
+                        Severity.ERROR,
+                        "FSCK-SHARD-XREF",
+                        f"{instance.uid}.{attr}",
+                        f"composite reference to {child_uid} on shard "
+                        f"{child_residue} crosses the shard boundary",
+                        target=child_uid,
+                        target_shard=child_residue,
+                    )
+        for ref in instance.reverse_references:
+            parent_residue = (ref.parent.number - 1) % shards
+            if parent_residue != shard_id:
+                self.report.add(
+                    Severity.ERROR,
+                    "FSCK-SHARD-XREF",
+                    f"{instance.uid}<-{ref.parent}.{ref.attribute}",
+                    f"reverse reference to parent {ref.parent} on shard "
+                    f"{parent_residue} crosses the shard boundary",
+                    parent=ref.parent,
+                    parent_shard=parent_residue,
                 )
 
     # ------------------------------------------------------------------

@@ -44,10 +44,19 @@ class UIDAllocator:
     The allocator is deliberately trivial — a shared counter — but it is
     the single point of identity creation, so the storage layer and the
     version manager can rely on UID numbers being unique and monotonic.
+
+    ``step`` supports strided allocation for sharded deployments: shard
+    *i* of *N* allocates ``start=i+1, step=N``, so every UID number
+    satisfies ``(number - 1) % N == i`` and shard membership is a pure
+    function of the identifier (no placement catalog lookup; see
+    docs/SHARDING.md).
     """
 
-    def __init__(self, start=1):
-        self._counter = count(start)
+    def __init__(self, start=1, step=1):
+        if step < 1:
+            raise ValueError("allocator step must be >= 1")
+        self.step = step
+        self._counter = count(start, step)
 
     def allocate(self, class_name):
         """Return a fresh :class:`UID` for an instance of *class_name*."""
@@ -57,5 +66,20 @@ class UIDAllocator:
         """Return the next number that would be allocated (for tests)."""
         # itertools.count has no peek; emulate by allocating and rebuilding.
         nxt = next(self._counter)
-        self._counter = count(nxt)
+        self._counter = count(nxt, self.step)
+        return nxt
+
+    def restride(self, floor, shard_id, shards):
+        """Re-seat the counter on shard *shard_id*'s stride, at the
+        smallest on-stride number > *floor*.
+
+        Called after journal recovery on a shard worker: recovery sets
+        the counter to ``max_uid + 1``, which may sit on another shard's
+        residue; the worker must resume allocating only numbers with
+        ``(n - 1) % shards == shard_id``.
+        """
+        nxt = floor + 1
+        nxt += (shard_id - (nxt - 1)) % shards
+        self.step = shards
+        self._counter = count(nxt, shards)
         return nxt

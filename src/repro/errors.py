@@ -284,6 +284,35 @@ class ReadOnlyError(StorageError):
 
     code = "READ_ONLY"
 
+
+# ---------------------------------------------------------------------------
+# Sharding errors (router / placement layer)
+# ---------------------------------------------------------------------------
+
+
+class ShardError(ReproError):
+    """Base class for shard-router and placement errors.
+
+    Raised when a request cannot be mapped onto the shard layout — e.g.
+    a single operation referencing objects that live on different shards
+    (composite co-location violated), or an operation the router cannot
+    distribute.
+    """
+
+    code = "SHARD"
+
+
+class ShardUnavailableError(ShardError):
+    """A shard worker is down or unreachable and the request needs it.
+
+    The router raises this after its reconnect-and-retry budget for the
+    target worker is exhausted; clients can back off and retry, by which
+    time the worker runner may have restarted the worker.
+    """
+
+    code = "SHARD_UNAVAILABLE"
+
+
 # ---------------------------------------------------------------------------
 # Wire registry
 # ---------------------------------------------------------------------------

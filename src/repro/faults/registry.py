@@ -65,6 +65,34 @@ FAILPOINTS = {
     ),
     "client.send": "before the blocking client writes request bytes",
     "client.recv": "before the blocking client reads response bytes",
+    "twopc.prepare": (
+        "worker: before the participant seals its prepare batch; "
+        "supports error and kill (process exit)"
+    ),
+    "twopc.prepared": (
+        "worker: after the prepare record is durable, before the vote "
+        "is sent; supports kill (process exit)"
+    ),
+    "twopc.decide": (
+        "worker: before the participant applies a coordinator decision; "
+        "supports error and kill (process exit)"
+    ),
+    "twopc.decided": (
+        "worker: after the decision is applied and locks released; "
+        "supports kill (process exit)"
+    ),
+    "coord.log_decision": (
+        "router: before the coordinator journals its commit/abort "
+        "decision; supports error and kill (process exit)"
+    ),
+    "coord.decided": (
+        "router: after the decision record is fsynced, before any "
+        "participant hears it; supports kill (process exit)"
+    ),
+    "coord.send_decide": (
+        "router: before the decision is sent to one participant "
+        "(ctx carries shard); supports kill (process exit)"
+    ),
 }
 
 #: Actions a rule may carry.  ``error``/``torn`` raise InjectedFault at
@@ -76,7 +104,8 @@ ACTIONS = (
     "drop",    # swallow the frame (wire sites)
     "garble",  # corrupt the frame payload (server.send_frame)
     "delay",   # sleep delay_s before proceeding (wire sites)
-    "kill",    # tear the connection down mid-op (wire sites)
+    "kill",    # wire sites: tear the connection down mid-op;
+               # twopc./coord. sites: hard process exit (os._exit)
     "count",   # benign: match and log, change nothing (B17 "armed" mode)
 )
 

@@ -24,6 +24,10 @@ def build_parser():
                         help="bind address (default 127.0.0.1)")
     parser.add_argument("--port", type=int, default=4957,
                         help="TCP port (default 4957; 0 picks a free port)")
+    parser.add_argument("--port-file", default=None,
+                        help="write the actually-bound port to this file "
+                             "after listening starts (lets a harness that "
+                             "launched us with --port 0 discover the port)")
     parser.add_argument("--paged", action="store_true",
                         help="serve a page-backed database")
     parser.add_argument("--buffer-capacity", type=int, default=64,
@@ -66,7 +70,13 @@ async def _amain(args):
         lockdep=not args.no_lockdep,
     )
     await server.start()
-    print(f"repro-server listening on {server.host}:{server.port}")
+    if args.port_file:
+        # Written only once the socket is bound: a reader that sees the
+        # file can connect immediately.
+        from pathlib import Path
+
+        Path(args.port_file).write_text(f"{server.port}\n")
+    print(f"repro-server listening on {server.host}:{server.port}", flush=True)
     try:
         await server.serve_forever()
     except asyncio.CancelledError:

@@ -117,7 +117,9 @@ def _add_api(cls):
     depending on the class's ``call``.
     """
     simple = {
-        "ping": ("ping", ()),
+        # "ping" is NOT here: both clients define it explicitly (it runs
+        # under its own short timeout), and the decorator's setattr would
+        # silently overwrite a body method of the same name.
         "resolve": ("resolve", ("uid",)),
         "value": ("value", ("uid", "attribute")),
         "set_value": ("set_value", ("uid", "attribute", "value")),
@@ -205,8 +207,20 @@ class Client(_ClientCore):
     # -- transport --------------------------------------------------------
 
     def connect(self):
-        """(Re)establish the connection and run the handshake."""
+        """(Re)establish the connection and run the handshake.
+
+        A reconnect is a *new* server session: whatever version the old
+        connection negotiated, whatever session id it held, and any
+        open-transaction flag are stale — the server behind this address
+        may even be a different process than last time (a shard router
+        restarting a worker, a failover).  They are cleared before the
+        handshake so nothing downstream trusts dead state if the
+        handshake itself fails mid-way.
+        """
         self.close()
+        self.protocol_version = None
+        self.session_id = None
+        self._in_transaction = False
         self._sock = socket.create_connection(
             (self.host, self.port), timeout=self.timeout
         )
@@ -320,6 +334,44 @@ class Client(_ClientCore):
 
     # -- conveniences -----------------------------------------------------
 
+    def ping(self, timeout=1.0):
+        """Cheap health probe under its *own* short deadline.
+
+        The normal per-response ``self.timeout`` is sized for lock waits
+        (tens of seconds); a health check against a wedged or partitioned
+        server must fail in ~a second instead.  Raises
+        :class:`TimeoutError` when no answer arrives in *timeout*
+        seconds, ConnectionError/OSError when the server is unreachable;
+        see :meth:`healthy` for the non-raising form.
+        """
+        if self._sock is None:
+            self.connect()
+        # call() owns the failure handling: a timeout closes the socket
+        # (a stale pong must not mis-pair with the next request) and a
+        # dead connection goes through normal retry classification.
+        try:
+            previous = self._sock.gettimeout()
+            self._sock.settimeout(timeout)
+        except OSError:
+            # Socket closed under us: skip the deadline juggling and let
+            # call() reconnect.
+            return self.call("ping")
+        try:
+            return self.call("ping")
+        finally:
+            if self._sock is not None:
+                try:
+                    self._sock.settimeout(previous)
+                except OSError:
+                    pass
+
+    def healthy(self, timeout=1.0):
+        """True when the server answers :meth:`ping` within *timeout*."""
+        try:
+            return self.ping(timeout=timeout) == "pong"
+        except (OSError, TimeoutError):
+            return False
+
     def login(self, user):
         result = self.call("login", user=user)
         self.user = user
@@ -407,6 +459,11 @@ class AsyncClient(_ClientCore):
         self._writer = None
 
     async def connect(self):
+        # Same stale-state rule as the blocking client: a (re)connect is
+        # a fresh server session.
+        self.protocol_version = None
+        self.session_id = None
+        self._in_transaction = False
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port
         )
@@ -436,6 +493,27 @@ class AsyncClient(_ClientCore):
 
     def call(self, op, **args):
         return self._roundtrip(op, args)
+
+    async def ping(self, timeout=1.0):
+        """Health probe with its own short deadline (see
+        :meth:`Client.ping`); the connection is dropped on timeout so a
+        late pong cannot mis-pair with the next request."""
+        try:
+            return await asyncio.wait_for(
+                self._roundtrip("ping", {}), timeout
+            )
+        except asyncio.TimeoutError:
+            await self.close()
+            raise TimeoutError(
+                f"no response to 'ping' within {timeout}s"
+            ) from None
+
+    async def healthy(self, timeout=1.0):
+        """True when the server answers :meth:`ping` within *timeout*."""
+        try:
+            return await self.ping(timeout=timeout) == "pong"
+        except (OSError, TimeoutError):
+            return False
 
     async def login(self, user):
         result = await self.call("login", user=user)

@@ -20,7 +20,7 @@ the session wraps them in a transaction of their own.
 
 from __future__ import annotations
 
-from ..errors import ReadOnlyError
+from ..errors import ReadOnlyError, TransactionStateError
 from ..locking.modes import LockMode
 from ..schema.attribute import AttributeSpec, SetOf
 from .protocol import ProtocolError
@@ -289,6 +289,93 @@ async def _op_begin(session, args):
     return {"txn": txn.txn_id}
 
 
+# -- two-phase commit (shard workers; docs/SHARDING.md) ---------------------
+
+
+async def _op_prepare(session, args):
+    """Phase 1: seal this shard's part of a cross-shard transaction.
+
+    The journal writes the transaction's batch followed by a durable
+    ``P`` record; the transaction stays open (locks held) until
+    ``decide`` delivers the coordinator's outcome.  Votes ``"yes"``
+    when a durable prepared batch exists, ``"ro"`` when this shard
+    buffered nothing durable (read-only participant or in-memory
+    worker) — either way the participant awaits the decision, which
+    also releases its locks.
+    """
+    from ..shard.twopc import fire_or_die
+
+    (gtid,) = _require(args, "gtid")
+    if session.txn is None or not session.txn.active:
+        raise TransactionStateError(
+            "prepare requires an active explicit transaction"
+        )
+    if session.prepared_gtid is not None:
+        raise TransactionStateError(
+            f"transaction is already prepared as {session.prepared_gtid!r}"
+        )
+    server = session.server
+    fire_or_die("twopc.prepare", gtid=gtid)
+    durable = False
+    journal = server.journal
+    if journal is not None:
+        durable = journal.prepare_txn(session.txn, gtid)
+    session.prepared_gtid = gtid
+    session.prepared_durable = durable
+    fire_or_die("twopc.prepared", gtid=gtid)
+    return {"vote": "yes" if durable else "ro", "gtid": gtid}
+
+
+async def _op_decide(session, args):
+    """Phase 2: apply the coordinator's decision for a prepared txn.
+
+    Matches either this session's own prepared transaction or one
+    *parked* on the server (the preparing session disconnected).  The
+    journal's ``R`` record lands before the in-memory commit/abort, so
+    a crash in between is resolved identically at recovery.
+    """
+    from ..shard.twopc import fire_or_die
+
+    gtid, outcome = _require(args, "gtid", "outcome")
+    if outcome not in ("commit", "abort"):
+        raise ProtocolError(f"unknown 2PC outcome {outcome!r}")
+    commit = outcome == "commit"
+    server = session.server
+    if session.prepared_gtid == gtid and session.txn is not None:
+        fire_or_die("twopc.decide", gtid=gtid, outcome=outcome)
+        txn, session.txn = session.txn, None
+        session.prepared_gtid = None
+        durable, session.prepared_durable = session.prepared_durable, False
+        if durable and server.journal is not None:
+            server.journal.resolve_prepared(gtid, commit)
+        server.finish(txn, commit=commit)
+        if commit:
+            session.stats.commits += 1
+        else:
+            session.stats.aborts += 1
+        fire_or_die("twopc.decided", gtid=gtid, outcome=outcome)
+        return {"txn": txn.txn_id, "outcome": outcome}
+    if gtid in server.parked:
+        fire_or_die("twopc.decide", gtid=gtid, outcome=outcome)
+        server.decide_parked(gtid, commit)
+        fire_or_die("twopc.decided", gtid=gtid, outcome=outcome)
+        return {"txn": None, "outcome": outcome}
+    raise TransactionStateError(
+        f"no prepared transaction {gtid!r} on this shard"
+    )
+
+
+async def _op_indoubt(session, args):
+    """Gtids this worker holds prepared-but-undecided (router
+    reconciliation: a restarted router decides each against its log)."""
+    server = session.server
+    journal = server.journal
+    return {
+        "parked": sorted(server.parked),
+        "journal": journal.prepared_gtids if journal is not None else [],
+    }
+
+
 async def _op_commit(session, args):
     txn_id = session.commit()
     # Under the journal's group policy the commit's batch is sealed but
@@ -308,8 +395,10 @@ async def _op_check(session, args):
     ``"schema"`` (static analyzer), ``"query"`` (validate ``text``
     statically), ``"lockdep"`` (latent-deadlock report from the
     server's lock-order recorder), ``"code"`` (AST discipline lint of
-    the running ``repro`` package), or ``"all"`` (default: fsck +
-    schema + lockdep when recording).  Findings come back in the shared
+    the running ``repro`` package), ``"placement"`` (shard-stride and
+    composite-co-location audit; shard workers only), or ``"all"``
+    (default: fsck + schema + lockdep when recording + placement on a
+    shard worker).  Findings come back in the shared
     JSON schema of :mod:`repro.analysis.findings`.  The audit only
     reads, so no locks are taken; a concurrent writer mid-transaction
     can surface transient findings — run inside an idle window (or a
@@ -340,6 +429,19 @@ async def _op_check(session, args):
         from ..analysis.codelint import lint_package
 
         reports["code"] = lint_package().to_dict()
+    if plane in ("all", "placement"):
+        shard_info = session.server.shard_info
+        if shard_info is not None:
+            from ..analysis.fsck import fsck_database
+
+            reports["placement"] = fsck_database(
+                db, placement=shard_info
+            ).to_dict()
+        elif plane == "placement":
+            raise ProtocolError(
+                "this server is not a shard worker (no shard_info); "
+                "the placement plane needs one"
+            )
     if not reports:
         raise ProtocolError(f"unknown check plane {plane!r}")
     reports["ok"] = all(report["ok"] for report in reports.values())
@@ -372,6 +474,9 @@ COMMANDS = {
     "begin": _op_begin,
     "commit": _op_commit,
     "abort": _op_abort,
+    "prepare": _op_prepare,
+    "decide": _op_decide,
+    "indoubt": _op_indoubt,
     "check": _op_check,
 }
 

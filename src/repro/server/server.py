@@ -264,6 +264,12 @@ class Session:
         self.peer = peer
         self.user = None
         self.txn = None
+        #: Gtid of a 2PC-prepared transaction awaiting its decision
+        #: (set by the ``prepare`` op, cleared by ``decide``/park).
+        self.prepared_gtid = None
+        #: True when the prepare sealed a durable journal batch (an
+        #: in-memory or read-only participant prepares without one).
+        self.prepared_durable = False
         self.stats = SessionStats()
         self._interpreter = None
 
@@ -312,6 +318,11 @@ class Session:
     def commit(self):
         if self.txn is None:
             raise TransactionStateError("no transaction to commit")
+        if self.prepared_gtid is not None:
+            raise TransactionStateError(
+                f"transaction is prepared for 2PC as {self.prepared_gtid!r}"
+                f"; only 'decide' may finish it"
+            )
         # Detach before finishing: if the journal fails mid-commit the
         # typed StorageError goes to the client, but the session must not
         # keep a reference to the dead transaction (its locks are already
@@ -325,6 +336,11 @@ class Session:
     def abort(self):
         if self.txn is None:
             raise TransactionStateError("no transaction to abort")
+        if self.prepared_gtid is not None:
+            raise TransactionStateError(
+                f"transaction is prepared for 2PC as {self.prepared_gtid!r}"
+                f"; only 'decide' may finish it"
+            )
         txn, self.txn = self.txn, None
         self.server.finish(txn, commit=False)
         self.stats.aborts += 1
@@ -340,6 +356,12 @@ class Session:
         for the client to abort or retry.
         """
         if self.txn is not None:
+            if self.prepared_gtid is not None:
+                raise TransactionStateError(
+                    f"transaction is prepared for 2PC as "
+                    f"{self.prepared_gtid!r}; no further operations until "
+                    f"the decision"
+                )
             if not self.txn.active:
                 raise TransactionStateError(
                     f"transaction {self.txn.txn_id} is "
@@ -376,8 +398,17 @@ class Session:
         client is gone, the manager has already released the locks, and
         :meth:`ReproServer.finish` has flagged the server read-only —
         there is nobody left to report the error to.
+
+        A transaction *prepared for 2PC* must NOT be aborted here: the
+        coordinator may already have logged a commit decision it could
+        not deliver before the connection died.  It is parked on the
+        server (locks held) and resolved by the coordinator log poller
+        or an explicit ``decide`` from a reconnected router.
         """
         if self.txn is not None and self.txn.active:
+            if self.prepared_gtid is not None:
+                self.server.park_prepared(self)
+                return
             with contextlib.suppress(StorageError):
                 self.server.finish(self.txn, commit=False)
             self.stats.aborts += 1
@@ -412,15 +443,31 @@ class ReproServer:
         session acquired — even runs where no deadlock ever formed.
         On by default; disable (``repro-server --no-lockdep``) to shave
         the per-grant recording cost (benchmark B16 measures it).
+    shard_info:
+        When this server is a shard worker: a ``(shard_id, shards)``
+        pair.  Enables the ``prepare``/``decide``/``indoubt`` 2PC ops'
+        bookkeeping in ``stats`` and the ``placement`` check plane
+        (docs/SHARDING.md).
+    coord_log:
+        Path to the cluster's coordinator decision log (``coord.log``).
+        A worker with a parked prepared transaction (its router
+        connection died mid-2PC) polls this log to resolve the
+        transaction without the router.
     """
 
     def __init__(self, database=None, host="127.0.0.1", port=0, auth=None,
                  lock_wait_timeout=30.0, group_commit_window=0.002,
-                 lockdep=True):
+                 lockdep=True, shard_info=None, coord_log=None):
         self.db = database if database is not None else Database()
         self.host = host
         self.port = port
         self.auth = auth
+        self.shard_info = tuple(shard_info) if shard_info else None
+        self.coord_log = coord_log
+        #: 2PC-prepared transactions whose session disconnected before
+        #: the decision arrived: gtid -> (txn, prepared_durable).
+        self.parked = {}
+        self._parked_task = None
         self.tm = TransactionManager(self.db)
         self.stats = ServerStats()
         self.locks = LockService(
@@ -466,6 +513,55 @@ class ReproServer:
             self.locks.forget(txn)
             self.locks.wake()
 
+    # -- 2PC: parked prepared transactions --------------------------------
+
+    def park_prepared(self, session):
+        """Keep a prepared transaction alive across its session's death.
+
+        The transaction's locks stay held (strict 2PL over an in-doubt
+        outcome) and a background poller watches the coordinator log for
+        the decision; a reconnected router can also deliver it directly
+        via the ``decide`` op.  Aborting here instead would break
+        atomicity: the coordinator may have logged *commit* and crashed
+        before telling us.
+        """
+        gtid = session.prepared_gtid
+        txn, session.txn = session.txn, None
+        session.prepared_gtid = None
+        self.parked[gtid] = (txn, session.prepared_durable)
+        session.prepared_durable = False
+        if self.coord_log is not None and self._parked_task is None:
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                return
+            self._parked_task = loop.create_task(self._parked_resolver())
+
+    def decide_parked(self, gtid, commit):
+        """Apply a 2PC decision to a parked transaction."""
+        txn, durable = self.parked.pop(gtid)
+        if durable and self.journal is not None:
+            self.journal.resolve_prepared(gtid, commit)
+        self.finish(txn, commit=commit)
+
+    async def _parked_resolver(self):
+        """Poll the coordinator log until every parked txn is decided."""
+        from ..shard.twopc import CoordinatorLog
+
+        log = CoordinatorLog(self.coord_log)
+        try:
+            while self.parked:
+                decisions = log.load()
+                for gtid in list(self.parked):
+                    outcome = decisions.get(gtid)
+                    if outcome is not None:
+                        with contextlib.suppress(StorageError):
+                            self.decide_parked(gtid, outcome == "commit")
+                if self.parked:
+                    await asyncio.sleep(0.05)
+        finally:
+            self._parked_task = None
+
     def _note_journal_failure(self):
         """Degrade to read-only when the journal is fail-stopped.
 
@@ -504,7 +600,18 @@ class ReproServer:
         return self
 
     async def stop(self):
-        """Graceful shutdown: stop accepting, abort and drop sessions."""
+        """Graceful shutdown: stop accepting, abort and drop sessions.
+
+        Parked prepared transactions are deliberately left undecided:
+        their journal batches carry ``P`` markers, so the next recovery
+        re-raises them as in-doubt and resolves them against the
+        coordinator log — exactly the crash path, minus the crash.
+        """
+        if self._parked_task is not None:
+            self._parked_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await self._parked_task
+            self._parked_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -538,6 +645,12 @@ class ReproServer:
         lock_stats = self.tm.table.stats
         server_row = self.stats.row()
         server_row["read_only"] = self.read_only
+        if self.shard_info is not None:
+            server_row["shard"] = {
+                "shard_id": self.shard_info[0],
+                "shards": self.shard_info[1],
+                "parked": sorted(self.parked),
+            }
         payload = {
             "server": server_row,
             "locks": {

@@ -1,0 +1,313 @@
+"""The placement layer: which shard does an object live on?
+
+Two rules, in priority order:
+
+1. **Composite locality** — an object created with composite parents is
+   placed on its (first) parent's shard, so a composite hierarchy lands
+   whole on its root's shard.  This is the paper's first-parent page
+   clustering (§2.3, benchmark B6) lifted from pages to processes; it
+   is what keeps the common-case transaction single-shard.
+2. **Free objects** — objects created without parents (composite roots,
+   standalone instances) are placed by a pluggable policy: round-robin
+   (the default, spreads roots evenly) or a stable hash of the class
+   name (keeps each class's roots together).
+
+Shard membership is *not* recorded per object.  Shard ``i`` of ``N``
+allocates UID numbers on the stride ``(n - 1) % N == i``
+(:class:`repro.core.identity.UIDAllocator` with ``start=i+1, step=N``),
+so placement is a pure function of the identifier::
+
+    shard_of_uid(uid, shards) == (uid.number - 1) % shards
+
+What *is* persisted is the cluster layout — shard count, policy, data
+directories — as ``manifest.json`` in the cluster root, written once at
+cluster creation and validated on every reopen (a cluster restarted
+with the wrong shard count would scatter every stride).  fsck audits
+both: :func:`repro.analysis.fsck.fsck_database` with ``placement=``
+checks each shard's objects against its stride, and
+:func:`audit_cluster` runs that over every shard of a cluster plus the
+manifest itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ShardError, StorageError
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Per-shard service discovery file (``shard-XX/endpoint.json``): the
+#: worker publishes its actually-bound address after it finishes
+#: recovery, and the router re-reads it on every reconnect — a worker
+#: restarted on a new ephemeral port is found without any registry
+#: service.  The router publishes its own address the same way, as
+#: ``router.json`` in the cluster root.
+ENDPOINT_NAME = "endpoint.json"
+ROUTER_ENDPOINT_NAME = "router.json"
+
+#: Names accepted by :func:`make_policy`.
+PLACEMENT_POLICIES = ("round_robin", "hash_class")
+
+
+def shard_of_uid(uid, shards):
+    """The shard an existing object lives on (pure UID arithmetic)."""
+    return (uid.number - 1) % shards
+
+
+def shard_dir_name(shard_id):
+    """Directory name of one shard under the cluster root."""
+    return f"shard-{shard_id:02d}"
+
+
+class RoundRobinPlacement:
+    """Spread free objects across shards in creation order."""
+
+    name = "round_robin"
+
+    def __init__(self, shards):
+        self.shards = shards
+        self._next = 0
+
+    def place_free(self, class_name):
+        shard = self._next
+        self._next = (self._next + 1) % self.shards
+        return shard
+
+
+class HashClassPlacement:
+    """Keep all free objects of one class on one (stable) shard.
+
+    Uses BLAKE2b rather than ``hash()`` so placement is stable across
+    processes and runs (``PYTHONHASHSEED`` randomizes ``hash(str)``).
+    """
+
+    name = "hash_class"
+
+    def __init__(self, shards):
+        self.shards = shards
+
+    def place_free(self, class_name):
+        digest = hashlib.blake2b(
+            class_name.encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") % self.shards
+
+
+def make_policy(name, shards):
+    """Instantiate a placement policy by manifest name."""
+    if name == "round_robin":
+        return RoundRobinPlacement(shards)
+    if name == "hash_class":
+        return HashClassPlacement(shards)
+    raise ShardError(
+        f"unknown placement policy {name!r}; "
+        f"expected one of {', '.join(PLACEMENT_POLICIES)}"
+    )
+
+
+@dataclass
+class Manifest:
+    """The persisted cluster layout (``manifest.json``).
+
+    The manifest is the placement layer's durable contract: reopening a
+    cluster with a different shard count or policy would break the UID
+    stride invariant, so :meth:`load` + :meth:`matches` gate every
+    worker and router start, and :func:`audit_cluster` checks the
+    directories it names actually exist.
+    """
+
+    shards: int
+    policy: str = "round_robin"
+    sync_policy: str = "commit"
+    version: int = MANIFEST_VERSION
+    shard_dirs: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ShardError("a cluster needs at least one shard")
+        if self.policy not in PLACEMENT_POLICIES:
+            raise ShardError(f"unknown placement policy {self.policy!r}")
+        if not self.shard_dirs:
+            self.shard_dirs = [
+                shard_dir_name(i) for i in range(self.shards)
+            ]
+
+    def to_dict(self):
+        return {
+            "version": self.version,
+            "shards": self.shards,
+            "policy": self.policy,
+            "sync_policy": self.sync_policy,
+            "shard_dirs": list(self.shard_dirs),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            shards=data["shards"],
+            policy=data.get("policy", "round_robin"),
+            sync_policy=data.get("sync_policy", "commit"),
+            version=data.get("version", MANIFEST_VERSION),
+            shard_dirs=list(data.get("shard_dirs", ())),
+        )
+
+    def save(self, root):
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / MANIFEST_NAME
+        temp = path.with_suffix(".tmp")
+        temp.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        temp.replace(path)
+        return path
+
+    @classmethod
+    def load(cls, root):
+        path = Path(root) / MANIFEST_NAME
+        if not path.exists():
+            raise StorageError(f"no placement manifest at {path}")
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise StorageError(
+                f"placement manifest at {path} is corrupt: {error}"
+            ) from error
+        manifest = cls.from_dict(data)
+        if manifest.version > MANIFEST_VERSION:
+            raise StorageError(
+                f"placement manifest version {manifest.version} is newer "
+                f"than this build understands ({MANIFEST_VERSION})"
+            )
+        return manifest
+
+    def matches(self, other):
+        """True when *other* describes the same layout (shape, not dirs)."""
+        return (
+            self.shards == other.shards
+            and self.policy == other.policy
+        )
+
+    def shard_path(self, root, shard_id):
+        return Path(root) / self.shard_dirs[shard_id]
+
+
+def ensure_manifest(root, shards, policy="round_robin",
+                    sync_policy="commit"):
+    """Load the manifest at *root*, or create one for a fresh cluster.
+
+    An existing manifest must agree on shard count and policy —
+    reopening with a different layout raises :class:`ShardError`
+    instead of silently scattering every UID stride.
+    """
+    root = Path(root)
+    wanted = Manifest(shards=shards, policy=policy, sync_policy=sync_policy)
+    if (root / MANIFEST_NAME).exists():
+        existing = Manifest.load(root)
+        if not existing.matches(wanted):
+            raise ShardError(
+                f"cluster at {root} was created with "
+                f"{existing.shards} shard(s), policy "
+                f"{existing.policy!r}; refusing to reopen as "
+                f"{shards} shard(s), policy {policy!r}"
+            )
+        return existing
+    wanted.save(root)
+    return wanted
+
+
+def write_endpoint(directory, host, port, name=ENDPOINT_NAME):
+    """Atomically publish a bound address for discovery by the router."""
+    path = Path(directory) / name
+    temp = path.with_suffix(".tmp")
+    temp.write_text(json.dumps(
+        {"host": host, "port": port, "pid": os.getpid()}
+    ))
+    temp.replace(path)
+    return path
+
+
+def read_endpoint(directory, name=ENDPOINT_NAME):
+    """The last published address under *directory*, or None.
+
+    None covers both "never published" and "half-written": the writer
+    publishes atomically, so an unreadable file only means the reader
+    raced a fresh cluster — poll again.
+    """
+    path = Path(directory) / name
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict) or "host" not in data or "port" not in data:
+        return None
+    return data
+
+
+def audit_cluster(root):
+    """Audit a whole cluster directory: manifest + every shard's fsck.
+
+    Offline (read-only journal recovery per shard; safe on a stopped
+    cluster).  Returns a merged :class:`~repro.analysis.findings.Report`
+    with plane ``"placement"``: manifest problems surface as
+    ``SHARD-MANIFEST`` findings, per-shard integrity problems as the
+    usual ``FSCK-*`` findings (including ``FSCK-SHARD-RESIDUE`` /
+    ``FSCK-SHARD-XREF`` from the placement audit).
+    """
+    from ..analysis.findings import Report, Severity
+    from ..analysis.fsck import fsck_database
+    from ..core.database import Database
+    from ..storage.journal import Journal
+
+    root = Path(root)
+    report = Report(plane="placement")
+    try:
+        manifest = Manifest.load(root)
+    except StorageError as error:
+        report.add(
+            Severity.ERROR, "SHARD-MANIFEST", str(root), str(error)
+        )
+        return report
+    report.checked += 1
+    for shard_id in range(manifest.shards):
+        directory = manifest.shard_path(root, shard_id)
+        if not directory.is_dir():
+            report.add(
+                Severity.ERROR,
+                "SHARD-MANIFEST",
+                str(directory),
+                f"manifest names shard {shard_id} directory "
+                f"{directory.name!r}, which does not exist",
+                shard=shard_id,
+            )
+            continue
+        db = Database()
+        try:
+            Journal.recover_into(db, directory)
+        except StorageError as error:
+            report.add(
+                Severity.ERROR,
+                "SHARD-MANIFEST",
+                str(directory),
+                f"shard {shard_id} failed to recover: {error}",
+                shard=shard_id,
+            )
+            continue
+        if db.in_doubt:
+            report.add(
+                Severity.WARNING,
+                "SHARD-INDOUBT",
+                str(directory),
+                f"shard {shard_id} holds {len(db.in_doubt)} in-doubt "
+                f"prepared transaction(s): "
+                f"{', '.join(sorted(db.in_doubt))}",
+                shard=shard_id,
+            )
+        report.extend(
+            fsck_database(db, placement=(shard_id, manifest.shards))
+        )
+    return report

@@ -1,0 +1,955 @@
+"""The shard router: one wire-protocol front door for a sharded cluster.
+
+Clients speak the ordinary :mod:`repro.server.protocol` to the router —
+the same :class:`repro.server.client.Client` works unchanged — and the
+router forwards each op to the shard that owns its target:
+
+* **UID-carrying ops** (``resolve``, ``set_value``, ``delete``, ...)
+  go to the shard named by the UID's stride
+  (:func:`repro.shard.placement.shard_of_uid`): no catalog lookup.
+  These relay on a **raw-frame fast path**: the client's frame is
+  forwarded upstream verbatim (its request id included), and the
+  worker's response payload is spliced back byte-for-byte — the router
+  decodes requests to route them but never re-encodes either side.
+* **``make``** goes to the shard of its composite parents (``parents=``)
+  or composite components (``values=``) — composite locality, in either
+  construction order — then to the shard of its weak references (a
+  worker validates UID domains locally, so references must resolve on
+  the owning shard), and only then to the manifest's placement policy.
+  Anchors on different shards are refused with a typed error.
+* **``make_class``** and ``login`` broadcast — schema and identity must
+  exist cluster-wide.
+* **``instances_of``** scatters to every shard and unions the extents;
+  ``check`` scatters and returns per-shard reports.
+* **``query``** is rejected: the s-expression interpreter runs against
+  one shard's database and cannot see the others.
+
+Transactions are router-managed.  ``begin`` assigns a global transaction
+id and enlists shards lazily (an upstream ``begin`` the first time an op
+inside the scope touches a shard).  ``commit`` then picks the cheapest
+safe protocol for what the transaction actually touched:
+
+* **0 shards** — nothing to do, acknowledge.
+* **1 shard** — forward the plain ``commit``: the single participant's
+  journal makes it atomic and durable on its own (the fast path; with
+  composite-aware placement this is the common case).
+* **N shards** — two-phase commit: ``prepare`` on every participant
+  (each seals a durable ``P``-marked journal batch), the decision is
+  fsynced into the coordinator log *before* any participant hears it,
+  then ``decide`` commits/aborts each shard.  See
+  :mod:`repro.shard.twopc` and docs/SHARDING.md for the recovery
+  matrix.
+
+Each client session gets its own dedicated upstream connection per
+shard, opened on first use and re-opened (with a fresh handshake and
+``login``) when a worker restarts — endpoints are re-read from the
+workers' published ``endpoint.json`` files on every connect, so a
+worker that comes back on a new ephemeral port is found automatically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import re
+import struct
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.identity import UID
+from ..errors import (
+    DeadlockError,
+    ShardError,
+    ShardUnavailableError,
+    TransactionStateError,
+)
+from ..server.client import RETRYABLE_OPS
+from ..server.protocol import (
+    SUPPORTED_VERSIONS,
+    ProtocolError,
+    build_error,
+    check_request,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    frame_length,
+    read_frame,
+    request_frame,
+    result_frame,
+    wire_decode,
+)
+from .placement import Manifest, make_policy, read_endpoint, shard_of_uid
+from .twopc import CoordinatorLog, fire_or_die
+
+#: Wire framing: 4-byte big-endian payload length (see protocol.py).
+_PREFIX = struct.Struct(">I")
+
+#: Exact prefix of an error response as :func:`error_frame` +
+#: :func:`encode_frame` serialize it (compact separators, insertion
+#: order ``id``/``ok``/...).  Anchored at byte 0, so result *content*
+#: containing the same text can never match.
+_ERROR_PREFIX = re.compile(rb'^\{"id":-?\d+,"ok":false')
+
+
+async def _read_payload(reader):
+    """One frame's raw payload bytes (no length prefix); None at EOF.
+
+    The byte-level twin of :func:`repro.server.protocol.read_frame`,
+    for paths that splice frames through without decoding them.
+    """
+    try:
+        prefix = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection dropped mid-frame") from None
+    length = frame_length(prefix)
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection dropped mid-frame") from None
+
+
+class _RawResult:
+    """Marker: this response is pre-encoded payload bytes — write them
+    to the client verbatim instead of building a result frame."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload):
+        self.payload = payload
+
+
+def _uids_in(value):
+    """The UIDs carried by one attribute value (single or set-valued)."""
+    if isinstance(value, UID):
+        return [value]
+    if isinstance(value, (list, tuple, set)):
+        return [item for item in value if isinstance(item, UID)]
+    return []
+
+
+def _unavailable(shard_id, error=None, note=""):
+    message = f"shard {shard_id} is unavailable"
+    if error is not None:
+        message += f" ({error})"
+    if note:
+        message += f"; {note}"
+    exc = ShardUnavailableError(message)
+    exc.shard = shard_id
+    return exc
+
+
+@dataclass
+class RouterStats:
+    """Counters for one router (the ``stats`` op's ``router`` row)."""
+
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    requests: int = 0
+    errors: int = 0
+    relays: int = 0
+    broadcasts: int = 0
+    scatters: int = 0
+    trivial_commits: int = 0
+    fast_commits: int = 0
+    twopc_commits: int = 0
+    twopc_aborts: int = 0
+    upstream_connects: int = 0
+    retried_reads: int = 0
+    raw_relays: int = 0
+
+    def row(self):
+        return {
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "requests": self.requests,
+            "errors": self.errors,
+            "relays": self.relays,
+            "broadcasts": self.broadcasts,
+            "scatters": self.scatters,
+            "trivial_commits": self.trivial_commits,
+            "fast_commits": self.fast_commits,
+            "twopc_commits": self.twopc_commits,
+            "twopc_aborts": self.twopc_aborts,
+            "upstream_connects": self.upstream_connects,
+            "retried_reads": self.retried_reads,
+            "raw_relays": self.raw_relays,
+        }
+
+
+class _Upstream:
+    """One dedicated connection from one router session to one shard.
+
+    Dedicated means sequential: the session's ops relay one at a time,
+    so request ids pair trivially and the worker-side session state
+    (user, open transaction) belongs to exactly one client.
+    """
+
+    def __init__(self, shard_id, reader, writer):
+        self.shard_id = shard_id
+        self.reader = reader
+        self.writer = writer
+        self._ids = itertools.count(1)
+
+    async def roundtrip(self, op, args=None):
+        """Send one request; return the raw response frame."""
+        request_id = next(self._ids)
+        self.writer.write(encode_frame(request_frame(request_id, op, args)))
+        await self.writer.drain()
+        response = await read_frame(self.reader)
+        if response is None:
+            raise ConnectionError(
+                f"shard {self.shard_id} closed the connection"
+            )
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                f"shard {self.shard_id} answered id {response.get('id')!r} "
+                f"to request {request_id}"
+            )
+        return response
+
+    async def call(self, op, args=None):
+        """One request/response; raises the worker's typed error."""
+        response = await self.roundtrip(op, args)
+        if response.get("ok"):
+            return wire_decode(response.get("result"))
+        raise build_error(response.get("error") or {})
+
+    async def relay_raw(self, raw):
+        """Forward a client's raw request frame verbatim; return the raw
+        response payload.
+
+        This is the relay fast path: the worker's response carries the
+        client's own request id, so the payload can be spliced straight
+        back to the client with no decode/re-encode — the router's JSON
+        work per relayed op drops to the request-side routing decode.
+        Error responses (recognized by their exact serialized prefix)
+        are decoded and raised typed, so transaction cleanup sees the
+        same exceptions as the slow path.
+        """
+        self.writer.write(_PREFIX.pack(len(raw)) + raw)
+        await self.writer.drain()
+        payload = await _read_payload(self.reader)
+        if payload is None:
+            raise ConnectionError(
+                f"shard {self.shard_id} closed the connection"
+            )
+        if _ERROR_PREFIX.match(payload):
+            response = decode_frame(payload)
+            if not response.get("ok"):
+                raise build_error(response.get("error") or {})
+        return payload
+
+    async def close(self):
+        self.writer.close()
+        with contextlib.suppress(Exception):
+            await self.writer.wait_closed()
+
+
+class _RouterSession:
+    """One client connection's routing state."""
+
+    def __init__(self, session_id, peer):
+        self.session_id = session_id
+        self.peer = peer
+        self.user = None
+        #: shard_id -> _Upstream, opened lazily.
+        self.upstreams = {}
+        self.in_txn = False
+        self.gtid = None
+        #: Shards where this transaction has an open upstream ``begin``.
+        self.touched = set()
+
+
+class ShardRouter:
+    """Route the wire protocol across a cluster's shard workers.
+
+    Parameters
+    ----------
+    root:
+        The cluster directory (holds ``manifest.json``, ``coord.log``,
+        and one subdirectory per shard).
+    host, port:
+        Bind address for clients; port 0 picks a free port.
+    manifest:
+        Pre-loaded :class:`~repro.shard.placement.Manifest`; loaded from
+        *root* when omitted.
+    connect_timeout:
+        How long one upstream connect keeps retrying (re-reading the
+        worker's published endpoint) before the shard is declared
+        unavailable.  Covers a worker mid-restart.
+    """
+
+    def __init__(self, root, host="127.0.0.1", port=0, manifest=None,
+                 connect_timeout=10.0):
+        self.root = Path(root)
+        self.manifest = (
+            manifest if manifest is not None else Manifest.load(self.root)
+        )
+        self.shards = self.manifest.shards
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.coord = CoordinatorLog.in_root(self.root)
+        self.policy = make_policy(self.manifest.policy, self.shards)
+        self.stats = RouterStats()
+        #: Gtids are unique across router restarts: fresh random boot id
+        #: plus a per-boot sequence.  A restarted router never reuses an
+        #: old gtid, so the coordinator log needs no compaction fences.
+        self._boot = uuid.uuid4().hex[:8]
+        self._gtid_seq = itertools.count(1)
+        #: class name -> frozenset of composite attribute names, learnt
+        #: lazily from ``describe`` (covers schema that predates this
+        #: router) and invalidated when a ``make_class`` passes through.
+        self._composite_attrs = {}
+        self._server = None
+        self._conn_tasks = set()
+        self._next_session = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self):
+        """Reconcile leftover 2PC state, then bind and accept clients."""
+        await self.reconcile()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        tasks = [task for task in self._conn_tasks if not task.done()]
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        self._conn_tasks.clear()
+
+    async def serve_forever(self):
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def reconcile(self):
+        """Resolve transactions a previous coordinator left in doubt.
+
+        Every reachable worker reports the gtids it still holds prepared
+        (parked or journaled); each is decided with the logged outcome,
+        or **abort** when the log has none — an unlogged decision never
+        reached the 2PC commit point, so presumed abort is exact.  The
+        abort is logged first so workers polling the log converge even
+        if delivering the decision here fails.  Unreachable workers are
+        skipped: they run the same resolution against the log when they
+        restart (see ``repro.shard.worker``).
+        """
+        decisions = self.coord.load()
+        for shard_id in range(self.shards):
+            try:
+                upstream = await self._connect(shard_id, quick=True)
+            except ShardUnavailableError:
+                continue
+            try:
+                pending = await upstream.call("indoubt")
+                gtids = set(pending.get("parked", ()))
+                gtids.update(pending.get("journal", ()))
+                for gtid in sorted(gtids):
+                    outcome = decisions.get(gtid)
+                    if outcome is None:
+                        self.coord.decide(gtid, "abort", shards=[shard_id])
+                        decisions[gtid] = outcome = "abort"
+                    with contextlib.suppress(Exception):
+                        await upstream.call(
+                            "decide", {"gtid": gtid, "outcome": outcome}
+                        )
+            except (ConnectionError, OSError, ProtocolError):
+                continue
+            finally:
+                await upstream.close()
+
+    # -- upstream connections ---------------------------------------------
+
+    async def _connect(self, shard_id, user=None, quick=False):
+        """Open and handshake a fresh upstream to *shard_id*.
+
+        Re-reads the worker's published endpoint on every attempt, so a
+        worker restarted on a new port is found as soon as it publishes.
+        *quick* limits the patience to one second (reconciliation must
+        not stall the router's start on a dead shard).
+        """
+        directory = self.manifest.shard_path(self.root, shard_id)
+        loop = asyncio.get_running_loop()
+        timeout = min(self.connect_timeout, 1.0) if quick \
+            else self.connect_timeout
+        deadline = loop.time() + timeout
+        last = None
+        while True:
+            endpoint = read_endpoint(directory)
+            if endpoint is not None:
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        endpoint["host"], endpoint["port"]
+                    )
+                    upstream = _Upstream(shard_id, reader, writer)
+                    await upstream.call("hello", {
+                        "versions": list(SUPPORTED_VERSIONS),
+                        "client": "repro-router",
+                    })
+                    if user is not None:
+                        await upstream.call("login", {"user": user})
+                    self.stats.upstream_connects += 1
+                    return upstream
+                except (ConnectionError, OSError, ProtocolError) as error:
+                    last = error
+            if loop.time() >= deadline:
+                raise _unavailable(
+                    shard_id, last,
+                    note="" if last is not None else "no endpoint published",
+                )
+            await asyncio.sleep(0.05)
+
+    async def _upstream(self, sess, shard_id):
+        upstream = sess.upstreams.get(shard_id)
+        if upstream is None:
+            upstream = await self._connect(shard_id, user=sess.user)
+            sess.upstreams[shard_id] = upstream
+        return upstream
+
+    async def _drop_upstream(self, sess, shard_id):
+        upstream = sess.upstreams.pop(shard_id, None)
+        if upstream is not None:
+            await upstream.close()
+
+    # -- routing ----------------------------------------------------------
+
+    #: The argument whose UID names the target shard, per op.
+    #: ``make_part_of``/``remove_part_of`` route by the parent and
+    #: additionally require the other UID co-resident (``_COLOCATED``).
+    _UID_ARG = {
+        "resolve": "uid",
+        "value": "uid",
+        "set_value": "uid",
+        "insert_into": "uid",
+        "remove_from": "uid",
+        "delete": "uid",
+        "components_of": "uid",
+        "children_of": "uid",
+        "parents_of": "uid",
+        "ancestors_of": "uid",
+        "roots_of": "uid",
+        "make_part_of": "parent",
+        "remove_part_of": "parent",
+    }
+    _COLOCATED = {
+        "make_part_of": ("child",),
+        "remove_part_of": ("child",),
+    }
+
+    async def _route(self, sess, op, args, raw=None):
+        if op == "ping":
+            return "pong"
+        if op == "whoami":
+            return {"user": sess.user, "session": sess.session_id,
+                    "txn": sess.gtid}
+        if op == "stats":
+            return self._stats_payload()
+        if op == "login":
+            return await self._login(sess, args)
+        if op == "query":
+            raise ProtocolError(
+                "the shard router does not support 'query': the "
+                "s-expression interpreter sees one shard's database only; "
+                "connect to a worker directly for queries"
+            )
+        if op in ("prepare", "decide", "indoubt"):
+            raise ProtocolError(
+                f"{op!r} is internal to router-worker two-phase commit"
+            )
+        if op == "begin":
+            return self._begin(sess)
+        if op == "commit":
+            return await self._commit(sess)
+        if op == "abort":
+            return await self._abort(sess)
+        if op == "make_class":
+            # Redefinition changes which attributes are composite; drop
+            # the placement cache entry so the next make re-learns it.
+            self._composite_attrs.pop(args.get("class_name"), None)
+            return await self._broadcast(sess, op, args)
+        if op == "instances_of":
+            return await self._scatter_instances(sess, args)
+        if op == "check":
+            return await self._scatter_check(sess, args)
+        if op == "describe":
+            return await self._relay(sess, 0, op, args, raw=raw)
+        if op == "make":
+            return await self._make(sess, args, raw=raw)
+        name = self._UID_ARG.get(op)
+        if name is not None:
+            shard_id = self._shard_of_arg(op, args, name)
+            self._check_colocated(op, args, shard_id)
+            return await self._relay(sess, shard_id, op, args, raw=raw)
+        raise ProtocolError(f"unknown op {op!r}")
+
+    def _shard_of_arg(self, op, args, name):
+        value = args.get(name)
+        if not isinstance(value, UID):
+            raise ProtocolError(f"{op!r} requires a UID argument {name!r}")
+        return shard_of_uid(value, self.shards)
+
+    def _check_colocated(self, op, args, shard_id):
+        for name in self._COLOCATED.get(op, ()):
+            value = args.get(name)
+            if (isinstance(value, UID)
+                    and shard_of_uid(value, self.shards) != shard_id):
+                raise ShardError(
+                    f"{op!r} would link {value} across shards (it lives "
+                    f"on shard {shard_of_uid(value, self.shards)}, the "
+                    f"parent on shard {shard_id}); composite hierarchies "
+                    f"must stay on one shard — create children with "
+                    f"make(..., parents=...) so placement co-locates them"
+                )
+
+    async def _make(self, sess, args, raw=None):
+        parents = args.get("parents") or ()
+        shards = set()
+        for pair in parents:
+            if not (isinstance(pair, (list, tuple)) and len(pair) == 2
+                    and isinstance(pair[0], UID)):
+                raise ProtocolError(
+                    "'parents' must be a list of [uid, attribute] pairs"
+                )
+            shards.add(shard_of_uid(pair[0], self.shards))
+        # UID references passed through values= anchor placement too.
+        # Composite ones are hard constraints (the new object becomes
+        # their parent, and a hierarchy lives whole on one shard); weak
+        # ones must still *resolve* on whatever shard the object lands
+        # on, because a worker validates UID domains against its local
+        # store — so they decide placement when nothing stronger does.
+        value_uids = {
+            name: uids for name, value in (args.get("values") or {}).items()
+            if (uids := _uids_in(value))
+        }
+        weak_shards = set()
+        if value_uids:
+            composite = await self._composite_attributes(
+                args.get("class_name")
+            )
+            for name, uids in value_uids.items():
+                owners = {shard_of_uid(uid, self.shards) for uid in uids}
+                if name in composite:
+                    shards.update(owners)
+                else:
+                    weak_shards.update(owners)
+        if len(shards) > 1:
+            raise ShardError(
+                f"an object cannot be created with composite parents or "
+                f"components on different shards {sorted(shards)}; a "
+                f"hierarchy lives whole on its root's shard — create the "
+                f"root first and attach parts top-down with "
+                f"make(..., parents=[[root, attribute]])"
+            )
+        if shards:
+            shard_id = shards.pop()
+            strays = weak_shards - {shard_id}
+        elif weak_shards:
+            if len(weak_shards) > 1:
+                strays = weak_shards
+            else:
+                shard_id = weak_shards.pop()
+                strays = set()
+        else:
+            shard_id = self.policy.place_free(args.get("class_name"))
+            strays = set()
+        if strays:
+            raise ShardError(
+                f"the object would land on one shard but references "
+                f"objects on shards {sorted(strays)}; references must "
+                f"resolve on the owning shard — co-locate the referenced "
+                f"objects or store the link from their side"
+            )
+        return await self._relay(sess, shard_id, "make", args, raw=raw)
+
+    async def _composite_attributes(self, class_name):
+        """Names of *class_name*'s composite attributes (cached).
+
+        Learnt from a one-shot ``describe`` against shard 0 (schema is
+        broadcast, so any worker knows it) on a dedicated connection —
+        routing a make must not enlist shard 0 into the session's
+        transaction.
+        """
+        cached = self._composite_attrs.get(class_name)
+        if cached is None:
+            upstream = await self._connect(0, quick=True)
+            try:
+                described = await upstream.call(
+                    "describe", {"class_name": class_name}
+                )
+            finally:
+                await upstream.close()
+            cached = frozenset(
+                spec[1:].split(None, 1)[0]
+                for spec in described.get("attributes", ())
+                if isinstance(spec, str)
+                and " :composite true" in spec.split(" :init ", 1)[0]
+            )
+            self._composite_attrs[class_name] = cached
+        return cached
+
+    async def _forward(self, upstream, op, args, raw):
+        """One upstream exchange: raw splice when the client's frame can
+        go through verbatim, decoded call otherwise."""
+        if raw is not None:
+            self.stats.raw_relays += 1
+            return _RawResult(await upstream.relay_raw(raw))
+        return await upstream.call(op, args)
+
+    async def _relay(self, sess, shard_id, op, args, raw=None):
+        """Forward one op to *shard_id* and return its result.
+
+        With *raw* (the client's undecoded request frame) the exchange
+        is a byte splice — see :meth:`_Upstream.relay_raw` — and the
+        return value is a :class:`_RawResult`; internal callers
+        (broadcast, scatter, commit) omit *raw* and get decoded results.
+
+        Inside an explicit transaction the shard is enlisted first (a
+        lazy upstream ``begin``).  A deadlock abort on one shard has
+        already rolled that shard back, so the router aborts the rest of
+        the distributed transaction before re-raising — same contract as
+        a single server, where the victim's whole transaction is gone.
+        A dead worker mid-transaction likewise aborts everywhere: its
+        strict-2PL state died with it.
+        """
+        self.stats.relays += 1
+        if sess.in_txn:
+            try:
+                upstream = await self._upstream(sess, shard_id)
+                if shard_id not in sess.touched:
+                    await upstream.call("begin")
+                    sess.touched.add(shard_id)
+                return await self._forward(upstream, op, args, raw)
+            except DeadlockError:
+                sess.touched.discard(shard_id)
+                await self._abort_touched(sess)
+                sess.in_txn = False
+                sess.gtid = None
+                raise
+            except (ConnectionError, OSError) as error:
+                await self._drop_upstream(sess, shard_id)
+                sess.touched.discard(shard_id)
+                await self._abort_touched(sess)
+                sess.in_txn = False
+                sess.gtid = None
+                raise _unavailable(
+                    shard_id, error,
+                    note="the transaction is aborted; retry the scope",
+                ) from None
+        try:
+            upstream = await self._upstream(sess, shard_id)
+            return await self._forward(upstream, op, args, raw)
+        except (ConnectionError, OSError) as error:
+            await self._drop_upstream(sess, shard_id)
+            if op in RETRYABLE_OPS:
+                # Reads are safe to re-send on a fresh connection (the
+                # worker may have restarted on a new port meanwhile).
+                self.stats.retried_reads += 1
+                upstream = await self._upstream(sess, shard_id)
+                return await self._forward(upstream, op, args, raw)
+            raise _unavailable(
+                shard_id, error,
+                note=f"{op!r} may have executed before the connection "
+                     f"died — verify before retrying",
+            ) from None
+
+    async def _login(self, sess, args):
+        user = args.get("user")
+        if not user:
+            raise ProtocolError("missing argument(s): user")
+        sess.user = user
+        for shard_id in sorted(sess.upstreams):
+            with contextlib.suppress(ConnectionError, OSError):
+                await sess.upstreams[shard_id].call("login", {"user": user})
+        return {"user": user}
+
+    async def _broadcast(self, sess, op, args):
+        """Run *op* on every shard (DDL must exist cluster-wide)."""
+        self.stats.broadcasts += 1
+        result = None
+        for shard_id in range(self.shards):
+            result = await self._relay(sess, shard_id, op, args)
+        return result
+
+    async def _scatter_instances(self, sess, args):
+        self.stats.scatters += 1
+        members = []
+        for shard_id in range(self.shards):
+            members.extend(
+                await self._relay(sess, shard_id, "instances_of", args)
+            )
+        # UID order is allocation order, which interleaves round-robin
+        # across strides — sort to match a single server's extent scan.
+        members.sort(key=lambda uid: uid.number)
+        return members
+
+    async def _scatter_check(self, sess, args):
+        self.stats.scatters += 1
+        reports = {}
+        for shard_id in range(self.shards):
+            reports[f"shard-{shard_id:02d}"] = await self._relay(
+                sess, shard_id, "check", args
+            )
+        reports["ok"] = all(
+            report.get("ok", False) for report in reports.values()
+        )
+        return reports
+
+    def _stats_payload(self):
+        row = self.stats.row()
+        row["decisions_logged"] = self.coord.decisions_logged
+        return {
+            "router": row,
+            "cluster": {
+                "shards": self.shards,
+                "policy": self.manifest.policy,
+                "sync_policy": self.manifest.sync_policy,
+            },
+        }
+
+    # -- transactions ------------------------------------------------------
+
+    def _begin(self, sess):
+        if sess.in_txn:
+            raise TransactionStateError(
+                f"session already has active transaction {sess.gtid!r}; "
+                f"commit or abort it first"
+            )
+        sess.in_txn = True
+        sess.gtid = f"g{self._boot}-{next(self._gtid_seq)}"
+        sess.touched.clear()
+        return {"txn": sess.gtid}
+
+    async def _abort(self, sess):
+        if not sess.in_txn:
+            raise TransactionStateError("no transaction to abort")
+        gtid, sess.gtid = sess.gtid, None
+        sess.in_txn = False
+        await self._abort_touched(sess)
+        return {"txn": gtid}
+
+    async def _abort_touched(self, sess):
+        """Abort the open upstream transactions (best effort: a dead
+        worker's transaction dies with its session anyway)."""
+        for shard_id in sorted(sess.touched):
+            upstream = sess.upstreams.get(shard_id)
+            if upstream is None:
+                continue
+            try:
+                await upstream.call("abort")
+            except Exception:
+                await self._drop_upstream(sess, shard_id)
+        sess.touched.clear()
+
+    async def _commit(self, sess):
+        if not sess.in_txn:
+            raise TransactionStateError("no transaction to commit")
+        gtid, sess.gtid = sess.gtid, None
+        sess.in_txn = False
+        touched = sorted(sess.touched)
+        sess.touched.clear()
+        if not touched:
+            self.stats.trivial_commits += 1
+            return {"txn": gtid, "shards": [], "mode": "trivial"}
+        if len(touched) == 1:
+            shard_id = touched[0]
+            try:
+                await sess.upstreams[shard_id].call("commit")
+            except (ConnectionError, OSError) as error:
+                await self._drop_upstream(sess, shard_id)
+                raise _unavailable(
+                    shard_id, error,
+                    note="commit outcome unknown — check after the worker "
+                         "recovers",
+                ) from None
+            self.stats.fast_commits += 1
+            return {"txn": gtid, "shards": touched, "mode": "single"}
+        return await self._commit_2pc(sess, gtid, touched)
+
+    async def _commit_2pc(self, sess, gtid, touched):
+        """Two-phase commit across *touched* shards.
+
+        Any phase-1 failure decides abort.  The decision — either way —
+        is fsynced into the coordinator log before any participant is
+        told: shards whose prepare crashed mid-flight may hold a durable
+        ``P`` record this router never saw a vote for, and their
+        recovery resolves against the log.
+        """
+        votes = {}
+        cause = None
+        for shard_id in touched:
+            upstream = sess.upstreams.get(shard_id)
+            try:
+                if upstream is None:
+                    raise _unavailable(shard_id, note="upstream lost")
+                result = await upstream.call("prepare", {"gtid": gtid})
+                votes[shard_id] = result.get("vote", "yes")
+            except (ConnectionError, OSError) as error:
+                await self._drop_upstream(sess, shard_id)
+                cause = _unavailable(
+                    shard_id, error, note=f"prepare of {gtid!r} failed"
+                )
+                break
+            except Exception as error:
+                cause = error
+                break
+        outcome = "commit" if cause is None else "abort"
+        self.coord.decide(gtid, outcome, shards=touched)
+        if outcome == "commit":
+            self.stats.twopc_commits += 1
+        else:
+            self.stats.twopc_aborts += 1
+        for shard_id in touched:
+            upstream = sess.upstreams.get(shard_id)
+            if upstream is None:
+                # Its worker (or connection) is gone: the parked-txn
+                # poller or recovery resolves it against the log.
+                continue
+            fire_or_die(
+                "coord.send_decide", gtid=gtid, shard=shard_id,
+                outcome=outcome,
+            )
+            try:
+                if shard_id in votes:
+                    await upstream.call(
+                        "decide", {"gtid": gtid, "outcome": outcome}
+                    )
+                else:
+                    # Never voted, so never prepared: a plain abort
+                    # releases its still-active transaction.
+                    await upstream.call("abort")
+            except Exception:
+                await self._drop_upstream(sess, shard_id)
+        if cause is not None:
+            raise cause
+        return {"txn": gtid, "shards": touched, "mode": "2pc"}
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(self, reader, writer):
+        try:
+            await self._connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+
+    async def _connection(self, reader, writer):
+        self._conn_tasks.add(asyncio.current_task())
+        self._next_session += 1
+        sess = _RouterSession(
+            self._next_session, writer.get_extra_info("peername")
+        )
+        self.stats.sessions_opened += 1
+        try:
+            if not await self._handshake(sess, reader, writer):
+                return
+            await self._serve_session(sess, reader, writer)
+        except ProtocolError as error:
+            with contextlib.suppress(Exception):
+                writer.write(encode_frame(error_frame(0, error)))
+                await writer.drain()
+        except (OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await self._close_session(sess)
+            self.stats.sessions_closed += 1
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            self._conn_tasks.discard(asyncio.current_task())
+
+    async def _handshake(self, sess, reader, writer):
+        frame = await read_frame(reader)
+        if frame is None:
+            return False
+        try:
+            request_id, op, args = check_request(frame)
+            if op != "hello":
+                raise ProtocolError("first request must be 'hello'")
+            offered = args.get("versions")
+            if not isinstance(offered, list) or not offered:
+                raise ProtocolError("'hello' must offer a list of versions")
+            common = [v for v in SUPPORTED_VERSIONS if v in offered]
+            if not common:
+                raise ProtocolError(
+                    f"no common protocol version: client speaks {offered}, "
+                    f"router speaks {list(SUPPORTED_VERSIONS)}"
+                )
+        except ProtocolError as error:
+            writer.write(encode_frame(error_frame(frame.get("id", 0), error)))
+            await writer.drain()
+            return False
+        from .. import __version__
+
+        writer.write(encode_frame(result_frame(request_id, {
+            "version": common[0],
+            "server": f"repro-router/{__version__}",
+            "session": sess.session_id,
+            "shards": self.shards,
+        })))
+        await writer.drain()
+        return True
+
+    async def _serve_session(self, sess, reader, writer):
+        while True:
+            raw = await _read_payload(reader)
+            if raw is None:
+                return
+            self.stats.requests += 1
+            frame = decode_frame(raw)
+            try:
+                request_id, op, args = check_request(frame)
+            except ProtocolError as error:
+                self.stats.errors += 1
+                writer.write(
+                    encode_frame(error_frame(frame.get("id", 0), error))
+                )
+                await writer.drain()
+                continue
+            try:
+                result = await self._route(sess, op, args, raw)
+                if isinstance(result, _RawResult):
+                    # Fast path: the worker's payload already carries
+                    # this request's id — splice it through verbatim.
+                    writer.write(
+                        _PREFIX.pack(len(result.payload)) + result.payload
+                    )
+                    await writer.drain()
+                    continue
+                response = result_frame(request_id, result)
+            except Exception as error:
+                self.stats.errors += 1
+                response = error_frame(request_id, error)
+            writer.write(encode_frame(response))
+            await writer.drain()
+
+    async def _close_session(self, sess):
+        """Abort any open distributed transaction, drop the upstreams.
+
+        Closing an upstream mid-2PC is safe: a worker whose session dies
+        while *prepared* parks the transaction (locks held) and resolves
+        it from the coordinator log — see ``Session.close`` in
+        :mod:`repro.server.server`.
+        """
+        if sess.in_txn:
+            sess.in_txn = False
+            sess.gtid = None
+            with contextlib.suppress(Exception):
+                await self._abort_touched(sess)
+        for shard_id in list(sess.upstreams):
+            await self._drop_upstream(sess, shard_id)

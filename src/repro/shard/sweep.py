@@ -1,0 +1,87 @@
+"""``repro-shardsweep`` — multi-process crash-plan sweep (CI gate).
+
+Runs N seeded :class:`repro.shard.crashsim.ShardPlan` scenarios, each in
+a fresh scratch directory: spin up a real router + workers, arm one
+``kill`` failpoint at a 2PC state, drive transactions until it fires,
+restart the victim, and hold the recovered cluster to the
+committed-prefix oracle.  Any oracle violation fails the sweep::
+
+    repro-shardsweep --plans 100 --seed 20260807
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from .crashsim import ShardCrashSim, random_plans
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-shardsweep",
+        description="sweep seeded multi-process crash plans against "
+                    "a sharded cluster",
+    )
+    parser.add_argument("--plans", type=int, default=100,
+                        help="number of seeded plans (default 100)")
+    parser.add_argument("--seed", type=int, default=20260807,
+                        help="master seed for plan generation")
+    parser.add_argument("--keep-failed", action="store_true",
+                        help="keep the scratch directory of any failing "
+                             "plan for post-mortem")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print one line per plan instead of a dot")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    plans = random_plans(count=args.plans, seed=args.seed)
+    failures = []
+    fired = {}
+    started = time.monotonic()
+    for index, plan in enumerate(plans):
+        root = tempfile.mkdtemp(prefix=f"shardsweep-{index:03d}-")
+        result = ShardCrashSim(root, plan).run()
+        if result.kill_fired:
+            key = (plan.target.split(":")[0], plan.site)
+            fired[key] = fired.get(key, 0) + 1
+        if args.verbose:
+            state = "ok" if result.ok else "FAIL"
+            print(f"[{index + 1:3d}/{len(plans)}] {plan.describe():<60} "
+                  f"acked={result.acked} fired={result.kill_fired} {state}",
+                  flush=True)
+        else:
+            sys.stdout.write("." if result.ok else "F")
+            sys.stdout.flush()
+        if result.ok:
+            shutil.rmtree(root, ignore_errors=True)
+        else:
+            failures.append((plan, result, root))
+            if not args.keep_failed:
+                shutil.rmtree(root, ignore_errors=True)
+    if not args.verbose:
+        print()
+    elapsed = time.monotonic() - started
+    print(f"{len(plans)} plans in {elapsed:.1f}s; "
+          f"{sum(fired.values())} kills fired across "
+          f"{len(fired)} (target, site) pairs; "
+          f"{len(failures)} oracle violations")
+    for kind, site in sorted(fired):
+        print(f"  fired {kind:>6} @ {site:<22} x{fired[(kind, site)]}")
+    for plan, result, root in failures:
+        print(f"FAILED [{plan.describe()}]", file=sys.stderr)
+        for problem in result.problems:
+            print(f"  - {problem}", file=sys.stderr)
+        if root is not None and os.path.isdir(root):
+            print(f"  scratch kept at {root}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

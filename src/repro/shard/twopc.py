@@ -1,0 +1,156 @@
+"""Two-phase commit: the coordinator decision log and in-doubt resolution.
+
+Protocol (presumed abort, built on the group-commit journal):
+
+1. The router assigns a cross-shard transaction a *gtid* and sends
+   ``prepare {gtid}`` to every touched shard.  Each participant seals
+   its buffered batch with a ``P`` record and fsyncs
+   (:meth:`repro.storage.journal.Journal.prepare_txn`), then votes.
+2. All yes-votes: the router appends ``{gtid, outcome}`` to its own
+   ``coord.log`` and **fsyncs before any participant hears the
+   decision** — the log line is the commit point.  Any failure during
+   phase 1 decides abort, which is also logged.
+3. The router sends ``decide {gtid, outcome}`` to every participant;
+   each journals an ``R`` record and commits/aborts locally
+   (:meth:`~repro.storage.journal.Journal.resolve_prepared`).
+
+Recovery matrix (docs/SHARDING.md has the full table): a participant
+that crashes between P and R recovers the batch *in doubt* and resolves
+it against the coordinator log — present means use the logged outcome,
+absent means the coordinator never reached its commit point, so the
+outcome is abort (presumed abort).  A torn final log line is ignored:
+an unreadable decision is no decision.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..faults.registry import fire as _fire
+
+COORD_LOG_NAME = "coord.log"
+
+
+def fire_or_die(site, **ctx):
+    """Fire a failpoint; a ``kill`` directive hard-exits the process.
+
+    The multi-process crash simulator arms ``kill`` at the ``twopc.*``
+    and ``coord.*`` sites to take a worker or the coordinator down at an
+    exact 2PC state.  ``os._exit`` (not ``sys.exit``): no atexit, no
+    flushing, no asyncio teardown — process death, as a power cut or
+    OOM-kill would deliver it.
+    """
+    if _fire(site, **ctx) == "kill":
+        os._exit(17)
+
+
+class CoordinatorLog:
+    """The router's append-only decision log (``coord.log``).
+
+    JSON lines ``{"gtid": ..., "outcome": "commit"|"abort",
+    "shards": [...]}``; a decision is durable once its line is fsynced,
+    which happens *before* any participant is told.  The log is the
+    single source of truth for in-doubt resolution — workers poll it
+    (they mount the same cluster root) and the router replays it when
+    reconciling after a restart.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.decisions_logged = 0
+
+    @classmethod
+    def in_root(cls, root):
+        return cls(Path(root) / COORD_LOG_NAME)
+
+    def decide(self, gtid, outcome, shards=()):
+        """Journal a decision durably; the commit point of 2PC."""
+        if outcome not in ("commit", "abort"):
+            raise ValueError(f"unknown 2PC outcome {outcome!r}")
+        fire_or_die("coord.log_decision", gtid=gtid, outcome=outcome)
+        line = json.dumps(
+            {"gtid": gtid, "outcome": outcome, "shards": list(shards)}
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.decisions_logged += 1
+        fire_or_die("coord.decided", gtid=gtid, outcome=outcome)
+
+    def load(self):
+        """All durable decisions, as ``{gtid: outcome}``.
+
+        A torn final line (crash mid-append) is skipped: an unreadable
+        decision is no decision, and presumed abort covers it.
+        """
+        decisions = {}
+        if not self.path.exists():
+            return decisions
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail
+                decisions[entry["gtid"]] = entry["outcome"]
+        return decisions
+
+
+def resolve_in_doubt(db, decisions, journal=None):
+    """Resolve a recovered database's in-doubt batches against
+    *decisions* (a ``{gtid: outcome}`` map, e.g. from
+    :meth:`CoordinatorLog.load`).
+
+    Gtids absent from *decisions* are **left in doubt** — the caller
+    decides when absence means abort (the offline oracle and fsck may
+    presume it, a live worker must first give the router a chance to
+    finish logging; see ``repro.shard.worker``).  Pass
+    ``presume_abort(db, journal)`` afterwards to close the remainder.
+
+    With *journal* (the shard's live :class:`~repro.storage.journal.
+    Journal`), each resolution is also journaled as an ``R`` record so
+    the next recovery does not re-raise the doubt.  Returns the list of
+    (gtid, outcome) pairs resolved.
+    """
+    from ..storage.journal import Journal
+
+    resolved = []
+    applied = False
+    for gtid in sorted(db.in_doubt):
+        outcome = decisions.get(gtid)
+        if outcome is None:
+            continue
+        records = db.in_doubt.pop(gtid)
+        if outcome == "commit":
+            Journal.apply_in_doubt(db, records)
+            applied = True
+        if journal is not None:
+            journal.resolve_prepared(gtid, outcome == "commit")
+        resolved.append((gtid, outcome))
+    if applied:
+        db.rebuild_extents()
+        # Recovery seats the allocator above every journaled UID,
+        # including in-doubt ones, so no re-seat is needed here.
+    return resolved
+
+
+def presume_abort(db, journal=None):
+    """Abort every remaining in-doubt batch (presumed abort).
+
+    Only safe once the coordinator can no longer decide commit for
+    these gtids — offline analysis of a dead cluster, or a live worker
+    whose grace period for the router expired.
+    """
+    resolved = []
+    for gtid in sorted(db.in_doubt):
+        db.in_doubt.pop(gtid)
+        if journal is not None:
+            journal.resolve_prepared(gtid, False)
+        resolved.append((gtid, "abort"))
+    return resolved

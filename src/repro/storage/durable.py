@@ -43,6 +43,11 @@ class DurableDatabase(Database):
         self.journal = Journal(
             self, directory, sync_policy=sync_policy, group_size=group_size
         )
+        # Recovered in-doubt (prepared, undecided) 2PC batches block
+        # checkpointing until resolved (repro.shard.twopc).
+        in_doubt = getattr(self, "in_doubt", None)
+        if in_doubt:
+            self.journal.adopt_in_doubt(in_doubt)
 
     @classmethod
     def open(cls, directory, **kwargs):

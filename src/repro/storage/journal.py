@@ -65,6 +65,14 @@ _U32 = struct.Struct(">I")
 _IMAGE = b"I"
 _TOMBSTONE = b"D"
 _COMMIT = b"C"
+#: Two-phase-commit markers (docs/SHARDING.md).  ``P`` seals the
+#: preceding records as a *prepared* batch — durable but in doubt; its
+#: payload names the global transaction (JSON ``{"gtid": ...}``).  ``R``
+#: resolves a prepared batch (JSON ``{"gtid": ..., "commit": bool}``):
+#: recovery applies the stashed batch on commit, discards it on abort,
+#: and surfaces any still-unresolved batch as in-doubt.
+_PREPARE = b"P"
+_RESOLVE = b"R"
 
 SNAPSHOT_NAME = "checkpoint.db"
 JOURNAL_NAME = "journal.log"
@@ -280,6 +288,11 @@ class Journal:
         #: True when flushed bytes await an fsync (group/none policies).
         self._dirty = False
         self._unsynced_seals = 0
+        #: Prepared-but-undecided global transactions (gtid -> True):
+        #: live prepares plus in-doubt batches adopted from recovery.
+        #: Checkpointing refuses while any exist — a snapshot would
+        #: capture (or lose) state whose outcome is not yet known.
+        self._prepared = {}
         # -- durability counters (the stats op and B12c report these) --
         self.records_written = 0
         self.records_coalesced = 0
@@ -475,6 +488,89 @@ class Journal:
             self._journal_file.flush()
             self._fsync()
 
+    # -- two-phase commit ----------------------------------------------------
+
+    def prepare_txn(self, txn, gtid):
+        """Seal *txn*'s buffered batch as a *prepared* batch (2PC phase 1).
+
+        Writes the batch records followed by a ``P`` marker naming
+        *gtid*, then fsyncs unconditionally — a prepare is a promise to
+        commit on demand, so it is durable under every batching policy.
+        The transaction stays open (locks held, undo log intact) until
+        :meth:`resolve_prepared` delivers the coordinator's decision.
+
+        Returns True when a prepared batch was written, False when the
+        transaction buffered nothing here (a read-only participant: the
+        caller should vote "ro" and needs no decision record).
+        """
+        self._ensure_open("prepare a transaction")
+        if not self.batching:
+            raise StorageError(
+                "2PC prepare requires a batching sync policy "
+                "(commit/group/none); 'always' writes through per-op "
+                "and cannot hold a batch back for the decision"
+            )
+        batch = self._txn_batches.get(txn)
+        if batch is not None and batch.stale:
+            # A checkpoint ran mid-transaction and persisted this
+            # transaction's uncommitted state; the snapshot carries no
+            # in-doubt marker, so a prepared outcome could not be
+            # resolved at recovery.  Refuse — the coordinator aborts.
+            raise StorageError(
+                "cannot prepare a transaction that spans a checkpoint"
+            )
+        if batch is None or not batch.records:
+            self._txn_batches.pop(txn, None)
+            return False
+        del self._txn_batches[txn]
+        payload = json.dumps({"gtid": gtid}).encode("utf-8")
+        with self._io_guard("prepare a transaction"):
+            for kind, record in batch.records.values():
+                self._write_record(kind, record)
+            batch.records.clear()
+            self._write_record(_PREPARE, payload)
+            self._journal_file.flush()
+            self._fsync()
+        self.batches_sealed += 1
+        self._prepared[gtid] = True
+        return True
+
+    def resolve_prepared(self, gtid, commit):
+        """Journal the coordinator's decision for *gtid* (2PC phase 2).
+
+        Appends an ``R`` record; a commit decision fsyncs so the shard's
+        own log proves the outcome without the coordinator log.  An
+        abort decision merely flushes — losing it re-opens the in-doubt
+        window, and presumed-abort resolution closes it again.
+        """
+        self._ensure_open("resolve a prepared transaction")
+        payload = json.dumps(
+            {"gtid": gtid, "commit": bool(commit)}
+        ).encode("utf-8")
+        with self._io_guard("resolve a prepared transaction"):
+            self._write_record(_RESOLVE, payload)
+            self._journal_file.flush()
+            if commit or self.sync_policy in ("always", "commit"):
+                self._fsync()
+            else:
+                self._dirty = True
+        self._prepared.pop(gtid, None)
+
+    def adopt_in_doubt(self, gtids):
+        """Register recovered in-doubt transactions (checkpoint guard).
+
+        Called by the shard worker after :meth:`recover_into` surfaced
+        unresolved prepared batches: until each is resolved through
+        :meth:`resolve_prepared`, checkpointing must refuse.
+        """
+        for gtid in gtids:
+            self._prepared[gtid] = True
+
+    @property
+    def prepared_gtids(self):
+        """Gtids of prepared-but-undecided transactions, sorted."""
+        return sorted(self._prepared)
+
     # -- transaction hooks ---------------------------------------------------
 
     def _on_op_end(self):
@@ -576,6 +672,7 @@ class Journal:
             "pending_sync": self._dirty,
             "failed": self.failed,
             "epoch": self.epoch,
+            "in_doubt": len(self._prepared),
         }
 
     # -- checkpointing --------------------------------------------------------
@@ -589,6 +686,11 @@ class Journal:
         abort writes compensating records instead of dropping them.
         """
         self._ensure_open("checkpoint")
+        if self._prepared:
+            raise StorageError(
+                "cannot checkpoint with prepared (in-doubt) "
+                f"transaction(s) pending: {', '.join(sorted(self._prepared))}"
+            )
         _fire("journal.checkpoint", journal=self)
         database = self._db
         temp_path = self.snapshot_path.with_suffix(".tmp")
@@ -700,6 +802,14 @@ class Journal:
         its commit marker is seen, so a truncated final batch (torn
         write) is discarded in full, as a real redo log would after a
         crash.
+
+        A batch sealed by a ``P`` (prepare) marker is *not* applied;
+        it is stashed under its gtid and applied/discarded when a later
+        ``R`` (resolution) record decides it.  Batches still undecided
+        at the end of the stream are exposed as ``database.in_doubt``
+        (gtid -> record list) for the shard worker to resolve against
+        the coordinator log (see ``repro.shard.twopc``); the attribute
+        is always set, so non-sharded callers simply see ``{}``.
         """
         directory = Path(directory)
         snapshot = directory / SNAPSHOT_NAME
@@ -723,6 +833,20 @@ class Journal:
                     max_uid = max(max_uid, instance.uid.number)
                     restored += 1
                 max_uid = max(max_uid, meta.get("next_uid", 1) - 1)
+        in_doubt = {}
+
+        def apply_records(records):
+            nonlocal replayed, max_uid
+            for record_kind, payload in records:
+                instance = decode_instance(payload)
+                if record_kind == _TOMBSTONE:
+                    database._objects.pop(instance.uid, None)
+                else:
+                    instance.deleted = False
+                    database._objects[instance.uid] = instance
+                    max_uid = max(max_uid, instance.uid.number)
+                replayed += 1
+
         if journal.exists():
             # A torn header or an epoch mismatch (stale journal left by
             # a crash mid-checkpoint) yields None: replay nothing.
@@ -739,16 +863,23 @@ class Journal:
                     break  # torn final record: discard the whole batch
                 if kind == _COMMIT:
                     # Batch complete: apply its buffered records.
-                    for record_kind, payload in pending:
-                        instance = decode_instance(payload)
-                        if record_kind == _TOMBSTONE:
-                            database._objects.pop(instance.uid, None)
-                        else:
-                            instance.deleted = False
-                            database._objects[instance.uid] = instance
-                            max_uid = max(max_uid, instance.uid.number)
-                        replayed += 1
+                    apply_records(pending)
                     pending.clear()
+                elif kind == _PREPARE:
+                    # Prepared batch: durable but undecided.  Stash it;
+                    # burn its UID numbers either way so the allocator
+                    # can never re-issue them after an abort.
+                    meta = json.loads(data[position + 5:end].decode("utf-8"))
+                    for _kind, payload in pending:
+                        instance = decode_instance(payload)
+                        max_uid = max(max_uid, instance.uid.number)
+                    in_doubt[meta["gtid"]] = list(pending)
+                    pending.clear()
+                elif kind == _RESOLVE:
+                    meta = json.loads(data[position + 5:end].decode("utf-8"))
+                    stashed = in_doubt.pop(meta["gtid"], None)
+                    if stashed is not None and meta["commit"]:
+                        apply_records(stashed)
                 elif kind in (_IMAGE, _TOMBSTONE):
                     pending.append((kind, data[position + 5:end]))
                 else:
@@ -760,4 +891,20 @@ class Journal:
 
         database.allocator = UIDAllocator(start=max_uid + 1)
         database.rebuild_extents()
+        database.in_doubt = in_doubt
         return restored, replayed
+
+    @staticmethod
+    def apply_in_doubt(database, records):
+        """Apply one in-doubt batch's records to *database* (a commit
+        decision reached after recovery).  The caller journals the
+        matching ``R`` record via :meth:`resolve_prepared` and rebuilds
+        extents afterwards (see ``repro.shard.twopc.resolve_in_doubt``).
+        """
+        for record_kind, payload in records:
+            instance = decode_instance(payload)
+            if record_kind == _TOMBSTONE:
+                database._objects.pop(instance.uid, None)
+            else:
+                instance.deleted = False
+                database._objects[instance.uid] = instance

@@ -1,4 +1,13 @@
-"""Transaction mixes for the concurrency simulator (benchmark B9)."""
+"""Transaction mixes: simulator scripts (B9) and a live TCP driver.
+
+:func:`composite_mix` / :func:`disjoint_writers` build step scripts for
+:class:`repro.sim.eventsim.ConcurrencySimulator`.  The TCP half —
+:func:`tcp_fixture` and :func:`run_tcp_mix` — replays the *same* scripts
+through a real :class:`repro.server.client.Client` connection, turning
+each script into one explicit ``begin``/``commit`` transaction against a
+live server (or a shard router: benchmark B18 and the cluster tests
+drive exactly this workload through ``repro-router``).
+"""
 
 from __future__ import annotations
 
@@ -47,6 +56,28 @@ def composite_mix(
     return scripts
 
 
+def single_root_mix(roots, transactions=20, steps_per_txn=3,
+                    read_ratio=0.7, seed=42):
+    """Scripts whose steps all touch *one* composite root each.
+
+    The sharded fast path's best case: with composite-aware placement a
+    whole script lands on one shard, so its commit needs no 2PC.
+    Contrast with :func:`composite_mix`, whose per-step root choice
+    makes most multi-step scripts span shards.
+    """
+    rng = random.Random(seed)
+    scripts = []
+    for _ in range(transactions):
+        root = rng.choice(roots)
+        steps = []
+        for _ in range(steps_per_txn):
+            read = rng.random() < read_ratio
+            action = "read_composite" if read else "update_composite"
+            steps.append(Step(action=action, target=root))
+        scripts.append(steps)
+    return scripts
+
+
 def disjoint_writers(roots, writers_per_root=1, steps_per_txn=2):
     """Every transaction updates a distinct composite object.
 
@@ -62,3 +93,82 @@ def disjoint_writers(roots, writers_per_root=1, steps_per_txn=2):
                 [Step(action="update_composite", target=root)] * steps_per_txn
             )
     return scripts
+
+
+# ---------------------------------------------------------------------------
+# Driving the same scripts over a live TCP connection
+# ---------------------------------------------------------------------------
+
+#: Attribute the TCP driver's update steps write (an integer stamp).
+STAMP_ATTRIBUTE = "Stamp"
+
+
+def tcp_fixture(client, roots=8, parts_per_root=3):
+    """Create the TCP mix's schema and data through *client*.
+
+    ``MixRoot`` composites with *parts_per_root* dependent ``MixPart``
+    children each; both carry an integer :data:`STAMP_ATTRIBUTE` for
+    update steps to write.  Children are created with ``parents=`` so a
+    shard router co-locates each hierarchy with its root.  Returns
+    ``(root_uids, components_by_root)`` in the shape
+    :func:`composite_mix` expects.
+    """
+    client.make_class("MixPart", attributes=[
+        {"name": STAMP_ATTRIBUTE, "domain": "integer"},
+    ])
+    client.make_class("MixRoot", attributes=[
+        {"name": STAMP_ATTRIBUTE, "domain": "integer"},
+        {"name": "Parts", "domain": {"$set_of": "MixPart"},
+         "composite": True, "exclusive": True, "dependent": True},
+    ])
+    root_uids = []
+    components = {}
+    for _ in range(roots):
+        root = client.make("MixRoot", values={STAMP_ATTRIBUTE: 0})
+        root_uids.append(root)
+        components[root] = [
+            client.make("MixPart", values={STAMP_ATTRIBUTE: 0},
+                        parents=[(root, "Parts")])
+            for _ in range(parts_per_root)
+        ]
+    return root_uids, components
+
+
+def run_tcp_mix(client, scripts, max_retries=10):
+    """Execute simulator *scripts* through a live client connection.
+
+    Each script runs as one explicit transaction: ``read_composite``
+    becomes ``components_of``, ``read_instance`` becomes ``resolve``,
+    and both update actions ``set_value`` the target's stamp.  A
+    deadlock victim retries its whole scope (the server already rolled
+    it back), up to *max_retries* times.  Returns counters::
+
+        {"transactions": ..., "ops": ..., "deadlock_retries": ...}
+    """
+    from ..errors import DeadlockError
+
+    stats = {"transactions": 0, "ops": 0, "deadlock_retries": 0}
+    stamp = 0
+    for steps in scripts:
+        for attempt in range(max_retries + 1):
+            try:
+                client.begin()
+                for step in steps:
+                    if step.action == "read_composite":
+                        client.components_of(step.target)
+                    elif step.action == "read_instance":
+                        client.resolve(step.target)
+                    else:
+                        stamp += 1
+                        client.set_value(
+                            step.target, STAMP_ATTRIBUTE, stamp
+                        )
+                    stats["ops"] += 1
+                client.commit()
+                break
+            except DeadlockError:
+                stats["deadlock_retries"] += 1
+                if attempt >= max_retries:
+                    raise
+        stats["transactions"] += 1
+    return stats
