@@ -1,6 +1,6 @@
 """Static analysis and integrity checking for the composite-object DB.
 
-Three planes over one findings model (:mod:`repro.analysis.findings`):
+Four planes over one findings model (:mod:`repro.analysis.findings`):
 
 * Plane 1 — :class:`SchemaAnalyzer` (static schema/topology analysis and
   schema-evolution pre-flight) and :func:`check_query` (static query
@@ -13,9 +13,16 @@ Three planes over one findings model (:mod:`repro.analysis.findings`):
   statically from transaction templates), and :func:`lint_package`
   (AST linter enforcing the codebase's concurrency/durability
   discipline on ``src/repro`` itself).
+* Plane 4 — the protocol pass: :func:`check_protocol` (exhaustive
+  explicit-state model checking of the 2PC coordinator/worker state
+  machines, crash-at-failpoint-site and recovery included),
+  :func:`conform_trace` (recorded durable traces must be
+  linearizations the model allows), and the drift lints
+  :func:`lint_protocol_sites` / :func:`lint_wire_ops` that keep the
+  model honest against the implementation.
 
 The ``repro-check`` console script (:mod:`repro.analysis.cli`) and the
-server's ``check`` op expose all three planes.
+server's ``check`` op expose all four planes.
 """
 
 from .codelint import lint_package, lint_source
@@ -23,6 +30,16 @@ from .findings import Finding, Report, Severity
 from .fsck import fsck_database
 from .lockdep import LockOrderGraph, LockOrderRecorder
 from .locklint import TransactionTemplate, analyze_templates
+from .proto_model import Scope
+from .protocheck import (
+    check_protocol,
+    conform_trace,
+    conform_traces,
+    explore,
+    extract_trace,
+    lint_protocol_sites,
+    lint_wire_ops,
+)
 from .query_check import check_query
 from .schema_check import EVOLUTION_CHANGES, SchemaAnalyzer
 
@@ -33,11 +50,19 @@ __all__ = [
     "LockOrderRecorder",
     "Report",
     "SchemaAnalyzer",
+    "Scope",
     "Severity",
     "TransactionTemplate",
     "analyze_templates",
+    "check_protocol",
     "check_query",
+    "conform_trace",
+    "conform_traces",
+    "explore",
+    "extract_trace",
     "fsck_database",
     "lint_package",
+    "lint_protocol_sites",
     "lint_source",
+    "lint_wire_ops",
 ]

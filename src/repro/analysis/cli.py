@@ -1,6 +1,6 @@
 """``repro-check`` — the command-line front end of :mod:`repro.analysis`.
 
-Seven commands, all reporting through the shared findings model:
+Eight commands, all reporting through the shared findings model:
 
 ``repro-check schema DIR``
     Recover the class lattice of a durable store (read-only) and run the
@@ -33,6 +33,19 @@ Seven commands, all reporting through the shared findings model:
     the codebase's concurrency/durability discipline: ``_operation()``
     bracketing, ``txn_context`` wrapping, lock-table encapsulation,
     journal-hook hygiene, no bare ``except``.  CI requires this clean.
+
+``repro-check proto [--self-test]``
+    Exhaustively model-check the 2PC coordinator/worker state machines
+    (message delivery, crash-at-failpoint-site, restart/recovery) for a
+    small scope and report invariant violations as minimal
+    counterexample traces; then run the implementation-conformance
+    lints (``PROTO-SITE-DRIFT``, ``PROTO-OP-DRIFT``).  ``--replay`` and
+    ``--impl-traces`` additionally check recorded/live durable traces
+    as refinements of the model.  ``--self-test`` verifies the checker
+    itself: a seeded presumed-*commit* bug must yield a shortest
+    counterexample, the clean model must explore violation-free, and
+    the DFS sleep-set reduction must agree with plain BFS — CI runs
+    this form.
 
 ``repro-check self-test`` (also reachable as ``repro-check --self-test``)
     Build every seed workload and figure scenario in memory, run the
@@ -312,6 +325,159 @@ def _cmd_code(options: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# Protocol plane: the 2PC model checker + conformance lints
+# ----------------------------------------------------------------------
+
+def _cmd_proto(options: argparse.Namespace) -> int:
+    from . import protocheck
+    from .proto_model import Scope
+
+    if options.self_test:
+        return _proto_self_test(options)
+    scope = Scope(
+        workers=options.workers,
+        txns=options.txns,
+        max_crashes=options.max_crashes,
+    )
+    report, result = protocheck.check_protocol(
+        scope, strategy=options.strategy, spontaneous=options.spontaneous
+    )
+    notes = [result.summary()]
+    if options.replay:
+        before = len(report.findings)
+        report, replayed = protocheck.conform_traces(options.replay, report)
+        notes.append(
+            f"replayed {replayed} recorded trace(s), "
+            f"{len(report.findings) - before} finding(s)"
+        )
+    if options.impl_traces:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="proto-impl-") as scratch:
+            traces = protocheck.gather_impl_traces(
+                scratch, runs=options.impl_traces
+            )
+            for trace in traces:
+                protocheck.conform_trace(trace, report)
+        notes.append(f"refined {len(traces)} live implementation trace(s)")
+    protocheck.lint_protocol_sites(report=report)
+    protocheck.lint_wire_ops(report)
+    _emit(report, options)
+    if not options.quiet and not options.json:
+        for note in notes:
+            print(note)
+    return _exit_code(report, options)
+
+
+def _proto_self_test(options: argparse.Namespace) -> int:
+    """CI gate: the model checker must find a seeded protocol bug and
+    stay quiet on the faithful model.
+
+    Four checks, all required:
+
+    1. the seeded presumed-*commit* bug (an in-doubt participant that
+       commits instead of aborting when the coordinator log is silent)
+       is reported as ``PROTO-CONSISTENCY`` with a shortest (4-step)
+       BFS counterexample trace;
+    2. the faithful model explores violation-free at two scopes;
+    3. the seeded guard-drop bug (``presume-eager``: presuming abort
+       while the coordinator could still decide commit) is caught once
+       spontaneous crashes are enabled — and the faithful model stays
+       clean under the same spontaneous-crash schedule, which is what
+       justifies the grace-period guard in ``shard/worker.py``;
+    4. DFS with the sleep-set reduction visits exactly the states plain
+       BFS does (reduction soundness, checked empirically).
+    """
+    from . import protocheck
+    from .proto_model import Scope
+
+    failures: list[str] = []
+
+    def note(ok: bool, text: str) -> None:
+        if not options.quiet:
+            print(f"{'ok  ' if ok else 'FAIL'} {text}")
+
+    tiny = Scope(workers=1, txns=1, max_crashes=1)
+    small = Scope(workers=2, txns=1, max_crashes=1)
+
+    seeded, result = protocheck.check_protocol(
+        tiny, bug="presumed-commit", strategy="bfs"
+    )
+    witnesses = [
+        example for example in result.counterexamples
+        if example.rule == "PROTO-CONSISTENCY"
+    ]
+    if not witnesses:
+        failures.append(
+            "seeded presumed-commit bug was NOT reported as "
+            "PROTO-CONSISTENCY"
+        )
+    elif len(witnesses[0].trace) != 4:
+        failures.append(
+            f"presumed-commit counterexample is not minimal: "
+            f"{len(witnesses[0].trace)} steps, expected 4 "
+            f"({' -> '.join(witnesses[0].trace)})"
+        )
+    note(
+        not failures,
+        f"seeded presumed-commit: {len(witnesses)} counterexample(s), "
+        f"shortest {len(witnesses[0].trace) if witnesses else 0} step(s) "
+        f"[{result.summary()}]",
+    )
+
+    for scope in (tiny, small):
+        _, clean = protocheck.check_protocol(scope, strategy="bfs")
+        ok = clean.ok
+        if not ok:
+            failures.append(
+                f"faithful model has violation(s) at {clean.summary()}"
+            )
+        note(ok, f"clean model: {clean.summary()}")
+
+    eager = protocheck.explore(
+        small, bug="presume-eager", strategy="bfs", spontaneous=True
+    )
+    guarded = protocheck.explore(small, strategy="bfs", spontaneous=True)
+    if eager.ok:
+        failures.append(
+            "dropping the presume-abort grace guard was NOT caught "
+            "under spontaneous crashes"
+        )
+    if not guarded.ok:
+        failures.append(
+            f"guarded model is dirty under spontaneous crashes: "
+            f"{guarded.summary()}"
+        )
+    note(
+        not eager.ok and guarded.ok,
+        f"grace guard: eager={len(eager.counterexamples)} violation(s), "
+        f"guarded={len(guarded.counterexamples)}",
+    )
+
+    bfs = protocheck.explore(small, strategy="bfs")
+    dfs = protocheck.explore(small, strategy="dfs")
+    if bfs.states != dfs.states:
+        failures.append(
+            f"sleep-set DFS visited {dfs.states} state(s), plain BFS "
+            f"{bfs.states} — the reduction is unsound or stale"
+        )
+    note(
+        bfs.states == dfs.states,
+        f"reduction soundness: bfs={bfs.states} dfs={dfs.states} "
+        f"({dfs.sleep_skips} transition(s) sleep-pruned)",
+    )
+
+    for failure in failures:
+        print(f"proto self-test: {failure}", file=sys.stderr)
+    print(
+        "proto self-test: pass"
+        if not failures
+        else f"proto self-test: {len(failures)} check(s) FAILED"
+    )
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
 # Self-test: the seed workloads and figures, analyzed and fsck'd
 # ----------------------------------------------------------------------
 
@@ -506,6 +672,59 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_flags(code, subcommand=True)
     code.set_defaults(run=_cmd_code)
 
+    proto = commands.add_parser(
+        "proto",
+        help="exhaustively model-check the 2PC protocol and lint the "
+        "implementation for drift against the model",
+    )
+    proto.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the checker: seeded presumed-commit bug must yield "
+        "a minimal counterexample, the faithful model must be clean, "
+        "DFS reduction must agree with BFS (CI gate)",
+    )
+    proto.add_argument(
+        "--workers", type=int, default=2,
+        help="participant shards in the model scope (default 2)",
+    )
+    proto.add_argument(
+        "--txns", type=int, default=2,
+        help="concurrent cross-shard transactions (default 2)",
+    )
+    proto.add_argument(
+        "--max-crashes", type=int, default=1,
+        help="crash budget per schedule (default 1)",
+    )
+    proto.add_argument(
+        "--strategy", default="dfs", choices=("dfs", "bfs"),
+        help="dfs: sleep-set reduced sweep (default); bfs: shortest "
+        "counterexamples",
+    )
+    proto.add_argument(
+        "--spontaneous",
+        action="store_true",
+        help="also crash between protocol steps, not only at failpoint "
+        "sites (larger state space)",
+    )
+    proto.add_argument(
+        "--replay",
+        nargs="+",
+        metavar="TRACE",
+        help="recorded trace files (or directories of *.json) to check "
+        "as refinements of the model",
+    )
+    proto.add_argument(
+        "--impl-traces",
+        type=int,
+        default=0,
+        metavar="N",
+        help="drive N seeded 2PC rounds through the real journal/"
+        "recovery stack and refine the durable traces (default 0)",
+    )
+    _add_output_flags(proto, subcommand=True)
+    proto.set_defaults(run=_cmd_proto)
+
     self_test = commands.add_parser(
         "self-test",
         help="analyze and fsck every seed workload/figure scenario",
@@ -523,7 +742,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # subcommand's own flag).
     subcommands = {
         "schema", "fsck", "query", "lockdep", "locklint", "code",
-        "self-test",
+        "proto", "self-test",
     }
     if not any(arg in subcommands for arg in argv):
         argv = ["self-test" if arg == "--self-test" else arg for arg in argv]

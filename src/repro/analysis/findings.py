@@ -1,4 +1,4 @@
-"""The shared findings model of both analysis planes.
+"""The shared findings model of every analysis plane.
 
 Every check in :mod:`repro.analysis` — the static schema analyzer and the
 offline integrity checker (fsck) — reports problems the same way: as a
@@ -12,9 +12,11 @@ op all speak the same schema.
 Rule-id convention: ``<PLANE>-<NAME>`` where the plane prefix is ``SCH``
 (schema analyzer), ``EVO`` (schema-evolution pre-flight), ``QRY`` (static
 query validation), ``FSCK`` (database integrity), ``LOCKDEP`` (runtime
-lock-order recording), ``LOCK`` (static lock-order prediction), or
-``CODE`` (AST discipline lint).  Ids are stable wire contract — tests,
-CI diffs, and remote clients match on them, never on messages.
+lock-order recording), ``LOCK`` (static lock-order prediction),
+``CODE`` (AST discipline lint), or ``PROTO`` (2PC protocol model
+checking, trace refinement, and the site/op drift lints).  Ids are
+stable wire contract — tests, CI diffs, and remote clients match on
+them, never on messages.
 """
 
 from __future__ import annotations

@@ -395,8 +395,10 @@ async def _op_check(session, args):
     ``"schema"`` (static analyzer), ``"query"`` (validate ``text``
     statically), ``"lockdep"`` (latent-deadlock report from the
     server's lock-order recorder), ``"code"`` (AST discipline lint of
-    the running ``repro`` package), ``"placement"`` (shard-stride and
-    composite-co-location audit; shard workers only), or ``"all"``
+    the running ``repro`` package), ``"proto"`` (a small exhaustive
+    2PC protocol model-check plus the site/op drift lints),
+    ``"placement"`` (shard-stride and composite-co-location audit;
+    shard workers only), or ``"all"``
     (default: fsck + schema + lockdep when recording + placement on a
     shard worker).  Findings come back in the shared
     JSON schema of :mod:`repro.analysis.findings`.  The audit only
@@ -429,6 +431,20 @@ async def _op_check(session, args):
         from ..analysis.codelint import lint_package
 
         reports["code"] = lint_package().to_dict()
+    if plane == "proto":
+        # Explicit plane only (like "code"): the exploration is CPU
+        # work the "all" sweep should not pay on every health check.
+        from ..analysis.proto_model import Scope
+        from ..analysis.protocheck import (
+            check_protocol,
+            lint_protocol_sites,
+            lint_wire_ops,
+        )
+
+        report, _ = check_protocol(Scope(workers=1, txns=1, max_crashes=1))
+        lint_protocol_sites(report=report)
+        lint_wire_ops(report)
+        reports["proto"] = report.to_dict()
     if plane in ("all", "placement"):
         shard_info = session.server.shard_info
         if shard_info is not None:

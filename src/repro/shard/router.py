@@ -83,6 +83,44 @@ from ..server.protocol import (
 from .placement import Manifest, make_policy, read_endpoint, shard_of_uid
 from .twopc import CoordinatorLog, fire_or_die
 
+#: The argument whose UID names the target shard, per relayed op.
+#: ``make_part_of``/``remove_part_of`` route by the parent and
+#: additionally require the other UID co-resident (``COLOCATED_OPS``).
+UID_ROUTED_OPS = {
+    "resolve": "uid",
+    "value": "uid",
+    "set_value": "uid",
+    "insert_into": "uid",
+    "remove_from": "uid",
+    "delete": "uid",
+    "components_of": "uid",
+    "children_of": "uid",
+    "parents_of": "uid",
+    "ancestors_of": "uid",
+    "roots_of": "uid",
+    "make_part_of": "parent",
+    "remove_part_of": "parent",
+}
+COLOCATED_OPS = {
+    "make_part_of": ("child",),
+    "remove_part_of": ("child",),
+}
+
+#: How the router classifies every dispatchable op.  The PROTO-OP-DRIFT
+#: lint (:func:`repro.analysis.protocheck.lint_wire_ops`) holds these
+#: sets, the server dispatch table, and the client retry whitelist
+#: mutually consistent — keep them in sync with :meth:`Router._route`.
+RELAYED_OPS = frozenset(UID_ROUTED_OPS) | {"describe", "make"}
+BROADCAST_OPS = frozenset({"make_class", "login"})
+SCATTER_OPS = frozenset({"instances_of", "check"})
+ROUTER_LOCAL_OPS = frozenset(
+    {"ping", "whoami", "stats", "begin", "commit", "abort"}
+)
+#: 2PC-internal ops plus ``query`` (one shard's interpreter cannot see
+#: the cluster) — the router refuses these with a typed error.
+TWOPC_INTERNAL_OPS = frozenset({"prepare", "decide", "indoubt"})
+REJECTED_OPS = TWOPC_INTERNAL_OPS | {"query"}
+
 #: Wire framing: 4-byte big-endian payload length (see protocol.py).
 _PREFIX = struct.Struct(">I")
 
@@ -430,28 +468,8 @@ class ShardRouter:
 
     # -- routing ----------------------------------------------------------
 
-    #: The argument whose UID names the target shard, per op.
-    #: ``make_part_of``/``remove_part_of`` route by the parent and
-    #: additionally require the other UID co-resident (``_COLOCATED``).
-    _UID_ARG = {
-        "resolve": "uid",
-        "value": "uid",
-        "set_value": "uid",
-        "insert_into": "uid",
-        "remove_from": "uid",
-        "delete": "uid",
-        "components_of": "uid",
-        "children_of": "uid",
-        "parents_of": "uid",
-        "ancestors_of": "uid",
-        "roots_of": "uid",
-        "make_part_of": "parent",
-        "remove_part_of": "parent",
-    }
-    _COLOCATED = {
-        "make_part_of": ("child",),
-        "remove_part_of": ("child",),
-    }
+    _UID_ARG = UID_ROUTED_OPS
+    _COLOCATED = COLOCATED_OPS
 
     async def _route(self, sess, op, args, raw=None):
         if op == "ping":
@@ -469,7 +487,7 @@ class ShardRouter:
                 "s-expression interpreter sees one shard's database only; "
                 "connect to a worker directly for queries"
             )
-        if op in ("prepare", "decide", "indoubt"):
+        if op in TWOPC_INTERNAL_OPS:
             raise ProtocolError(
                 f"{op!r} is internal to router-worker two-phase commit"
             )

@@ -36,7 +36,23 @@ def build_parser():
                              "plan for post-mortem")
     parser.add_argument("--verbose", action="store_true",
                         help="print one line per plan instead of a dot")
+    parser.add_argument("--record-traces", metavar="DIR", default=None,
+                        help="write each plan's durable protocol trace "
+                             "(coord.log decisions + per-shard P/R "
+                             "journal markers) to DIR/trace-NNNN.json "
+                             "for repro-check proto --replay")
     return parser
+
+
+def record_trace(root, path):
+    """Extract the stopped cluster's durable 2PC trace into *path*."""
+    import json
+
+    from ..analysis.protocheck import extract_trace
+
+    trace = extract_trace(root)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1, sort_keys=True)
 
 
 def main(argv=None):
@@ -45,9 +61,16 @@ def main(argv=None):
     failures = []
     fired = {}
     started = time.monotonic()
+    if args.record_traces:
+        os.makedirs(args.record_traces, exist_ok=True)
     for index, plan in enumerate(plans):
         root = tempfile.mkdtemp(prefix=f"shardsweep-{index:03d}-")
         result = ShardCrashSim(root, plan).run()
+        if args.record_traces:
+            record_trace(
+                root,
+                os.path.join(args.record_traces, f"trace-{index:04d}.json"),
+            )
         if result.kill_fired:
             key = (plan.target.split(":")[0], plan.site)
             fired[key] = fired.get(key, 0) + 1

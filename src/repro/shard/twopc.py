@@ -27,13 +27,14 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from typing import Any, Iterable, Iterator
 
 from ..faults.registry import fire as _fire
 
 COORD_LOG_NAME = "coord.log"
 
 
-def fire_or_die(site, **ctx):
+def fire_or_die(site: str, **ctx: Any) -> None:
     """Fire a failpoint; a ``kill`` directive hard-exits the process.
 
     The multi-process crash simulator arms ``kill`` at the ``twopc.*``
@@ -57,15 +58,16 @@ class CoordinatorLog:
     reconciling after a restart.
     """
 
-    def __init__(self, path):
+    def __init__(self, path: str | os.PathLike[str]) -> None:
         self.path = Path(path)
         self.decisions_logged = 0
 
     @classmethod
-    def in_root(cls, root):
+    def in_root(cls, root: str | os.PathLike[str]) -> CoordinatorLog:
         return cls(Path(root) / COORD_LOG_NAME)
 
-    def decide(self, gtid, outcome, shards=()):
+    def decide(self, gtid: str, outcome: str,
+               shards: Iterable[int] = ()) -> None:
         """Journal a decision durably; the commit point of 2PC."""
         if outcome not in ("commit", "abort"):
             raise ValueError(f"unknown 2PC outcome {outcome!r}")
@@ -80,29 +82,72 @@ class CoordinatorLog:
         self.decisions_logged += 1
         fire_or_die("coord.decided", gtid=gtid, outcome=outcome)
 
-    def load(self):
+    def load(self) -> dict[str, str]:
         """All durable decisions, as ``{gtid: outcome}``.
 
-        A torn final line (crash mid-append) is skipped: an unreadable
-        decision is no decision, and presumed abort covers it.
+        A torn line (crash mid-append) is skipped: an unreadable
+        decision is no decision, and presumed abort covers it.  A torn
+        line is usually the *last* one, but it can also be any earlier
+        line: a crash mid-append leaves no trailing newline, so the next
+        coordinator's append physically concatenates onto the torn
+        bytes.  The decisions glued after a torn prefix are real and
+        fsynced — :func:`_decisions_in_line` digs them out instead of
+        discarding the whole physical line.
+
+        Duplicate decision lines for one gtid keep the **first**: the
+        first fsynced line was the 2PC commit point, and a participant
+        may already have applied it — a later contradictory line must
+        never win.
         """
-        decisions = {}
+        decisions: dict[str, str] = {}
         if not self.path.exists():
             return decisions
         with open(self.path, encoding="utf-8") as handle:
             for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn tail
-                decisions[entry["gtid"]] = entry["outcome"]
+                for entry in _decisions_in_line(line):
+                    decisions.setdefault(entry["gtid"], entry["outcome"])
         return decisions
 
 
-def resolve_in_doubt(db, decisions, journal=None):
+def _decisions_in_line(line: str) -> Iterator[dict[str, Any]]:
+    """Every well-formed decision entry in one physical log line.
+
+    The fast path is a whole line holding exactly one JSON object.  On a
+    decode failure the line is scanned for embedded objects: a torn
+    append leaves ``{"gtid": "g1", "outc`` with no newline, and the next
+    append glues a complete decision right after it.  Each ``{`` is
+    tried as the start of an object via ``raw_decode``, so the torn
+    prefix is dropped while every complete decision on the line is
+    recovered.  Entries missing ``gtid``/``outcome`` or carrying an
+    unknown outcome are ignored (corrupt bytes are no decision).
+    """
+    line = line.strip()
+    if not line:
+        return
+    entries: list[Any]
+    try:
+        entries = [json.loads(line)]
+    except json.JSONDecodeError:
+        entries = []
+        decoder = json.JSONDecoder()
+        position = line.find("{")
+        while 0 <= position < len(line):
+            try:
+                entry, end = decoder.raw_decode(line, position)
+            except json.JSONDecodeError:
+                position = line.find("{", position + 1)
+                continue
+            entries.append(entry)
+            position = line.find("{", end)
+    for entry in entries:
+        if (isinstance(entry, dict)
+                and isinstance(entry.get("gtid"), str)
+                and entry.get("outcome") in ("commit", "abort")):
+            yield entry
+
+
+def resolve_in_doubt(db: Any, decisions: dict[str, str],
+                     journal: Any = None) -> list[tuple[str, str]]:
     """Resolve a recovered database's in-doubt batches against
     *decisions* (a ``{gtid: outcome}`` map, e.g. from
     :meth:`CoordinatorLog.load`).
@@ -120,7 +165,7 @@ def resolve_in_doubt(db, decisions, journal=None):
     """
     from ..storage.journal import Journal
 
-    resolved = []
+    resolved: list[tuple[str, str]] = []
     applied = False
     for gtid in sorted(db.in_doubt):
         outcome = decisions.get(gtid)
@@ -140,14 +185,14 @@ def resolve_in_doubt(db, decisions, journal=None):
     return resolved
 
 
-def presume_abort(db, journal=None):
+def presume_abort(db: Any, journal: Any = None) -> list[tuple[str, str]]:
     """Abort every remaining in-doubt batch (presumed abort).
 
     Only safe once the coordinator can no longer decide commit for
     these gtids — offline analysis of a dead cluster, or a live worker
     whose grace period for the router expired.
     """
-    resolved = []
+    resolved: list[tuple[str, str]] = []
     for gtid in sorted(db.in_doubt):
         db.in_doubt.pop(gtid)
         if journal is not None:

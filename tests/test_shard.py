@@ -133,6 +133,120 @@ class TestCoordinatorLog:
             handle.write(b'{"gtid": "g2", "outc')  # crash mid-append
         assert CoordinatorLog.in_root(tmp_path).load() == {"g1": "commit"}
 
+    def test_torn_first_line_keeps_glued_decisions(self, tmp_path):
+        # A crash mid-append leaves no trailing newline, so the next
+        # coordinator's fsynced decisions physically concatenate onto
+        # the torn bytes: the same *physical* line then holds garbage
+        # followed by real decisions, which must not be thrown away.
+        with open(tmp_path / COORD_LOG_NAME, "wb") as handle:
+            handle.write(b'{"gtid": "g0", "outc')  # torn very first line
+        log = CoordinatorLog.in_root(tmp_path)
+        log.decide("g1", "commit", shards=[0])
+        log.decide("g2", "abort", shards=[1])
+        raw = (tmp_path / COORD_LOG_NAME).read_bytes()
+        assert raw.startswith(b'{"gtid": "g0", "outc{')  # really glued
+        assert CoordinatorLog.in_root(tmp_path).load() == {
+            "g1": "commit", "g2": "abort",
+        }
+
+    def test_duplicate_gtid_keeps_the_first_decision(self, tmp_path):
+        # The first fsynced line was the commit point and a participant
+        # may already have applied it; a later contradictory line (a
+        # buggy or replayed coordinator) must never win.
+        log = CoordinatorLog.in_root(tmp_path)
+        log.decide("g1", "commit", shards=[0])
+        log.decide("g1", "abort", shards=[0])
+        assert CoordinatorLog.in_root(tmp_path).load() == {"g1": "commit"}
+
+
+class TestInDoubtSettle:
+    """The worker's pre-serve in-doubt settlement, driven in-process:
+    real journals and recovery, no sockets."""
+
+    def _in_doubt_db(self, tmp_path, gtid="g1"):
+        """A recovered shard holding one prepared-but-undecided batch."""
+        from repro.storage.durable import DurableDatabase
+        from repro.txn.manager import TransactionManager
+
+        directory = tmp_path / "shard-00"
+        db = DurableDatabase(str(directory), sync_policy="commit")
+        db.make_class("Doc", attributes=[
+            {"name": "Stamp", "domain": "integer"},
+        ])
+        manager = TransactionManager(db)
+        txn = manager.begin()
+        manager.make(txn, "Doc", values={"Stamp": 7})
+        db.journal.prepare_txn(txn, gtid)
+        db.journal.abandon()  # the crash simulator's power cut
+        recovered = DurableDatabase(str(directory), sync_policy="commit")
+        assert gtid in recovered.in_doubt
+        return recovered
+
+    def test_grace_expiry_presumes_abort(self, tmp_path):
+        import asyncio
+        from types import SimpleNamespace
+
+        db = self._in_doubt_db(tmp_path)
+        from repro.shard.worker import _settle_in_doubt
+
+        spec = SimpleNamespace(
+            coord_log=str(tmp_path / COORD_LOG_NAME), grace=0.05,
+        )
+        asyncio.run(_settle_in_doubt(db, spec))
+        assert not db.in_doubt
+        assert not db.instances_of("Doc")  # the batch was dropped
+        db.close()
+        # The resolution was journaled (R record): the next recovery
+        # does not re-raise the doubt.
+        from repro.storage.durable import DurableDatabase
+
+        again = DurableDatabase(str(tmp_path / "shard-00"),
+                                sync_policy="commit")
+        assert not again.in_doubt
+        assert not again.instances_of("Doc")
+        again.close()
+
+    def test_decision_arriving_during_grace_commits(self, tmp_path):
+        import asyncio
+        from types import SimpleNamespace
+
+        db = self._in_doubt_db(tmp_path)
+        from repro.shard.worker import _settle_in_doubt
+
+        log = CoordinatorLog.in_root(tmp_path)
+        spec = SimpleNamespace(coord_log=str(log.path), grace=10.0)
+
+        async def scenario():
+            async def decide_soon():
+                await asyncio.sleep(0.15)
+                log.decide("g1", "commit", shards=[0])
+
+            deliver = asyncio.ensure_future(decide_soon())
+            await _settle_in_doubt(db, spec)
+            await deliver
+
+        asyncio.run(scenario())
+        assert not db.in_doubt
+        assert len(db.instances_of("Doc")) == 1  # the commit applied
+        db.close()
+
+    def test_decision_already_logged_needs_no_grace(self, tmp_path):
+        import asyncio
+        from types import SimpleNamespace
+
+        db = self._in_doubt_db(tmp_path)
+        from repro.shard.worker import _settle_in_doubt
+
+        log = CoordinatorLog.in_root(tmp_path)
+        log.decide("g1", "abort", shards=[0])
+        spec = SimpleNamespace(coord_log=str(log.path), grace=10.0)
+        started = time.monotonic()
+        asyncio.run(_settle_in_doubt(db, spec))
+        assert time.monotonic() - started < 5.0  # no grace wait
+        assert not db.in_doubt
+        assert not db.instances_of("Doc")
+        db.close()
+
 
 # ---------------------------------------------------------------------------
 # Live clusters (spawned worker + router processes)
