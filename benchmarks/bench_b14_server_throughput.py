@@ -58,11 +58,13 @@ def _client_ops(client, uid, count):
         client.value(uid, "Serial")
 
 
-def _run_tcp(port, clients):
+def _run_tcp(port, clients, versions=None):
     """Drive *clients* concurrent connections; each worker gets its own
-    Part instance, so the Section 7 plans never contend."""
+    Part instance, so the Section 7 plans never contend.  *versions*
+    pins the protocol the clients offer (None = this build's default)."""
     workers = []
-    connections = [Client(port=port, timeout=30.0) for _ in range(clients)]
+    connections = [Client(port=port, timeout=30.0, versions=versions)
+                   for _ in range(clients)]
     uids = [c.make("Part", values={"Serial": i, "Status": "new"})
             for i, c in enumerate(connections)]
     barrier = threading.Barrier(clients + 1)
@@ -123,6 +125,19 @@ def test_b14_server_throughput(benchmark, recorder):
                 "req_per_sec": total_ops / elapsed,
                 "mean_latency_ms": 1000.0 * elapsed / total_ops,
             })
+        # Codec comparison at one client: the same op mix under the v1
+        # JSON framing and the v2 binary framing (the default above
+        # already ran v2; this isolates the codec from concurrency).
+        for version in (1, 2):
+            total_ops, elapsed = _run_tcp(handle.port, 1,
+                                          versions=(version,))
+            rows.append({
+                "config": f"tcp@1-v{version}",
+                "clients": 1,
+                "requests": total_ops,
+                "req_per_sec": total_ops / elapsed,
+                "mean_latency_ms": 1000.0 * elapsed / total_ops,
+            })
 
     by_config = {row["config"]: row for row in rows}
     # The wire costs something: embedded beats a single TCP client.
@@ -130,16 +145,22 @@ def test_b14_server_throughput(benchmark, recorder):
     # Disjoint sessions multiplex: aggregate throughput at 4 clients is
     # not worse than ~half of one client's (no serialization collapse).
     assert by_config["tcp@4"]["req_per_sec"] > 0.5 * by_config["tcp@1"]["req_per_sec"]
+    # The binary codec must not regress against JSON (round-trip time is
+    # socket-dominated at depth 1, so parity is the floor, not a win).
+    assert (by_config["tcp@1-v2"]["req_per_sec"]
+            > 0.7 * by_config["tcp@1-v1"]["req_per_sec"])
     # Everyone's requests completed.
     assert all(row["requests"] > 0 for row in rows)
 
     print_table(rows, title="B14 — embedded vs TCP request throughput "
                             f"({OPS_PER_CLIENT} ops/client)")
     recorder.record(
-        "B14", "server throughput: embedded vs TCP at 1/4/16 clients", rows,
+        "B14", "server throughput: embedded vs TCP at 1/4/16 clients, "
+        "v1 JSON vs v2 binary codec at 1 client", rows,
         ["the wire protocol adds per-request cost (embedded > tcp@1); "
          "concurrent disjoint sessions keep aggregate throughput from "
-         "collapsing as clients are added"],
+         "collapsing as clients are added; the v2 binary codec holds "
+         "at least parity with v1 JSON on serial round-trips"],
     )
 
     with ServerThread() as handle:

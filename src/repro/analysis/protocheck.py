@@ -763,7 +763,10 @@ def lint_wire_ops(report: Optional[Report] = None) -> Report:
     * no mutating op may be in the client's retry whitelist (an
       ambiguous-outcome resend is a double-execution bug);
     * every retryable op must be dispatchable (or the pre-dispatch
-      ``hello`` handshake).
+      ``hello`` handshake);
+    * both wire protocol versions must stay offered, and every
+      dispatchable op must survive the v2 binary framing round-trip —
+      a codec change must not quietly orphan an op the v1 path serves.
     """
     from ..server.client import RETRYABLE_OPS
     from ..server.dispatch import COMMANDS, MUTATING_OPS
@@ -822,4 +825,54 @@ def lint_wire_ops(report: Optional[Report] = None) -> Report:
             Severity.ERROR, "PROTO-OP-DRIFT", op,
             f"retryable op {op!r} is not in the server dispatch table",
         )
+    _lint_v2_servability(commands, report)
     return report
+
+
+def _lint_v2_servability(commands: set[str], report: Report) -> None:
+    """Every dispatchable op must be servable under v2 framing.
+
+    Encodes a v2 request naming each op, decodes the payload, and
+    re-validates it through :func:`check_request` — the same path the
+    server walks for a real v2 client.  An op that cannot round-trip
+    (codec regression, tag collision, name the binary string codec
+    rejects) is unreachable for v2 clients even though the v1 JSON path
+    still serves it — exactly the drift this lint exists to catch.
+    """
+    from ..server.protocol import (
+        SUPPORTED_VERSIONS,
+        ProtocolError,
+        check_request,
+        decode_payload,
+        encode_request_bytes,
+    )
+
+    for required in (1, 2):
+        if required not in SUPPORTED_VERSIONS:
+            report.add(
+                Severity.ERROR, "PROTO-OP-DRIFT", f"version-{required}",
+                f"protocol version {required} is missing from "
+                f"SUPPORTED_VERSIONS — v1 compatibility and the v2 "
+                f"binary path are both load-bearing",
+            )
+    for op in sorted(commands):
+        report.checked += 1
+        try:
+            data = encode_request_bytes(2, 1, op, {})
+            frame = decode_payload(2, data[4:])  # strip length prefix
+            request_id, decoded_op, _args = check_request(
+                frame, decoded=True
+            )
+        except ProtocolError as error:
+            report.add(
+                Severity.ERROR, "PROTO-OP-DRIFT", op,
+                f"op {op!r} does not survive the v2 framing round-trip "
+                f"({error}) — v2 clients cannot reach it",
+            )
+            continue
+        if (request_id, decoded_op) != (1, op):
+            report.add(
+                Severity.ERROR, "PROTO-OP-DRIFT", op,
+                f"v2 round-trip of op {op!r} came back as "
+                f"id={request_id!r} op={decoded_op!r}",
+            )

@@ -23,6 +23,13 @@ class ReproError(Exception):
     #: :func:`error_registry`.
     code = "REPRO"
 
+    #: Extra attribute names the wire protocol may reattach when this
+    #: error is rebuilt client-side, *beyond* the class's ``__init__``
+    #: parameters.  Declare attributes set after construction here (see
+    #: ``ShardUnavailableError.shard``); anything undeclared in a
+    #: payload is dropped by ``repro.server.protocol.build_error``.
+    wire_fields: tuple = ()
+
 
 # ---------------------------------------------------------------------------
 # Object model errors (Section 2 of the paper)
@@ -52,6 +59,7 @@ class UnknownClassError(ObjectModelError, KeyError):
     """An operation referenced a class name that has not been defined."""
 
     code = "UNKNOWN_CLASS"
+    wire_fields = ("class_name",)
 
     def __init__(self, name):
         super().__init__(name)
@@ -311,6 +319,8 @@ class ShardUnavailableError(ShardError):
     """
 
     code = "SHARD_UNAVAILABLE"
+    #: Set by the router after construction, not an ``__init__`` param.
+    wire_fields = ("shard",)
 
 
 # ---------------------------------------------------------------------------

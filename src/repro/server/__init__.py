@@ -1,7 +1,8 @@
 """Network server subsystem: the database over TCP.
 
-* :mod:`repro.server.protocol` — length-prefixed JSON wire codec with
-  request ids, typed error marshalling, and version negotiation;
+* :mod:`repro.server.protocol` — length-prefixed wire codecs (v1 JSON,
+  v2 binary) with request ids, typed error marshalling, and version
+  negotiation;
 * :mod:`repro.server.server` — the asyncio TCP server: per-connection
   sessions owning :mod:`repro.txn` transactions, asynchronous lock
   waiting with deadlock aborts over the Section 7 composite protocol,
@@ -14,13 +15,14 @@ Run a standalone server with ``repro-server`` (or
 ``python -m repro.server``); see docs/SERVER.md for the wire format.
 """
 
-from .client import AsyncClient, Client
+from .client import AsyncClient, Client, Pipeline, PipelineResult
 from .protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
     SUPPORTED_VERSIONS,
     build_error,
     decode_frame,
+    decode_payload,
     encode_frame,
     error_frame,
     wire_decode,
@@ -32,6 +34,8 @@ __all__ = [
     "AsyncClient",
     "Client",
     "MAX_FRAME_BYTES",
+    "Pipeline",
+    "PipelineResult",
     "ProtocolError",
     "ReproServer",
     "SUPPORTED_VERSIONS",
@@ -40,6 +44,7 @@ __all__ = [
     "SessionStats",
     "build_error",
     "decode_frame",
+    "decode_payload",
     "encode_frame",
     "error_frame",
     "wire_decode",

@@ -44,6 +44,10 @@ def build_parser():
     parser.add_argument("--group-window", type=float, default=0.002,
                         help="group-commit window in seconds under "
                              "--sync-policy group (default 0.002)")
+    parser.add_argument("--max-pipeline", type=int, default=64,
+                        help="maximum requests a client may pipeline on one "
+                             "connection before reading responses "
+                             "(default 64; advertised in the handshake)")
     parser.add_argument("--no-lockdep", action="store_true",
                         help="disable the lock-order recorder (drops the "
                              "check op's lockdep plane; saves the per-grant "
@@ -67,6 +71,7 @@ async def _amain(args):
         port=args.port,
         lock_wait_timeout=args.lock_wait_timeout,
         group_commit_window=args.group_window,
+        max_pipeline=args.max_pipeline,
         lockdep=not args.no_lockdep,
     )
     await server.start()

@@ -28,6 +28,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import dataclasses
+import os
 import random
 import socket
 import time
@@ -38,11 +39,10 @@ from .protocol import (
     SUPPORTED_VERSIONS,
     ProtocolError,
     build_error,
-    decode_frame,
-    encode_frame,
+    decode_payload,
+    encode_request_bytes,
     frame_length,
-    read_frame,
-    request_frame,
+    read_frame_bytes,
     wire_decode,
     wire_encode,
 )
@@ -77,19 +77,50 @@ def spec_to_wire(spec):
     raise TypeError(f"attribute spec must be AttributeSpec or dict: {spec!r}")
 
 
+def _default_versions():
+    """The protocol versions a client offers by default.
+
+    ``REPRO_PROTOCOL_VERSIONS`` (e.g. ``"1"`` or ``"2,1"``) overrides
+    the build's full set — CI uses it to run the whole client test
+    suite as a v1 JSON client against a v2-default server.
+    """
+    raw = os.environ.get("REPRO_PROTOCOL_VERSIONS")
+    if not raw:
+        return SUPPORTED_VERSIONS
+    try:
+        versions = tuple(int(tok) for tok in raw.replace(",", " ").split())
+    except ValueError:
+        raise ValueError(
+            f"REPRO_PROTOCOL_VERSIONS must be integers, got {raw!r}"
+        ) from None
+    return versions or SUPPORTED_VERSIONS
+
+
 class _ClientCore:
     """Request building and response interpretation (transport-free)."""
 
-    def __init__(self, user=None):
+    def __init__(self, user=None, versions=None):
         self.user = user
+        self.versions = (
+            tuple(versions) if versions is not None else _default_versions()
+        )
         self.protocol_version = None
         self.session_id = None
+        self.pipeline_depth = 1
         self._next_id = 0
         self._in_transaction = False
 
-    def _request(self, op, args):
+    @property
+    def _wire_version(self):
+        """The framing for the next exchange: v1 until the handshake
+        negotiates something newer."""
+        return self.protocol_version or 1
+
+    def _encode_request(self, op, args):
         self._next_id += 1
-        return self._next_id, request_frame(self._next_id, op, args)
+        return self._next_id, encode_request_bytes(
+            self._wire_version, self._next_id, op, args
+        )
 
     def _interpret(self, request_id, frame):
         if frame.get("id") != request_id:
@@ -97,16 +128,24 @@ class _ClientCore:
                 f"response id {frame.get('id')!r} does not match request "
                 f"{request_id}"
             )
+        return self._frame_result(frame)
+
+    def _frame_result(self, frame):
+        """The (typed) result carried by one response frame."""
         if frame.get("ok"):
-            return wire_decode(frame.get("result"))
+            result = frame.get("result")
+            # v2 payloads decode straight to rich values; v1 results
+            # still carry their JSON $-tags.
+            return result if self._wire_version == 2 else wire_decode(result)
         raise build_error(frame.get("error") or {})
 
     def _hello_args(self):
-        return {"versions": list(SUPPORTED_VERSIONS), "client": "repro-client"}
+        return {"versions": list(self.versions), "client": "repro-client"}
 
     def _note_hello(self, result):
         self.protocol_version = result["version"]
         self.session_id = result.get("session")
+        self.pipeline_depth = result.get("pipeline", 1)
 
 
 def _add_api(cls):
@@ -189,11 +228,17 @@ class Client(_ClientCore):
         Randomness source for the jitter (a seeded
         :class:`random.Random` makes reconnect timing reproducible in
         tests).
+    versions:
+        Protocol versions to offer in the handshake, newest first
+        (default: everything this build speaks, or the
+        ``REPRO_PROTOCOL_VERSIONS`` environment override).  Pass
+        ``(1,)`` to force the v1 JSON protocol against a v2 server.
     """
 
     def __init__(self, host="127.0.0.1", port=4957, user=None, timeout=60.0,
-                 max_retries=5, backoff=0.05, jitter=0.5, rng=None):
-        super().__init__(user=user)
+                 max_retries=5, backoff=0.05, jitter=0.5, rng=None,
+                 versions=None):
+        super().__init__(user=user, versions=versions)
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -249,12 +294,14 @@ class Client(_ClientCore):
             size -= len(chunk)
         return b"".join(chunks)
 
-    def _roundtrip(self, op, args):
-        request_id, frame = self._request(op, args)
-        self._send_bytes(encode_frame(frame))
+    def _read_response(self):
         length = frame_length(self._recv_exactly(4))
-        response = decode_frame(self._recv_exactly(length))
-        return self._interpret(request_id, response)
+        return decode_payload(self._wire_version, self._recv_exactly(length))
+
+    def _roundtrip(self, op, args):
+        request_id, data = self._encode_request(op, args)
+        self._send_bytes(data)
+        return self._interpret(request_id, self._read_response())
 
     # -- calls ------------------------------------------------------------
 
@@ -372,6 +419,10 @@ class Client(_ClientCore):
         except (OSError, TimeoutError):
             return False
 
+    def pipeline(self):
+        """A :class:`Pipeline` batching requests on this connection."""
+        return Pipeline(self)
+
     def login(self, user):
         result = self.call("login", user=user)
         self.user = user
@@ -442,6 +493,167 @@ class Client(_ClientCore):
         self.close()
 
 
+class PipelineResult:
+    """Placeholder for one pipelined response, filled in by ``flush``.
+
+    ``result()`` returns the op's decoded result, or raises the typed
+    server error that came back for *this* request — one failed request
+    does not poison its batch-mates.
+    """
+
+    __slots__ = ("done", "_value", "_error")
+
+    def __init__(self):
+        self.done = False
+        self._value = None
+        self._error = None
+
+    def _resolve(self, value=None, error=None):
+        self._value = value
+        self._error = error
+        self.done = True
+
+    def result(self):
+        if not self.done:
+            raise RuntimeError("pipeline not flushed yet")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+@_add_api
+class Pipeline:
+    """Request pipelining over a :class:`Client` connection.
+
+    Queue any number of ops without waiting for responses, then
+    ``flush()`` once: every request goes out back-to-back and the server
+    executes them in order, batching their commit fsyncs through one
+    group-commit window — that amortization is where the throughput
+    multiple comes from.  Each queued call returns a
+    :class:`PipelineResult`; responses are matched back by request id::
+
+        with client.pipeline() as p:
+            handles = [p.resolve(uid) for uid in uids]
+        snapshots = [h.result() for h in handles]
+
+    Semantics:
+
+    * **Ordering** — requests execute in queue order on the server.
+    * **Error isolation** — a typed error for one request lands in its
+      own handle; later requests in the batch still execute.
+    * **Disconnects** — a batch that dies mid-flight is only re-sent
+      when *every* op in it is in :data:`RETRYABLE_OPS` (same rule as
+      :meth:`Client.call`); otherwise ConnectionError surfaces because
+      a prefix of the batch may already have executed server-side.
+    """
+
+    def __init__(self, client):
+        self.client = client
+        self._queue = []
+
+    def __len__(self):
+        return len(self._queue)
+
+    def call(self, op, **args):
+        """Queue one op; returns its :class:`PipelineResult`."""
+        handle = PipelineResult()
+        self._queue.append((op, args, handle))
+        return handle
+
+    def flush(self):
+        """Send every queued request, fill every handle, return them."""
+        if not self._queue:
+            return []
+        client = self.client
+        attempt = 0
+        last_error = None
+        while True:
+            if client._sock is None:
+                client._reconnect_or_raise(attempt, last_error)
+                if client._sock is None:
+                    attempt += 1
+                    continue
+            try:
+                batch = self._queue
+                self._queue = []
+                try:
+                    self._exchange(batch)
+                except BaseException:
+                    self._queue = batch
+                    raise
+                return [handle for _op, _args, handle in batch]
+            except socket.timeout:
+                client.close()
+                client._in_transaction = False
+                raise TimeoutError(
+                    f"no response to pipelined batch within "
+                    f"{client.timeout}s"
+                ) from None
+            except ProtocolError:
+                # Framing desync: nothing on this connection can be
+                # trusted any more, and re-sending blind could double-
+                # execute.  Surface it.
+                client.close()
+                raise
+            except (ConnectionError, OSError) as error:
+                client.close()
+                if client._in_transaction:
+                    client._in_transaction = False
+                    raise ConnectionError(
+                        f"connection lost inside a transaction ({error}); "
+                        f"its locks and undo state are gone — retry the "
+                        f"scope"
+                    ) from None
+                risky = [op for op, _a, _h in self._queue
+                         if op not in RETRYABLE_OPS]
+                if risky:
+                    raise ConnectionError(
+                        f"connection lost during pipelined batch with "
+                        f"non-idempotent ops {sorted(set(risky))} "
+                        f"({error}); a prefix may have executed "
+                        f"server-side — verify before retrying"
+                    ) from None
+                last_error = error
+                attempt += 1
+
+    def _exchange(self, batch):
+        """One attempt: write the whole batch, then read every response.
+
+        Requests are (re-)encoded here, not at queue time: a reconnect
+        between attempts renumbers ids and may renegotiate the protocol
+        version, so the bytes are only valid per-connection.
+        """
+        client = self.client
+        encoded = [client._encode_request(op, args)
+                   for op, args, _handle in batch]
+        # One send for the whole batch keeps the frames back-to-back on
+        # the wire, so the server's drain loop sees them as one batch.
+        client._send_bytes(b"".join(data for _rid, data in encoded))
+        for (op, _args, handle), (request_id, _data) in zip(
+            batch, encoded, strict=True
+        ):
+            frame = client._read_response()
+            if frame.get("id") != request_id:
+                raise ProtocolError(
+                    f"pipelined response id {frame.get('id')!r} does not "
+                    f"match request {request_id} (op {op!r})"
+                )
+            if frame.get("ok"):
+                result = frame.get("result")
+                if client._wire_version != 2:
+                    result = wire_decode(result)
+                handle._resolve(value=result)
+            else:
+                handle._resolve(error=build_error(frame.get("error") or {}))
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        if exc_type is None:
+            self.flush()
+
+
 @_add_api
 class AsyncClient(_ClientCore):
     """Asyncio TCP client with the same surface as :class:`Client`.
@@ -451,8 +663,8 @@ class AsyncClient(_ClientCore):
     expected to own retry policy (create a fresh client).
     """
 
-    def __init__(self, host="127.0.0.1", port=4957, user=None):
-        super().__init__(user=user)
+    def __init__(self, host="127.0.0.1", port=4957, user=None, versions=None):
+        super().__init__(user=user, versions=versions)
         self.host = host
         self.port = port
         self._reader = None
@@ -483,13 +695,15 @@ class AsyncClient(_ClientCore):
     async def _roundtrip(self, op, args):
         if self._writer is None:
             raise ConnectionError("not connected; call connect() first")
-        request_id, frame = self._request(op, args)
-        self._writer.write(encode_frame(frame))
+        request_id, data = self._encode_request(op, args)
+        self._writer.write(data)
         await self._writer.drain()
-        response = await read_frame(self._reader)
-        if response is None:
+        payload = await read_frame_bytes(self._reader)
+        if payload is None:
             raise ConnectionError("server closed the connection")
-        return self._interpret(request_id, response)
+        return self._interpret(
+            request_id, decode_payload(self._wire_version, payload)
+        )
 
     def call(self, op, **args):
         return self._roundtrip(op, args)

@@ -23,7 +23,7 @@ from __future__ import annotations
 from ..errors import ReadOnlyError, TransactionStateError
 from ..locking.modes import LockMode
 from ..schema.attribute import AttributeSpec, SetOf
-from .protocol import ProtocolError
+from .protocol import PreEncoded, ProtocolError, encode_v2_value, wire_lenient
 
 #: Authorization types the engine understands (see authorization/atoms.py).
 READ, WRITE = "R", "W"
@@ -146,7 +146,28 @@ async def _op_resolve(session, args):
     session.authorize(READ, uid)
     async with session.txn_scope() as txn:
         await session.lock_instance(txn, uid, "read")
-        return _snapshot(session.server.db, session.server.db.resolve(uid))
+        db = session.server.db
+        instance = db.resolve(uid)
+        cache = session.server.image_cache
+        if cache is not None and session.protocol_version == 2:
+            # The journal already fingerprints every persisted image for
+            # write dedup; an unchanged object's wire snapshot is byte-
+            # identical, so encode it once and splice the cached bytes.
+            # The key carries the class's attribute shape: a schema
+            # change alters the snapshot without touching the image.
+            digest = session.server.journal.image_digest(uid)
+            if digest is not None:
+                classdef = db.lattice.get(instance.class_name)
+                key = (digest, tuple(
+                    (spec.name, bool(spec.is_set))
+                    for spec in classdef.attributes()
+                ))
+                payload = cache.get(key)
+                if payload is None:
+                    payload = encode_v2_value(_snapshot(db, instance))
+                    cache.put(key, payload)
+                return PreEncoded(payload)
+        return _snapshot(db, instance)
 
 
 async def _op_value(session, args):
@@ -280,8 +301,10 @@ async def _op_query(session, args):
     # per-session environment (setq bindings survive across requests).
     # Query evaluation is read-oriented; data definition through it is
     # not undo-logged, so transactional clients should prefer the command
-    # ops for updates (documented in docs/SERVER.md).
-    return session.interpreter.run(text)
+    # ops for updates (documented in docs/SERVER.md).  Results can carry
+    # arbitrary library objects, whose wire contract is their readable
+    # rendering — pre-lower them so the strict codec never refuses one.
+    return wire_lenient(session.interpreter.run(text))
 
 
 async def _op_begin(session, args):
@@ -379,8 +402,9 @@ async def _op_indoubt(session, args):
 async def _op_commit(session, args):
     txn_id = session.commit()
     # Under the journal's group policy the commit's batch is sealed but
-    # not yet fsynced; acknowledge only after the shared window flush.
-    await session.server.durability_barrier()
+    # not yet fsynced; acknowledge only after the shared window flush
+    # (deferred to the batch barrier inside a pipelined batch).
+    await session.durability_point()
     return {"txn": txn_id}
 
 

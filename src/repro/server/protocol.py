@@ -1,7 +1,7 @@
-"""The wire protocol: length-prefixed JSON frames.
+"""The wire protocol: length-prefixed frames, JSON (v1) or binary (v2).
 
 A frame is a 4-byte big-endian unsigned length followed by that many
-bytes of UTF-8 JSON.  Requests and responses are JSON objects::
+bytes of payload.  Version 1 payloads are UTF-8 JSON objects::
 
     request   {"id": 7, "op": "set_value", "args": {...}}
     response  {"id": 7, "ok": true,  "result": ...}
@@ -9,28 +9,46 @@ bytes of UTF-8 JSON.  Requests and responses are JSON objects::
                                                "message": "...",
                                                "data": {...}}}
 
-The first request on a connection must be the ``hello`` handshake, which
-negotiates a protocol version: the client offers the versions it speaks,
-the server picks the highest it supports and echoes it (or fails the
-connection with a ``PROTOCOL`` error).
+Version 2 payloads are compact struct-packed binary: a one-byte frame
+kind (request / result / error), a signed 64-bit request id, and
+type-tagged values (see ``_encode_v2_value``) — no JSON in the hot
+path, and ``bytes`` / non-string dict keys survive natively instead of
+degrading.  The frame layout table lives in docs/SERVER.md.
 
-Two value types of the object model cross the wire beyond what JSON
+The first request on a connection must be the ``hello`` handshake,
+which negotiates a protocol version: the client offers the versions it
+speaks, the server picks the highest it supports and echoes it (or
+fails the connection with a ``PROTOCOL`` error).  The handshake itself
+is always exchanged in v1 framing; both sides switch to the negotiated
+version for everything after it.
+
+Two value types of the object model cross the v1 wire beyond what JSON
 carries natively, marked with ``$``-keyed singleton objects:
 
 * :class:`repro.core.identity.UID` — ``{"$uid": [number, class_name]}``;
-* :class:`repro.schema.attribute.SetOf` — ``{"$set_of": member_class}``.
+* :class:`repro.schema.attribute.SetOf` — ``{"$set_of": member_class}``;
+* ``bytes`` — ``{"$bytes": base64}``;
+* non-string-keyed dicts — ``{"$nsdict": [[key, value], ...]}``.
+
+Anything else raises :class:`ProtocolError` instead of silently
+degrading to ``str(value)`` (use :func:`wire_lenient` to pre-render
+arbitrary data, e.g. query results).
 
 Errors marshal by their stable ``code`` (see :mod:`repro.errors`): the
 encoder captures the exception's public attributes, the decoder rebuilds
-the registered class and reattaches them, so a client catches e.g.
-:class:`repro.errors.DeadlockError` from a server-side deadlock with its
-``victim`` and ``cycle`` intact.
+the registered class and reattaches *only the attributes the class
+declares* (its ``wire_fields`` plus its constructor parameters), so a
+hostile payload cannot shadow ``code`` or plant arbitrary state.
 """
 
 from __future__ import annotations
 
 import asyncio
+import base64
+import binascii
+import inspect
 import json
+import re
 import struct
 
 from ..core.identity import UID
@@ -38,7 +56,7 @@ from ..errors import ReproError, error_registry
 from ..schema.attribute import SetOf
 
 #: Protocol versions this build speaks, newest first.
-SUPPORTED_VERSIONS = (1,)
+SUPPORTED_VERSIONS = (2, 1)
 
 #: Hard ceiling on one frame's payload; a length prefix beyond this is
 #: treated as a corrupt or hostile stream, not an allocation request.
@@ -54,29 +72,46 @@ class ProtocolError(ReproError):
 
 
 # ---------------------------------------------------------------------------
-# Value encoding
+# Value encoding — v1 (JSON-representable with $-tags)
 # ---------------------------------------------------------------------------
 
 
 def wire_encode(value):
-    """Lower *value* to JSON-representable data (UIDs and SetOf tagged)."""
+    """Lower *value* to JSON-representable data (UIDs, SetOf, bytes and
+    non-string-keyed dicts tagged).  Raises :class:`ProtocolError` for
+    values with no faithful wire form — silent corruption is worse than
+    a typed refusal."""
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, UID):
         return {"$uid": [value.number, value.class_name]}
     if isinstance(value, SetOf):
         return {"$set_of": value.member}
+    if isinstance(value, bytes):
+        return {"$bytes": base64.b64encode(value).decode("ascii")}
     if isinstance(value, (list, tuple)):
         return [wire_encode(item) for item in value]
     if isinstance(value, dict):
-        return {str(key): wire_encode(item) for key, item in value.items()}
-    # Query results may carry library objects (class defs, reports...);
-    # they cross the wire as their readable rendering.
-    return str(value)
+        if all(isinstance(key, str) for key in value):
+            return {key: wire_encode(item) for key, item in value.items()}
+        # Integer (or UID, tuple...) keys must round-trip as themselves,
+        # not as their str() — tag the whole mapping as key/value pairs.
+        return {"$nsdict": [[wire_encode(key), wire_encode(item)]
+                            for key, item in value.items()]}
+    raise ProtocolError(
+        f"value of type {type(value).__name__} has no wire encoding: "
+        f"{value!r}"
+    )
+
+
+def _decode_key(key):
+    key = wire_decode(key)
+    # A tuple key encodes as a JSON array; restore hashability.
+    return tuple(key) if isinstance(key, list) else key
 
 
 def wire_decode(value):
-    """Invert :func:`wire_encode` (rebuilding UID / SetOf values)."""
+    """Invert :func:`wire_encode` (rebuilding tagged values)."""
     if isinstance(value, list):
         return [wire_decode(item) for item in value]
     if isinstance(value, dict):
@@ -85,8 +120,225 @@ def wire_decode(value):
             return UID(int(number), class_name)
         if "$set_of" in value and len(value) == 1:
             return SetOf(value["$set_of"])
+        if "$bytes" in value and len(value) == 1:
+            try:
+                return base64.b64decode(value["$bytes"], validate=True)
+            except (binascii.Error, TypeError, ValueError) as error:
+                raise ProtocolError(f"bad $bytes payload: {error}") from None
+        if "$nsdict" in value and len(value) == 1:
+            return {
+                _decode_key(key): wire_decode(item)
+                for key, item in value["$nsdict"]
+            }
         return {key: wire_decode(item) for key, item in value.items()}
     return value
+
+
+def wire_lenient(value):
+    """Pre-render arbitrary data for the wire: the same tree walk as
+    :func:`wire_encode`, but unencodable leaves become their readable
+    ``str()`` rendering instead of raising.
+
+    This is the query-result path: the s-expression interpreter returns
+    library objects (class definitions, reports, ...) whose contract has
+    always been "crosses the wire as its rendering".  The returned tree
+    contains only wire-encodable values, left rich (UIDs stay UIDs) so
+    either protocol version can encode it natively."""
+    if (value is None
+            or isinstance(value, (bool, int, float, str, bytes, UID, SetOf))):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [wire_lenient(item) for item in value]
+    if isinstance(value, dict):
+        return {
+            key if isinstance(key, (str, int, bool, float, UID)) or key is None
+            else str(key): wire_lenient(item)
+            for key, item in value.items()
+        }
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Value encoding — v2 (struct-packed, type-tagged)
+# ---------------------------------------------------------------------------
+
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_V2_NONE = b"N"
+_V2_TRUE = b"T"
+_V2_FALSE = b"F"
+_V2_INT = b"I"          # signed 64-bit
+_V2_BIGINT = b"J"       # u32 length + signed big-endian bytes
+_V2_FLOAT = b"D"
+_V2_STR = b"S"          # u32 length + UTF-8
+_V2_BYTES = b"B"        # u32 length + raw bytes
+_V2_UID = b"U"          # i64 number + str class_name
+_V2_SETOF = b"E"        # str member class
+_V2_LIST = b"L"         # u32 count + values
+_V2_MAP = b"M"          # u32 count + (str key, value) pairs
+_V2_HMAP = b"H"         # u32 count + (value key, value) pairs
+
+_V2_REQUEST = b"\x01"
+_V2_RESULT = b"\x02"
+_V2_ERROR = b"\x03"
+
+_I64_MIN, _I64_MAX = -(2 ** 63), 2 ** 63 - 1
+
+
+class PreEncoded:
+    """An already-v2-encoded value: the encoder splices its payload
+    verbatim (the server's object-image cache returns these)."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload):
+        self.payload = payload
+
+
+def _v2_str(out, text):
+    data = text.encode("utf-8")
+    out.append(_U32.pack(len(data)))
+    out.append(data)
+
+
+def _encode_v2_value(value, out):
+    """Append the v2 encoding of one value to the byte-chunk list *out*."""
+    if value is None:
+        out.append(_V2_NONE)
+    elif value is True:
+        out.append(_V2_TRUE)
+    elif value is False:
+        out.append(_V2_FALSE)
+    elif isinstance(value, int) and not isinstance(value, bool):
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(_V2_INT)
+            out.append(_I64.pack(value))
+        else:
+            data = value.to_bytes((value.bit_length() // 8) + 1, "big",
+                                  signed=True)
+            out.append(_V2_BIGINT)
+            out.append(_U32.pack(len(data)))
+            out.append(data)
+    elif isinstance(value, float):
+        out.append(_V2_FLOAT)
+        out.append(_F64.pack(value))
+    elif isinstance(value, str):
+        out.append(_V2_STR)
+        _v2_str(out, value)
+    elif isinstance(value, bytes):
+        out.append(_V2_BYTES)
+        out.append(_U32.pack(len(value)))
+        out.append(value)
+    elif isinstance(value, UID):
+        out.append(_V2_UID)
+        out.append(_I64.pack(value.number))
+        _v2_str(out, value.class_name)
+    elif isinstance(value, SetOf):
+        out.append(_V2_SETOF)
+        _v2_str(out, value.member)
+    elif isinstance(value, (list, tuple)):
+        out.append(_V2_LIST)
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            _encode_v2_value(item, out)
+    elif isinstance(value, dict):
+        if all(isinstance(key, str) for key in value):
+            out.append(_V2_MAP)
+            out.append(_U32.pack(len(value)))
+            for key, item in value.items():
+                _v2_str(out, key)
+                _encode_v2_value(item, out)
+        else:
+            out.append(_V2_HMAP)
+            out.append(_U32.pack(len(value)))
+            for key, item in value.items():
+                _encode_v2_value(key, out)
+                _encode_v2_value(item, out)
+    elif isinstance(value, PreEncoded):
+        out.append(value.payload)
+    else:
+        raise ProtocolError(
+            f"value of type {type(value).__name__} has no wire encoding: "
+            f"{value!r}"
+        )
+
+
+def encode_v2_value(value):
+    """The v2 encoding of one value as bytes (image-cache entries)."""
+    out = []
+    _encode_v2_value(value, out)
+    return b"".join(out)
+
+
+class _V2Reader:
+    """Sequential reader over one v2 frame payload."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n):
+        end = self.pos + n
+        if end > len(self.data):
+            raise ProtocolError("truncated v2 frame")
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def u32(self):
+        return _U32.unpack(self.take(4))[0]
+
+    def i64(self):
+        return _I64.unpack(self.take(8))[0]
+
+    def str(self):
+        try:
+            return self.take(self.u32()).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"undecodable v2 string: {error}") from None
+
+
+def _decode_v2_value(reader):
+    tag = reader.take(1)
+    if tag == _V2_NONE:
+        return None
+    if tag == _V2_TRUE:
+        return True
+    if tag == _V2_FALSE:
+        return False
+    if tag == _V2_INT:
+        return reader.i64()
+    if tag == _V2_BIGINT:
+        return int.from_bytes(reader.take(reader.u32()), "big", signed=True)
+    if tag == _V2_FLOAT:
+        return _F64.unpack(reader.take(8))[0]
+    if tag == _V2_STR:
+        return reader.str()
+    if tag == _V2_BYTES:
+        return bytes(reader.take(reader.u32()))
+    if tag == _V2_UID:
+        number = reader.i64()
+        return UID(number, reader.str())
+    if tag == _V2_SETOF:
+        return SetOf(reader.str())
+    if tag == _V2_LIST:
+        return [_decode_v2_value(reader) for _ in range(reader.u32())]
+    if tag == _V2_MAP:
+        return {reader.str(): _decode_v2_value(reader)
+                for _ in range(reader.u32())}
+    if tag == _V2_HMAP:
+        pairs = []
+        for _ in range(reader.u32()):
+            key = _decode_v2_value(reader)
+            if isinstance(key, list):
+                key = tuple(key)  # tuple keys lower to lists on the wire
+            pairs.append((key, _decode_v2_value(reader)))
+        return dict(pairs)
+    raise ProtocolError(f"unknown v2 type tag {tag!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -94,18 +346,25 @@ def wire_decode(value):
 # ---------------------------------------------------------------------------
 
 
-def encode_frame(payload):
-    """Serialize one JSON-encodable *payload* object to wire bytes."""
-    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    if len(data) > MAX_FRAME_BYTES:
+def frame_bytes(payload):
+    """Wrap one encoded *payload* in the 4-byte length prefix."""
+    if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(
-            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
         )
-    return _LENGTH.pack(len(data)) + data
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def encode_frame(payload):
+    """Serialize one JSON-encodable *payload* object to v1 wire bytes."""
+    return frame_bytes(
+        json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    )
 
 
 def decode_frame(data):
-    """Parse one frame payload (the bytes after the length prefix)."""
+    """Parse one v1 frame payload (the bytes after the length prefix)."""
     try:
         payload = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -130,8 +389,8 @@ def frame_length(prefix):
     return length
 
 
-async def read_frame(reader, counter=None):
-    """Read one frame from an asyncio stream; None at clean EOF.
+async def read_frame_bytes(reader, counter=None):
+    """Read one frame's raw payload from an asyncio stream; None at EOF.
 
     *counter*, when given, is called with the number of wire bytes the
     frame occupied (prefix included) — the server's byte metering.
@@ -149,18 +408,40 @@ async def read_frame(reader, counter=None):
         raise ProtocolError("connection dropped mid-frame") from None
     if counter is not None:
         counter(4 + length)
-    return decode_frame(data)
+    return data
+
+
+async def read_frame(reader, counter=None):
+    """Read and decode one v1 (JSON) frame; None at clean EOF."""
+    data = await read_frame_bytes(reader, counter=counter)
+    return None if data is None else decode_frame(data)
+
+
+def frames_buffered(reader):
+    """True when *reader*'s internal buffer already holds one complete
+    frame — i.e. another read would complete without touching the
+    socket.  This is the server's pipelining probe: frames the client
+    sent back-to-back are drained into one batch, frames that have not
+    arrived are never waited for."""
+    buffer = getattr(reader, "_buffer", None)
+    if buffer is None or len(buffer) < 4:
+        return False
+    try:
+        length = frame_length(bytes(buffer[:4]))
+    except ProtocolError:
+        return True  # corrupt prefix: let the reader consume and fail typed
+    return len(buffer) >= 4 + length
 
 
 def write_frame(writer, payload):
-    """Queue one frame on an asyncio stream; returns the bytes written."""
+    """Queue one v1 frame on an asyncio stream; returns the bytes written."""
     data = encode_frame(payload)
     writer.write(data)
     return len(data)
 
 
 # ---------------------------------------------------------------------------
-# Request / response shapes
+# Request / response shapes (version-generic entry points)
 # ---------------------------------------------------------------------------
 
 
@@ -172,18 +453,107 @@ def result_frame(request_id, result):
     return {"id": request_id, "ok": True, "result": wire_encode(result)}
 
 
-def check_request(frame):
-    """Validate a request frame; return ``(id, op, args)``."""
+def encode_request_bytes(version, request_id, op, args):
+    """One request as full wire bytes (prefix included) for *version*."""
+    if version == 2:
+        out = [_V2_REQUEST, _I64.pack(request_id)]
+        _v2_str(out, op)
+        _encode_v2_value(args or {}, out)
+        return frame_bytes(b"".join(out))
+    return encode_frame(request_frame(request_id, op, args))
+
+
+def encode_result_bytes(version, request_id, result):
+    """One ok-response as full wire bytes for *version*."""
+    if version == 2:
+        out = [_V2_RESULT, _I64.pack(request_id)]
+        _encode_v2_value(result, out)
+        return frame_bytes(b"".join(out))
+    return encode_frame(result_frame(request_id, result))
+
+
+def encode_error_bytes(version, request_id, error):
+    """One error response as full wire bytes for *version*."""
+    if version == 2:
+        code, message, data = _error_payload(error)
+        out = [_V2_ERROR, _I64.pack(request_id)]
+        _v2_str(out, code)
+        _v2_str(out, message)
+        _encode_v2_value(data, out)
+        return frame_bytes(b"".join(out))
+    return encode_frame(error_frame(request_id, error))
+
+
+def decode_payload(version, data):
+    """Decode one frame payload into the v1-shaped frame dict.
+
+    Version 1 payloads keep their JSON-level values ($-tags intact —
+    :func:`check_request` / the client lower them); version 2 payloads
+    decode straight to rich values (UIDs, bytes, ...), so callers must
+    not run :func:`wire_decode` over them again.
+    """
+    if version != 2:
+        return decode_frame(data)
+    reader = _V2Reader(data)
+    kind = reader.take(1)
+    request_id = reader.i64()
+    if kind == _V2_REQUEST:
+        op = reader.str()
+        args = _decode_v2_value(reader)
+        frame = {"id": request_id, "op": op, "args": args}
+    elif kind == _V2_RESULT:
+        frame = {"id": request_id, "ok": True,
+                 "result": _decode_v2_value(reader)}
+    elif kind == _V2_ERROR:
+        code = reader.str()
+        message = reader.str()
+        data_map = _decode_v2_value(reader)
+        if not isinstance(data_map, dict):
+            raise ProtocolError("v2 error data must be a map")
+        frame = {"id": request_id, "ok": False,
+                 "error": {"code": code, "message": message,
+                           "data": data_map}}
+    else:
+        raise ProtocolError(f"unknown v2 frame kind {kind!r}")
+    if reader.pos != len(data):
+        raise ProtocolError(
+            f"{len(data) - reader.pos} trailing bytes after v2 frame"
+        )
+    return frame
+
+
+#: Exact prefix of a v1 error response as :func:`error_frame` +
+#: :func:`encode_frame` serialize it (compact separators, insertion
+#: order ``id``/``ok``/...).  Anchored at byte 0, so result *content*
+#: containing the same text can never match.
+_V1_ERROR_PREFIX = re.compile(rb'^\{"id":-?\d+,"ok":false')
+
+
+def is_error_payload(version, payload):
+    """Cheaply detect an error response without a full decode (the shard
+    router's raw-splice fast path).  v2 frames declare their kind in the
+    first byte; v1 is recognized by the serializer's exact prefix."""
+    if version == 2:
+        return payload[:1] == _V2_ERROR
+    return _V1_ERROR_PREFIX.match(payload) is not None
+
+
+def check_request(frame, decoded=False):
+    """Validate a request frame; return ``(id, op, args)``.
+
+    *decoded* marks frames whose values are already rich (v2 payloads);
+    v1 args still carry their $-tags and are lowered here.
+    """
     request_id = frame.get("id")
     op = frame.get("op")
     args = frame.get("args", {})
-    if not isinstance(request_id, int):
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
         raise ProtocolError("request is missing an integer 'id'")
     if not isinstance(op, str) or not op:
         raise ProtocolError("request is missing a string 'op'")
     if not isinstance(args, dict):
         raise ProtocolError("'args' must be an object")
-    return request_id, op, wire_decode(args)
+    return request_id, op, args if decoded else wire_decode(args)
 
 
 # ---------------------------------------------------------------------------
@@ -195,16 +565,22 @@ _PRIVATE = ("args",)
 
 
 def _wire_safe(value):
-    """Encode an exception attribute, reducing transactions to their ids."""
+    """Encode an exception attribute, reducing transactions to their ids.
+
+    Marshalling an error must never fail: an attribute with no wire form
+    degrades to its rendering here (and only here)."""
     if hasattr(value, "txn_id"):
         return value.txn_id
     if isinstance(value, (list, tuple)):
         return [_wire_safe(item) for item in value]
-    return wire_encode(value)
+    try:
+        return wire_encode(value)
+    except ProtocolError:
+        return str(value)
 
 
-def error_frame(request_id, error):
-    """Build the error response for *error* (any exception)."""
+def _error_payload(error):
+    """``(code, message, data)`` for *error* (any exception)."""
     if isinstance(error, ReproError):
         code = error.code
         data = {
@@ -215,21 +591,62 @@ def error_frame(request_id, error):
     else:
         code = "INTERNAL"
         data = {"type": type(error).__name__}
+    return code, str(error), data
+
+
+def error_frame(request_id, error):
+    """Build the v1 error response for *error* (any exception)."""
+    code, message, data = _error_payload(error)
     return {
         "id": request_id,
         "ok": False,
-        "error": {"code": code, "message": str(error), "data": data},
+        "error": {"code": code, "message": message, "data": data},
     }
+
+
+#: Per-class cache of the attribute names :func:`build_error` may
+#: reattach from the wire.
+_FIELD_CACHE = {}
+
+#: Names never reattached from a payload, whatever the class declares:
+#: the code is identity, message/args are carried positionally.
+_SEALED = frozenset({"self", "code", "message", "args", "kwargs"})
+
+
+def _declared_fields(cls):
+    """Attribute names *cls* declares for wire reattachment.
+
+    The union over the MRO of each class's explicit ``wire_fields``
+    tuple and its ``__init__`` parameter names — i.e. the state the
+    class itself admits to carrying.  Anything else in a payload is
+    dropped: the wire must not plant arbitrary attributes on a rebuilt
+    exception (or shadow ``code``)."""
+    cached = _FIELD_CACHE.get(cls)
+    if cached is None:
+        names = set()
+        for klass in cls.__mro__:
+            names.update(vars(klass).get("wire_fields", ()))
+            init = vars(klass).get("__init__")
+            if init is not None:
+                try:
+                    names.update(inspect.signature(init).parameters)
+                except (TypeError, ValueError):
+                    pass
+        cached = frozenset(
+            name for name in names - _SEALED if not name.startswith("_")
+        )
+        _FIELD_CACHE[cls] = cached
+    return cached
 
 
 def build_error(payload):
     """Rebuild a typed exception from a response's ``error`` object.
 
     The registered class for the code is instantiated without running its
-    (signature-varying) constructor; the message and marshalled public
-    attributes are reattached.  Unknown codes degrade to
-    :class:`ProtocolError` for protocol-level failures and
-    :class:`repro.errors.ReproError` otherwise.
+    (signature-varying) constructor; the message and the *declared*
+    marshalled attributes (see :func:`_declared_fields`) are reattached.
+    Unknown codes degrade to :class:`ProtocolError` for protocol-level
+    failures and :class:`repro.errors.ReproError` otherwise.
     """
     code = payload.get("code", "REPRO")
     message = payload.get("message", "")
@@ -242,7 +659,10 @@ def build_error(payload):
         message = f"[{code}] {message}"
     error = cls.__new__(cls)
     Exception.__init__(error, message)
+    allowed = _declared_fields(cls)
     for name, value in data.items():
+        if name not in allowed:
+            continue
         try:
             setattr(error, name, wire_decode(value))
         except AttributeError:  # slotted / read-only attribute

@@ -46,9 +46,14 @@ from .protocol import (
     SUPPORTED_VERSIONS,
     ProtocolError,
     check_request,
+    decode_payload,
+    encode_error_bytes,
     encode_frame,
+    encode_result_bytes,
     error_frame,
+    frames_buffered,
     read_frame,
+    read_frame_bytes,
     result_frame,
 )
 
@@ -94,6 +99,8 @@ class ServerStats:
     aborts: int = 0
     deadlock_aborts: int = 0
     lock_timeouts: int = 0
+    pipelined_batches: int = 0
+    pipelined_requests: int = 0
 
     def row(self):
         return {
@@ -108,6 +115,8 @@ class ServerStats:
             "aborts": self.aborts,
             "deadlock_aborts": self.deadlock_aborts,
             "lock_timeouts": self.lock_timeouts,
+            "pipelined_batches": self.pipelined_batches,
+            "pipelined_requests": self.pipelined_requests,
         }
 
 
@@ -263,6 +272,15 @@ class Session:
         self.session_id = session_id
         self.peer = peer
         self.user = None
+        #: Wire protocol version the handshake negotiated.
+        self.protocol_version = 1
+        #: True while the server is executing this session's pipelined
+        #: batch: commit acks defer their durability barrier to one
+        #: shared batch-end wait (see ``_serve_session``).
+        self.defer_sync = False
+        #: Set by a commit whose barrier was deferred; the serve loop
+        #: reads it per request to know which acks need the batch fsync.
+        self.sync_pending = False
         self.txn = None
         #: Gtid of a 2PC-prepared transaction awaiting its decision
         #: (set by the ``prepare`` op, cleared by ``decide``/park).
@@ -389,6 +407,24 @@ class Session:
             self.server.finish(txn, commit=True)
             self.stats.commits += 1
             # Auto-commit acks like any commit: after the group fsync.
+            await self.durability_point()
+
+    async def durability_point(self):
+        """A commit acknowledgement's durability barrier.
+
+        Serial requests await the group-commit gate right here, exactly
+        as before pipelining existed.  Inside a pipelined batch the wait
+        is deferred: the request is only *marked* as needing the fsync,
+        and the serve loop runs one shared barrier after the whole batch
+        — N commits in a batch then cost one gate wait instead of N
+        sequential window sleeps.  Safety is unchanged either way: no
+        response marked ``sync_pending`` is written to the socket before
+        the batch barrier returns (or is replaced by a typed error when
+        the barrier fails).
+        """
+        if self.defer_sync:
+            self.sync_pending = True
+        else:
             await self.server.durability_barrier()
 
     def close(self):
@@ -453,11 +489,21 @@ class ReproServer:
         A worker with a parked prepared transaction (its router
         connection died mid-2PC) polls this log to resolve the
         transaction without the router.
+    max_pipeline:
+        Upper bound on how many already-received requests one
+        connection's serve loop executes as a single pipelined batch
+        (responses are written together; commit acks share one
+        group-commit barrier).  1 disables pipelining.
+    image_cache_capacity:
+        Entries in the encoded-object-image LRU used by ``resolve`` on
+        v2 connections (journal-backed databases only; keyed by the
+        journal's image digest).  0 disables the cache.
     """
 
     def __init__(self, database=None, host="127.0.0.1", port=0, auth=None,
                  lock_wait_timeout=30.0, group_commit_window=0.002,
-                 lockdep=True, shard_info=None, coord_log=None):
+                 lockdep=True, shard_info=None, coord_log=None,
+                 max_pipeline=64, image_cache_capacity=1024):
         self.db = database if database is not None else Database()
         self.host = host
         self.port = port
@@ -478,7 +524,13 @@ class ReproServer:
             from ..analysis.lockdep import LockOrderRecorder
 
             self.lockdep = LockOrderRecorder(self.tm.table)
+        self.max_pipeline = max(1, int(max_pipeline))
         self.journal = getattr(self.db, "journal", None)
+        self.image_cache = None
+        if self.journal is not None and image_cache_capacity > 0:
+            from ..storage.serializer import ImageCache
+
+            self.image_cache = ImageCache(capacity=image_cache_capacity)
         #: True once the journal has failed persistently: mutating ops
         #: are rejected with :class:`repro.errors.ReadOnlyError` instead
         #: of being applied in memory without durability (or crashing
@@ -672,6 +724,8 @@ class ReproServer:
                 durability["group_flushes"] = self.gate.flushes
                 durability["group_window_s"] = self.gate.window
             payload["durability"] = durability
+        if self.image_cache is not None:
+            payload["image_cache"] = self.image_cache.stats_row()
         if self.lockdep is not None:
             payload["lockdep"] = self.lockdep.stats_row()
         if session is not None:
@@ -704,7 +758,10 @@ class ReproServer:
         except ProtocolError as error:
             # Corrupt stream: report once (best effort), then hang up.
             with contextlib.suppress(Exception):
-                await self._send(session, writer, error_frame(0, error))
+                await self._send_data(
+                    session, writer,
+                    encode_error_bytes(session.protocol_version, 0, error),
+                )
         except (OSError, asyncio.IncompleteReadError):
             # Broken peer or injected socket fault: tear the session
             # down below.  OSError (not just ConnectionError) so an
@@ -748,21 +805,64 @@ class ReproServer:
                 session, writer, error_frame(frame.get("id", 0), error)
             )
             return False
+        session.protocol_version = common[0]
         from .. import __version__
 
+        # The hello response is always v1-framed; both sides switch to
+        # the negotiated version for every frame after it.
         await self._send(session, writer, result_frame(request_id, {
             "version": common[0],
             "server": f"repro/{__version__}",
             "session": session.session_id,
+            "pipeline": self.max_pipeline,
         }))
         return True
 
     async def _serve_session(self, session, reader, writer):
         meter = self._meter_in(session)
+        version = session.protocol_version
         while True:
-            frame = await read_frame(reader, counter=meter)
-            if frame is None:
+            data = await read_frame_bytes(reader, counter=meter)
+            if data is None:
                 return
+            # Pipelining: requests the client already queued on the
+            # socket are drained into one batch — never waiting for
+            # bytes that have not arrived — executed strictly in order,
+            # and answered with one write + one shared durability
+            # barrier.
+            batch = [data]
+            while len(batch) < self.max_pipeline and frames_buffered(reader):
+                more = await read_frame_bytes(reader, counter=meter)
+                if more is None:
+                    break
+                batch.append(more)
+            if len(batch) > 1:
+                self.stats.pipelined_batches += 1
+                self.stats.pipelined_requests += len(batch)
+            session.defer_sync = len(batch) > 1
+            try:
+                responses = await self._serve_batch(session, version, batch)
+            finally:
+                session.defer_sync = False
+            for index, (data, _needs_sync, _rid) in enumerate(responses):
+                await self._send_data(
+                    session, writer, data,
+                    drain=index == len(responses) - 1,
+                )
+
+    async def _serve_batch(self, session, version, batch):
+        """Execute one batch of raw request frames, in order.
+
+        Returns the encoded responses as ``(wire bytes, needs_sync)``
+        pairs.  When any request in the batch committed under the group
+        sync policy, the single shared durability barrier runs *before*
+        returning — and if that fsync fails, every acknowledgement that
+        depended on it is replaced by the typed storage error (a commit
+        must never be acked and then lost).
+        """
+        responses = []
+        for raw in batch:
+            frame = decode_payload(version, raw)
             directive = _fire(
                 "server.recv_frame", server=self, session=session,
                 frame=frame,
@@ -774,28 +874,47 @@ class ReproServer:
             self.stats.requests += 1
             session.stats.requests += 1
             try:
-                request_id, op, args = check_request(frame)
+                request_id, op, args = check_request(
+                    frame, decoded=version == 2
+                )
             except ProtocolError as error:
                 session.stats.errors += 1
                 self.stats.errors += 1
-                await self._send(
-                    session, writer, error_frame(frame.get("id", 0), error)
+                bad_id = frame.get("id")
+                if not isinstance(bad_id, int) or isinstance(bad_id, bool):
+                    bad_id = 0
+                responses.append(
+                    (encode_error_bytes(version, bad_id, error), False,
+                     bad_id)
                 )
                 continue
+            session.sync_pending = False
             try:
                 result = await dispatch(session, op, args)
-                response = result_frame(request_id, result)
+                response = encode_result_bytes(version, request_id, result)
             except Exception as error:
                 session.stats.errors += 1
                 self.stats.errors += 1
-                response = error_frame(request_id, error)
-            await self._send(session, writer, response)
+                response = encode_error_bytes(version, request_id, error)
+            responses.append((response, session.sync_pending, request_id))
+        if any(needs_sync for _, needs_sync, _ in responses):
+            try:
+                await self.durability_barrier()
+            except StorageError as error:
+                responses = [
+                    (encode_error_bytes(version, rid, error), False, rid)
+                    if needs_sync else (data, needs_sync, rid)
+                    for data, needs_sync, rid in responses
+                ]
+        return responses
 
     async def _send(self, session, writer, payload):
-        data = encode_frame(payload)
+        await self._send_data(session, writer, encode_frame(payload))
+
+    async def _send_data(self, session, writer, data, drain=True):
         directive = _fire(
             "server.send_frame", server=self, session=session,
-            payload=payload,
+            payload=data,
         )
         if directive == "drop":
             return
@@ -811,7 +930,8 @@ class ReproServer:
         writer.write(data)
         session.stats.bytes_out += len(data)
         self.stats.bytes_out += len(data)
-        await writer.drain()
+        if drain:
+            await writer.drain()
 
 
 # ---------------------------------------------------------------------------

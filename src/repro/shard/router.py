@@ -52,8 +52,6 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import itertools
-import re
-import struct
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
@@ -71,12 +69,16 @@ from ..server.protocol import (
     ProtocolError,
     build_error,
     check_request,
-    decode_frame,
+    decode_payload,
+    encode_error_bytes,
     encode_frame,
+    encode_request_bytes,
+    encode_result_bytes,
     error_frame,
-    frame_length,
+    frame_bytes,
+    is_error_payload,
     read_frame,
-    request_frame,
+    read_frame_bytes,
     result_frame,
     wire_decode,
 )
@@ -120,35 +122,6 @@ ROUTER_LOCAL_OPS = frozenset(
 #: the cluster) — the router refuses these with a typed error.
 TWOPC_INTERNAL_OPS = frozenset({"prepare", "decide", "indoubt"})
 REJECTED_OPS = TWOPC_INTERNAL_OPS | {"query"}
-
-#: Wire framing: 4-byte big-endian payload length (see protocol.py).
-_PREFIX = struct.Struct(">I")
-
-#: Exact prefix of an error response as :func:`error_frame` +
-#: :func:`encode_frame` serialize it (compact separators, insertion
-#: order ``id``/``ok``/...).  Anchored at byte 0, so result *content*
-#: containing the same text can never match.
-_ERROR_PREFIX = re.compile(rb'^\{"id":-?\d+,"ok":false')
-
-
-async def _read_payload(reader):
-    """One frame's raw payload bytes (no length prefix); None at EOF.
-
-    The byte-level twin of :func:`repro.server.protocol.read_frame`,
-    for paths that splice frames through without decoding them.
-    """
-    try:
-        prefix = await reader.readexactly(4)
-    except asyncio.IncompleteReadError as error:
-        if not error.partial:
-            return None  # clean EOF between frames
-        raise ProtocolError("connection dropped mid-frame") from None
-    length = frame_length(prefix)
-    try:
-        return await reader.readexactly(length)
-    except asyncio.IncompleteReadError:
-        raise ProtocolError("connection dropped mid-frame") from None
-
 
 class _RawResult:
     """Marker: this response is pre-encoded payload bytes — write them
@@ -230,18 +203,25 @@ class _Upstream:
         self.shard_id = shard_id
         self.reader = reader
         self.writer = writer
+        #: Negotiated framing.  The ``hello`` exchange itself is always
+        #: v1-framed (see protocol.py); :meth:`ShardRouter._connect`
+        #: bumps this to whatever the worker granted.
+        self.version = 1
         self._ids = itertools.count(1)
 
     async def roundtrip(self, op, args=None):
-        """Send one request; return the raw response frame."""
+        """Send one request; return the decoded response frame."""
         request_id = next(self._ids)
-        self.writer.write(encode_frame(request_frame(request_id, op, args)))
+        self.writer.write(
+            encode_request_bytes(self.version, request_id, op, args or {})
+        )
         await self.writer.drain()
-        response = await read_frame(self.reader)
-        if response is None:
+        payload = await read_frame_bytes(self.reader)
+        if payload is None:
             raise ConnectionError(
                 f"shard {self.shard_id} closed the connection"
             )
+        response = decode_payload(self.version, payload)
         if response.get("id") != request_id:
             raise ProtocolError(
                 f"shard {self.shard_id} answered id {response.get('id')!r} "
@@ -253,7 +233,10 @@ class _Upstream:
         """One request/response; raises the worker's typed error."""
         response = await self.roundtrip(op, args)
         if response.get("ok"):
-            return wire_decode(response.get("result"))
+            result = response.get("result")
+            # v2 payloads decode straight to rich values; v1 results
+            # still carry their JSON $-tags.
+            return result if self.version == 2 else wire_decode(result)
         raise build_error(response.get("error") or {})
 
     async def relay_raw(self, raw):
@@ -262,21 +245,25 @@ class _Upstream:
 
         This is the relay fast path: the worker's response carries the
         client's own request id, so the payload can be spliced straight
-        back to the client with no decode/re-encode — the router's JSON
-        work per relayed op drops to the request-side routing decode.
-        Error responses (recognized by their exact serialized prefix)
-        are decoded and raised typed, so transaction cleanup sees the
-        same exceptions as the slow path.
+        back to the client with no decode/re-encode — the router's
+        codec work per relayed op drops to the request-side routing
+        decode.  It requires the upstream framing to *match* the client
+        session's (enforced by pinning the upstream handshake to the
+        client's negotiated version).  Error responses — recognized by
+        :func:`repro.server.protocol.is_error_payload`, which keys on
+        the v2 error kind byte or the exact v1 serialized prefix — are
+        decoded and raised typed, so transaction cleanup sees the same
+        exceptions as the slow path.
         """
-        self.writer.write(_PREFIX.pack(len(raw)) + raw)
+        self.writer.write(frame_bytes(raw))
         await self.writer.drain()
-        payload = await _read_payload(self.reader)
+        payload = await read_frame_bytes(self.reader)
         if payload is None:
             raise ConnectionError(
                 f"shard {self.shard_id} closed the connection"
             )
-        if _ERROR_PREFIX.match(payload):
-            response = decode_frame(payload)
+        if is_error_payload(self.version, payload):
+            response = decode_payload(self.version, payload)
             if not response.get("ok"):
                 raise build_error(response.get("error") or {})
         return payload
@@ -294,6 +281,10 @@ class _RouterSession:
         self.session_id = session_id
         self.peer = peer
         self.user = None
+        #: Framing negotiated with the client; upstream connections for
+        #: this session are pinned to the same version so the raw-frame
+        #: fast path can splice payloads through untouched.
+        self.version = 1
         #: shard_id -> _Upstream, opened lazily.
         self.upstreams = {}
         self.in_txn = False
@@ -415,13 +406,16 @@ class ShardRouter:
 
     # -- upstream connections ---------------------------------------------
 
-    async def _connect(self, shard_id, user=None, quick=False):
+    async def _connect(self, shard_id, user=None, quick=False, version=None):
         """Open and handshake a fresh upstream to *shard_id*.
 
         Re-reads the worker's published endpoint on every attempt, so a
         worker restarted on a new port is found as soon as it publishes.
         *quick* limits the patience to one second (reconciliation must
-        not stall the router's start on a dead shard).
+        not stall the router's start on a dead shard).  *version* pins
+        the upstream to exactly one protocol version — session upstreams
+        must frame like their client so raw splicing stays byte-exact;
+        router-internal connections omit it and negotiate the best.
         """
         directory = self.manifest.shard_path(self.root, shard_id)
         loop = asyncio.get_running_loop()
@@ -437,10 +431,12 @@ class ShardRouter:
                         endpoint["host"], endpoint["port"]
                     )
                     upstream = _Upstream(shard_id, reader, writer)
-                    await upstream.call("hello", {
-                        "versions": list(SUPPORTED_VERSIONS),
+                    granted = await upstream.call("hello", {
+                        "versions": [version] if version is not None
+                        else list(SUPPORTED_VERSIONS),
                         "client": "repro-router",
                     })
+                    upstream.version = granted["version"]
                     if user is not None:
                         await upstream.call("login", {"user": user})
                     self.stats.upstream_connects += 1
@@ -457,7 +453,9 @@ class ShardRouter:
     async def _upstream(self, sess, shard_id):
         upstream = sess.upstreams.get(shard_id)
         if upstream is None:
-            upstream = await self._connect(shard_id, user=sess.user)
+            upstream = await self._connect(
+                shard_id, user=sess.user, version=sess.version
+            )
             sess.upstreams[shard_id] = upstream
         return upstream
 
@@ -879,7 +877,7 @@ class ShardRouter:
             await self._serve_session(sess, reader, writer)
         except ProtocolError as error:
             with contextlib.suppress(Exception):
-                writer.write(encode_frame(error_frame(0, error)))
+                writer.write(encode_error_bytes(sess.version, 0, error))
                 await writer.drain()
         except (OSError, asyncio.IncompleteReadError):
             pass
@@ -914,6 +912,9 @@ class ShardRouter:
             return False
         from .. import __version__
 
+        sess.version = common[0]
+        # The hello response is always v1-framed — the client only
+        # switches codecs after reading the granted version from it.
         writer.write(encode_frame(result_frame(request_id, {
             "version": common[0],
             "server": f"repro-router/{__version__}",
@@ -925,18 +926,21 @@ class ShardRouter:
 
     async def _serve_session(self, sess, reader, writer):
         while True:
-            raw = await _read_payload(reader)
+            raw = await read_frame_bytes(reader)
             if raw is None:
                 return
             self.stats.requests += 1
-            frame = decode_frame(raw)
+            frame = decode_payload(sess.version, raw)
             try:
-                request_id, op, args = check_request(frame)
+                request_id, op, args = check_request(
+                    frame, decoded=sess.version == 2
+                )
             except ProtocolError as error:
                 self.stats.errors += 1
-                writer.write(
-                    encode_frame(error_frame(frame.get("id", 0), error))
-                )
+                bad_id = frame.get("id")
+                if not isinstance(bad_id, int) or isinstance(bad_id, bool):
+                    bad_id = 0
+                writer.write(encode_error_bytes(sess.version, bad_id, error))
                 await writer.drain()
                 continue
             try:
@@ -944,16 +948,16 @@ class ShardRouter:
                 if isinstance(result, _RawResult):
                     # Fast path: the worker's payload already carries
                     # this request's id — splice it through verbatim.
-                    writer.write(
-                        _PREFIX.pack(len(result.payload)) + result.payload
-                    )
+                    writer.write(frame_bytes(result.payload))
                     await writer.drain()
                     continue
-                response = result_frame(request_id, result)
+                response = encode_result_bytes(
+                    sess.version, request_id, result
+                )
             except Exception as error:
                 self.stats.errors += 1
-                response = error_frame(request_id, error)
-            writer.write(encode_frame(response))
+                response = encode_error_bytes(sess.version, request_id, error)
+            writer.write(response)
             await writer.drain()
 
     async def _close_session(self, sess):

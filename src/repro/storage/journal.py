@@ -653,6 +653,16 @@ class Journal:
             self._last_image.pop(uid, None)
         batch.records.clear()
 
+    def image_digest(self, uid):
+        """The 16-byte digest of *uid*'s last journaled image, or None.
+
+        This is the dedup fingerprint ``_on_persist`` maintains — the
+        server's image cache keys encoded wire snapshots on it, so the
+        entry is exactly as fresh as the journal's view of the object
+        (updated on every recorded change, dropped on abort/tombstone,
+        cleared by checkpoints)."""
+        return self._last_image.get(uid)
+
     # -- stats ---------------------------------------------------------------
 
     def stats_row(self):

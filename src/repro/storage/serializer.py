@@ -16,6 +16,7 @@ UIDs are (number, class_name) pairs.
 from __future__ import annotations
 
 import struct
+from collections import OrderedDict
 
 from ..core.identity import UID
 from ..core.instance import Instance
@@ -145,6 +146,58 @@ def encode_instance(instance):
         out.append(_TAG_TRUE if ref.exclusive else _TAG_FALSE)
         _encode_str(out, ref.attribute)
     return b"".join(out)
+
+
+class ImageCache:
+    """Bounded LRU of encoded object images keyed by content digest.
+
+    The server's wire-protocol hot path uses this to encode an unchanged
+    object's snapshot once: the journal already fingerprints every
+    persisted image with a 16-byte BLAKE2b digest (``journal._digest``)
+    for write dedup, so ``(digest, schema shape)`` names the encoded
+    bytes exactly — a mutation changes the digest, a schema change
+    changes the shape, and either way the stale entry simply never gets
+    looked up again until LRU eviction reclaims it.
+    """
+
+    def __init__(self, capacity=1024):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries = OrderedDict()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key):
+        """The cached payload for *key*, or None (counts hit/miss)."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def put(self, key, payload):
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self):
+        self._entries.clear()
+
+    def stats_row(self):
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 def decode_instance(data):

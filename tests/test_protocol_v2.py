@@ -1,0 +1,344 @@
+"""Wire protocol v2, codec strictness fixes, and request pipelining.
+
+Property-based round-trips (Hypothesis) drive both codecs over nested
+values — UIDs, SetOf markers, bytes, big integers, non-string dict keys
+— plus frame-size boundaries; end-to-end tests run a v2-default server
+against v2 and forced-v1 clients, exercise pipelined batches with
+per-request error isolation, and kill the connection mid-pipeline to
+check the retry classification holds for batches too.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, SetOf, UID
+from repro.errors import (
+    LockConflictError,
+    ShardUnavailableError,
+    UnknownClassError,
+    UnknownObjectError,
+)
+from repro.faults import fault_scope
+from repro.server import (
+    Client,
+    MAX_FRAME_BYTES,
+    Pipeline,
+    ProtocolError,
+    ServerThread,
+    build_error,
+    wire_decode,
+    wire_encode,
+)
+from repro.server.protocol import (
+    decode_payload,
+    encode_error_bytes,
+    encode_request_bytes,
+    encode_result_bytes,
+    frame_bytes,
+    is_error_payload,
+)
+
+# ---------------------------------------------------------------------------
+# Value strategies
+# ---------------------------------------------------------------------------
+
+# Dict keys starting with "$" are the v1 codec's tag namespace; a user
+# mapping shaped exactly like a tag is ambiguous by design there, so the
+# strategies stay out of it.
+_texts = st.text(max_size=12).filter(lambda s: not s.startswith("$"))
+_uids = st.builds(
+    UID,
+    st.integers(min_value=0, max_value=2**40),
+    st.sampled_from(["Vehicle", "Doc", "Класс"]),
+)
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),  # unbounded: exercises the v2 bigint tag
+    st.floats(allow_nan=False, allow_infinity=False),
+    _texts,
+    st.binary(max_size=32),
+    _uids,
+    st.builds(SetOf, st.sampled_from(["Engine", "Paragraph"])),
+)
+_keys = st.one_of(
+    _texts,
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.booleans(),
+    st.none(),
+    _uids,
+    st.tuples(st.integers(), st.text(max_size=6)),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(_texts, children, max_size=4),
+        st.dictionaries(_keys, children, max_size=4),
+    ),
+    max_leaves=16,
+)
+
+
+class TestCodecProperties:
+    @given(value=_values)
+    @settings(max_examples=200, deadline=None)
+    def test_v1_round_trip(self, value):
+        data = encode_result_bytes(1, 7, value)
+        frame = decode_payload(1, data[4:])
+        assert frame["id"] == 7 and frame["ok"] is True
+        assert wire_decode(frame["result"]) == value
+
+    @given(value=_values)
+    @settings(max_examples=200, deadline=None)
+    def test_v2_round_trip(self, value):
+        data = encode_result_bytes(2, 7, value)
+        frame = decode_payload(2, data[4:])
+        assert frame["id"] == 7 and frame["ok"] is True
+        assert frame["result"] == value
+
+    @given(
+        request_id=st.integers(min_value=-(2**63), max_value=2**63 - 1),
+        op=st.text(min_size=1, max_size=20),
+        args=st.dictionaries(_texts, _values, max_size=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_v2_request_round_trip(self, request_id, op, args):
+        data = encode_request_bytes(2, request_id, op, args)
+        frame = decode_payload(2, data[4:])
+        assert frame == {"id": request_id, "op": op, "args": args}
+
+    @given(value=_values)
+    @settings(max_examples=100, deadline=None)
+    def test_v2_rejects_truncation(self, value):
+        data = encode_result_bytes(2, 1, value)
+        payload = data[4:]
+        if len(payload) > 9:  # kind + id survive; the value is cut
+            with pytest.raises(ProtocolError):
+                decode_payload(2, payload[:-1])
+        with pytest.raises(ProtocolError):
+            decode_payload(2, payload + b"\x00")  # trailing garbage
+
+
+class TestFrameBoundaries:
+    def test_payload_at_limit_is_framed(self):
+        data = frame_bytes(b"x" * MAX_FRAME_BYTES)
+        assert len(data) == 4 + MAX_FRAME_BYTES
+
+    def test_payload_over_limit_is_refused(self):
+        with pytest.raises(ProtocolError):
+            frame_bytes(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_error_detection_by_version(self):
+        v2_err = encode_error_bytes(2, 3, ValueError("x"))[4:]
+        v2_ok = encode_result_bytes(2, 3, "fine")[4:]
+        v1_err = encode_error_bytes(1, 3, ValueError("x"))[4:]
+        v1_ok = encode_result_bytes(1, 3, "fine")[4:]
+        assert is_error_payload(2, v2_err)
+        assert not is_error_payload(2, v2_ok)
+        assert is_error_payload(1, v1_err)
+        assert not is_error_payload(1, v1_ok)
+        # A v1 result whose *content* contains the error prefix text must
+        # not be mistaken for an error (the regex is anchored at byte 0).
+        tricky = encode_result_bytes(1, 3, '{"id":3,"ok":false')[4:]
+        assert not is_error_payload(1, tricky)
+
+
+class TestErrorHardening:
+    def test_hostile_payload_cannot_shadow_code(self):
+        hostile = {
+            "code": "LOCK_CONFLICT",
+            "message": "hm",
+            "data": {
+                "code": "IM_A_TEAPOT",       # sealed: identity
+                "message": "replaced",        # sealed
+                "add_note": "callable name",  # not declared by the class
+                "planted": 123,               # not declared at all
+                "resource": ["instance", 5],  # declared: must reattach
+            },
+        }
+        error = build_error(hostile)
+        assert isinstance(error, LockConflictError)
+        assert error.code == "LOCK_CONFLICT"
+        assert str(error) == "hm"
+        assert error.resource == ["instance", 5]
+        assert not hasattr(error, "planted")
+        assert callable(error.add_note)  # still the method, not a string
+
+    def test_wire_fields_reattach_renamed_attributes(self):
+        # These two classes store state under a different name than their
+        # constructor parameter (or set it post-construction) — their
+        # wire_fields declarations keep the attributes crossing the wire.
+        shard_error = build_error({
+            "code": "SHARD_UNAVAILABLE", "message": "m", "data": {"shard": 3},
+        })
+        assert isinstance(shard_error, ShardUnavailableError)
+        assert shard_error.shard == 3
+        class_error = build_error({
+            "code": "UNKNOWN_CLASS", "message": "m",
+            "data": {"class_name": "Ghost"},
+        })
+        assert isinstance(class_error, UnknownClassError)
+        assert class_error.class_name == "Ghost"
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: negotiation, pipelining, disconnect semantics
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def handle():
+    with ServerThread(database=Database()) as server:
+        yield server
+
+
+def _doc_schema(client):
+    client.make_class("Doc", attributes=[
+        {"name": "Text", "domain": "string"},
+        {"name": "Blob", "domain": "string"},
+    ])
+
+
+class TestEndToEnd:
+    def test_v2_session_full_data_path(self, handle):
+        with Client(port=handle.port) as client:
+            assert client.protocol_version == 2
+            _doc_schema(client)
+            doc = client.make("Doc", values={"Text": "héllo"})
+            assert isinstance(doc, UID)
+            snapshot = client.resolve(doc)
+            assert snapshot["values"]["Text"] == "héllo"
+            assert client.instances_of("Doc") == [doc]
+
+    def test_v1_client_against_v2_default_server(self, handle):
+        with Client(port=handle.port, versions=(1,)) as client:
+            assert client.protocol_version == 1
+            _doc_schema(client)
+            doc = client.make("Doc", values={"Text": "old codec"})
+            assert client.value(doc, "Text") == "old codec"
+            with client.transaction():
+                client.set_value(doc, "Text", "still works")
+            assert client.value(doc, "Text") == "still works"
+
+    def test_handshake_advertises_pipeline_depth(self, handle):
+        with Client(port=handle.port) as client:
+            # The server's hello result carries its pipelining budget.
+            assert client.pipeline_depth >= 1
+
+    def test_mixed_version_sessions_share_a_server(self, handle):
+        with Client(port=handle.port) as new, \
+                Client(port=handle.port, versions=(1,)) as old:
+            _doc_schema(new)
+            doc = new.make("Doc", values={"Text": "shared"})
+            assert old.value(doc, "Text") == "shared"
+            old.set_value(doc, "Text", "both ways")
+            assert new.value(doc, "Text") == "both ways"
+
+    def test_image_cache_hits_on_repeated_resolve(self, tmp_path):
+        # The cache keys on the journal's image digest, so it exists only
+        # for journal-backed databases.
+        from repro.storage.durable import DurableDatabase
+
+        database = DurableDatabase(str(tmp_path / "data"))
+        try:
+            with ServerThread(database=database) as server, \
+                    Client(port=server.port) as client:
+                _doc_schema(client)
+                doc = client.make("Doc", values={"Text": "cached"})
+                first = client.resolve(doc)
+                second = client.resolve(doc)
+                assert first == second
+                cache = client.stats()["image_cache"]
+                assert cache["hits"] >= 1
+                # A mutation changes the digest: the stale entry is never
+                # served again.
+                client.set_value(doc, "Text", "fresher")
+                assert client.resolve(doc)["values"]["Text"] == "fresher"
+        finally:
+            database.close()
+
+
+class TestPipelining:
+    def test_batch_results_in_order(self, handle):
+        with Client(port=handle.port) as client:
+            _doc_schema(client)
+            docs = [client.make("Doc", values={"Text": f"d{i}"})
+                    for i in range(8)]
+            pipe = client.pipeline()
+            assert isinstance(pipe, Pipeline)
+            handles = [pipe.resolve(doc) for doc in docs]
+            assert all(not h.done for h in handles)
+            pipe.flush()
+            texts = [h.result()["values"]["Text"] for h in handles]
+            assert texts == [f"d{i}" for i in range(8)]
+            batches = client.stats()["server"]["pipelined_batches"]
+            assert batches >= 1
+
+    def test_per_request_error_isolation(self, handle):
+        with Client(port=handle.port) as client:
+            _doc_schema(client)
+            doc = client.make("Doc", values={"Text": "ok"})
+            with client.pipeline() as pipe:
+                before = pipe.resolve(doc)
+                broken = pipe.resolve(UID(999999, "Doc"))
+                after = pipe.resolve(doc)
+            assert before.result()["values"]["Text"] == "ok"
+            with pytest.raises(UnknownObjectError):
+                broken.result()
+            # The failed request did not poison the rest of the batch.
+            assert after.result()["values"]["Text"] == "ok"
+
+    def test_mutations_pipeline_too(self, handle):
+        with Client(port=handle.port) as client:
+            _doc_schema(client)
+            doc = client.make("Doc", values={"Text": "v0"})
+            pipe = client.pipeline()
+            for i in range(5):
+                pipe.set_value(doc, "Text", f"v{i + 1}")
+            final = pipe.resolve(doc)
+            pipe.flush()
+            assert final.result()["values"]["Text"] == "v5"
+
+    def test_unflushed_handle_refuses_result(self, handle):
+        with Client(port=handle.port) as client:
+            pipe = client.pipeline()
+            handle_ = pipe.call("ping")
+            with pytest.raises(RuntimeError, match="not flushed"):
+                handle_.result()
+            pipe.flush()
+            assert handle_.result() == "pong"
+
+    def test_killed_connection_retryable_batch_reconnects(self, handle):
+        with Client(port=handle.port, max_retries=4, backoff=0.01) as client:
+            _doc_schema(client)
+            doc = client.make("Doc", values={"Text": "x"})
+            with fault_scope() as faults:
+                faults.add("server.send_frame", "kill")
+                pipe = client.pipeline()
+                handles = [pipe.call("ping"), pipe.resolve(doc)]
+                pipe.flush()
+                # The whole batch was re-sent on a fresh connection: every
+                # op in it is retryable, so that is safe.
+                assert handles[0].result() == "pong"
+                assert handles[1].result()["values"]["Text"] == "x"
+                assert faults.hit_count("server.send_frame") >= 1
+
+    def test_killed_connection_mid_mutating_batch_raises(self, handle):
+        with Client(port=handle.port, max_retries=4, backoff=0.01) as client:
+            _doc_schema(client)
+            doc = client.make("Doc", values={"Text": "v0"})
+            with fault_scope() as faults:
+                faults.add("server.send_frame", "kill")
+                pipe = client.pipeline()
+                pipe.call("ping")
+                pipe.set_value(doc, "Text", "poisoned?")
+                with pytest.raises(ConnectionError, match="may have executed"):
+                    pipe.flush()
+            # RETRYABLE_OPS semantics: the batch contained a mutation, so
+            # it must NOT have been blind-resent — the set_value executed
+            # exactly once (before the response frame was killed).
+            assert client.value(doc, "Text") == "poisoned?"

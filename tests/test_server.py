@@ -69,8 +69,25 @@ class TestWireCodec:
                  "plain": [1, [2, {"x": None}]]}
         assert wire_decode(wire_encode(value)) == value
 
-    def test_unencodable_values_degrade_to_str(self):
-        assert wire_encode(object).startswith("<class")
+    def test_unencodable_values_raise(self):
+        # The old codec silently degraded these to str(value) — a lossy
+        # one-way trip the receiver could not distinguish from a real
+        # string.  Strictness is the fix: garbage in, typed error out.
+        with pytest.raises(ProtocolError):
+            wire_encode(object)
+        with pytest.raises(ProtocolError):
+            wire_encode({"x": {1, 2, 3}})
+
+    def test_bytes_round_trip(self):
+        for value in (b"", b"\x00\xff", "snow☃".encode()):
+            decoded = wire_decode(wire_encode(value))
+            assert decoded == value
+            assert isinstance(decoded, bytes)
+
+    def test_non_string_dict_keys_round_trip(self):
+        value = {1: "one", (2, "b"): UID(3, "C"), None: [b"\x01"]}
+        decoded = wire_decode(wire_encode(value))
+        assert decoded == value
 
     def test_frame_round_trip(self):
         frame = request_frame(3, "ping", {})
@@ -184,10 +201,15 @@ def client2(server):
 
 
 class TestBasicOps:
-    def test_handshake_negotiates_version(self, client):
-        assert client.protocol_version == 1
+    def test_handshake_negotiates_version(self, server, client):
+        # Highest common version wins: this build's default client gets
+        # the binary v2 codec; a v1-only client still gets served.
+        assert client.protocol_version == max(client.versions)
         assert client.session_id is not None
         assert client.ping() == "pong"
+        with Client(port=server.port, versions=(1,)) as old:
+            assert old.protocol_version == 1
+            assert old.ping() == "pong"
 
     def test_schema_and_data_ops(self, client):
         vehicle_schema(client)

@@ -516,7 +516,7 @@ class TestPingHealth:
         client.connect()
         # A reconnect is a new server session: renegotiated version,
         # new session id, and no inherited transaction state.
-        assert client.protocol_version == 1
+        assert client.protocol_version == max(client.versions)
         assert client.session_id != first_session
         assert not client._in_transaction
         with pytest.raises(TransactionStateError):
