@@ -1,6 +1,6 @@
 """Static analysis and integrity checking for the composite-object DB.
 
-Four planes over one findings model (:mod:`repro.analysis.findings`):
+Five planes over one findings model (:mod:`repro.analysis.findings`):
 
 * Plane 1 — :class:`SchemaAnalyzer` (static schema/topology analysis and
   schema-evolution pre-flight) and :func:`check_query` (static query
@@ -20,14 +20,26 @@ Four planes over one findings model (:mod:`repro.analysis.findings`):
   linearizations the model allows), and the drift lints
   :func:`lint_protocol_sites` / :func:`lint_wire_ops` that keep the
   model honest against the implementation.
+* Plane 5 — the isolation pass: :class:`HistoryRecorder` (a passive
+  observer that captures every transaction's read/write/delete
+  footprint into a serializable :class:`History`),
+  :func:`check_history` (Adya-style Direct Serialization Graph
+  analysis reporting G0/G1/G2 anomalies with minimal witness cycles,
+  plus lost-update / write-skew classifiers), and
+  :func:`predict_isolation` (the same anomalies predicted from
+  transaction templates alone: what breaks if reads stop locking).
 
 The ``repro-check`` console script (:mod:`repro.analysis.cli`) and the
-server's ``check`` op expose all four planes.
+server's ``check`` op expose all five planes; the
+:data:`~repro.analysis.findings.PLANES` registry keeps the three
+surfaces from drifting apart.
 """
 
 from .codelint import lint_package, lint_source
-from .findings import Finding, Report, Severity
+from .findings import Finding, PlaneSpec, PLANES, Report, Severity
 from .fsck import fsck_database
+from .history import Event, History, HistoryRecorder
+from .isocheck import check_history, predict_isolation
 from .lockdep import LockOrderGraph, LockOrderRecorder
 from .locklint import TransactionTemplate, analyze_templates
 from .proto_model import Scope
@@ -45,15 +57,21 @@ from .schema_check import EVOLUTION_CHANGES, SchemaAnalyzer
 
 __all__ = [
     "EVOLUTION_CHANGES",
+    "Event",
     "Finding",
+    "History",
+    "HistoryRecorder",
     "LockOrderGraph",
     "LockOrderRecorder",
+    "PLANES",
+    "PlaneSpec",
     "Report",
     "SchemaAnalyzer",
     "Scope",
     "Severity",
     "TransactionTemplate",
     "analyze_templates",
+    "check_history",
     "check_protocol",
     "check_query",
     "conform_trace",
@@ -65,4 +83,5 @@ __all__ = [
     "lint_protocol_sites",
     "lint_source",
     "lint_wire_ops",
+    "predict_isolation",
 ]

@@ -1,6 +1,6 @@
 """``repro-check`` — the command-line front end of :mod:`repro.analysis`.
 
-Eight commands, all reporting through the shared findings model:
+Nine commands, all reporting through the shared findings model:
 
 ``repro-check schema DIR``
     Recover the class lattice of a durable store (read-only) and run the
@@ -47,6 +47,20 @@ Eight commands, all reporting through the shared findings model:
     the DFS sleep-set reduction must agree with plain BFS — CI runs
     this form.
 
+``repro-check iso [HISTORY...] [--templates FILE... --store DIR]``
+    Check recorded transaction histories (JSONL files written by
+    ``repro-server --record-history``, the crash sweep's
+    ``--record-histories``, or shard workers) for isolation anomalies:
+    Adya's Direct Serialization Graph with typed G0/G1/G2 findings,
+    each cycle carrying a minimal witness.  With ``--templates`` the
+    same anomalies are *predicted* statically from transaction-template
+    lock plans — what breaks the day reads stop taking shared locks.
+    ``--self-test`` verifies the checker itself: seeded non-serializable
+    interleavings (lost update, write skew, dirty read) must be
+    detected with minimal witnesses, a strict-2PL transaction mix and a
+    50-plan CrashSim history sweep must check clean, and the JSONL
+    round-trip must tolerate a torn final line — CI runs this form.
+
 ``repro-check self-test`` (also reachable as ``repro-check --self-test``)
     Build every seed workload and figure scenario in memory, run the
     schema analyzer over each lattice (no errors allowed) and fsck over
@@ -68,6 +82,13 @@ from .findings import Report
 from .fsck import fsck_database
 from .query_check import check_query
 from .schema_check import SchemaAnalyzer
+
+#: Every subcommand the parser accepts.  The drift test keeps this set
+#: consistent with the :data:`repro.analysis.findings.PLANES` registry.
+SUBCOMMANDS = frozenset({
+    "schema", "fsck", "query", "lockdep", "locklint", "code", "proto",
+    "iso", "self-test",
+})
 
 
 def _open_store(directory: str) -> Any:
@@ -478,6 +499,324 @@ def _proto_self_test(options: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# Isolation plane: history checking + template-mode prediction
+# ----------------------------------------------------------------------
+
+def _cmd_iso(options: argparse.Namespace) -> int:
+    import json
+
+    from .history import History
+    from .isocheck import check_history, predict_isolation
+    from .locklint import coerce_template
+
+    if options.self_test:
+        return _iso_self_test(options)
+    if not options.histories and not options.templates:
+        print(
+            "repro-check iso: nothing to check — give history files, "
+            "--templates FILE (with --store DIR), or --self-test",
+            file=sys.stderr,
+        )
+        return 2
+    report = Report(plane="iso")
+    for path in options.histories:
+        try:
+            history = History.load(path)
+        except OSError as error:
+            print(f"repro-check: cannot read {path}: {error}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as error:
+            print(f"repro-check: {path}: {error}", file=sys.stderr)
+            return 2
+        check_history(history, report)
+    if options.templates:
+        if not options.store:
+            print(
+                "repro-check iso: --templates needs --store DIR to "
+                "resolve template targets against",
+                file=sys.stderr,
+            )
+            return 2
+        db = _open_store(options.store)
+        templates = []
+        for path in options.templates:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except OSError as error:
+                print(f"repro-check: cannot read {path}: {error}",
+                      file=sys.stderr)
+                return 2
+            except ValueError as error:
+                print(f"repro-check: {path}: {error}", file=sys.stderr)
+                return 2
+            if isinstance(payload, dict):
+                payload = payload.get("templates", [payload])
+            for item in payload:
+                templates.append(coerce_template(item, len(templates)))
+        report.extend(
+            predict_isolation(db, templates, discipline=options.discipline)
+        )
+    _emit(report, options)
+    return _exit_code(report, options)
+
+
+def _iso_seed_db() -> tuple[Any, Any, Any]:
+    """A two-account database for the seeded anomaly interleavings."""
+    from ..core.database import Database
+    from ..schema.attribute import AttributeSpec
+
+    db = Database()
+    db.make_class("Account", attributes=[
+        AttributeSpec("Balance", domain="integer"),
+    ])
+    x = db.make("Account", values={"Balance": 100})
+    y = db.make("Account", values={"Balance": 100})
+    return db, x, y
+
+
+def _iso_broken_pair(db: Any) -> tuple[Any, Any]:
+    """Two transaction managers with *private* lock tables over one
+    database: every operation still runs the real manager paths (undo
+    logging, hooks, txn attribution), but neither manager sees the
+    other's locks — the no-discipline baseline the seeded anomalies
+    need."""
+    from ..locking.table import LockTable
+    from ..txn.manager import TransactionManager
+
+    return (
+        TransactionManager(db, LockTable()),
+        TransactionManager(db, LockTable()),
+    )
+
+
+def _iso_self_test(options: argparse.Namespace) -> int:
+    """CI gate: the isolation checker must detect seeded anomalies with
+    minimal witnesses and stay quiet on disciplined executions.
+
+    Six checks, all required:
+
+    1. the seeded lost-update interleaving (both read, both write, both
+       commit — under private lock tables) is reported as ``ISO-G2``
+       with the minimal 2-transaction witness cycle *and* classified
+       ``ISO-LOST-UPDATE``;
+    2. the seeded write-skew interleaving (each reads what the other
+       writes) is reported as ``ISO-WRITE-SKEW``;
+    3. the seeded dirty read (read from a transaction that later
+       aborts) is reported as ``ISO-G1A`` at ERROR severity;
+    4. the B9 composite mix run through a *shared* strict-2PL
+       transaction manager records a history with no findings at all;
+    5. a 50-plan CrashSim sweep with history recording reports no
+       isolation errors (single-threaded strict execution — any error
+       is a recorder/undo bug) and every history round-trips through
+       JSONL, torn final line included;
+    6. template mode: a read-modify-write template is predicted as
+       ``ISO-TEMPLATE-LOST-UPDATE``, a mutual read/write pair as
+       ``ISO-TEMPLATE-SKEW``, and read-only templates come back clean.
+    """
+    import tempfile
+
+    from ..core.database import Database
+    from ..faults.crashsim import CrashSim
+    from ..faults.plan import random_plan
+    from ..workloads.txmix import composite_mix, memory_fixture, run_tm_mix
+    from .history import History, HistoryRecorder
+    from .isocheck import check_history, predict_isolation
+    from .locklint import TransactionTemplate
+
+    failures: list[str] = []
+
+    def note(ok: bool, text: str) -> None:
+        if not options.quiet:
+            print(f"{'ok  ' if ok else 'FAIL'} {text}")
+
+    # 1. Lost update: minimal G2 cycle + classifier.
+    db, x, _y = _iso_seed_db()
+    tm1, tm2 = _iso_broken_pair(db)
+    with HistoryRecorder(db) as recorder:
+        t1, t2 = tm1.begin(), tm2.begin()
+        stale_1 = tm1.read(t1, x, "Balance")
+        stale_2 = tm2.read(t2, x, "Balance")
+        tm1.write(t1, x, "Balance", stale_1 + 10)
+        tm2.write(t2, x, "Balance", stale_2 + 25)
+        tm1.commit(t1)
+        tm2.commit(t2)
+    lost_history = recorder.history
+    report = check_history(lost_history)
+    cycles = report.by_rule("ISO-G2")
+    lost = report.by_rule("ISO-LOST-UPDATE")
+    expected = {f"t{t1.txn_id}", f"t{t2.txn_id}"}
+    witness_ok = bool(cycles) and (
+        len(cycles[0].detail["cycle"]) == 2
+        and set(cycles[0].detail["cycle"]) == expected
+    )
+    if not cycles:
+        failures.append(
+            "seeded lost-update interleaving was NOT reported as ISO-G2"
+        )
+    elif not witness_ok:
+        failures.append(
+            f"ISO-G2 witness is not the minimal 2-transaction cycle: "
+            f"{cycles[0].detail['cycle']}"
+        )
+    if not lost:
+        failures.append(
+            "seeded lost update was NOT classified as ISO-LOST-UPDATE"
+        )
+    note(
+        bool(cycles) and witness_ok and bool(lost),
+        f"seeded lost update: {len(cycles)} G2 cycle(s), "
+        f"{len(lost)} classifier(s) [{report.summary()}]",
+    )
+
+    # 2. Write skew: each transaction reads what the other writes.
+    db, x, y = _iso_seed_db()
+    tm1, tm2 = _iso_broken_pair(db)
+    with HistoryRecorder(db) as recorder:
+        t1, t2 = tm1.begin(), tm2.begin()
+        tm1.read(t1, y, "Balance")
+        tm2.read(t2, x, "Balance")
+        tm1.write(t1, x, "Balance", 0)
+        tm2.write(t2, y, "Balance", 0)
+        tm1.commit(t1)
+        tm2.commit(t2)
+    report = check_history(recorder.history)
+    skew = report.by_rule("ISO-WRITE-SKEW")
+    if not skew:
+        failures.append(
+            "seeded write-skew interleaving was NOT reported as "
+            "ISO-WRITE-SKEW"
+        )
+    note(bool(skew),
+         f"seeded write skew: {len(skew)} finding(s) [{report.summary()}]")
+
+    # 3. Dirty read: a read from a transaction that goes on to abort.
+    db, x, _y = _iso_seed_db()
+    tm1, tm2 = _iso_broken_pair(db)
+    with HistoryRecorder(db) as recorder:
+        t1, t2 = tm1.begin(), tm2.begin()
+        tm1.write(t1, x, "Balance", -1)
+        tm2.read(t2, x, "Balance")
+        tm1.abort(t1)
+        tm2.commit(t2)
+    report = check_history(recorder.history)
+    dirty = [f for f in report.errors if f.rule == "ISO-G1A"]
+    if not dirty:
+        failures.append(
+            "seeded dirty read of an aborted transaction was NOT "
+            "reported as an ISO-G1A error"
+        )
+    note(bool(dirty),
+         f"seeded dirty read: {len(dirty)} G1A error(s) "
+         f"[{report.summary()}]")
+
+    # 4. Strict 2PL must check clean: the B9 mix through one shared
+    # manager/lock table, genuinely interleaved round-robin.
+    db = Database()
+    roots, components = memory_fixture(db, roots=4, parts_per_root=2)
+    with HistoryRecorder(db) as recorder:
+        stats = run_tm_mix(db, composite_mix(
+            roots, transactions=12, steps_per_txn=3,
+            components_by_root=components, seed=9,
+        ))
+    clean_report = check_history(recorder.history)
+    if not clean_report.clean:
+        failures.append(
+            f"strict-2PL transaction mix analyzed dirty "
+            f"[{clean_report.summary()}]"
+        )
+    note(
+        clean_report.clean,
+        f"strict-2PL mix: {stats['transactions']} txn(s), "
+        f"{stats['conflict_retries']} retry(s), "
+        f"[{clean_report.summary()}]",
+    )
+
+    # 5. CrashSim sweep: 50 seeded fault plans, each recording its
+    # history; no isolation errors allowed, and every history must
+    # survive the JSONL round-trip (torn tail included).
+    sweep_problems: list[str] = []
+    events_checked = 0
+    for index in range(50):
+        plan = random_plan(20260807 + index * 7919)
+        with tempfile.TemporaryDirectory(prefix="iso-crashsim-") as scratch:
+            crash = CrashSim(plan, scratch, record_history=True).run()
+        iso_problems = [
+            problem for problem in crash.problems
+            if problem.startswith("isolation:")
+        ]
+        if iso_problems:
+            sweep_problems.append(
+                f"plan {plan.describe()}: {'; '.join(iso_problems)}"
+            )
+        if crash.history is not None:
+            events_checked += len(crash.history)
+            text = crash.history.dumps()
+            reloaded = History.loads(text + '{"k":"wri')
+            if reloaded.events != crash.history.events:
+                sweep_problems.append(
+                    f"plan {plan.describe()}: JSONL round-trip with a "
+                    f"torn tail did not reproduce the history"
+                )
+    failures.extend(sweep_problems)
+    note(
+        not sweep_problems,
+        f"CrashSim sweep: 50 plans, {events_checked} event(s) recorded, "
+        f"{len(sweep_problems)} problem(s)",
+    )
+
+    # 6. Template mode: predicted anomalies and a clean baseline.
+    db, troots = _concurrency_scenario()
+    racy = TransactionTemplate("increment", [
+        ("read_instance", troots[0]), ("update_instance", troots[0]),
+    ])
+    left = TransactionTemplate("left", [
+        ("read_instance", troots[0]), ("update_instance", troots[1]),
+    ])
+    right = TransactionTemplate("right", [
+        ("read_instance", troots[1]), ("update_instance", troots[0]),
+    ])
+    audit = TransactionTemplate("audit", [
+        ("read_composite", troots[0]), ("read_composite", troots[1]),
+    ])
+    predicted = predict_isolation(db, [racy])
+    if not predicted.by_rule("ISO-TEMPLATE-LOST-UPDATE"):
+        failures.append(
+            "read-modify-write template was NOT predicted as "
+            "ISO-TEMPLATE-LOST-UPDATE"
+        )
+    skew_predicted = predict_isolation(db, [left, right])
+    if not skew_predicted.by_rule("ISO-TEMPLATE-SKEW"):
+        failures.append(
+            "mutual read/write template pair was NOT predicted as "
+            "ISO-TEMPLATE-SKEW"
+        )
+    audit_report = predict_isolation(db, [audit])
+    if not audit_report.clean:
+        failures.append(
+            f"read-only templates predicted dirty "
+            f"[{audit_report.summary()}]"
+        )
+    note(
+        bool(predicted.by_rule("ISO-TEMPLATE-LOST-UPDATE"))
+        and bool(skew_predicted.by_rule("ISO-TEMPLATE-SKEW"))
+        and audit_report.clean,
+        f"template mode: {len(predicted)} + {len(skew_predicted)} "
+        f"prediction(s), read-only clean={audit_report.clean}",
+    )
+
+    for failure in failures:
+        print(f"iso self-test: {failure}", file=sys.stderr)
+    print(
+        "iso self-test: pass"
+        if not failures
+        else f"iso self-test: {len(failures)} check(s) FAILED"
+    )
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
 # Self-test: the seed workloads and figures, analyzed and fsck'd
 # ----------------------------------------------------------------------
 
@@ -725,6 +1064,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_flags(proto, subcommand=True)
     proto.set_defaults(run=_cmd_proto)
 
+    iso = commands.add_parser(
+        "iso",
+        help="check recorded transaction histories (or predict from "
+        "templates) for Adya-style isolation anomalies",
+    )
+    iso.add_argument(
+        "histories",
+        nargs="*",
+        help="JSONL history files (repro-server --record-history, the "
+        "crash sweep's --record-histories, shard workers)",
+    )
+    iso.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="durable store to resolve --templates targets against",
+    )
+    iso.add_argument(
+        "--templates",
+        nargs="+",
+        metavar="FILE",
+        help="JSON transaction-template files to predict anomalies "
+        "from (needs --store)",
+    )
+    iso.add_argument(
+        "--discipline",
+        default="composite",
+        choices=("composite", "instance", "class"),
+        help="locking discipline templates plan under (default composite)",
+    )
+    iso.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the checker: seeded anomalies must be detected "
+        "with minimal witnesses, strict-2PL and CrashSim histories "
+        "must be clean (CI gate)",
+    )
+    _add_output_flags(iso, subcommand=True)
+    iso.set_defaults(run=_cmd_iso)
+
     self_test = commands.add_parser(
         "self-test",
         help="analyze and fsck every seed workload/figure scenario",
@@ -740,11 +1119,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # ``repro-check --self-test`` is the documented CI spelling — but
     # only when no subcommand was named (``lockdep --self-test`` is that
     # subcommand's own flag).
-    subcommands = {
-        "schema", "fsck", "query", "lockdep", "locklint", "code",
-        "proto", "self-test",
-    }
-    if not any(arg in subcommands for arg in argv):
+    if not any(arg in SUBCOMMANDS for arg in argv):
         argv = ["self-test" if arg == "--self-test" else arg for arg in argv]
     parser = build_parser()
     options = parser.parse_args(argv)

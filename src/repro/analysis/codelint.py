@@ -39,7 +39,20 @@ machine-readable ``file``/``line`` keys in ``detail``):
     (error) outside ``storage/``, code attaches, detaches, or replaces
     the journal hook lists (``on_persist``, ``on_op_end``,
     ``on_txn_commit``, ``on_txn_abort``).  Reading/iterating them is
-    fine; only the storage layer may rewire durability.
+    fine; only the storage layer may rewire durability.  The isolation-
+    history recorder (``analysis/history.py``) is the one sanctioned
+    non-storage subscriber: it may ``append``/``remove`` (never replace)
+    — and ``CODE-HOOK-LEAK`` below holds it to the detach discipline.
+``CODE-HOOK-LEAK``
+    (error) a module attaches an observer to ``Database.on_op_end`` /
+    ``on_txn_commit`` / ``on_txn_abort`` or ``LockTable.observers``
+    (via ``.append``/``.extend``/``.insert``) but never ``.remove``\\ s
+    from the same hook inside a ``close()``/``detach()``/``stop()``/
+    ``__exit__()`` method or a ``finally`` block.  A leaked observer
+    outlives its owner: every later operation still calls it, keeping
+    dead recorders alive and double-counting their statistics.
+    ``storage/`` is exempt — the durability wiring is a permanent
+    subscription owned by the database itself.
 
 The linter is deliberately syntactic: it matches the discipline as
 written (``self._operation()``, ``self._db.txn_context(...)``), not a
@@ -57,7 +70,10 @@ from .findings import Report, Severity
 
 __all__ = [
     "DB_MUTATORS",
+    "DETACH_CONTEXTS",
+    "HOOK_ATTACH_MODULES",
     "JOURNAL_HOOKS",
+    "LEAK_HOOKS",
     "LOCK_PRIVATE_ATTRS",
     "LOCK_PRIVATE_CALLS",
     "MUTATION_PRIMITIVES",
@@ -94,6 +110,19 @@ _LIST_MUTATORS = frozenset({
     "append", "remove", "extend", "insert", "clear", "pop",
 })
 
+#: Non-storage modules sanctioned to ``append``/``remove`` (never
+#: replace) journal hook lists: the passive isolation-history recorder.
+HOOK_ATTACH_MODULES = frozenset({"analysis/history.py"})
+
+#: Observer hooks whose attachments must be paired with a detach
+#: (the CODE-HOOK-LEAK rule).
+LEAK_HOOKS = frozenset({
+    "on_op_end", "on_txn_commit", "on_txn_abort", "observers",
+})
+
+#: Method names that count as a sanctioned detach site.
+DETACH_CONTEXTS = frozenset({"close", "detach", "stop", "__exit__"})
+
 #: rule id -> one-line description (the linter's own documentation).
 RULES = {
     "CODE-SYNTAX": "file does not parse",
@@ -104,6 +133,8 @@ RULES = {
                         "'with self._db.txn_context(...):'",
     "CODE-LOCK-STATE": "private LockTable state touched outside locking/",
     "CODE-JOURNAL-HOOKS": "journal hook lists rewired outside storage/",
+    "CODE-HOOK-LEAK": "observer hook attached without a detach in a "
+                      "close()/detach()/stop()/__exit__() or finally path",
 }
 
 
@@ -172,6 +203,13 @@ class _FileLinter(ast.NodeVisitor):
         self._method: Optional[str] = None
         self._op_bracket_depth = 0
         self._txn_context_depth = 0
+        #: Nesting inside a sanctioned detach context (a function named
+        #: in DETACH_CONTEXTS, or a ``finally`` block).
+        self._detach_depth = 0
+        #: hook attr -> (line, mutator) of the first attachment.
+        self._hook_attaches: dict[str, tuple[int, str]] = {}
+        #: hook attrs with a sanctioned ``.remove`` somewhere.
+        self._hook_detaches: set[str] = set()
 
     # -- helpers -----------------------------------------------------------
 
@@ -221,7 +259,10 @@ class _FileLinter(ast.NodeVisitor):
         # inside a public method still runs under (or outside) its bracket.
         if outer is None:
             self._method = node.name
+        is_detach = node.name in DETACH_CONTEXTS
+        self._detach_depth += is_detach
         self.generic_visit(node)
+        self._detach_depth -= is_detach
         self._method = outer
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -238,6 +279,19 @@ class _FileLinter(ast.NodeVisitor):
         self.generic_visit(node)
         self._op_bracket_depth -= is_op
         self._txn_context_depth -= is_txn
+
+    def visit_Try(self, node: ast.Try) -> None:
+        # A ``finally`` block is a sanctioned detach context.
+        for child in node.body:
+            self.visit(child)
+        for handler in node.handlers:
+            self.visit(handler)
+        for child in node.orelse:
+            self.visit(child)
+        self._detach_depth += 1
+        for child in node.finalbody:
+            self.visit(child)
+        self._detach_depth -= 1
 
     # -- rules -------------------------------------------------------------
 
@@ -256,6 +310,7 @@ class _FileLinter(ast.NodeVisitor):
         self._check_txn_context(node)
         self._check_lock_private_call(node)
         self._check_hook_mutation_call(node)
+        self._check_hook_leak(node)
         self.generic_visit(node)
 
     def _check_op_bracket(self, node: ast.Call) -> None:
@@ -320,6 +375,14 @@ class _FileLinter(ast.NodeVisitor):
             return
         target = func.value
         if isinstance(target, ast.Attribute) and target.attr in JOURNAL_HOOKS:
+            # The isolation-history recorder subscribes/unsubscribes —
+            # but only with the paired append/remove the HOOK-LEAK rule
+            # verifies; wholesale rewiring stays forbidden even there.
+            if (
+                self.rel_path in HOOK_ATTACH_MODULES
+                and func.attr in ("append", "remove")
+            ):
+                return
             self._add(
                 "CODE-JOURNAL-HOOKS",
                 node.lineno,
@@ -328,6 +391,42 @@ class _FileLinter(ast.NodeVisitor):
                 f"attach or detach durability hooks",
                 hook=target.attr,
                 mutator=func.attr,
+            )
+
+    def _check_hook_leak(self, node: ast.Call) -> None:
+        # The storage layer owns the durability wiring for the life of
+        # the database — permanent subscription is its job, not a leak.
+        if self.in_storage:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        target = func.value
+        if not (
+            isinstance(target, ast.Attribute) and target.attr in LEAK_HOOKS
+        ):
+            return
+        if func.attr in ("append", "extend", "insert"):
+            self._hook_attaches.setdefault(
+                target.attr, (node.lineno, func.attr)
+            )
+        elif func.attr == "remove" and self._detach_depth:
+            self._hook_detaches.add(target.attr)
+
+    def finish(self) -> None:
+        """Module-level checks that need the whole file seen first."""
+        for attr, (line, mutator) in sorted(self._hook_attaches.items()):
+            if attr in self._hook_detaches:
+                continue
+            self._add(
+                "CODE-HOOK-LEAK",
+                line,
+                f"observer hook '{attr}' attached via .{mutator}() but "
+                f"never .remove()d inside a close()/detach()/stop()/"
+                f"__exit__() method or finally block — the observer "
+                f"outlives its owner and keeps firing on a dead object",
+                hook=attr,
+                mutator=mutator,
             )
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
@@ -403,7 +502,9 @@ def lint_source(source: str, rel_path: str, report: Optional[Report] = None) -> 
         )
         report.checked += 1
         return report
-    _FileLinter(rel_path, report).visit(tree)
+    linter = _FileLinter(rel_path, report)
+    linter.visit(tree)
+    linter.finish()
     report.checked += 1
     return report
 

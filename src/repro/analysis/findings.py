@@ -13,10 +13,17 @@ Rule-id convention: ``<PLANE>-<NAME>`` where the plane prefix is ``SCH``
 (schema analyzer), ``EVO`` (schema-evolution pre-flight), ``QRY`` (static
 query validation), ``FSCK`` (database integrity), ``LOCKDEP`` (runtime
 lock-order recording), ``LOCK`` (static lock-order prediction),
-``CODE`` (AST discipline lint), or ``PROTO`` (2PC protocol model
-checking, trace refinement, and the site/op drift lints).  Ids are
-stable wire contract — tests, CI diffs, and remote clients match on
-them, never on messages.
+``CODE`` (AST discipline lint), ``PROTO`` (2PC protocol model
+checking, trace refinement, and the site/op drift lints), or ``ISO``
+(transaction-history isolation checking and template-mode anomaly
+prediction).  Ids are stable wire contract — tests, CI diffs, and
+remote clients match on them, never on messages.
+
+The :data:`PLANES` registry below is the single source of truth for how
+the planes surface: which rule prefixes each owns, which ``repro-check``
+subcommands expose it, and which server ``check``-op plane names run it.
+The drift test (``tests/test_isocheck.py``) asserts the CLI and the
+server dispatch stay consistent with this table.
 """
 
 from __future__ import annotations
@@ -190,6 +197,79 @@ class Report:
 
     def __repr__(self) -> str:
         return f"<Report {self.plane!r} {self.summary()!r}>"
+
+
+@dataclass(frozen=True, slots=True)
+class PlaneSpec:
+    """How one analysis plane surfaces across the toolchain."""
+
+    #: Registry key (also the usual ``Report.plane`` value).
+    name: str
+    #: Rule-id prefixes this plane owns (``ISO`` matches ``ISO-G2``).
+    prefixes: tuple[str, ...]
+    #: ``repro-check`` subcommands that run (part of) this plane.
+    cli: tuple[str, ...]
+    #: Server ``check``-op plane names that run (part of) this plane.
+    server: tuple[str, ...]
+    #: One-line description (``repro-check --help`` epilogues).
+    description: str
+
+
+#: The five analysis planes (see the module docstring).
+PLANES: tuple[PlaneSpec, ...] = (
+    PlaneSpec(
+        name="schema",
+        prefixes=("SCH", "EVO", "QRY"),
+        cli=("schema", "query"),
+        server=("schema", "query"),
+        description="static schema/topology analysis, evolution "
+                    "pre-flight, and query validation",
+    ),
+    PlaneSpec(
+        name="fsck",
+        prefixes=("FSCK",),
+        cli=("fsck",),
+        server=("fsck", "placement"),
+        description="offline integrity checking of a whole database "
+                    "(placement-aware on shard workers)",
+    ),
+    PlaneSpec(
+        name="concurrency",
+        prefixes=("LOCKDEP", "LOCK", "CODE"),
+        cli=("lockdep", "locklint", "code"),
+        server=("lockdep", "code"),
+        description="lock-order recording/prediction and the AST "
+                    "discipline lint",
+    ),
+    PlaneSpec(
+        name="proto",
+        prefixes=("PROTO",),
+        cli=("proto",),
+        server=("proto",),
+        description="2PC model checking, trace refinement, and drift "
+                    "lints",
+    ),
+    PlaneSpec(
+        name="iso",
+        prefixes=("ISO",),
+        cli=("iso",),
+        server=("iso",),
+        description="transaction-history isolation checking (Adya DSG) "
+                    "and template-mode anomaly prediction",
+    ),
+)
+
+
+def plane_for_rule(rule: str) -> Optional[PlaneSpec]:
+    """The plane owning *rule* by prefix (longest prefix wins, so
+    ``LOCKDEP-`` beats ``LOCK-``)."""
+    best: Optional[PlaneSpec] = None
+    best_len = -1
+    for spec in PLANES:
+        for prefix in spec.prefixes:
+            if rule.startswith(prefix + "-") and len(prefix) > best_len:
+                best, best_len = spec, len(prefix)
+    return best
 
 
 def _jsonable(value: Any) -> Any:

@@ -1,0 +1,603 @@
+"""Transaction-history recording for the isolation checker (plane 5,
+part 1).
+
+The lock planes (lockdep/locklint) watch *locks*; the protocol plane
+(protocheck) watches *2PC messages*.  Neither sees the data: a scheduler
+bug that interleaves reads and writes non-serializably while every lock
+rule is obeyed (or after someone relaxes the rules — ROADMAP item 3's
+MVCC snapshot reads) is invisible to both.  This module records the data
+plane itself: a :class:`HistoryRecorder` subscribes to the database's
+observation hooks and captures every read, write, and delete with its
+transaction, object UID, attribute footprint, and an install-order
+version number, into a :class:`History` that
+:func:`repro.analysis.isocheck.check_history` replays into Adya's Direct
+Serialization Graph.
+
+Event model
+-----------
+
+* ``write`` / ``delete`` — the transaction installed a new version of
+  the object.  Versions are per-UID and monotonically increasing; an
+  abort never reuses version numbers, so the committed version order of
+  an object is simply its numeric order.
+* ``read`` — the transaction observed the object; ``version`` and
+  ``installer`` name the version it saw (the top of the object's
+  uncommitted version chain at that instant).  ``version`` 0 /
+  ``installer`` ``None`` is the initial (pre-history) version.
+* ``commit`` / ``abort`` — transaction outcome.  On abort the
+  recorder rewinds the aborted transaction's chain entries (the undo
+  pass restores the old values, and the flag
+  :attr:`repro.txn.transaction.Transaction.undoing` keeps the
+  compensating writes themselves out of the history), while the aborted
+  ``write`` events stay recorded — that is exactly what lets the checker
+  report G1A dirty reads.
+* ``boot`` — a process (re)attached a recorder to this history file.
+  :meth:`History.epochs` splits on these markers so the checker never
+  builds dependency edges across a crash boundary.
+
+Transaction identity: real transactions record as ``t<txn_id>``.
+Operations executed outside any transaction (bare ``Database`` calls)
+are grouped into synthetic auto-transactions ``b<n>``, sealed
+(auto-committed) when the enclosing top-level operation ends and at
+every real commit/abort boundary — bare ops are atomic and isolated per
+operation, and the checker treats them like any committed transaction.
+
+Histories serialize to JSONL (one event per line, append-only,
+line-buffered) so a server, shard worker, or CrashSim process can record
+while a separate ``repro-check iso`` process checks; a ``kill -9``
+mid-append leaves at most one torn final line, which the loader
+tolerates.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "Event",
+    "History",
+    "HistoryRecorder",
+    "INITIAL_VERSION",
+]
+
+#: The version number a read observes before any recorded write.
+INITIAL_VERSION = 0
+
+#: The event vocabulary (wire contract; the loader rejects others).
+EVENT_KINDS = frozenset({"read", "write", "delete", "commit", "abort", "boot"})
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One recorded observation."""
+
+    #: ``read`` / ``write`` / ``delete`` / ``commit`` / ``abort`` / ``boot``.
+    kind: str
+    #: Transaction key: ``t<id>`` (real) or ``b<n>`` (bare auto-txn).
+    txn: str = ""
+    #: Object UID (stringified), empty for commit/abort/boot.
+    uid: str = ""
+    #: Attribute footprint; ``None`` means whole-object (creation,
+    #: deletion, composite traversal).
+    attribute: Optional[str] = None
+    #: For writes/deletes: the installed version.  For reads: the
+    #: version observed.
+    version: int = INITIAL_VERSION
+    #: For reads: the transaction that installed the observed version
+    #: (``None`` for the initial version).
+    installer: Optional[str] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Compact JSONL rendering (defaults omitted)."""
+        payload: dict[str, Any] = {"k": self.kind}
+        if self.txn:
+            payload["t"] = self.txn
+        if self.uid:
+            payload["u"] = self.uid
+        if self.attribute is not None:
+            payload["a"] = self.attribute
+        if self.version != INITIAL_VERSION:
+            payload["v"] = self.version
+        if self.installer is not None:
+            payload["i"] = self.installer
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Event":
+        kind = payload["k"]
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        return cls(
+            kind=str(kind),
+            txn=str(payload.get("t", "")),
+            uid=str(payload.get("u", "")),
+            attribute=payload.get("a"),
+            version=int(payload.get("v", INITIAL_VERSION)),
+            installer=payload.get("i"),
+        )
+
+
+class History:
+    """An ordered list of :class:`Event` with JSONL round-tripping."""
+
+    def __init__(self, events: Optional[list[Event]] = None) -> None:
+        self.events: list[Event] = list(events or [])
+
+    def add(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:
+        return f"<History {len(self.events)} event(s)>"
+
+    def epochs(self) -> list[list[Event]]:
+        """Split at ``boot`` markers.
+
+        A restarted worker appends to the same history file; dependency
+        edges must never cross the crash boundary (version chains and
+        auto-txn state restart from scratch), so each epoch is checked
+        independently.
+        """
+        spans: list[list[Event]] = [[]]
+        for event in self.events:
+            if event.kind == "boot":
+                if spans[-1]:
+                    spans.append([])
+                continue
+            spans[-1].append(event)
+        return [span for span in spans if span]
+
+    # -- serialization ----------------------------------------------------
+
+    def dumps(self) -> str:
+        """JSONL text: one event per line."""
+        return "".join(
+            json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
+            for event in self.events
+        )
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.dumps())
+
+    @classmethod
+    def loads(cls, text: str) -> "History":
+        """Parse JSONL; a torn **final** line (crash mid-append) is
+        silently dropped, corruption anywhere else raises."""
+        events: list[Event] = []
+        lines = text.splitlines()
+        last = len(lines) - 1
+        for index, raw in enumerate(lines):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                events.append(Event.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                if index == last:
+                    break
+                raise ValueError(
+                    f"history line {index + 1} is corrupt: {line[:80]!r}"
+                ) from None
+        return cls(events)
+
+    @classmethod
+    def load(cls, path: str) -> "History":
+        with open(path, "r", encoding="utf-8") as stream:
+            return cls.loads(stream.read())
+
+
+class HistoryRecorder:
+    """Passive observer that turns database activity into a history.
+
+    Attaches to the six observation hooks in ``__init__`` and **must**
+    be detached via :meth:`detach` / :meth:`close` (also a context
+    manager) — the ``CODE-HOOK-LEAK`` lint enforces the discipline.
+
+    With *path* the recorder also streams each event as one JSONL line
+    (line-buffered append) and writes a ``boot`` marker on attach, so a
+    restarted process appending to the same file starts a new epoch.
+
+    The hook callbacks ride every data operation, so the hot path only
+    appends a plain ``(kind, txn, uid, attribute)`` tuple; versions and
+    installers are a pure function of that stream and are derived
+    lazily when :attr:`history` materializes (benchmark B21 holds the
+    attached tax to 5%).  Streaming mode cannot defer — each JSONL line
+    must carry its version so a crash-truncated file still checks — so
+    with *path* the per-UID bookkeeping runs eagerly instead.
+    """
+
+    def __init__(self, database: Any, path: Optional[str] = None) -> None:
+        self.db = database
+        self.path = path
+        #: Raw event buffer: ``(kind, txn, uid, attribute)`` tuples in
+        #: deferred (in-memory) mode, ``(kind, txn, uid, attribute,
+        #: version, installer)`` in eager (streaming) mode.
+        self._raw: list[tuple[Any, ...]] = []
+        #: Streaming forces eager version bookkeeping (see class doc).
+        self._eager = path is not None
+        self._materialized: Optional[History] = None
+        self._stream: Optional[io.TextIOWrapper] = None
+        self._attached = False
+        #: Per-UID high-water version (never rewinds, even on abort).
+        self._next_version: dict[str, int] = {}
+        #: Per-UID uncommitted version chain: (version, installer key).
+        self._chains: dict[str, list[tuple[int, str]]] = {}
+        self._auto_serial = 0
+        self._open_auto: Optional[str] = None
+        #: Hot-path caches: the last transaction's formatted key and
+        #: the stringified-UID table, keyed by ``UID.number`` (unique
+        #: per database, and an int hashes faster than the dataclass).
+        self._last_txn: Any = None
+        self._last_key = ""
+        self._uid_text: dict[int, str] = {}
+        #: Bound-method caches for the hot callbacks (one attribute
+        #: load instead of two per event).
+        self._push = self._raw.append
+        #: The read callback is a closure (database, caches, and buffer
+        #: bound as cell variables) — reads are ~3/4 of all events.
+        self._record_read = self._make_record_read()
+        self._record_update: Callable[[Any, Optional[str]], None]
+        if self._eager:
+            self._record_update = self._record_update_eager
+        else:
+            self._record_update = self._record_update_deferred
+        if path is not None:
+            self._stream = open(path, "a", buffering=1, encoding="utf-8")
+        self._attach()
+        self._emit_cold("boot", "")
+
+    # -- hook lifecycle ---------------------------------------------------
+
+    def _attach(self) -> None:
+        db = self.db
+        db.on_read.append(self._record_read)
+        db.on_update.append(self._record_update)
+        db.on_delete.append(self._record_delete)
+        db.on_op_end.append(self._record_op_end)
+        db.on_txn_commit.append(self._record_commit)
+        db.on_txn_abort.append(self._record_abort)
+        self._attached = True
+
+    def detach(self) -> None:
+        """Unsubscribe from every hook (idempotent); any open bare
+        auto-transaction is sealed first."""
+        if not self._attached:
+            return
+        self._seal_auto()
+        db = self.db
+        db.on_read.remove(self._record_read)
+        db.on_update.remove(self._record_update)
+        db.on_delete.remove(self._record_delete)
+        db.on_op_end.remove(self._record_op_end)
+        db.on_txn_commit.remove(self._record_commit)
+        db.on_txn_abort.remove(self._record_abort)
+        self._attached = False
+
+    def close(self) -> None:
+        """Detach and close the JSONL stream."""
+        self.detach()
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "HistoryRecorder":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    @property
+    def history(self) -> History:
+        """The recorded history (Event objects, materialized lazily)."""
+        cached = self._materialized
+        if cached is not None and len(cached) == len(self._raw):
+            return cached
+        if self._eager:
+            events = [
+                Event(kind=kind, txn=txn, uid=uid, attribute=attribute,
+                      version=version, installer=installer)
+                for kind, txn, uid, attribute, version, installer
+                in self._raw
+            ]
+        else:
+            events = self._replay()
+        materialized = History(events)
+        self._materialized = materialized
+        return materialized
+
+    def _replay(self) -> list[Event]:
+        """Derive versions and installers for the deferred raw stream.
+
+        This is the same per-UID bookkeeping the eager (streaming) path
+        performs at record time — writes install monotonically
+        increasing versions, reads observe the top of the uncommitted
+        chain, aborts rewind the aborted transaction's chain entries —
+        replayed once at materialization instead of on every hook call.
+        The stream is order-faithful, so the two paths produce
+        identical events (the streaming tests assert the equivalence).
+        """
+        next_version: dict[str, int] = {}
+        chains: dict[str, list[tuple[int, str]]] = {}
+        events: list[Event] = []
+        version: int
+        installer: Optional[str]
+        for kind, txn, uid, attribute in self._raw:
+            if kind == "read":
+                chain = chains.get(uid)
+                if chain:
+                    version, installer = chain[-1]
+                else:
+                    version, installer = INITIAL_VERSION, None
+                events.append(Event(kind=kind, txn=txn, uid=uid,
+                                    attribute=attribute, version=version,
+                                    installer=installer))
+            elif kind == "write" or kind == "delete":
+                version = next_version.get(uid, INITIAL_VERSION) + 1
+                next_version[uid] = version
+                chains.setdefault(uid, []).append((version, txn))
+                events.append(Event(kind=kind, txn=txn, uid=uid,
+                                    attribute=attribute, version=version,
+                                    installer=txn))
+            elif kind == "abort":
+                for chained_uid, chain in chains.items():
+                    if any(entry[1] == txn for entry in chain):
+                        chains[chained_uid] = [
+                            entry for entry in chain if entry[1] != txn
+                        ]
+                events.append(Event(kind=kind, txn=txn))
+            elif kind == "boot":
+                next_version.clear()
+                chains.clear()
+                events.append(Event(kind=kind))
+            else:
+                events.append(Event(kind=kind, txn=txn))
+        return events
+
+    def _count(self, kind: str) -> int:
+        return sum(1 for raw in self._raw if raw[0] == kind)
+
+    #: Event counters, derived from the buffer on demand (the server's
+    #: ``stats`` op is rare; the hot path should not pay for them).
+    @property
+    def reads(self) -> int:
+        return self._count("read")
+
+    @property
+    def writes(self) -> int:
+        return self._count("write")
+
+    @property
+    def deletes(self) -> int:
+        return self._count("delete")
+
+    @property
+    def commits(self) -> int:
+        return self._count("commit")
+
+    @property
+    def aborts(self) -> int:
+        return self._count("abort")
+
+    def stats_row(self) -> dict[str, Any]:
+        """Counters for the server's ``stats`` op."""
+        return {
+            "attached": self._attached,
+            "events": len(self._raw),
+            "reads": self.reads,
+            "writes": self.writes,
+            "deletes": self.deletes,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "path": self.path or "",
+        }
+
+    # -- event plumbing ---------------------------------------------------
+
+    def _emit_cold(self, kind: str, txn: str) -> None:
+        """Record a data-free event (commit/abort/boot); not hot."""
+        if self._eager:
+            raw = (kind, txn, "", None, INITIAL_VERSION, None)
+            self._raw.append(raw)
+            self._emit_stream(raw)
+        else:
+            self._raw.append((kind, txn, "", None))
+
+    def _emit_stream(
+        self, raw: tuple[str, str, str, Optional[str], int, Optional[str]]
+    ) -> None:
+        kind, txn, uid, attribute, version, installer = raw
+        payload: dict[str, Any] = {"k": kind}
+        if txn:
+            payload["t"] = txn
+        if uid:
+            payload["u"] = uid
+        if attribute is not None:
+            payload["a"] = attribute
+        if version != INITIAL_VERSION:
+            payload["v"] = version
+        if installer is not None:
+            payload["i"] = installer
+        assert self._stream is not None
+        self._stream.write(
+            json.dumps(payload, separators=(",", ":")) + "\n"
+        )
+
+    def _txn_key(self) -> Optional[str]:
+        """The current transaction's key, or ``None`` for compensating
+        operations of an undo pass (not data operations)."""
+        txn = self.db.current_txn
+        if txn is not None:
+            if txn.undoing:
+                return None
+            if txn is self._last_txn:
+                return self._last_key
+            self._last_txn = txn
+            self._last_key = f"t{txn.txn_id}"
+            return self._last_key
+        if self._open_auto is None:
+            self._auto_serial += 1
+            self._open_auto = f"b{self._auto_serial}"
+        return self._open_auto
+
+    def _install(self, uid: str, txn_key: str) -> int:
+        version = self._next_version.get(uid, INITIAL_VERSION) + 1
+        self._next_version[uid] = version
+        self._chains.setdefault(uid, []).append((version, txn_key))
+        return version
+
+    def _uid_key(self, uid: Any) -> str:
+        text = self._uid_text.get(uid.number)
+        if text is None:
+            text = str(uid)
+            self._uid_text[uid.number] = text
+        return text
+
+    def _seal_auto(self) -> None:
+        """Auto-commit the open bare-operation transaction, if any."""
+        if self._open_auto is None:
+            return
+        key = self._open_auto
+        self._open_auto = None
+        self._emit_cold("commit", key)
+
+    def _rewind(self, txn_key: str) -> None:
+        """Drop an aborted transaction's entries from the version
+        chains, exposing the restored installers to later reads."""
+        for uid, chain in self._chains.items():
+            if any(installer == txn_key for _, installer in chain):
+                self._chains[uid] = [
+                    entry for entry in chain if entry[1] != txn_key
+                ]
+
+    # -- hook callbacks ---------------------------------------------------
+    #
+    # Reads and writes are the hot path — one call per data operation —
+    # so each has two hand-inlined variants, bound to _record_read /
+    # _record_update in __init__: the deferred variant just resolves the
+    # transaction key and appends a 4-tuple, the eager variant also does
+    # the version bookkeeping and streams the JSONL line.
+
+    def _make_record_read(self) -> Callable[[Any, Optional[str]], None]:
+        """Build the ``on_read`` callback as a closure.
+
+        Every collaborator — database, UID-text cache, buffer append —
+        is a cell variable, and the last-transaction key cache lives in
+        ``nonlocal`` cells, so the per-read cost is a handful of local
+        loads, one int-keyed dict probe (``uid.number`` is unique per
+        database and hashes much faster than the UID dataclass), and
+        one tuple append.
+        """
+        rec = self
+        db = self.db
+        uid_text = self._uid_text
+        push = self._raw.append
+        eager = self._eager
+        chains = self._chains
+        last_txn: Any = None
+        last_key = ""
+
+        def record_read(uid: Any, attribute: Optional[str]) -> None:
+            nonlocal last_txn, last_key
+            txn = db.current_txn
+            if txn is not None:
+                if txn.undoing:
+                    return
+                if txn is last_txn:
+                    key = last_key
+                else:
+                    last_txn = txn
+                    key = last_key = f"t{txn.txn_id}"
+            else:
+                key = rec._open_auto
+                if key is None:
+                    rec._auto_serial += 1
+                    key = rec._open_auto = f"b{rec._auto_serial}"
+            text = uid_text.get(uid.number)
+            if text is None:
+                text = uid_text[uid.number] = str(uid)
+            if not eager:
+                push(("read", key, text, attribute))
+                return
+            chain = chains.get(text)
+            if chain:
+                version, installer = chain[-1]
+            else:
+                version, installer = INITIAL_VERSION, None
+            raw = ("read", key, text, attribute, version, installer)
+            push(raw)
+            rec._emit_stream(raw)
+
+        return record_read
+
+    def _record_update_deferred(self, instance: Any,
+                                attribute: Optional[str]) -> None:
+        key = self._txn_key()
+        if key is None:
+            return
+        uid = instance.uid
+        uid_text = self._uid_text.get(uid.number)
+        if uid_text is None:
+            uid_text = self._uid_text[uid.number] = str(uid)
+        self._push(("write", key, uid_text, attribute))
+
+    def _record_update_eager(self, instance: Any,
+                             attribute: Optional[str]) -> None:
+        key = self._txn_key()
+        if key is None:
+            return
+        uid = instance.uid
+        uid_text = self._uid_text.get(uid.number)
+        if uid_text is None:
+            uid_text = self._uid_text[uid.number] = str(uid)
+        version = self._install(uid_text, key)
+        raw = ("write", key, uid_text, attribute, version, key)
+        self._push(raw)
+        self._emit_stream(raw)
+
+    def _record_delete(self, uid: Any) -> None:
+        key = self._txn_key()
+        if key is None:
+            return
+        uid_text = self._uid_key(uid)
+        if self._eager:
+            version = self._install(uid_text, key)
+            raw = ("delete", key, uid_text, None, version, key)
+            self._raw.append(raw)
+            self._emit_stream(raw)
+        else:
+            self._raw.append(("delete", key, uid_text, None))
+
+    def _record_op_end(self) -> None:
+        # A bare top-level operation finished: it is its own atomic
+        # unit, so the auto-transaction commits here.  Inside a real
+        # transaction the operation is just one step — no seal.
+        if self.db.current_txn is None:
+            self._seal_auto()
+
+    def _record_commit(self, txn: Any) -> None:
+        self._seal_auto()
+        self._emit_cold("commit", f"t{txn.txn_id}")
+
+    def _record_abort(self, txn: Any) -> None:
+        self._seal_auto()
+        key = f"t{txn.txn_id}"
+        if self._eager:
+            self._rewind(key)
+        self._emit_cold("abort", key)
+
+    def __repr__(self) -> str:
+        state = "attached" if self._attached else "detached"
+        return f"<HistoryRecorder {state} events={len(self._raw)}>"

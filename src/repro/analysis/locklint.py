@@ -30,7 +30,7 @@ instance) — the string forms make JSON template files possible
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Sequence, Union
+from typing import Any, Iterable, NamedTuple, Optional, Sequence, Union
 
 from ..core.identity import UID
 from ..locking.modes import LockMode
@@ -40,10 +40,12 @@ from .lockdep import Acquisition, LockOrderGraph
 
 __all__ = [
     "ACTIONS",
+    "PlannedStep",
     "TransactionTemplate",
     "analyze_templates",
     "coerce_template",
     "plan_template",
+    "plan_template_steps",
     "resolve_target",
 ]
 
@@ -135,17 +137,34 @@ def resolve_target(db: Any, target: Any) -> UID:
     raise LookupError(f"cannot interpret target {target!r}")
 
 
-def plan_template(
+class PlannedStep(NamedTuple):
+    """One template step's predicted lock plan (see
+    :func:`plan_template_steps`)."""
+
+    index: int
+    action: str
+    target: Any
+    #: ``"read"`` or ``"write"`` (from :data:`ACTIONS`).
+    intent: str
+    #: The planner's ``(resource, mode)`` sequence for this step.
+    locks: tuple[tuple[Any, LockMode], ...]
+
+
+def plan_template_steps(
     db: Any,
     template: TransactionTemplate,
     discipline: str = "composite",
     report: Optional[Report] = None,
-) -> list[Acquisition]:
-    """The template's full predicted acquisition sequence.
+) -> list[PlannedStep]:
+    """Per-step predicted lock plans for one template.
 
-    Unplannable steps are reported as ``LOCK-TEMPLATE`` errors (when a
-    report is given) and skipped, so one bad step does not hide the
-    other steps' hazards.
+    The step-granular form keeps each acquisition tied to its access
+    *intent*, which the isolation predictor
+    (:func:`repro.analysis.isocheck.predict_isolation`) needs: the
+    read-intent locks are exactly the ones that vanish under a
+    no-read-locks discipline.  Unplannable steps are reported as
+    ``LOCK-TEMPLATE`` errors (when a report is given) and skipped, so
+    one bad step does not hide the other steps' hazards.
     """
     from ..locking.protocol import CompositeLockingProtocol
     from ..sim.eventsim import _DISCIPLINES  # planners; simulator not run
@@ -157,11 +176,8 @@ def plan_template(
         )
     planner = _DISCIPLINES[discipline](db, LockTable())
     instance_planner = CompositeLockingProtocol(db, planner.table)
-    acquisitions: list[Acquisition] = []
+    steps: list[PlannedStep] = []
     for index, (action, target) in enumerate(template.steps):
-        provenance = (
-            f"{template.name} step {index}: {action} {target}",
-        )
         if action not in ACTIONS:
             if report is not None:
                 report.add(
@@ -193,7 +209,30 @@ def plan_template(
                     step=index,
                 )
             continue
-        for resource, mode in plan:
+        steps.append(PlannedStep(
+            index=index,
+            action=action,
+            target=target,
+            intent=intent,
+            locks=tuple((resource, mode) for resource, mode in plan),
+        ))
+    return steps
+
+
+def plan_template(
+    db: Any,
+    template: TransactionTemplate,
+    discipline: str = "composite",
+    report: Optional[Report] = None,
+) -> list[Acquisition]:
+    """The template's full predicted acquisition sequence (the flat
+    form :class:`~repro.analysis.lockdep.LockOrderGraph` consumes)."""
+    acquisitions: list[Acquisition] = []
+    for step in plan_template_steps(db, template, discipline, report):
+        provenance = (
+            f"{template.name} step {step.index}: {step.action} {step.target}",
+        )
+        for resource, mode in step.locks:
             acquisitions.append(Acquisition(
                 resource=resource,
                 mode=mode,

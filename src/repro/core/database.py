@@ -114,6 +114,17 @@ class Database:
         #: them on abort.
         self.on_txn_commit = []
         self.on_txn_abort = []
+        #: Callbacks ``(uid, attribute)`` fired by attribute-granular
+        #: reads (:meth:`value`; :meth:`components_of` fires one per
+        #: returned UID with attribute ``None`` — a whole-object
+        #: footprint).  The isolation-history recorder subscribes here;
+        #: the list is empty otherwise and the read path pays one
+        #: truthiness check.
+        self.on_read = []
+        #: Callbacks ``(uid,)`` fired when :meth:`discard` removes an
+        #: instance (the deletion engine's funnel) — the isolation-
+        #: history recorder models a delete as the object's final write.
+        self.on_delete = []
         #: The transaction whose operation is currently executing (set by
         #: :meth:`txn_context`); the journal routes redo records of an
         #: open transaction into that transaction's commit batch.
@@ -281,6 +292,8 @@ class Database:
             extent = self._extents.get(instance.class_name)
             if extent is not None:
                 extent.discard(uid)
+            for callback in self.on_delete:
+                callback(uid)
         if self.store is not None:
             self.store.delete(uid)
 
@@ -422,6 +435,9 @@ class Database:
         instance = self.resolve(uid)
         classdef = self.lattice.get(instance.class_name)
         spec = classdef.attribute(attribute)
+        if self.on_read:
+            for callback in self.on_read:
+                callback(uid, attribute)
         value = instance.get(attribute)
         if spec.is_set and value is None:
             return []
@@ -680,7 +696,15 @@ class Database:
 
     def components_of(self, uid, classes=None, exclusive=False, shared=False, level=None):
         """``components-of`` (see :mod:`repro.core.operations`)."""
-        return ops.components_of(self, uid, classes, exclusive, shared, level)
+        result = ops.components_of(self, uid, classes, exclusive, shared, level)
+        if self.on_read:
+            # A composite read's data footprint is the root plus every
+            # returned component (whole-object granularity).
+            for callback in self.on_read:
+                callback(uid, None)
+                for member in result:
+                    callback(member, None)
+        return result
 
     def children_of(self, uid, classes=None, exclusive=False, shared=False):
         """Direct components of *uid*."""

@@ -26,6 +26,16 @@ The harness generalizes the hand-rolled torn-final-batch sweep of
    * **fsck-clean** — :func:`repro.analysis.fsck.fsck_database` reports
      zero findings on the recovered database.
 
+With ``record_history`` a
+:class:`~repro.analysis.history.HistoryRecorder` rides along (attached
+after the store opens, detached at the crash) and the run additionally
+checks the captured transaction history for isolation anomalies via
+:func:`repro.analysis.isocheck.check_history` — the workload is
+single-threaded strict execution, so any ``ISO-*`` error is a recorder
+or undo-path bug, not a storage failure.  Reads from the transaction
+the crash interrupted surface as *warnings* (that transaction is
+legitimately unfinished) and do not fail the plan.
+
 Everything is derived from ``plan.seed``: two runs of one plan produce
 identical journals, identical crashes, and identical verdicts.
 """
@@ -122,6 +132,9 @@ class CrashReport:
     durable_floor: int = 0
     fsck_clean: bool = False
     fsck_summary: str = ""
+    #: Captured transaction history (``record_history`` runs only).
+    history: object | None = None
+    iso_summary: str = ""
     problems: list = field(default_factory=list)
 
     @property
@@ -232,7 +245,10 @@ class SeededWorkload:
                       rng.choice(paragraphs))
         else:
             section = rng.choice(sections)
-            content = self.db.value(section, "Content")
+            # Attribute the read to the open transaction (not a bare
+            # auto-txn, which could observe this txn's own dirty state).
+            with self.db.txn_context(txn):
+                content = self.db.value(section, "Content")
             if content:
                 tm.remove(txn, section, "Content",
                           rng.choice(sorted(content, key=lambda u: u.number)))
@@ -268,13 +284,20 @@ class SeededWorkload:
 
 
 class CrashSim:
-    """Run *plan* inside *root* (a scratch directory the caller owns)."""
+    """Run *plan* inside *root* (a scratch directory the caller owns).
 
-    def __init__(self, plan, root):
+    *record_history*: falsy — no recording; ``True`` — record the
+    transaction history in memory and isolation-check it; a path —
+    additionally stream it there as JSONL (the sweep's
+    ``--record-histories`` files).
+    """
+
+    def __init__(self, plan, root, record_history=False):
         self.plan = plan
         self.root = Path(root)
         self.store = self.root / "store"
         self.scratch = self.root / "crash"
+        self.record_history = record_history
 
     def run(self):
         plan = self.plan
@@ -312,6 +335,13 @@ class CrashSim:
             )
             journal = db.journal
             workload = SeededWorkload(db, rng)
+            recorder = None
+            if self.record_history:
+                from ..analysis.history import HistoryRecorder
+
+                path = (None if self.record_history is True
+                        else str(self.record_history))
+                recorder = HistoryRecorder(db, path=path)
 
             def capture(label, sealed=None, quiescent=True):
                 flushed = journal.journal_path.stat().st_size
@@ -353,6 +383,9 @@ class CrashSim:
                 # no durability guarantee.
                 capture("crash", sealed=False, quiescent=False)
 
+            if recorder is not None:
+                recorder.close()
+                report.history = recorder.history
             report.faults_triggered = [
                 (t.site, t.hit, t.action) for t in registry.triggered
             ]
@@ -361,7 +394,19 @@ class CrashSim:
             journal.abandon()
 
         self._recover_and_check(boundaries, marks, report)
+        if report.history is not None:
+            self._check_history(report)
         return report
+
+    def _check_history(self, report):
+        """Isolation-check the captured history (errors gate; reads from
+        the crash-interrupted transaction are expected warnings)."""
+        from ..analysis.isocheck import check_history
+
+        iso = check_history(report.history)
+        report.iso_summary = iso.summary()
+        for finding in iso.errors:
+            report.problems.append(f"isolation: {finding}")
 
     def _simulate_crash(self, journal, rng, marks, report):
         """Copy the store as the disk would survive the crash."""

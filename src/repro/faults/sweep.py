@@ -39,19 +39,32 @@ def sweep_seeds(base_seed, plans, policies=SYNC_POLICIES):
 
 
 def run_sweep(base_seed, plans, policies=SYNC_POLICIES, root=None,
-              report_stream=None, verbose=False):
-    """Run *plans* seeded crash plans; returns the list of failed reports."""
+              report_stream=None, verbose=False, record_histories=None):
+    """Run *plans* seeded crash plans; returns the list of failed reports.
+
+    With *record_histories* (a directory) every plan records its
+    transaction history to ``plan-NNN.jsonl`` there and is additionally
+    isolation-checked (``ISO-*`` errors fail the plan like a dirty
+    fsck).
+    """
     failures = []
     echo = report_stream.write if report_stream else lambda _line: None
+    history_dir = None
+    if record_histories is not None:
+        history_dir = Path(record_histories)
+        history_dir.mkdir(parents=True, exist_ok=True)
     for index, (seed, policy) in enumerate(
         sweep_seeds(base_seed, plans, policies)
     ):
         plan = random_plan(seed, policy=policy)
+        record = (history_dir / f"plan-{index:03d}.jsonl"
+                  if history_dir is not None else False)
         if root is None:
             with tempfile.TemporaryDirectory(prefix="crashsim-") as scratch:
-                report = CrashSim(plan, scratch).run()
+                report = CrashSim(plan, scratch, record_history=record).run()
         else:
-            report = CrashSim(plan, Path(root) / f"plan-{index}").run()
+            report = CrashSim(plan, Path(root) / f"plan-{index}",
+                              record_history=record).run()
         if not report.ok:
             failures.append(report)
             echo(f"FAIL  {report.summary()}\n")
@@ -78,6 +91,10 @@ def main(argv=None):
                              "(default: round-robin over all four)")
     parser.add_argument("--verbose", action="store_true",
                         help="print every plan, not only failures")
+    parser.add_argument("--record-histories", metavar="DIR", default=None,
+                        help="record each plan's transaction history as "
+                             "DIR/plan-NNN.jsonl and isolation-check it "
+                             "(repro-check iso reads the same files)")
     args = parser.parse_args(argv)
     if args.plans < 1:
         parser.error("--plans must be >= 1")
@@ -86,6 +103,7 @@ def main(argv=None):
     failures = run_sweep(
         args.seed, args.plans, policies=policies,
         report_stream=sys.stdout, verbose=args.verbose,
+        record_histories=args.record_histories,
     )
     per_policy = args.plans // len(SYNC_POLICIES)
     print(

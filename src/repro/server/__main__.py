@@ -48,6 +48,10 @@ def build_parser():
                         help="maximum requests a client may pipeline on one "
                              "connection before reading responses "
                              "(default 64; advertised in the handshake)")
+    parser.add_argument("--record-history", metavar="PATH", default=None,
+                        help="stream the transaction history to PATH as "
+                             "JSONL (enables the check op's iso plane; "
+                             "repro-check iso reads the same file offline)")
     parser.add_argument("--no-lockdep", action="store_true",
                         help="disable the lock-order recorder (drops the "
                              "check op's lockdep plane; saves the per-grant "
@@ -73,6 +77,7 @@ async def _amain(args):
         group_commit_window=args.group_window,
         max_pipeline=args.max_pipeline,
         lockdep=not args.no_lockdep,
+        record_history=args.record_history,
     )
     await server.start()
     if args.port_file:

@@ -39,6 +39,14 @@ MUTATING_OPS = frozenset({
     "make_part_of", "remove_part_of", "delete", "query",
 })
 
+#: Plane names the ``check`` op accepts.  The drift test keeps this set
+#: consistent with :data:`repro.analysis.findings.PLANES` and the
+#: ``repro-check`` CLI.
+CHECK_PLANES = frozenset({
+    "all", "fsck", "schema", "query", "lockdep", "code", "proto",
+    "placement", "iso",
+})
+
 
 def _require(args, *names):
     missing = [name for name in names if name not in args]
@@ -254,13 +262,17 @@ async def _op_components_of(session, args):
     session.authorize(READ, uid)
     async with session.txn_scope() as txn:
         await session.lock_composite(txn, uid, "read")
-        return session.server.db.components_of(
-            uid,
-            classes=args.get("classes"),
-            exclusive=bool(args.get("exclusive", False)),
-            shared=bool(args.get("shared", False)),
-            level=args.get("level"),
-        )
+        db = session.server.db
+        # txn_context so observers (the isolation-history recorder)
+        # attribute the traversal's reads to this transaction.
+        with db.txn_context(txn):
+            return db.components_of(
+                uid,
+                classes=args.get("classes"),
+                exclusive=bool(args.get("exclusive", False)),
+                shared=bool(args.get("shared", False)),
+                level=args.get("level"),
+            )
 
 
 def _navigation(method):
@@ -422,8 +434,10 @@ async def _op_check(session, args):
     the running ``repro`` package), ``"proto"`` (a small exhaustive
     2PC protocol model-check plus the site/op drift lints),
     ``"placement"`` (shard-stride and composite-co-location audit;
-    shard workers only), or ``"all"``
-    (default: fsck + schema + lockdep when recording + placement on a
+    shard workers only), ``"iso"`` (Adya serialization-graph check of
+    the server's recorded transaction history; needs
+    ``record_history``), or ``"all"`` (default: fsck + schema +
+    lockdep when recording + iso when recording + placement on a
     shard worker).  Findings come back in the shared
     JSON schema of :mod:`repro.analysis.findings`.  The audit only
     reads, so no locks are taken; a concurrent writer mid-transaction
@@ -431,6 +445,8 @@ async def _op_check(session, args):
     ``begin``/``commit`` scope) for a stable answer.
     """
     plane = args.get("plane", "all")
+    if plane not in CHECK_PLANES:
+        raise ProtocolError(f"unknown check plane {plane!r}")
     db = session.server.db
     reports = {}
     if plane in ("all", "fsck"):
@@ -481,6 +497,18 @@ async def _op_check(session, args):
             raise ProtocolError(
                 "this server is not a shard worker (no shard_info); "
                 "the placement plane needs one"
+            )
+    if plane in ("all", "iso"):
+        recorder = session.server.history
+        if recorder is not None:
+            from ..analysis.isocheck import check_history
+
+            reports["iso"] = check_history(recorder.history).to_dict()
+        elif plane == "iso":
+            raise ProtocolError(
+                "transaction-history recording is disabled on this "
+                "server (start it with record_history / "
+                "--record-history)"
             )
     if not reports:
         raise ProtocolError(f"unknown check plane {plane!r}")

@@ -479,6 +479,15 @@ class ReproServer:
         session acquired — even runs where no deadlock ever formed.
         On by default; disable (``repro-server --no-lockdep``) to shave
         the per-grant recording cost (benchmark B16 measures it).
+    record_history:
+        Attach a :class:`repro.analysis.history.HistoryRecorder` to the
+        served database, so ``check(plane="iso")`` can replay the
+        recorded transaction history through the Adya serialization-
+        graph checker.  A string/path value additionally streams the
+        history there as JSONL (``repro-server --record-history PATH``)
+        for offline ``repro-check iso``; ``True`` records in memory
+        only; ``None``/``False`` (default) disables recording
+        (benchmark B21 measures the overhead).
     shard_info:
         When this server is a shard worker: a ``(shard_id, shards)``
         pair.  Enables the ``prepare``/``decide``/``indoubt`` 2PC ops'
@@ -502,8 +511,8 @@ class ReproServer:
 
     def __init__(self, database=None, host="127.0.0.1", port=0, auth=None,
                  lock_wait_timeout=30.0, group_commit_window=0.002,
-                 lockdep=True, shard_info=None, coord_log=None,
-                 max_pipeline=64, image_cache_capacity=1024):
+                 lockdep=True, record_history=None, shard_info=None,
+                 coord_log=None, max_pipeline=64, image_cache_capacity=1024):
         self.db = database if database is not None else Database()
         self.host = host
         self.port = port
@@ -524,6 +533,13 @@ class ReproServer:
             from ..analysis.lockdep import LockOrderRecorder
 
             self.lockdep = LockOrderRecorder(self.tm.table)
+        self.history = None
+        if record_history:
+            from ..analysis.history import HistoryRecorder
+
+            path = (None if record_history is True
+                    else str(record_history))
+            self.history = HistoryRecorder(self.db, path=path)
         self.max_pipeline = max(1, int(max_pipeline))
         self.journal = getattr(self.db, "journal", None)
         self.image_cache = None
@@ -674,6 +690,8 @@ class ReproServer:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
         self._sessions.clear()
+        if self.history is not None:
+            self.history.close()
         self.locks.wake()
         # Reap the per-connection tasks so nothing is left mid-await.
         tasks = [task for task in self._conn_tasks if not task.done()]
@@ -728,6 +746,8 @@ class ReproServer:
             payload["image_cache"] = self.image_cache.stats_row()
         if self.lockdep is not None:
             payload["lockdep"] = self.lockdep.stats_row()
+        if self.history is not None:
+            payload["history"] = self.history.stats_row()
         if session is not None:
             payload["session"] = session.stats.row()
         return payload

@@ -30,6 +30,7 @@ from __future__ import annotations
 import contextlib
 import random
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..errors import ShardError
 from .placement import audit_cluster, shard_of_uid
@@ -115,10 +116,17 @@ class ShardCrashResult:
 class ShardCrashSim:
     """Run one :class:`ShardPlan` in *root* (a fresh directory)."""
 
-    def __init__(self, root, plan, client_timeout=30.0):
+    def __init__(self, root, plan, client_timeout=30.0,
+                 record_history_dir=None):
         self.root = root
         self.plan = plan
         self.client_timeout = client_timeout
+        #: Directory for per-shard transaction histories
+        #: (``history-NN.jsonl``; a crashed worker leaves at most one
+        #: torn tail line, and the restarted worker's boot marker splits
+        #: the epochs).  The recovered histories are isolation-checked:
+        #: any ``ISO-*`` error fails the plan like an oracle violation.
+        self.record_history_dir = record_history_dir
 
     # -- pieces -----------------------------------------------------------
 
@@ -138,6 +146,7 @@ class ShardCrashSim:
             router_connect_timeout=3.0,
             worker_failpoints=worker_failpoints,
             router_failpoints=router_failpoints,
+            record_history_dir=self.record_history_dir,
         )
 
     def _target_proc(self, cluster):
@@ -211,7 +220,31 @@ class ShardCrashSim:
                     f"in-doubt transaction survived recovery: "
                     f"{finding.detail}"
                 )
+        if self.record_history_dir is not None:
+            self._check_histories(result)
         return result
+
+    def _check_histories(self, result):
+        """Isolation-check the recorded per-shard histories.
+
+        A crash-interrupted transaction reads as *unfinished* (warning,
+        expected under a kill plan); only hard ``ISO-*`` errors — a real
+        serialization-graph cycle or a read of aborted state — fail the
+        plan.
+        """
+        from ..analysis.history import History
+        from ..analysis.isocheck import check_history
+
+        for path in sorted(Path(self.record_history_dir).glob("*.jsonl")):
+            try:
+                iso = check_history(History.load(path))
+            except ValueError as error:
+                result.problems.append(f"history {path.name}: {error}")
+                continue
+            for finding in iso.errors:
+                result.problems.append(
+                    f"isolation ({path.name}): {finding}"
+                )
 
     def _reap_and_restart(self, cluster, result, saw_error):
         """Restart whatever the plan killed; flag unexpected deaths."""

@@ -41,6 +41,11 @@ def build_parser():
                              "(coord.log decisions + per-shard P/R "
                              "journal markers) to DIR/trace-NNNN.json "
                              "for repro-check proto --replay")
+    parser.add_argument("--record-histories", metavar="DIR", default=None,
+                        help="record each worker's transaction history "
+                             "under DIR/plan-NNNN/history-NN.jsonl and "
+                             "isolation-check it (ISO-* errors fail the "
+                             "plan; repro-check iso reads the same files)")
     return parser
 
 
@@ -65,7 +70,13 @@ def main(argv=None):
         os.makedirs(args.record_traces, exist_ok=True)
     for index, plan in enumerate(plans):
         root = tempfile.mkdtemp(prefix=f"shardsweep-{index:03d}-")
-        result = ShardCrashSim(root, plan).run()
+        history_dir = (
+            os.path.join(args.record_histories, f"plan-{index:04d}")
+            if args.record_histories else None
+        )
+        result = ShardCrashSim(
+            root, plan, record_history_dir=history_dir
+        ).run()
         if args.record_traces:
             record_trace(
                 root,

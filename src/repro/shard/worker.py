@@ -75,6 +75,9 @@ class WorkerSpec:
     #: Fault rules (``FaultRule.to_dict()`` form) armed in the child for
     #: its whole life — the crash simulator's kill switches.
     failpoints: list = field(default_factory=list)
+    #: Stream the worker's transaction history to this JSONL path (a
+    #: restart appends; the recorder's boot marker splits the epochs).
+    record_history: str | None = None
 
 
 def _armed(failpoints):
@@ -114,6 +117,7 @@ async def _worker_amain(spec):
         group_commit_window=spec.group_window,
         shard_info=(spec.shard_id, spec.shards),
         coord_log=spec.coord_log,
+        record_history=spec.record_history,
     )
     await server.start()
     write_endpoint(spec.directory, server.host, server.port)
@@ -211,7 +215,8 @@ class ShardCluster:
                  sync_policy="commit", host="127.0.0.1", router_port=0,
                  in_memory=False, grace=5.0, group_window=0.002,
                  router_connect_timeout=10.0, start_timeout=60.0,
-                 worker_failpoints=None, router_failpoints=None):
+                 worker_failpoints=None, router_failpoints=None,
+                 record_history_dir=None):
         self.root = Path(root)
         self.manifest = ensure_manifest(
             self.root, shards, policy=policy, sync_policy=sync_policy
@@ -229,6 +234,11 @@ class ShardCluster:
         self.start_timeout = start_timeout
         self.worker_failpoints = dict(worker_failpoints or {})
         self.router_failpoints = list(router_failpoints or ())
+        self.record_history_dir = (
+            Path(record_history_dir) if record_history_dir else None
+        )
+        if self.record_history_dir is not None:
+            self.record_history_dir.mkdir(parents=True, exist_ok=True)
         self.coord_log = str(self.root / COORD_LOG_NAME)
         self.workers = {}
         self.router_proc = None
@@ -279,6 +289,10 @@ class ShardCluster:
             in_memory=self.in_memory,
             grace=self.grace,
             failpoints=list(self.worker_failpoints.get(shard_id, ())),
+            record_history=(
+                str(self.record_history_dir / f"history-{shard_id:02d}.jsonl")
+                if self.record_history_dir is not None else None
+            ),
         )
 
     def start_worker(self, shard_id):

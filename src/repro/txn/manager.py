@@ -72,9 +72,13 @@ class TransactionManager:
                 f"transaction {txn.txn_id} is {txn.state.value}"
             )
         try:
-            with self._db.txn_context(txn):
-                for record in reversed(txn.undo_log):
-                    self._undo(record)
+            txn.undoing = True
+            try:
+                with self._db.txn_context(txn):
+                    for record in reversed(txn.undo_log):
+                        self._undo(record)
+            finally:
+                txn.undoing = False
             txn.undo_log.clear()
             txn.state = TxnState.ABORTED
             self.aborts += 1
@@ -90,18 +94,24 @@ class TransactionManager:
     # -- data operations --------------------------------------------------------
 
     def read(self, txn, uid, attribute):
-        """Read one attribute under an S instance lock."""
+        """Read one attribute under an S instance lock.
+
+        The read runs inside ``txn_context`` so passive observers (the
+        isolation-history recorder) attribute it to this transaction;
+        the journal only reacts to writes, so this costs nothing.
+        """
         txn.ensure_active()
         self.protocol.lock_instance(txn, uid, "read", wait=False)
-        return self._db.value(uid, attribute)
+        with self._db.txn_context(txn):
+            return self._db.value(uid, attribute)
 
     def write(self, txn, uid, attribute, value):
         """Write one attribute under an X instance lock."""
         txn.ensure_active()
         self.protocol.lock_instance(txn, uid, "write", wait=False)
-        old = self._db.value(uid, attribute)
-        txn.log("set", uid=uid, attribute=attribute, payload=old)
         with self._db.txn_context(txn):
+            old = self._db.value(uid, attribute)
+            txn.log("set", uid=uid, attribute=attribute, payload=old)
             self._db.set_value(uid, attribute, value)
 
     def insert(self, txn, uid, attribute, member):
@@ -162,7 +172,8 @@ class TransactionManager:
         """Lock a whole composite object for reading; return components."""
         txn.ensure_active()
         self.protocol.lock_composite(txn, root_uid, "read", wait=False)
-        return self._db.components_of(root_uid)
+        with self._db.txn_context(txn):
+            return self._db.components_of(root_uid)
 
     def lock_composite_for_update(self, txn, root_uid):
         """Take the composite write plan (subsequent writes need no new

@@ -58,6 +58,10 @@ class Transaction:
         self.undo_log = []
         #: Number of restarts after deadlock aborts (simulator metric).
         self.restarts = 0
+        #: True while the manager replays this transaction's undo log.
+        #: Passive observers (the isolation-history recorder) must not
+        #: mistake compensating writes for new data operations.
+        self.undoing = False
 
     # -- state ------------------------------------------------------------
 

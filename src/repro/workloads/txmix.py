@@ -1,4 +1,5 @@
-"""Transaction mixes: simulator scripts (B9) and a live TCP driver.
+"""Transaction mixes: simulator scripts (B9), an in-process strict-2PL
+driver, and a live TCP driver.
 
 :func:`composite_mix` / :func:`disjoint_writers` build step scripts for
 :class:`repro.sim.eventsim.ConcurrencySimulator`.  The TCP half —
@@ -6,7 +7,16 @@
 through a real :class:`repro.server.client.Client` connection, turning
 each script into one explicit ``begin``/``commit`` transaction against a
 live server (or a shard router: benchmark B18 and the cluster tests
-drive exactly this workload through ``repro-router``).
+drive exactly this workload through ``repro-router``).  The in-process
+half — :func:`memory_fixture` and :func:`run_tm_mix` — replays them
+through a :class:`repro.txn.manager.TransactionManager` with genuinely
+interleaved transactions (round-robin, one step per round), which is
+what the isolation plane's recorder observes and its property tests
+drive: strict 2PL must yield histories that check clean.
+
+``python -m repro.workloads.txmix --port N`` drives the TCP mix against
+a live server — CI pairs it with ``repro-server --record-history`` and
+checks the recorded history with ``repro-check iso``.
 """
 
 from __future__ import annotations
@@ -172,3 +182,185 @@ def run_tcp_mix(client, scripts, max_retries=10):
                     raise
         stats["transactions"] += 1
     return stats
+
+
+# ---------------------------------------------------------------------------
+# Driving the same scripts through an in-process TransactionManager
+# ---------------------------------------------------------------------------
+
+
+def memory_fixture(db, roots=8, parts_per_root=3):
+    """The TCP fixture's schema and data built directly on *db*.
+
+    Same shape as :func:`tcp_fixture` — ``MixRoot`` composites over
+    dependent ``MixPart`` children, both stamped — for in-process runs
+    through :func:`run_tm_mix`.  Returns
+    ``(root_uids, components_by_root)``.
+    """
+    from ..schema.attribute import AttributeSpec, SetOf
+
+    db.make_class("MixPart", attributes=[
+        AttributeSpec(STAMP_ATTRIBUTE, domain="integer"),
+    ])
+    db.make_class("MixRoot", attributes=[
+        AttributeSpec(STAMP_ATTRIBUTE, domain="integer"),
+        AttributeSpec("Parts", domain=SetOf("MixPart"),
+                      composite=True, exclusive=True, dependent=True),
+    ])
+    root_uids = []
+    components = {}
+    for _ in range(roots):
+        root = db.make("MixRoot", values={STAMP_ATTRIBUTE: 0})
+        root_uids.append(root)
+        components[root] = [
+            db.make("MixPart", values={STAMP_ATTRIBUTE: 0},
+                    parents=[(root, "Parts")])
+            for _ in range(parts_per_root)
+        ]
+    return root_uids, components
+
+
+def run_tm_mix(database, scripts, lock_table=None, max_rounds=100000):
+    """Execute simulator *scripts* through a strict-2PL transaction
+    manager with genuine interleaving.
+
+    Each script is one transaction; the driver advances the active
+    transactions round-robin, one step per round, so their data
+    operations interleave in a single thread exactly as concurrent
+    sessions would.  A lock conflict (the synchronous manager never
+    waits) aborts the victim, which restarts from its first step in a
+    later round — strict 2PL plus abort/retry, the discipline the
+    isolation checker must find anomaly-free.  Victims back off for a
+    deterministic, per-script number of rounds before restarting:
+    simultaneous victims of a symmetric conflict would otherwise replay
+    the identical collision round after round (livelock).
+
+    ``read_composite`` takes the composite read plan,
+    ``update_composite`` the composite write plan then stamps the root,
+    ``read_instance`` / ``update_instance`` touch one instance.
+    Returns counters::
+
+        {"transactions": ..., "ops": ..., "conflict_retries": ...}
+    """
+    from ..errors import LockConflictError
+    from ..locking.table import LockTable
+    from ..txn.manager import TransactionManager
+
+    tm = TransactionManager(
+        database, lock_table if lock_table is not None else LockTable()
+    )
+    stats = {"transactions": 0, "ops": 0, "conflict_retries": 0}
+    stamp = 0
+    active = [{"steps": list(steps), "pos": 0, "txn": None,
+               "index": index, "retries": 0, "delay": 0}
+              for index, steps in enumerate(scripts) if steps]
+    rounds = 0
+    while active:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(
+                f"run_tm_mix made no overall progress in {max_rounds} "
+                f"rounds ({len(active)} transaction(s) stuck)"
+            )
+        still = []
+        for state in active:
+            if state["delay"]:
+                state["delay"] -= 1
+                still.append(state)
+                continue
+            if state["txn"] is None:
+                state["txn"] = tm.begin()
+            txn = state["txn"]
+            step = state["steps"][state["pos"]]
+            try:
+                if step.action == "read_composite":
+                    tm.read_composite(txn, step.target)
+                elif step.action == "read_instance":
+                    tm.read(txn, step.target, STAMP_ATTRIBUTE)
+                elif step.action == "update_composite":
+                    tm.lock_composite_for_update(txn, step.target)
+                    stamp += 1
+                    tm.write(txn, step.target, STAMP_ATTRIBUTE, stamp)
+                elif step.action == "update_instance":
+                    stamp += 1
+                    tm.write(txn, step.target, STAMP_ATTRIBUTE, stamp)
+                else:
+                    raise ValueError(f"unknown step action {step.action!r}")
+            except LockConflictError:
+                # Victim restarts: locks released, undo applied, and the
+                # whole script re-runs under a fresh transaction later.
+                tm.abort(txn)
+                stats["conflict_retries"] += 1
+                state["txn"] = None
+                state["pos"] = 0
+                state["retries"] += 1
+                # Stagger the restart by script position and retry
+                # count: victims that collided in the same round come
+                # back in different rounds, so the collision cannot
+                # repeat verbatim forever.
+                state["delay"] = (
+                    state["retries"] * (state["index"] + 1)
+                ) % 97
+                still.append(state)
+                continue
+            stats["ops"] += 1
+            state["pos"] += 1
+            if state["pos"] >= len(state["steps"]):
+                tm.commit(txn)
+                stats["transactions"] += 1
+            else:
+                still.append(state)
+        active = still
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# CLI: the TCP mix against a live server (CI's record-history step)
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None):
+    """Drive the composite mix over TCP against a running server."""
+    import argparse
+    import json
+
+    from ..server.client import Client
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads.txmix",
+        description="Create the mix fixture on a live server and run the "
+        "B9 composite transaction mix over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--user", default="txmix")
+    parser.add_argument("--roots", type=int, default=8)
+    parser.add_argument("--parts-per-root", type=int, default=3)
+    parser.add_argument("--transactions", type=int, default=20)
+    parser.add_argument("--steps-per-txn", type=int, default=3)
+    parser.add_argument("--read-ratio", type=float, default=0.7)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    with Client(host=args.host, port=args.port, user=args.user) as client:
+        client.connect()
+        roots, components = tcp_fixture(
+            client, roots=args.roots, parts_per_root=args.parts_per_root
+        )
+        scripts = composite_mix(
+            roots,
+            transactions=args.transactions,
+            steps_per_txn=args.steps_per_txn,
+            read_ratio=args.read_ratio,
+            components_by_root=components,
+            seed=args.seed,
+        )
+        stats = run_tcp_mix(client, scripts)
+    print(json.dumps(stats))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())
