@@ -111,8 +111,10 @@ _LIST_MUTATORS = frozenset({
 })
 
 #: Non-storage modules sanctioned to ``append``/``remove`` (never
-#: replace) journal hook lists: the passive isolation-history recorder.
-HOOK_ATTACH_MODULES = frozenset({"analysis/history.py"})
+#: replace) journal hook lists: the passive isolation-history recorder
+#: and the MVCC snapshot manager (which stamps version chains at the
+#: same commit/op-end boundaries the journal seals batches at).
+HOOK_ATTACH_MODULES = frozenset({"analysis/history.py", "mvcc/manager.py"})
 
 #: Observer hooks whose attachments must be paired with a detach
 #: (the CODE-HOOK-LEAK rule).

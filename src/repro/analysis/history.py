@@ -35,6 +35,18 @@ Event model
   :meth:`History.epochs` splits on these markers so the checker never
   builds dependency edges across a crash boundary.
 
+MVCC snapshot reads (docs/REPLICATION.md) are recorded through the
+``on_snapshot_read`` hook: the recorder keeps, per UID, the version each
+*commit epoch* installed, and attributes a snapshot read at epoch E to
+the newest version committed at or below E — the version the reader
+actually observed, not the live chain top a concurrent writer may have
+already replaced.  This is what lets ``check_history`` prove (or refute)
+that relaxing reads past locking preserved serializability.  MVCC
+recording needs versions at record time, so an attached
+:class:`~repro.mvcc.manager.SnapshotManager` forces eager bookkeeping;
+attach the snapshot manager *before* the recorder so commit hooks stamp
+epochs in the right order.
+
 Transaction identity: real transactions record as ``t<txn_id>``.
 Operations executed outside any transaction (bare ``Database`` calls)
 are grouped into synthetic auto-transactions ``b<n>``, sealed
@@ -222,8 +234,21 @@ class HistoryRecorder:
         #: deferred (in-memory) mode, ``(kind, txn, uid, attribute,
         #: version, installer)`` in eager (streaming) mode.
         self._raw: list[tuple[Any, ...]] = []
-        #: Streaming forces eager version bookkeeping (see class doc).
-        self._eager = path is not None
+        #: MVCC mode: a snapshot manager serves epoch reads, so the
+        #: recorder must map commit epochs to installed versions.
+        self._mvcc = getattr(database, "snapshot_manager", None) is not None
+        #: Streaming and MVCC both force eager version bookkeeping
+        #: (see class doc).
+        self._eager = path is not None or self._mvcc
+        #: Uncommitted writes per transaction key: {uid: last version}
+        #: (MVCC mode only); stamped into ``_epoch_versions`` when the
+        #: scope commits, discarded on abort.
+        self._txn_writes: dict[str, dict[str, int]] = {}
+        #: Committed version timeline per UID: (epoch, version,
+        #: installer), append-only in commit order (MVCC mode only).
+        self._epoch_versions: dict[
+            str, list[tuple[int, int, Optional[str]]]
+        ] = {}
         self._materialized: Optional[History] = None
         self._stream: Optional[io.TextIOWrapper] = None
         self._attached = False
@@ -265,6 +290,8 @@ class HistoryRecorder:
         db.on_op_end.append(self._record_op_end)
         db.on_txn_commit.append(self._record_commit)
         db.on_txn_abort.append(self._record_abort)
+        if self._mvcc:
+            db.on_snapshot_read.append(self._record_snapshot_read)
         self._attached = True
 
     def detach(self) -> None:
@@ -280,6 +307,8 @@ class HistoryRecorder:
         db.on_op_end.remove(self._record_op_end)
         db.on_txn_commit.remove(self._record_commit)
         db.on_txn_abort.remove(self._record_abort)
+        if self._record_snapshot_read in db.on_snapshot_read:
+            db.on_snapshot_read.remove(self._record_snapshot_read)
         self._attached = False
 
     def close(self) -> None:
@@ -430,10 +459,10 @@ class HistoryRecorder:
             payload["v"] = version
         if installer is not None:
             payload["i"] = installer
-        assert self._stream is not None
-        self._stream.write(
-            json.dumps(payload, separators=(",", ":")) + "\n"
-        )
+        if self._stream is not None:
+            self._stream.write(
+                json.dumps(payload, separators=(",", ":")) + "\n"
+            )
 
     def _txn_key(self) -> Optional[str]:
         """The current transaction's key, or ``None`` for compensating
@@ -456,7 +485,22 @@ class HistoryRecorder:
         version = self._next_version.get(uid, INITIAL_VERSION) + 1
         self._next_version[uid] = version
         self._chains.setdefault(uid, []).append((version, txn_key))
+        if self._mvcc:
+            self._txn_writes.setdefault(txn_key, {})[uid] = version
         return version
+
+    def _stamp_epoch(self, txn_key: str) -> None:
+        """Record which versions *txn_key*'s commit installed at the
+        current commit epoch (runs inside the commit hook pass, after
+        the journal/snapshot-manager hooks advanced the epoch)."""
+        writes = self._txn_writes.pop(txn_key, None)
+        if not writes:
+            return
+        epoch = int(getattr(self.db, "commit_epoch", 0))
+        for uid, version in writes.items():
+            self._epoch_versions.setdefault(uid, []).append(
+                (epoch, version, txn_key)
+            )
 
     def _uid_key(self, uid: Any) -> str:
         text = self._uid_text.get(uid.number)
@@ -471,6 +515,8 @@ class HistoryRecorder:
             return
         key = self._open_auto
         self._open_auto = None
+        if self._mvcc:
+            self._stamp_epoch(key)
         self._emit_cold("commit", key)
 
     def _rewind(self, txn_key: str) -> None:
@@ -589,14 +635,46 @@ class HistoryRecorder:
 
     def _record_commit(self, txn: Any) -> None:
         self._seal_auto()
-        self._emit_cold("commit", f"t{txn.txn_id}")
+        key = f"t{txn.txn_id}"
+        if self._mvcc:
+            self._stamp_epoch(key)
+        self._emit_cold("commit", key)
 
     def _record_abort(self, txn: Any) -> None:
         self._seal_auto()
         key = f"t{txn.txn_id}"
         if self._eager:
             self._rewind(key)
+        if self._mvcc:
+            self._txn_writes.pop(key, None)
         self._emit_cold("abort", key)
+
+    def _record_snapshot_read(self, uid: Any, attribute: Optional[str],
+                              epoch: int) -> None:
+        """Record a lock-free snapshot read at *epoch*.
+
+        The observed version is the newest one *committed* at or below
+        the epoch — never the live chain top, which a concurrent
+        writer's uncommitted (or later-committed) version may occupy.
+        Versions installed before this recorder attached resolve to
+        the initial version, exactly like plain reads.
+        """
+        key = self._txn_key()
+        if key is None:
+            return
+        uid_text = self._uid_key(uid)
+        version, installer = INITIAL_VERSION, None
+        timeline = self._epoch_versions.get(uid_text)
+        if timeline:
+            for entry_epoch, entry_version, entry_installer in reversed(
+                timeline
+            ):
+                if entry_epoch <= epoch:
+                    version, installer = entry_version, entry_installer
+                    break
+        raw = ("read", key, uid_text, attribute, version, installer)
+        self._push(raw)
+        self._emit_stream(raw)
 
     def __repr__(self) -> str:
         state = "attached" if self._attached else "detached"

@@ -125,6 +125,28 @@ class Database:
         #: instance (the deletion engine's funnel) — the isolation-
         #: history recorder models a delete as the object's final write.
         self.on_delete = []
+        #: Callbacks ``(instance,)`` fired *before* a mutation funnel
+        #: changes an instance's forward state (and before ``discard``
+        #: drops it).  The MVCC snapshot manager captures the
+        #: pre-change image here, once per instance per commit scope,
+        #: so snapshot readers below the current epoch still see the
+        #: committed state while a writer holds X-locks.
+        self.on_before_change = []
+        #: Callbacks ``(uid, attribute, epoch)`` fired by the MVCC
+        #: snapshot-read path (attribute ``None`` for whole-object
+        #: footprints).  The isolation-history recorder subscribes here
+        #: to attribute the read to the *version installed at or below
+        #: that epoch* rather than the live tail.
+        self.on_snapshot_read = []
+        #: Commit epoch: the journal mirrors its monotonic batch
+        #: sequence here on every seal (the MVCC snapshot token).  A
+        #: database without a journal has it bumped by the snapshot
+        #: manager instead; it stays 0 when neither is attached.
+        self.commit_epoch = 0
+        #: The attached :class:`repro.mvcc.manager.SnapshotManager`
+        #: (None when MVCC is off); the transaction manager routes
+        #: snapshot-mode reads through it.
+        self.snapshot_manager = None
         #: The transaction whose operation is currently executing (set by
         #: :meth:`txn_context`); the journal routes redo records of an
         #: open transaction into that transaction's commit batch.
@@ -287,8 +309,11 @@ class Database:
 
     def discard(self, uid):
         """Remove *uid* from the object table and store (deletion engine)."""
-        instance = self._objects.pop(uid, None)
+        instance = self._objects.get(uid)
         if instance is not None:
+            for callback in self.on_before_change:
+                callback(instance)
+            del self._objects[uid]
             extent = self._extents.get(instance.class_name)
             if extent is not None:
                 extent.discard(uid)
@@ -473,6 +498,8 @@ class Database:
         if member in current:
             return False
         with self._operation():
+            for callback in self.on_before_change:
+                callback(instance)
             self._check_member(spec, member)
             if spec.is_composite:
                 self._link_component(instance, spec, member)
@@ -495,6 +522,8 @@ class Database:
         if member not in current:
             return False
         with self._operation():
+            for callback in self.on_before_change:
+                callback(instance)
             if spec.is_composite:
                 self._unlink_component(instance, spec, member)
             instance.set(attribute, [v for v in current if v != member])
@@ -538,6 +567,8 @@ class Database:
 
     def _assign(self, instance, spec, value):
         """Assign *value* to *spec* on *instance*, maintaining reverse refs."""
+        for callback in self.on_before_change:
+            callback(instance)
         if spec.is_set:
             members = list(value or [])
             if len(set(members)) != len(members):
@@ -634,6 +665,8 @@ class Database:
             current = parent.get(attribute) or []
             if child_uid in current:
                 return
+            for callback in self.on_before_change:
+                callback(parent)
             self._check_member(spec, child_uid)
             if spec.is_composite:
                 self._link_component(parent, spec, child_uid)
@@ -671,11 +704,15 @@ class Database:
         value = parent.get(attribute)
         if isinstance(value, list):
             if child_uid in value:
+                for callback in self.on_before_change:
+                    callback(parent)
                 parent.set(attribute, [v for v in value if v != child_uid])
                 self._notify_update(parent, attribute)
                 return True
             return False
         if value == child_uid:
+            for callback in self.on_before_change:
+                callback(parent)
             parent.set(attribute, None)
             self._notify_update(parent, attribute)
             return True

@@ -257,6 +257,60 @@ class TransactionStateError(ConcurrencyError):
     code = "TRANSACTION_STATE"
 
 
+class SnapshotConflictError(ConcurrencyError):
+    """A snapshot transaction's write lost a first-updater-wins race.
+
+    Under snapshot isolation a transaction reading at epoch E may only
+    write objects whose newest committed version is still at or below E;
+    a version installed above E means a concurrent transaction committed
+    first, and blindly overwriting it would be a lost update.  The loser
+    aborts and retries at a fresh snapshot.
+    """
+
+    code = "SNAPSHOT_CONFLICT"
+
+    def __init__(self, message, uid=None, snapshot_epoch=None,
+                 committed_epoch=None):
+        super().__init__(message)
+        self.uid = uid
+        self.snapshot_epoch = snapshot_epoch
+        self.committed_epoch = committed_epoch
+
+
+class SnapshotTooOldError(ConcurrencyError):
+    """A snapshot read targeted an epoch below the retained GC floor.
+
+    Version chains are bounded (docs/REPLICATION.md): once the chain
+    for an object has been pruned past epoch E, reads at E can no
+    longer be served consistently and must retry at a newer epoch.
+    """
+
+    code = "SNAPSHOT_TOO_OLD"
+    wire_fields = ("epoch", "floor")
+
+    def __init__(self, message, epoch=None, floor=None):
+        super().__init__(message)
+        self.epoch = epoch
+        self.floor = floor
+
+
+class ReplicaLagError(ConcurrencyError):
+    """A replica read required an epoch the replica has not replayed yet.
+
+    Raised when a stale-bounded read asks for ``min_epoch`` above the
+    replica's applied epoch; the client can retry, wait, or fall back
+    to the primary.
+    """
+
+    code = "REPLICA_LAG"
+    wire_fields = ("applied_epoch", "min_epoch")
+
+    def __init__(self, message, applied_epoch=None, min_epoch=None):
+        super().__init__(message)
+        self.applied_epoch = applied_epoch
+        self.min_epoch = min_epoch
+
+
 # ---------------------------------------------------------------------------
 # Storage errors
 # ---------------------------------------------------------------------------

@@ -1,0 +1,288 @@
+"""Replica failover drills under the fault-plan harness.
+
+Two scripted disasters, each run against the seeded Paragraph/Section
+workload of :mod:`repro.faults.crashsim` with a
+:class:`~repro.mvcc.replica.JournalFollower` tailing the primary:
+
+``kill-replica``
+    The replica process dies mid-stream and restarts.  A replica holds
+    no durable state of its own — restart is a fresh follower over the
+    primary's directory — so the drill asserts the *rebuilt* replica
+    converges back to the primary's newest sealed state.
+
+``kill-primary``
+    The primary dies mid-ship (a seeded cut of its journal, same disk
+    model as :class:`~repro.faults.crashsim.CrashSim`).  The replica
+    keeps serving the committed prefix it applied, and *failover* is
+    promotion: recovering a fresh primary from the surviving bytes must
+    land on the same state the replica refused to read past.
+
+Oracles checked throughout (not only at the end):
+
+* **committed prefix** — every state the replica ever serves equals a
+  captured primary boundary (a sealed batch boundary; under the
+  ``always`` policy that includes per-operation seals, exactly the
+  states crash recovery itself can surface);
+* **stale bound** — ``require_epoch(applied)`` always passes and
+  ``require_epoch(primary_epoch + 1)`` always raises
+  :class:`~repro.errors.ReplicaLagError`: the replica never lies about
+  freshness in either direction;
+* **promotion** — after kill-primary, a :class:`DurableDatabase`
+  recovered from the survivors matches the replica's applied prefix
+  and accepts new writes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+
+from ..core.database import Database
+from ..errors import ReplicaLagError, StorageError
+from ..faults.crashsim import SeededWorkload, state_fingerprint
+from ..faults.registry import fault_scope
+from ..storage.durable import DurableDatabase
+from ..storage.journal import JOURNAL_NAME, SNAPSHOT_NAME, Journal
+from .replica import JournalFollower
+
+DRILL_KINDS = ("kill-replica", "kill-primary")
+
+
+@dataclass
+class DrillReport:
+    """Outcome of one failover drill (``ok`` is the verdict)."""
+
+    plan: object
+    kind: str
+    completed_units: int = 0
+    crashed_by_fault: bool = False
+    boundaries: int = 0
+    polls: int = 0
+    replica_rebuilds: int = 0
+    applied_epoch: int = 0
+    primary_epoch: int = 0
+    matched_label: str = ""
+    problems: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.problems
+
+    def summary(self):
+        verdict = "ok" if self.ok else "FAIL " + "; ".join(self.problems)
+        return (
+            f"{self.kind} seed={self.plan.seed} policy={self.plan.policy} "
+            f"units={self.completed_units} polls={self.polls} "
+            f"epoch={self.applied_epoch}/{self.primary_epoch} "
+            f"matched={self.matched_label!r} [{verdict}]"
+        )
+
+
+class ReplicaDrill:
+    """Run one failover drill inside *root* (a caller-owned scratch
+    directory).  *plan* is a :class:`repro.faults.FaultPlan`: its seed
+    drives the workload, its policy the primary's journal, its rules
+    (if any) inject primary-side faults exactly as in CrashSim."""
+
+    def __init__(self, plan, root, kind="kill-replica"):
+        if kind not in DRILL_KINDS:
+            raise ValueError(
+                f"unknown drill kind {kind!r}; expected one of "
+                f"{', '.join(DRILL_KINDS)}"
+            )
+        self.plan = plan
+        self.kind = kind
+        self.root = Path(root)
+        self.store = self.root / "store"
+        self.scratch = self.root / "crash"
+
+    def run(self):
+        plan = self.plan
+        report = DrillReport(plan=plan, kind=self.kind)
+        boundaries = []  # (label, fingerprint) of sealed commit points
+        states = []
+        rng = Random(plan.seed)
+        kill_at = plan.stop_at_unit or max(1, plan.units // 2)
+
+        with fault_scope(plan.build_registry()):
+            db = DurableDatabase(
+                self.store, sync_policy=plan.policy,
+                group_size=plan.group_size,
+            )
+            journal = db.journal
+            workload = SeededWorkload(db, rng)
+
+            def capture(label, sealed=None, quiescent=True):
+                # Non-quiescent boundaries are legal replica states too:
+                # under the ``always`` policy every operation seals its
+                # own batch, so a shipped prefix can land mid-transaction
+                # exactly where crash recovery would (aborts compensate).
+                boundaries.append((label, journal.commit_seq))
+                states.append(state_fingerprint(db))
+
+            follower = JournalFollower(self.store)
+            try:
+                workload.define_schema()
+                capture("schema")
+                for index in range(1, plan.units + 1):
+                    workload.run_unit(index, capture)
+                    report.completed_units = index
+                    if follower is not None:
+                        follower.poll()
+                        report.polls += 1
+                        self._check_prefix(follower, states, boundaries,
+                                           report)
+                        self._check_stale_bound(follower, db, report)
+                    if self.kind == "kill-replica" and index == kill_at:
+                        # Replica process dies: nothing survives it.
+                        follower = None
+                    elif follower is None:
+                        # ... and restarts: a fresh follower rebuilds
+                        # from the primary's directory alone.
+                        follower = JournalFollower(self.store)
+                        report.replica_rebuilds += 1
+            except StorageError:
+                report.crashed_by_fault = True
+
+            if follower is None:
+                follower = JournalFollower(self.store)
+                report.replica_rebuilds += 1
+
+            if self.kind == "kill-primary":
+                self._kill_primary(db, journal, rng, follower,
+                                   states, boundaries, report)
+            else:
+                self._converge(db, journal, follower,
+                               states, boundaries, report)
+        return report
+
+    # -- oracles ----------------------------------------------------------
+
+    def _check_prefix(self, follower, states, boundaries, report):
+        if follower is None:
+            return
+        state = state_fingerprint(follower.database)
+        matches = [j for j, known in enumerate(states) if known == state]
+        if not matches:
+            report.problems.append(
+                f"replica state after poll {report.polls} matches no "
+                f"captured commit point (not a committed prefix)"
+            )
+        else:
+            report.matched_label = boundaries[matches[-1]][0]
+
+    def _check_stale_bound(self, follower, db, report):
+        if follower is None:
+            return
+        report.applied_epoch = follower.applied_epoch
+        report.primary_epoch = db.commit_epoch
+        if follower.applied_epoch > db.commit_epoch:
+            report.problems.append(
+                f"replica applied epoch {follower.applied_epoch} beyond "
+                f"the primary's {db.commit_epoch}"
+            )
+        try:
+            follower.require_epoch(follower.applied_epoch)
+        except ReplicaLagError:
+            report.problems.append(
+                "replica refused its own applied epoch"
+            )
+        try:
+            follower.require_epoch(db.commit_epoch + 1)
+            report.problems.append(
+                "replica claimed an epoch the primary has not committed"
+            )
+        except ReplicaLagError:
+            pass
+
+    # -- endings ----------------------------------------------------------
+
+    def _converge(self, db, journal, follower, states, boundaries, report):
+        """kill-replica ending: the restarted replica must catch up to
+        the primary's newest sealed state."""
+        if journal.needs_sync:
+            with contextlib.suppress(StorageError):
+                journal.sync()
+        capture_state = state_fingerprint(db)
+        boundaries.append(("final", journal.commit_seq))
+        states.append(capture_state)
+        follower.poll()
+        report.polls += 1
+        self._check_prefix(follower, states, boundaries, report)
+        self._check_stale_bound(follower, db, report)
+        report.boundaries = len(boundaries)
+        replica_state = state_fingerprint(follower.database)
+        # Everything sealed is in the journal file (flushed per seal),
+        # so the restarted replica must reach the last sealed boundary,
+        # not merely *some* prefix.
+        if replica_state != capture_state:
+            # Buffered-but-unsealed txn batches legally lag; accept any
+            # boundary at the primary's commit_seq.
+            if follower.applied_epoch != journal.commit_seq:
+                report.problems.append(
+                    f"restarted replica converged to epoch "
+                    f"{follower.applied_epoch}, primary sealed "
+                    f"{journal.commit_seq}"
+                )
+        journal.abandon()
+
+    def _kill_primary(self, db, journal, rng, follower,
+                      states, boundaries, report):
+        """kill-primary ending: cut the journal mid-ship, let the
+        replica apply what survived, then promote."""
+        self.scratch.mkdir(parents=True, exist_ok=True)
+        snapshot = self.store / SNAPSHOT_NAME
+        if snapshot.exists():
+            shutil.copyfile(snapshot, self.scratch / SNAPSHOT_NAME)
+        data = (self.store / JOURNAL_NAME).read_bytes()
+        # Mid-ship: the cut can land anywhere in the flushed stream,
+        # including inside a record (a torn batch the replica must
+        # refuse to apply).
+        cut = rng.randint(0, len(data))
+        (self.scratch / JOURNAL_NAME).write_bytes(data[:cut])
+        journal.abandon()
+
+        survivor = JournalFollower(self.scratch)
+        report.polls += 1
+        report.replica_rebuilds += 1
+        state = state_fingerprint(survivor.database)
+        matches = [j for j, known in enumerate(states) if known == state]
+        if not matches:
+            report.problems.append(
+                "replica state after the primary crash matches no "
+                "captured commit point"
+            )
+        else:
+            report.matched_label = boundaries[matches[-1]][0]
+        report.applied_epoch = survivor.applied_epoch
+        report.primary_epoch = db.commit_epoch
+        report.boundaries = len(boundaries)
+
+        # Promotion: recover a fresh primary from the same survivors —
+        # it must land exactly on the replica's prefix (refinement: the
+        # replica's incremental parser and recovery agree byte-for-byte
+        # on what a journal prefix means)...
+        recovered = Database()
+        Journal.recover_into(recovered, self.scratch)
+        if state_fingerprint(recovered) != state:
+            report.problems.append(
+                "promotion diverged: recovery over the surviving bytes "
+                "disagrees with the replica's applied prefix"
+            )
+        # ... and accept new writes as a real primary.
+        promoted = DurableDatabase(self.scratch, sync_policy=self.plan.policy)
+        try:
+            uid = promoted.make("Paragraph", values={"Text": "post-failover"})
+            if not promoted.exists(uid):
+                report.problems.append("promoted primary lost a write")
+            if promoted.commit_epoch <= report.applied_epoch - 1:
+                report.problems.append(
+                    f"promoted primary's epoch {promoted.commit_epoch} "
+                    f"regressed below the replica's "
+                    f"{report.applied_epoch}"
+                )
+        finally:
+            promoted.close()

@@ -1,0 +1,415 @@
+"""Multi-version concurrency control: epoch-stamped version chains.
+
+The :class:`SnapshotManager` keeps a bounded per-UID chain of *committed*
+instance images, each stamped with the journal commit epoch that
+installed it (``Database.commit_epoch``, mirrored from the journal's
+``commit_seq`` on every sealed batch).  A snapshot read at epoch ``E``
+then never takes a lock: it walks the chain to the newest entry at or
+below ``E`` and decodes the answer from that image — a writer holding
+X-locks on the live object is invisible to it.
+
+Version visibility
+------------------
+
+For one UID the committed timeline looks like::
+
+    epoch:    floor ..... e1 ....... e2 ....... now
+    state:    baseline    image@e1   image@e2   live
+
+* Chains are *lazy*: an object never written since the manager attached
+  has no chain, and a snapshot read falls through to the live object —
+  which IS the committed state, because every writer funnels through
+  ``on_before_change`` first.
+* The first change to an object captures its pre-change image as the
+  chain's *seed* entry at the manager's floor epoch, so readers below
+  the change keep a consistent answer while the writer's transaction is
+  open and after it commits.
+* A read below the floor (or below a pruned chain's oldest entry)
+  raises :class:`~repro.errors.SnapshotTooOldError` — the GC bound of
+  docs/REPLICATION.md.
+
+Write stamping piggybacks on the journal's hook order: the journal's
+commit hook seals the batch and bumps ``db.commit_epoch`` *before* the
+manager's commit hook runs (hooks fire in attach order and the journal
+attaches at database construction), so chain entries always carry the
+exact epoch whose sealed batch made them durable.  On a database with
+no journal the manager bumps the epoch itself.
+
+Snapshot-mode *writers* (snapshot isolation) are validated by
+:meth:`SnapshotManager.check_write` under first-updater-wins: a version
+installed above the writer's snapshot epoch means a concurrent
+transaction committed first, and the writer aborts with
+:class:`~repro.errors.SnapshotConflictError` instead of losing its
+update.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from ..errors import SnapshotConflictError, SnapshotTooOldError, UnknownObjectError
+from ..storage.serializer import decode_instance, encode_instance
+
+#: Baseline marker for objects that did not exist when first touched in
+#: a commit scope (created by that scope).
+_ABSENT = object()
+
+
+class SnapshotManager:
+    """Committed-version chains for one database.
+
+    Parameters
+    ----------
+    database:
+        The database to version.  Hooks are registered on its
+        ``on_before_change`` / ``on_update`` / ``on_delete`` /
+        ``on_op_end`` / ``on_txn_commit`` / ``on_txn_abort`` lists.
+    max_versions:
+        Per-UID chain bound: older entries are pruned once a chain
+        exceeds this many committed versions (the GC bound — reads
+        below a pruned entry raise SnapshotTooOldError).
+    """
+
+    def __init__(self, database, max_versions=16):
+        self._db = database
+        self.max_versions = max(2, int(max_versions))
+        #: uid -> ([epoch, ...], [image-bytes-or-None, ...]) parallel
+        #: lists sorted by epoch; None marks a tombstone/absence.
+        self._chains = {}
+        #: Open commit scopes: txn-or-None -> {uid: baseline image}.
+        #: The baseline is the committed pre-change image (``_ABSENT``
+        #: for objects the scope itself created); the key set doubles
+        #: as the scope's dirty set.
+        self._scopes = {}
+        #: Epoch the manager attached at: the oldest epoch any read may
+        #: target (state before it was never versioned).
+        self.floor_epoch = database.commit_epoch
+        #: True when no journal mirrors commit_seq into the database —
+        #: the manager then advances the epoch itself on every commit.
+        self._owns_epoch = getattr(database, "journal", None) is None
+        # -- counters (stats op / B22 report these) --
+        self.snapshot_reads = 0
+        self.chain_hits = 0
+        self.baseline_hits = 0
+        self.live_fallbacks = 0
+        self.versions_stamped = 0
+        self.versions_pruned = 0
+        self.write_conflicts = 0
+        self._hooks = (
+            (database.on_before_change, self._on_before_change),
+            (database.on_update, self._on_update),
+            (database.on_delete, self._on_delete),
+            (database.on_op_end, self._on_op_end),
+            (database.on_txn_commit, self._on_txn_commit),
+            (database.on_txn_abort, self._on_txn_abort),
+        )
+        for hook_list, callback in self._hooks:
+            hook_list.append(callback)
+        database.snapshot_manager = self
+
+    def detach(self):
+        """Deregister every database hook (idempotent)."""
+        for hook_list, callback in self._hooks:
+            if callback in hook_list:
+                hook_list.remove(callback)
+        if self._db.snapshot_manager is self:
+            self._db.snapshot_manager = None
+
+    def close(self):
+        self.detach()
+
+    # -- change capture ----------------------------------------------------
+
+    def _scope_key(self):
+        # Undo mutations during an abort carry current_txn too, so they
+        # land in the aborting scope, which the abort hook discards
+        # wholesale; None is the auto scope of bare operations.
+        return self._db.current_txn
+
+    def _on_before_change(self, instance):
+        scope = self._scopes.setdefault(self._scope_key(), {})
+        if instance.uid in scope:
+            return
+        if instance.uid == self._db._placement_pending or instance.deleted:
+            scope[instance.uid] = _ABSENT
+        else:
+            scope[instance.uid] = encode_instance(instance)
+
+    def _on_update(self, instance, _attribute):
+        scope = self._scopes.setdefault(self._scope_key(), {})
+        if instance.uid not in scope:
+            # Every mutation of an *existing* object fires
+            # on_before_change first, so a missing baseline here means
+            # the object was created by this scope.
+            scope[instance.uid] = _ABSENT
+
+    def _on_delete(self, uid):
+        # discard() fired on_before_change just before dropping the
+        # object, so the baseline is already captured; nothing to add.
+        self._scopes.setdefault(self._scope_key(), {}).setdefault(uid, _ABSENT)
+
+    # -- commit stamping ---------------------------------------------------
+
+    def _on_op_end(self):
+        if self._db.current_txn is not None:
+            return
+        scope = self._scopes.pop(None, None)
+        if scope:
+            self._stamp(scope)
+
+    def _on_txn_commit(self, txn):
+        scope = self._scopes.pop(txn, None)
+        if scope:
+            self._stamp(scope)
+
+    def _on_txn_abort(self, txn):
+        # The undo pass restored the live objects; the captured
+        # baselines describe state that never became visible.
+        self._scopes.pop(txn, None)
+
+    def _stamp(self, scope):
+        """Install the live state of every dirty UID as a chain entry at
+        the current commit epoch (the journal bumped it while sealing
+        this scope's batch; without a journal we advance it here)."""
+        if self._owns_epoch:
+            self._db.commit_epoch += 1
+        epoch = self._db.commit_epoch
+        for uid, baseline in scope.items():
+            instance = self._db.peek(uid)
+            image = None if instance is None else encode_instance(instance)
+            chain = self._chains.get(uid)
+            if chain is None:
+                if image is not None and baseline is not _ABSENT \
+                        and image == baseline:
+                    # Captured but never actually changed (a funnel
+                    # fired the hook, then the operation failed or
+                    # wrote back the identical state): no new version.
+                    continue
+                seed = None if baseline is _ABSENT else baseline
+                chain = self._chains[uid] = (
+                    [self.floor_epoch], [seed]
+                )
+            epochs, images = chain
+            if epochs and epochs[-1] == epoch:
+                # Several scopes can seal inside one epoch only when
+                # the epoch authority did not advance (no journal
+                # records, e.g. a fully deduped batch); the newest
+                # state wins.
+                images[-1] = image
+            else:
+                epochs.append(epoch)
+                images.append(image)
+                self.versions_stamped += 1
+            if len(epochs) > self.max_versions:
+                drop = len(epochs) - self.max_versions
+                del epochs[:drop]
+                del images[:drop]
+                self.versions_pruned += drop
+
+    # -- snapshot reads ----------------------------------------------------
+
+    @property
+    def current_epoch(self):
+        """The newest epoch a snapshot token may target right now."""
+        return self._db.commit_epoch
+
+    def instance_at(self, uid, epoch):
+        """The decoded instance of *uid* as of *epoch* (None if absent
+        at that epoch).  Lock-free: never consults the lock table."""
+        if epoch < self.floor_epoch:
+            raise SnapshotTooOldError(
+                f"snapshot epoch {epoch} is below the retained floor "
+                f"{self.floor_epoch}",
+                epoch=epoch, floor=self.floor_epoch,
+            )
+        chain = self._chains.get(uid)
+        if chain is not None:
+            epochs, images = chain
+            index = bisect.bisect_right(epochs, epoch) - 1
+            if index < 0:
+                raise SnapshotTooOldError(
+                    f"version chain of {uid} pruned past epoch {epoch} "
+                    f"(oldest retained: {epochs[0]})",
+                    epoch=epoch, floor=epochs[0],
+                )
+            self.chain_hits += 1
+            image = images[index]
+            return None if image is None else decode_instance(image)
+        for scope in self._scopes.values():
+            baseline = scope.get(uid)
+            if baseline is not None:
+                # An open writer touched this object; its pre-change
+                # image is the newest committed state.
+                self.baseline_hits += 1
+                return (None if baseline is _ABSENT
+                        else decode_instance(baseline))
+        # Never written since attach: the live object IS the committed
+        # state at every retained epoch.
+        self.live_fallbacks += 1
+        return self._db.peek(uid)
+
+    def read_at(self, uid, attribute, epoch):
+        """Read one attribute at *epoch* without taking any lock."""
+        self.snapshot_reads += 1
+        instance = self.instance_at(uid, epoch)
+        if instance is None:
+            raise UnknownObjectError(uid)
+        for callback in self._db.on_snapshot_read:
+            callback(uid, attribute, epoch)
+        spec = self._db.lattice.get(instance.class_name).attribute(attribute)
+        value = instance.get(attribute)
+        if spec.is_set:
+            return list(value) if value is not None else []
+        return value
+
+    def components_at(self, root_uid, epoch):
+        """Whole-composite snapshot read: every component of *root_uid*
+        reachable through composite forward references as of *epoch*."""
+        self.snapshot_reads += 1
+        root = self.instance_at(root_uid, epoch)
+        if root is None:
+            raise UnknownObjectError(root_uid)
+        seen = []
+        visited = {root_uid}
+        stack = [root]
+        while stack:
+            instance = stack.pop()
+            for _attr, child_uid in self._db.iter_composite_values(instance):
+                if child_uid in visited:
+                    continue
+                visited.add(child_uid)
+                child = self.instance_at(child_uid, epoch)
+                if child is None:
+                    continue
+                seen.append(child_uid)
+                stack.append(child)
+        for callback in self._db.on_snapshot_read:
+            callback(root_uid, None, epoch)
+            for member in seen:
+                callback(member, None, epoch)
+        return seen
+
+    def state_at(self, epoch):
+        """Forward-value projection of the whole database at *epoch*:
+        ``{uid: {attribute: value}}`` over every object alive then.
+        The Hypothesis property test compares this against a journal
+        replay truncated at the same epoch."""
+        uids = set(self._chains)
+        for instance in self._db.live_instances():
+            uids.add(instance.uid)
+        for scope in self._scopes.values():
+            uids.update(scope)
+        state = {}
+        for uid in uids:
+            instance = self.instance_at(uid, epoch)
+            if instance is None:
+                continue
+            state[uid] = {
+                name: (sorted(value, key=repr) if isinstance(value, list)
+                       else value)
+                for name, value in instance.values.items()
+            }
+        return state
+
+    # -- snapshot-isolation write validation -------------------------------
+
+    def check_write(self, txn, uid):
+        """First-updater-wins check for a snapshot transaction's write.
+
+        A committed version above the transaction's snapshot epoch
+        means a concurrent transaction already won: raise
+        :class:`~repro.errors.SnapshotConflictError` (the caller
+        aborts and retries at a fresh snapshot).
+        """
+        snapshot_epoch = getattr(txn, "snapshot_epoch", None)
+        if snapshot_epoch is None:
+            return
+        chain = self._chains.get(uid)
+        if chain is None:
+            return
+        epochs, _images = chain
+        if epochs and epochs[-1] > snapshot_epoch:
+            self.write_conflicts += 1
+            raise SnapshotConflictError(
+                f"write to {uid} at snapshot epoch {snapshot_epoch} lost "
+                f"first-updater-wins: a version committed at epoch "
+                f"{epochs[-1]}",
+                uid=uid, snapshot_epoch=snapshot_epoch,
+                committed_epoch=epochs[-1],
+            )
+
+    # -- replication feed --------------------------------------------------
+
+    def apply_replicated(self, records, epoch):
+        """Install one replayed journal batch on a replica.
+
+        *records* is the batch's ``(kind, payload)`` list exactly as the
+        journal framed it (``b"I"`` images / ``b"D"`` tombstones);
+        *epoch* is the commit epoch its commit marker carried.  The
+        live object table and the version chains advance together, so
+        the replica serves both current reads and snapshot reads at any
+        retained epoch.
+        """
+        db = self._db
+        for kind, payload in records:
+            instance = decode_instance(payload)
+            uid = instance.uid
+            if uid not in self._chains:
+                # Seed the chain with the pre-change committed image
+                # (None only if the object is genuinely new), mirroring
+                # what on_before_change captures on the primary — an
+                # epoch-pinned read below this batch must still see the
+                # recovered state.
+                prior = db._objects.get(uid)
+                self._chains[uid] = (
+                    [self.floor_epoch],
+                    [None if prior is None else encode_instance(prior)],
+                )
+            if kind == b"D":
+                old = db._objects.pop(uid, None)
+                if old is not None:
+                    extent = db._extents.get(old.class_name)
+                    if extent is not None:
+                        extent.discard(uid)
+                image = None
+            else:
+                instance.deleted = False
+                db._objects[uid] = instance
+                db._extents.setdefault(instance.class_name, set()).add(uid)
+                if uid.number >= db.allocator.peek():
+                    db.allocator = type(db.allocator)(start=uid.number + 1)
+                image = payload
+            epochs, images = self._chains[uid]
+            if epochs[-1] == epoch:
+                images[-1] = image
+            else:
+                epochs.append(epoch)
+                images.append(image)
+                self.versions_stamped += 1
+            if len(epochs) > self.max_versions:
+                drop = len(epochs) - self.max_versions
+                del epochs[:drop]
+                del images[:drop]
+                self.versions_pruned += drop
+        if epoch > db.commit_epoch:
+            db.commit_epoch = epoch
+
+    # -- stats -------------------------------------------------------------
+
+    def stats_row(self):
+        return {
+            "epoch": self._db.commit_epoch,
+            "floor_epoch": self.floor_epoch,
+            "chains": len(self._chains),
+            "chain_entries": sum(
+                len(epochs) for epochs, _ in self._chains.values()
+            ),
+            "max_versions": self.max_versions,
+            "snapshot_reads": self.snapshot_reads,
+            "chain_hits": self.chain_hits,
+            "baseline_hits": self.baseline_hits,
+            "live_fallbacks": self.live_fallbacks,
+            "versions_stamped": self.versions_stamped,
+            "versions_pruned": self.versions_pruned,
+            "write_conflicts": self.write_conflicts,
+        }

@@ -1,0 +1,493 @@
+"""Journal-shipping read replicas.
+
+A replica process follows a primary's durability directory — the
+checkpoint snapshot plus the append-only redo journal of
+:mod:`repro.storage.journal` — and replays *sealed* group-commit
+batches into its own in-memory database and MVCC version chains.  The
+journal is the replication stream: nothing new is written on the
+primary, and a batch becomes visible on the replica exactly when its
+commit marker (carrying the commit epoch) is on disk, so the replica's
+state is always some committed prefix of the primary's history.
+
+* :class:`JournalFollower` — the tailing/replay engine: incremental
+  batch parser (a torn tail waits for more bytes), prepared-batch
+  stash-and-resolve identical to recovery, and full rebuild when the
+  primary checkpoints (the journal header's epoch changes).
+* :class:`ReplicaServer` — a read-only :class:`repro.server.server
+  .ReproServer` over the follower's database: serves ``snapshot_read``
+  / ``read_epoch`` / plain reads, advertises its applied epoch and
+  replication lag, and rejects mutations with a typed error.
+* :class:`ReadRouter` — client-side read routing: snapshot reads fan
+  out round-robin across replicas with a staleness bound and fall back
+  to the primary when a replica lags (or died).
+
+Staleness contract: a replica read at ``min_epoch=E`` either reflects
+every batch the primary committed up to epoch ``E`` or fails with
+:class:`repro.errors.ReplicaLagError` — it never silently serves older
+data (docs/REPLICATION.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from pathlib import Path
+
+from ..core.database import Database
+from ..errors import ReplicaLagError, StorageError
+from ..storage.journal import (
+    JOURNAL_HEADER_SIZE,
+    JOURNAL_MAGIC,
+    JOURNAL_NAME,
+    SNAPSHOT_NAME,
+    Journal,
+    _snapshot_meta,
+    _U32,
+    _U64,
+)
+from .manager import SnapshotManager
+
+_IMAGE = b"I"
+_TOMBSTONE = b"D"
+_COMMIT = b"C"
+_PREPARE = b"P"
+_RESOLVE = b"R"
+
+
+class JournalFollower:
+    """Tail one primary's store directory and replay sealed batches.
+
+    Parameters
+    ----------
+    root:
+        The primary's durability directory (``checkpoint.db`` +
+        ``journal.log``).  The follower only ever *reads* it.
+    max_versions:
+        Committed versions retained per object on the replica; deeper
+        than the primary's default so epoch-pinned reads stay
+        answerable while replication lags.
+
+    The follower owns one :class:`repro.Database` for its lifetime
+    (``self.database``) — a rebuild swaps the recovered state into the
+    same object, so a server holding the reference never re-wires.
+    """
+
+    def __init__(self, root, max_versions=64):
+        self.root = Path(root)
+        self.max_versions = max_versions
+        self.database = Database()
+        self.snapshots = None
+        #: Newest commit epoch applied (the stale-bound the replica
+        #: advertises).
+        self.applied_epoch = 0
+        #: Checkpoint epoch of the snapshot/journal pair being followed.
+        self._base_epoch = 0
+        #: Byte offset of the next unconsumed batch boundary in the
+        #: journal.  Always at a boundary: a partial tail batch is
+        #: re-parsed on the next poll instead of buffered across polls.
+        self._offset = 0
+        #: Prepared-but-undecided batches (gtid -> record list), exactly
+        #: recovery's in-doubt stash.
+        self._in_doubt = {}
+        # -- counters (lag_row / the bench report these) --
+        self.batches_applied = 0
+        self.records_applied = 0
+        self.rebuilds = 0
+        self.polls = 0
+        self.rebuild()
+
+    # -- rebuild ----------------------------------------------------------
+
+    def rebuild(self):
+        """Recover snapshot + journal from scratch (initial attach, and
+        whenever the primary checkpointed under us)."""
+        fresh = Database()
+        Journal.recover_into(fresh, self.root)
+        if self.snapshots is not None:
+            self.snapshots.close()
+        db = self.database
+        db.__dict__.clear()
+        db.__dict__.update(fresh.__dict__)
+        self.snapshots = SnapshotManager(db, max_versions=self.max_versions)
+        self.applied_epoch = db.commit_epoch
+        self._in_doubt = {
+            gtid: list(records)
+            for gtid, records in getattr(db, "in_doubt", {}).items()
+        }
+        self._base_epoch = _snapshot_meta(
+            self.root / SNAPSHOT_NAME
+        ).get("epoch", 0)
+        self._offset = self._resume_offset()
+        self.rebuilds += 1
+
+    def _resume_offset(self):
+        """Offset just past the last complete batch marker — the point
+        :meth:`rebuild`'s recovery consumed up to."""
+        data = self._journal_bytes()
+        if data is None:
+            return 0
+        position = resume = self._body_start(data)
+        if position is None:
+            return 0
+        while position + 5 <= len(data):
+            kind = data[position:position + 1]
+            size = _U32.unpack(data[position + 1:position + 5])[0]
+            end = position + 5 + size
+            if end > len(data):
+                break
+            if kind in (_COMMIT, _PREPARE, _RESOLVE):
+                resume = end
+            elif kind not in (_IMAGE, _TOMBSTONE):
+                break
+            position = end
+        return resume
+
+    # -- journal access ---------------------------------------------------
+
+    def _journal_bytes(self):
+        journal = self.root / JOURNAL_NAME
+        try:
+            return journal.read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def _body_start(self, data):
+        """Offset of the first record, or None when the journal must
+        not be consumed (torn header, or a stale journal whose header
+        epoch disagrees with the snapshot — exactly recovery's rule)."""
+        if data[:len(JOURNAL_MAGIC)] == JOURNAL_MAGIC:
+            if len(data) < JOURNAL_HEADER_SIZE:
+                return None
+            epoch = _U32.unpack(
+                data[len(JOURNAL_MAGIC):JOURNAL_HEADER_SIZE]
+            )[0]
+            return JOURNAL_HEADER_SIZE if epoch == self._base_epoch else None
+        if JOURNAL_MAGIC[:len(data)] == data:
+            return None
+        return 0 if self._base_epoch == 0 else None
+
+    # -- polling ----------------------------------------------------------
+
+    def poll(self):
+        """Apply every newly sealed batch; returns how many applied.
+
+        A checkpoint on the primary (snapshot meta epoch moved, or the
+        journal was replaced/truncated under our offset) triggers a
+        full :meth:`rebuild`.  A torn tail — the primary mid-write —
+        applies nothing and waits for the next poll.
+        """
+        self.polls += 1
+        snapshot_epoch = _snapshot_meta(
+            self.root / SNAPSHOT_NAME
+        ).get("epoch", 0)
+        if snapshot_epoch != self._base_epoch:
+            self.rebuild()
+            return self.batches_applied
+        data = self._journal_bytes()
+        if data is None:
+            return 0
+        if len(data) < self._offset:
+            # Journal shrank without a new checkpoint epoch: replaced
+            # out from under us — resync from scratch.
+            self.rebuild()
+            return self.batches_applied
+        start = self._body_start(data)
+        if start is None:
+            return 0
+        position = max(self._offset, start)
+        pending = []
+        applied = 0
+        while position + 5 <= len(data):
+            kind = data[position:position + 1]
+            size = _U32.unpack(data[position + 1:position + 5])[0]
+            end = position + 5 + size
+            if end > len(data):
+                break  # torn tail: wait for the rest
+            payload = data[position + 5:end]
+            if kind == _COMMIT:
+                epoch = (
+                    _U64.unpack(payload)[0]
+                    if len(payload) == _U64.size
+                    else self.applied_epoch + 1
+                )
+                self._apply(pending, epoch)
+                pending.clear()
+                applied += 1
+                self._offset = end
+            elif kind == _PREPARE:
+                meta = json.loads(payload.decode("utf-8"))
+                self._in_doubt[meta["gtid"]] = list(pending)
+                pending.clear()
+                self._offset = end
+            elif kind == _RESOLVE:
+                meta = json.loads(payload.decode("utf-8"))
+                stashed = self._in_doubt.pop(meta["gtid"], None)
+                if meta["commit"]:
+                    epoch = meta.get("commit_seq", self.applied_epoch + 1)
+                    self._apply(stashed or [], epoch)
+                    applied += 1
+                self._offset = end
+            elif kind in (_IMAGE, _TOMBSTONE):
+                pending.append((kind, payload))
+            else:
+                raise StorageError(
+                    f"replica follower hit a corrupt journal record "
+                    f"{kind!r} at offset {position} in {self.root}"
+                )
+            position = end
+        return applied
+
+    def _apply(self, records, epoch):
+        self.snapshots.apply_replicated(records, epoch)
+        self.records_applied += len(records)
+        self.batches_applied += 1
+        if epoch > self.applied_epoch:
+            self.applied_epoch = epoch
+
+    # -- reads ------------------------------------------------------------
+
+    def require_epoch(self, min_epoch):
+        """Fail with :class:`ReplicaLagError` unless *min_epoch* has
+        been applied (the staleness bound of docs/REPLICATION.md)."""
+        if min_epoch is not None and self.applied_epoch < min_epoch:
+            raise ReplicaLagError(
+                f"replica has applied epoch {self.applied_epoch}, "
+                f"epoch {min_epoch} was required",
+                applied_epoch=self.applied_epoch, min_epoch=min_epoch,
+            )
+
+    def read_at(self, uid, attribute, epoch=None, min_epoch=None):
+        """Snapshot read against the replica's chains (embedded use;
+        the server op goes through the snapshot manager directly)."""
+        self.require_epoch(min_epoch)
+        at = self.applied_epoch if epoch is None else int(epoch)
+        return self.snapshots.read_at(uid, attribute, at)
+
+    # -- stats ------------------------------------------------------------
+
+    def lag_row(self):
+        journal = self.root / JOURNAL_NAME
+        try:
+            size = journal.stat().st_size
+        except FileNotFoundError:
+            size = 0
+        return {
+            "applied_epoch": self.applied_epoch,
+            "base_epoch": self._base_epoch,
+            "pending_bytes": max(0, size - self._offset),
+            "batches_applied": self.batches_applied,
+            "records_applied": self.records_applied,
+            "rebuilds": self.rebuilds,
+            "polls": self.polls,
+            "in_doubt": len(self._in_doubt),
+        }
+
+
+class ReplicaServer:
+    """A read-only wire server over a :class:`JournalFollower`.
+
+    Serves the full read surface — ``snapshot_read``, ``read_epoch``,
+    ``value``/``resolve``/navigation, snapshot transactions — while a
+    background task polls the primary's journal every *poll_interval*
+    seconds.  Mutations are rejected with
+    :class:`repro.errors.ReadOnlyError` naming this as a replica.
+
+    Implemented by composition over :class:`ReproServer` (the follower
+    must exist before the server, and the server class's constructor
+    signature stays honest about what a replica accepts).
+    """
+
+    def __init__(self, primary_root, host="127.0.0.1", port=0,
+                 poll_interval=0.02, max_versions=64, **server_kwargs):
+        from ..server.server import ReproServer
+
+        self.follower = JournalFollower(
+            primary_root, max_versions=max_versions
+        )
+        self.server = ReproServer(
+            database=self.follower.database, host=host, port=port,
+            mvcc=False,  # the follower's manager is already attached
+            **server_kwargs,
+        )
+        self.server.read_only = True
+        self.server.read_only_reason = (
+            "this server is a read replica; writes go to the primary"
+        )
+        self.server.replica = self.follower
+        self.poll_interval = poll_interval
+        self._poll_task = None
+
+    @property
+    def port(self):
+        return self.server.port
+
+    @property
+    def db(self):
+        return self.server.db
+
+    async def start(self):
+        await self.server.start()
+        self._poll_task = asyncio.get_running_loop().create_task(
+            self._poll_loop()
+        )
+        return self
+
+    async def _poll_loop(self):
+        while True:
+            try:
+                self.follower.poll()
+            except StorageError:
+                # Corrupt tail: keep serving at the applied prefix; the
+                # next primary checkpoint rebuilds past it.
+                pass
+            # A rebuild re-created the snapshot manager on the same
+            # database object; keep the server's stats pointer fresh.
+            self.server.snapshots = self.follower.snapshots
+            await asyncio.sleep(self.poll_interval)
+
+    async def stop(self):
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await self._poll_task
+            self._poll_task = None
+        await self.server.stop()
+
+    async def serve_forever(self):
+        if self.server._server is None:
+            await self.start()
+        async with self.server._server:
+            await self.server._server.serve_forever()
+
+
+class ReplicaThread:
+    """Run a :class:`ReplicaServer` on a dedicated event-loop thread
+    (tests, benchmarks — the replica-side twin of
+    :class:`repro.server.server.ServerThread`)::
+
+        with ReplicaThread(primary_dir) as replica:
+            client = Client(port=replica.port)
+            client.snapshot_read(uid, "Title")
+    """
+
+    def __init__(self, primary_root, **kwargs):
+        self.replica = ReplicaServer(primary_root, **kwargs)
+        self._loop = None
+        self._thread = None
+        self._started = threading.Event()
+
+    @property
+    def port(self):
+        return self.replica.port
+
+    @property
+    def follower(self):
+        return self.replica.follower
+
+    def start(self):
+        self._thread = threading.Thread(
+            target=self._run, name="repro-replica", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("replica thread failed to start")
+        return self
+
+    def _run(self):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def boot():
+            await self.replica.start()
+            self._started.set()
+
+        self._loop.run_until_complete(boot())
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.replica.stop())
+            self._loop.close()
+
+    def submit(self, work):
+        """Run *work* (coroutine or callable) on the replica loop."""
+        if asyncio.iscoroutine(work):
+            future = asyncio.run_coroutine_threadsafe(work, self._loop)
+        else:
+            async def _call():
+                return work()
+
+            future = asyncio.run_coroutine_threadsafe(_call(), self._loop)
+        return future.result(timeout=30.0)
+
+    def stop(self):
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+
+class ReadRouter:
+    """Client-side read routing across a primary and its replicas.
+
+    Wraps already-connected :class:`repro.server.client.Client`
+    handles.  ``snapshot_read`` rotates round-robin over the replicas
+    with the caller's freshness floor as ``min_epoch``; a replica that
+    lags (:class:`ReplicaLagError`) or died (ConnectionError) is
+    skipped and the read falls back to the primary, which by
+    definition satisfies every bound.  Writes always go to the
+    primary.
+    """
+
+    def __init__(self, primary, replicas=()):
+        self.primary = primary
+        self.replicas = list(replicas)
+        self._next = 0
+        self.replica_reads = 0
+        self.primary_reads = 0
+        self.fallbacks = 0
+
+    def snapshot_read(self, uid, attribute, epoch=None, min_epoch=None):
+        for _ in range(len(self.replicas)):
+            client = self.replicas[self._next % len(self.replicas)]
+            self._next += 1
+            try:
+                kwargs = {}
+                if epoch is not None:
+                    kwargs["epoch"] = epoch
+                if min_epoch is not None:
+                    kwargs["min_epoch"] = min_epoch
+                result = client.snapshot_read(uid, attribute, **kwargs)
+                self.replica_reads += 1
+                return result
+            except (ReplicaLagError, ConnectionError, OSError,
+                    TimeoutError):
+                self.fallbacks += 1
+                continue
+        kwargs = {}
+        if epoch is not None:
+            kwargs["epoch"] = epoch
+        self.primary_reads += 1
+        return self.primary.snapshot_read(uid, attribute, **kwargs)
+
+    def read_epoch(self):
+        """The primary's newest committed epoch (the freshness floor
+        callers pass back as ``min_epoch``)."""
+        return self.primary.read_epoch()
+
+    def stats_row(self):
+        return {
+            "replicas": len(self.replicas),
+            "replica_reads": self.replica_reads,
+            "primary_reads": self.primary_reads,
+            "fallbacks": self.fallbacks,
+        }

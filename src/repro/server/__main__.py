@@ -56,6 +56,13 @@ def build_parser():
                         help="disable the lock-order recorder (drops the "
                              "check op's lockdep plane; saves the per-grant "
                              "recording cost)")
+    parser.add_argument("--no-mvcc", action="store_true",
+                        help="disable the MVCC snapshot manager (drops the "
+                             "snapshot_read op and snapshot transactions; "
+                             "saves the version-chain overhead)")
+    parser.add_argument("--max-versions", type=int, default=16,
+                        help="committed versions retained per object by the "
+                             "MVCC manager (default 16)")
     return parser
 
 
@@ -78,6 +85,8 @@ async def _amain(args):
         max_pipeline=args.max_pipeline,
         lockdep=not args.no_lockdep,
         record_history=args.record_history,
+        mvcc=not args.no_mvcc,
+        max_versions=args.max_versions,
     )
     await server.start()
     if args.port_file:

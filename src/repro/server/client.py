@@ -58,6 +58,7 @@ RETRYABLE_OPS = frozenset({
     "ping", "hello", "login", "whoami", "stats", "resolve", "value",
     "describe", "components_of", "children_of", "parents_of",
     "ancestors_of", "roots_of", "instances_of", "check",
+    "snapshot_read", "read_epoch",
 })
 
 
@@ -179,6 +180,11 @@ def _add_api(cls):
         "whoami": ("whoami", ()),
         "stats": ("stats", ()),
         "check": ("check", ("plane", "text")),
+        # MVCC (docs/REPLICATION.md): snapshot_read returns
+        # {"value", "epoch"} — pass epoch= to pin a consistent view,
+        # min_epoch= to bound staleness against a replica.
+        "snapshot_read": ("snapshot_read", ("uid", "attribute", "epoch")),
+        "read_epoch": ("read_epoch", ()),
     }
 
     def make_method(op, names):
@@ -447,8 +453,17 @@ class Client(_ClientCore):
             parents=[list(pair) for pair in parents],
         )
 
-    def begin(self):
-        result = self.call("begin")
+    def begin(self, snapshot=False, epoch=None):
+        """Open an explicit transaction.
+
+        ``snapshot=True`` makes it read lock-free at a fixed commit
+        epoch (*epoch*, or the server's newest); its writes still lock
+        and validate first-updater-wins (docs/REPLICATION.md).
+        """
+        args = {}
+        if snapshot or epoch is not None:
+            args = {"snapshot": True, "epoch": epoch}
+        result = self.call("begin", **args)
         self._in_transaction = True
         return result["txn"]
 
@@ -463,14 +478,14 @@ class Client(_ClientCore):
         return result["txn"]
 
     @contextlib.contextmanager
-    def transaction(self):
+    def transaction(self, snapshot=False, epoch=None):
         """``begin`` on entry; ``commit`` on success, ``abort`` on error.
 
         A server-side deadlock abort (:class:`repro.errors.DeadlockError`)
         has already rolled the transaction back — the scope re-raises it
         without sending a redundant ``abort``.
         """
-        self.begin()
+        self.begin(snapshot=snapshot, epoch=epoch)
         try:
             yield self
         except BaseException as error:
@@ -754,8 +769,11 @@ class AsyncClient(_ClientCore):
             parents=[list(pair) for pair in parents],
         )
 
-    async def begin(self):
-        result = await self.call("begin")
+    async def begin(self, snapshot=False, epoch=None):
+        args = {}
+        if snapshot or epoch is not None:
+            args = {"snapshot": True, "epoch": epoch}
+        result = await self.call("begin", **args)
         self._in_transaction = True
         return result["txn"]
 
@@ -770,8 +788,8 @@ class AsyncClient(_ClientCore):
         return result["txn"]
 
     @contextlib.asynccontextmanager
-    async def transaction(self):
-        await self.begin()
+    async def transaction(self, snapshot=False, epoch=None):
+        await self.begin(snapshot=snapshot, epoch=epoch)
         try:
             yield self
         except BaseException as error:

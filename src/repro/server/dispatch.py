@@ -320,8 +320,80 @@ async def _op_query(session, args):
 
 
 async def _op_begin(session, args):
-    txn = session.begin()
-    return {"txn": txn.txn_id}
+    txn = session.begin(
+        snapshot=bool(args.get("snapshot", False)),
+        epoch=args.get("epoch"),
+    )
+    return {"txn": txn.txn_id, "snapshot_epoch": txn.snapshot_epoch}
+
+
+# -- MVCC snapshot reads (docs/REPLICATION.md) ------------------------------
+
+
+def _snapshot_manager(session):
+    manager = session.server.db.snapshot_manager
+    if manager is None:
+        raise ProtocolError(
+            "this server has no snapshot manager (started with mvcc=False); "
+            "snapshot reads need one"
+        )
+    return manager
+
+
+async def _op_snapshot_read(session, args):
+    """Read one attribute from the version chain at a commit epoch.
+
+    Lock-free: the read never waits behind a writer's X-lock.  With no
+    ``epoch`` argument it reads at the newest committed epoch and
+    returns it — the client can pin later reads to that token for a
+    cross-request consistent view.  ``min_epoch`` bounds staleness on a
+    replica: when the server has not yet applied that epoch the read
+    fails with :class:`repro.errors.ReplicaLagError` instead of
+    serving older data (the client falls back to the primary).
+    """
+    from ..errors import ReplicaLagError
+
+    uid, attribute = _require(args, "uid", "attribute")
+    session.authorize(READ, uid)
+    manager = _snapshot_manager(session)
+    current = manager.current_epoch
+    epoch = args.get("epoch")
+    min_epoch = args.get("min_epoch")
+    floor = current if min_epoch is None else max(int(min_epoch), 0)
+    if epoch is not None:
+        floor = max(floor, int(epoch))
+    if floor > current:
+        raise ReplicaLagError(
+            f"server has applied epoch {current}, epoch {floor} was "
+            f"required",
+            applied_epoch=current, min_epoch=floor,
+        )
+    at = current if epoch is None else int(epoch)
+    async with session.txn_scope() as txn:
+        # txn_context (not a lock) so the history recorder attributes
+        # the snapshot read to this transaction.
+        with session.server.db.txn_context(txn):
+            value = manager.read_at(uid, attribute, at)
+    return {"value": value, "epoch": at}
+
+
+async def _op_read_epoch(session, args):
+    """The server's newest committed epoch, plus replication lag when
+    this server is a replica — the router uses it to pick a read
+    endpoint and clients use it as a snapshot token."""
+    server = session.server
+    db = server.db
+    manager = db.snapshot_manager
+    payload = {
+        "epoch": int(getattr(db, "commit_epoch", 0)),
+        "mvcc": manager is not None,
+    }
+    if manager is not None:
+        payload["floor"] = manager.floor_epoch
+    replica = getattr(server, "replica", None)
+    if replica is not None:
+        payload["replica"] = replica.lag_row()
+    return payload
 
 
 # -- two-phase commit (shard workers; docs/SHARDING.md) ---------------------
@@ -539,6 +611,8 @@ COMMANDS = {
     "roots_of": _navigation("roots_of"),
     "instances_of": _op_instances_of,
     "query": _op_query,
+    "snapshot_read": _op_snapshot_read,
+    "read_epoch": _op_read_epoch,
     "begin": _op_begin,
     "commit": _op_commit,
     "abort": _op_abort,
@@ -555,8 +629,10 @@ async def dispatch(session, op, args):
     if handler is None:
         raise ProtocolError(f"unknown op {op!r}")
     if op in MUTATING_OPS and session.server.read_only:
+        reason = session.server.read_only_reason or (
+            "server is read-only after a journal failure"
+        )
         raise ReadOnlyError(
-            f"server is read-only after a journal failure; "
-            f"{op!r} was rejected (reads are still served)"
+            f"{reason}; {op!r} was rejected (reads are still served)"
         )
     return await handler(session, args)

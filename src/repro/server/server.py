@@ -324,13 +324,13 @@ class Session:
 
     # -- transactions -----------------------------------------------------
 
-    def begin(self):
+    def begin(self, snapshot=False, epoch=None):
         if self.txn is not None and self.txn.active:
             raise TransactionStateError(
                 f"session {self.session_id} already has active transaction "
                 f"{self.txn.txn_id}; commit or abort it first"
             )
-        self.txn = self.server.tm.begin()
+        self.txn = self.server.tm.begin(snapshot=snapshot, epoch=epoch)
         return self.txn
 
     def commit(self):
@@ -507,12 +507,24 @@ class ReproServer:
         Entries in the encoded-object-image LRU used by ``resolve`` on
         v2 connections (journal-backed databases only; keyed by the
         journal's image digest).  0 disables the cache.
+    mvcc:
+        Attach a :class:`repro.mvcc.SnapshotManager` to the served
+        database, enabling the ``snapshot_read`` op and
+        ``begin(snapshot=True)`` transactions — lock-free consistent
+        reads at a commit epoch (docs/REPLICATION.md).  On by default;
+        ``repro-server --no-mvcc`` disables it (benchmark B22 measures
+        the version-chain overhead).  A manager already attached to the
+        database is adopted as-is.
+    max_versions:
+        Committed versions retained per object by the MVCC manager
+        (reads below the retained window raise SnapshotTooOldError).
     """
 
     def __init__(self, database=None, host="127.0.0.1", port=0, auth=None,
                  lock_wait_timeout=30.0, group_commit_window=0.002,
                  lockdep=True, record_history=None, shard_info=None,
-                 coord_log=None, max_pipeline=64, image_cache_capacity=1024):
+                 coord_log=None, max_pipeline=64, image_cache_capacity=1024,
+                 mvcc=True, max_versions=16):
         self.db = database if database is not None else Database()
         self.host = host
         self.port = port
@@ -533,6 +545,21 @@ class ReproServer:
             from ..analysis.lockdep import LockOrderRecorder
 
             self.lockdep = LockOrderRecorder(self.tm.table)
+        # MVCC before the history recorder: the recorder snapshots
+        # ``db.snapshot_manager`` at construction to decide whether to
+        # track commit-epoch/version timelines for snapshot reads.
+        self.snapshots = getattr(self.db, "snapshot_manager", None)
+        self._owns_snapshots = False
+        if mvcc and self.snapshots is None:
+            from ..mvcc import SnapshotManager
+
+            self.snapshots = SnapshotManager(
+                self.db, max_versions=max_versions
+            )
+            self._owns_snapshots = True
+        #: Set by :class:`repro.mvcc.replica.ReplicaServer`: the journal
+        #: follower whose applied epoch / lag ``read_epoch`` advertises.
+        self.replica = None
         self.history = None
         if record_history:
             from ..analysis.history import HistoryRecorder
@@ -552,6 +579,9 @@ class ReproServer:
         #: of being applied in memory without durability (or crashing
         #: the server).  Reads keep being served.
         self.read_only = False
+        #: Optional override for the rejection message (a read replica
+        #: sets this — see :mod:`repro.mvcc.replica`).
+        self.read_only_reason = None
         self.gate = None
         if self.journal is not None and self.journal.sync_policy == "group":
             self.gate = GroupCommitGate(
@@ -692,6 +722,12 @@ class ReproServer:
         self._sessions.clear()
         if self.history is not None:
             self.history.close()
+        if self._owns_snapshots and self.snapshots is not None:
+            # Detach the version-chain hooks so a database that outlives
+            # this server stops paying the baseline-capture cost.
+            self.snapshots.close()
+            self.snapshots = None
+            self._owns_snapshots = False
         self.locks.wake()
         # Reap the per-connection tasks so nothing is left mid-await.
         tasks = [task for task in self._conn_tasks if not task.done()]
@@ -746,6 +782,10 @@ class ReproServer:
             payload["image_cache"] = self.image_cache.stats_row()
         if self.lockdep is not None:
             payload["lockdep"] = self.lockdep.stats_row()
+        if self.snapshots is not None:
+            payload["mvcc"] = self.snapshots.stats_row()
+        if self.replica is not None:
+            payload["replica"] = self.replica.lag_row()
         if self.history is not None:
             payload["history"] = self.history.stats_row()
         if session is not None:

@@ -91,6 +91,7 @@ from .twopc import CoordinatorLog, fire_or_die
 UID_ROUTED_OPS = {
     "resolve": "uid",
     "value": "uid",
+    "snapshot_read": "uid",
     "set_value": "uid",
     "insert_into": "uid",
     "remove_from": "uid",
@@ -114,7 +115,7 @@ COLOCATED_OPS = {
 #: mutually consistent — keep them in sync with :meth:`Router._route`.
 RELAYED_OPS = frozenset(UID_ROUTED_OPS) | {"describe", "make"}
 BROADCAST_OPS = frozenset({"make_class", "login"})
-SCATTER_OPS = frozenset({"instances_of", "check"})
+SCATTER_OPS = frozenset({"instances_of", "check", "read_epoch"})
 ROUTER_LOCAL_OPS = frozenset(
     {"ping", "whoami", "stats", "begin", "commit", "abort"}
 )
@@ -504,6 +505,8 @@ class ShardRouter:
             return await self._scatter_instances(sess, args)
         if op == "check":
             return await self._scatter_check(sess, args)
+        if op == "read_epoch":
+            return await self._scatter_read_epoch(sess, args)
         if op == "describe":
             return await self._relay(sess, 0, op, args, raw=raw)
         if op == "make":
@@ -726,6 +729,28 @@ class ShardRouter:
             report.get("ok", False) for report in reports.values()
         )
         return reports
+
+    async def _scatter_read_epoch(self, sess, args):
+        """Every shard's commit epoch; ``epoch`` is the minimum.
+
+        Epochs count each shard's *own* sealed journal batches, so they
+        are only comparable per shard — a snapshot token from
+        ``snapshot_read`` pins reads on the one shard that issued it.
+        The minimum is the conservative cluster-wide bound a client can
+        use as a freshness floor (``min_epoch``) against any shard.
+        """
+        self.stats.scatters += 1
+        shards = {}
+        for shard_id in range(self.shards):
+            shards[f"shard-{shard_id:02d}"] = await self._relay(
+                sess, shard_id, "read_epoch", args
+            )
+        epochs = [row.get("epoch", 0) for row in shards.values()]
+        return {
+            "epoch": min(epochs) if epochs else 0,
+            "mvcc": all(row.get("mvcc", False) for row in shards.values()),
+            "shards": shards,
+        }
 
     def _stats_payload(self):
         row = self.stats.row()

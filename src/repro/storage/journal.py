@@ -62,8 +62,14 @@ from ..faults.registry import fire as _fire
 from .serializer import decode_instance, encode_instance
 
 _U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
 _IMAGE = b"I"
 _TOMBSTONE = b"D"
+#: A commit marker seals the preceding records as one batch.  Since the
+#: MVCC work its payload carries the batch's *commit epoch* (u64
+#: ``commit_seq``) — the snapshot token version chains and replicas are
+#: stamped with (docs/REPLICATION.md).  Legacy journals with an empty
+#: payload still replay (recovery infers sequential epochs).
 _COMMIT = b"C"
 #: Two-phase-commit markers (docs/SHARDING.md).  ``P`` seals the
 #: preceding records as a *prepared* batch — durable but in doubt; its
@@ -91,17 +97,21 @@ JOURNAL_HEADER_SIZE = len(JOURNAL_MAGIC) + 4
 SYNC_POLICIES = ("always", "commit", "group", "none")
 
 
-def _snapshot_epoch(path):
-    """Checkpoint epoch recorded in the snapshot at *path* (0 if none)."""
+def _snapshot_meta(path):
+    """The snapshot meta JSON at *path* ({} when no snapshot exists)."""
     path = Path(path)
     if not path.exists():
-        return 0
+        return {}
     with open(path, "rb") as handle:
         if handle.read(len(_MAGIC)) != _MAGIC:
             raise StorageError(f"{path} is not a snapshot file")
         schema_len = _U32.unpack(handle.read(4))[0]
-        meta = json.loads(handle.read(schema_len).decode("utf-8"))
-    return meta.get("epoch", 0)
+        return json.loads(handle.read(schema_len).decode("utf-8"))
+
+
+def _snapshot_epoch(path):
+    """Checkpoint epoch recorded in the snapshot at *path* (0 if none)."""
+    return _snapshot_meta(path).get("epoch", 0)
 
 
 def _journal_body(data, snapshot_epoch):
@@ -272,7 +282,18 @@ class Journal:
         #: silently journaling onto a file in an unknown state.
         self.failed = False
         #: Checkpoint epoch (see :data:`JOURNAL_MAGIC`).
-        self.epoch = _snapshot_epoch(self.directory / SNAPSHOT_NAME)
+        meta = _snapshot_meta(self.directory / SNAPSHOT_NAME)
+        self.epoch = meta.get("epoch", 0)
+        #: Commit epoch: monotonic count of sealed batches, persisted in
+        #: commit-marker payloads and across checkpoints in the snapshot
+        #: meta.  This is the MVCC snapshot token (docs/REPLICATION.md).
+        #: When the served database already recovered to a later epoch
+        #: (recover_into replayed sealed batches), adopt its position.
+        self.commit_seq = max(
+            meta.get("commit_seq", 0),
+            getattr(database, "commit_epoch", 0),
+        )
+        database.commit_epoch = self.commit_seq
         #: Journal records written since the last checkpoint.
         self.records_since_checkpoint = 0
         #: Digest of the last journaled/buffered image per UID (dedup:
@@ -455,8 +476,11 @@ class Journal:
         self._finish_seal()
 
     def _finish_seal(self):
+        self.commit_seq += 1
+        self._db.commit_epoch = self.commit_seq
         self._journal_file.write(_COMMIT)
-        self._journal_file.write(_U32.pack(0))
+        self._journal_file.write(_U32.pack(_U64.size))
+        self._journal_file.write(_U64.pack(self.commit_seq))
         self._journal_file.flush()
         self.batches_sealed += 1
         if self.sync_policy in ("always", "commit"):
@@ -544,9 +568,15 @@ class Journal:
         window, and presumed-abort resolution closes it again.
         """
         self._ensure_open("resolve a prepared transaction")
-        payload = json.dumps(
-            {"gtid": gtid, "commit": bool(commit)}
-        ).encode("utf-8")
+        fields = {"gtid": gtid, "commit": bool(commit)}
+        if commit:
+            # A commit decision makes the prepared batch visible: it
+            # gets the next commit epoch, carried in the R payload so
+            # recovery and replicas stamp the same token.
+            self.commit_seq += 1
+            self._db.commit_epoch = self.commit_seq
+            fields["commit_seq"] = self.commit_seq
+        payload = json.dumps(fields).encode("utf-8")
         with self._io_guard("resolve a prepared transaction"):
             self._write_record(_RESOLVE, payload)
             self._journal_file.flush()
@@ -682,6 +712,7 @@ class Journal:
             "pending_sync": self._dirty,
             "failed": self.failed,
             "epoch": self.epoch,
+            "commit_seq": self.commit_seq,
             "in_doubt": len(self._prepared),
         }
 
@@ -711,6 +742,7 @@ class Journal:
                     "classes": _schema_payload(database),
                     "next_uid": database.allocator.peek(),
                     "epoch": self.epoch + 1,
+                    "commit_seq": self.commit_seq,
                 }).encode("utf-8")
                 handle.write(_U32.pack(len(schema)))
                 handle.write(schema)
@@ -827,6 +859,7 @@ class Journal:
         restored = replayed = 0
         max_uid = 0
         snapshot_epoch = 0
+        commit_seq = 0
         if snapshot.exists():
             with open(snapshot, "rb") as handle:
                 if handle.read(len(_MAGIC)) != _MAGIC:
@@ -834,6 +867,7 @@ class Journal:
                 schema_len = _U32.unpack(handle.read(4))[0]
                 meta = json.loads(handle.read(schema_len).decode("utf-8"))
                 snapshot_epoch = meta.get("epoch", 0)
+                commit_seq = meta.get("commit_seq", 0)
                 _restore_schema(database, meta["classes"])
                 count = _U32.unpack(handle.read(4))[0]
                 for _ in range(count):
@@ -857,6 +891,15 @@ class Journal:
                     max_uid = max(max_uid, instance.uid.number)
                 replayed += 1
 
+        def bump_seq(payload):
+            # Commit epoch from the marker payload; a legacy empty
+            # payload means sequential epochs, so count the batch.
+            nonlocal commit_seq
+            if len(payload) == _U64.size:
+                commit_seq = max(commit_seq, _U64.unpack(payload)[0])
+            else:
+                commit_seq += 1
+
         if journal.exists():
             # A torn header or an epoch mismatch (stale journal left by
             # a crash mid-checkpoint) yields None: replay nothing.
@@ -875,6 +918,7 @@ class Journal:
                     # Batch complete: apply its buffered records.
                     apply_records(pending)
                     pending.clear()
+                    bump_seq(data[position + 5:end])
                 elif kind == _PREPARE:
                     # Prepared batch: durable but undecided.  Stash it;
                     # burn its UID numbers either way so the allocator
@@ -890,6 +934,10 @@ class Journal:
                     stashed = in_doubt.pop(meta["gtid"], None)
                     if stashed is not None and meta["commit"]:
                         apply_records(stashed)
+                    if meta["commit"]:
+                        commit_seq = max(
+                            commit_seq, meta.get("commit_seq", commit_seq + 1)
+                        )
                 elif kind in (_IMAGE, _TOMBSTONE):
                     pending.append((kind, data[position + 5:end]))
                 else:
@@ -902,6 +950,7 @@ class Journal:
         database.allocator = UIDAllocator(start=max_uid + 1)
         database.rebuild_extents()
         database.in_doubt = in_doubt
+        database.commit_epoch = commit_seq
         return restored, replayed
 
     @staticmethod

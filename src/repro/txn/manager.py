@@ -32,9 +32,29 @@ class TransactionManager:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def begin(self):
-        """Start a transaction."""
-        return Transaction()
+    def begin(self, snapshot=False, epoch=None):
+        """Start a transaction.
+
+        With ``snapshot=True`` the transaction reads at a fixed commit
+        epoch (*epoch*, defaulting to the current one) through the
+        database's :class:`~repro.mvcc.manager.SnapshotManager` —
+        lock-free, consistent, never blocking behind writers.  Its own
+        writes still take X-locks and are additionally validated under
+        first-updater-wins (snapshot isolation); a read-only snapshot
+        transaction is fully serializable (docs/REPLICATION.md).
+        """
+        txn = Transaction()
+        if snapshot:
+            manager = self._db.snapshot_manager
+            if manager is None:
+                raise TransactionStateError(
+                    "snapshot transactions need an attached "
+                    "SnapshotManager (repro.mvcc)"
+                )
+            txn.snapshot_epoch = (
+                manager.current_epoch if epoch is None else int(epoch)
+            )
+        return txn
 
     def commit(self, txn):
         """Commit: make the redo batch durable, discard the undo log,
@@ -94,34 +114,59 @@ class TransactionManager:
     # -- data operations --------------------------------------------------------
 
     def read(self, txn, uid, attribute):
-        """Read one attribute under an S instance lock.
+        """Read one attribute.
+
+        Strict-2PL transactions take an S instance lock; *snapshot*
+        transactions (``begin(snapshot=True)``) read lock-free from the
+        version chain at their snapshot epoch — except objects the
+        transaction itself wrote, which it re-reads from the live,
+        already-X-locked object (read-your-writes).
 
         The read runs inside ``txn_context`` so passive observers (the
         isolation-history recorder) attribute it to this transaction;
         the journal only reacts to writes, so this costs nothing.
         """
         txn.ensure_active()
+        if txn.snapshot_epoch is not None and uid not in txn.written_uids:
+            manager = self._db.snapshot_manager
+            if manager is not None:
+                with self._db.txn_context(txn):
+                    return manager.read_at(uid, attribute, txn.snapshot_epoch)
         self.protocol.lock_instance(txn, uid, "read", wait=False)
         with self._db.txn_context(txn):
             return self._db.value(uid, attribute)
+
+    def _check_snapshot_write(self, txn, uid):
+        """First-updater-wins validation for snapshot transactions
+        (runs *after* the X lock is granted, so the chain tail is
+        stable while we compare epochs)."""
+        if txn.snapshot_epoch is None:
+            return
+        manager = self._db.snapshot_manager
+        if manager is not None:
+            manager.check_write(txn, uid)
 
     def write(self, txn, uid, attribute, value):
         """Write one attribute under an X instance lock."""
         txn.ensure_active()
         self.protocol.lock_instance(txn, uid, "write", wait=False)
+        self._check_snapshot_write(txn, uid)
         with self._db.txn_context(txn):
             old = self._db.value(uid, attribute)
             txn.log("set", uid=uid, attribute=attribute, payload=old)
             self._db.set_value(uid, attribute, value)
+        txn.written_uids.add(uid)
 
     def insert(self, txn, uid, attribute, member):
         """Insert into a set-of attribute under an X instance lock."""
         txn.ensure_active()
         self.protocol.lock_instance(txn, uid, "write", wait=False)
+        self._check_snapshot_write(txn, uid)
         with self._db.txn_context(txn):
             inserted = self._db.insert_into(uid, attribute, member)
         if inserted:
             txn.log("insert", uid=uid, attribute=attribute, payload=member)
+            txn.written_uids.add(uid)
             return True
         return False
 
@@ -129,10 +174,12 @@ class TransactionManager:
         """Remove from a set-of attribute under an X instance lock."""
         txn.ensure_active()
         self.protocol.lock_instance(txn, uid, "write", wait=False)
+        self._check_snapshot_write(txn, uid)
         with self._db.txn_context(txn):
             removed = self._db.remove_from(uid, attribute, member)
         if removed:
             txn.log("remove", uid=uid, attribute=attribute, payload=member)
+            txn.written_uids.add(uid)
             return True
         return False
 
@@ -141,11 +188,16 @@ class TransactionManager:
         txn.ensure_active()
         for parent_uid, _attribute in parents:
             self.protocol.lock_instance(txn, parent_uid, "write", wait=False)
+        for parent_uid, _attribute in parents:
+            self._check_snapshot_write(txn, parent_uid)
         with self._db.txn_context(txn):
             uid = self._db.make(
                 class_name, values=values, parents=parents, **kw_values
             )
         txn.log("make", uid=uid)
+        txn.written_uids.add(uid)
+        for parent_uid, _attribute in parents:
+            txn.written_uids.add(parent_uid)
         return uid
 
     def delete(self, txn, uid):
@@ -155,6 +207,7 @@ class TransactionManager:
         """
         txn.ensure_active()
         self.protocol.lock_composite(txn, uid, "write", wait=False)
+        self._check_snapshot_write(txn, uid)
         victims = []
         # Snapshot before the engine runs: predict the cascade, image it.
         from ..core.deletion import would_delete
@@ -166,11 +219,23 @@ class TransactionManager:
         with self._db.txn_context(txn):
             report = self._db.delete(uid)
         txn.log("delete", uid=uid, payload=victims)
+        txn.written_uids.add(uid)
         return report
 
     def read_composite(self, txn, root_uid):
-        """Lock a whole composite object for reading; return components."""
+        """Lock a whole composite object for reading; return components.
+
+        A snapshot transaction walks the version chains at its epoch
+        instead — no composite read plan, no locks."""
         txn.ensure_active()
+        if txn.snapshot_epoch is not None \
+                and root_uid not in txn.written_uids:
+            manager = self._db.snapshot_manager
+            if manager is not None:
+                with self._db.txn_context(txn):
+                    return manager.components_at(
+                        root_uid, txn.snapshot_epoch
+                    )
         self.protocol.lock_composite(txn, root_uid, "read", wait=False)
         with self._db.txn_context(txn):
             return self._db.components_of(root_uid)

@@ -62,6 +62,15 @@ class Transaction:
         #: Passive observers (the isolation-history recorder) must not
         #: mistake compensating writes for new data operations.
         self.undoing = False
+        #: Snapshot epoch this transaction reads at (None = strict-2PL
+        #: locked reads).  Set by ``TransactionManager.begin(snapshot=)``;
+        #: writes of a snapshot transaction are validated under
+        #: first-updater-wins (docs/REPLICATION.md).
+        self.snapshot_epoch = None
+        #: UIDs this transaction wrote (read-your-writes routing: a
+        #: snapshot transaction reads its own writes from the live,
+        #: X-locked object instead of the version chain).
+        self.written_uids = set()
 
     # -- state ------------------------------------------------------------
 

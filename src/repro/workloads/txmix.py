@@ -220,9 +220,19 @@ def memory_fixture(db, roots=8, parts_per_root=3):
     return root_uids, components
 
 
-def run_tm_mix(database, scripts, lock_table=None, max_rounds=100000):
+def run_tm_mix(database, scripts, lock_table=None, max_rounds=100000,
+               snapshot_readers=False):
     """Execute simulator *scripts* through a strict-2PL transaction
     manager with genuine interleaving.
+
+    With *snapshot_readers* true, scripts containing no update step run
+    as MVCC snapshot transactions (``begin(snapshot=True)``) — lock-free
+    reads at a pinned commit epoch that never block behind, nor abort,
+    the 2PL writers (the database needs an attached
+    :class:`~repro.mvcc.manager.SnapshotManager`).  Read-only snapshot
+    transactions plus strict-2PL writers stay serializable, which the
+    isolation-oracle tests prove on the recorded histories
+    (docs/REPLICATION.md).
 
     Each script is one transaction; the driver advances the active
     transactions round-robin, one step per round, so their data
@@ -249,10 +259,14 @@ def run_tm_mix(database, scripts, lock_table=None, max_rounds=100000):
     tm = TransactionManager(
         database, lock_table if lock_table is not None else LockTable()
     )
-    stats = {"transactions": 0, "ops": 0, "conflict_retries": 0}
+    stats = {"transactions": 0, "ops": 0, "conflict_retries": 0,
+             "snapshot_transactions": 0}
     stamp = 0
+    read_actions = ("read_composite", "read_instance")
     active = [{"steps": list(steps), "pos": 0, "txn": None,
-               "index": index, "retries": 0, "delay": 0}
+               "index": index, "retries": 0, "delay": 0,
+               "snapshot": snapshot_readers and all(
+                   step.action in read_actions for step in steps)}
               for index, steps in enumerate(scripts) if steps]
     rounds = 0
     while active:
@@ -269,7 +283,9 @@ def run_tm_mix(database, scripts, lock_table=None, max_rounds=100000):
                 still.append(state)
                 continue
             if state["txn"] is None:
-                state["txn"] = tm.begin()
+                state["txn"] = tm.begin(snapshot=state["snapshot"])
+                if state["snapshot"]:
+                    stats["snapshot_transactions"] += 1
             txn = state["txn"]
             step = state["steps"][state["pos"]]
             try:
